@@ -1,0 +1,954 @@
+//! The baseline transaction-layer client.
+//!
+//! The client is the 2PC coordinator of the layered architecture the paper
+//! describes for TxHotstuff and TxBFT-SMaRt (and, with direct execution, for
+//! TAPIR): it executes reads, then submits a `Prepare` request to every
+//! involved shard, waits for each shard's OCC vote, submits the
+//! `Commit`/`Abort` decision, and (for the ordered systems) waits for the
+//! decision to be ordered and acknowledged before reporting completion.
+//! Like the Basil client it is a closed-loop driver with exponential backoff
+//! on aborts.
+
+use crate::messages::{BaselineClientTimer, BaselineMsg, ShardRequest};
+use crate::profile::BaselineConfig;
+use basil_common::{
+    ClientId, Duration, Key, NodeId, Op, ReplicaId, ShardId, SimTime, Timestamp, TxGenerator,
+    TxId, TxProfile, Value,
+};
+use basil_simnet::{Actor, Context};
+use basil_store::occ::OccVote;
+use basil_store::{Transaction, TransactionBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+/// Statistics collected by a baseline client.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineClientStats {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted (retried) attempts.
+    pub aborted_attempts: u64,
+    /// Commit latencies in nanoseconds (first attempt to completion).
+    pub latencies_ns: Vec<u64>,
+    /// Committed per workload label.
+    pub per_label: HashMap<&'static str, u64>,
+    /// Read operations issued.
+    pub reads_issued: u64,
+}
+
+impl BaselineClientStats {
+    /// Mean commit latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ns.iter().map(|l| *l as f64).sum::<f64>() / self.latencies_ns.len() as f64 / 1e6
+    }
+
+    /// committed / (committed + aborted attempts).
+    pub fn commit_rate(&self) -> f64 {
+        let total = self.committed + self.aborted_attempts;
+        if total == 0 {
+            return 1.0;
+        }
+        self.committed as f64 / total as f64
+    }
+}
+
+#[derive(Debug)]
+struct PendingRead {
+    req_id: u64,
+    key: Key,
+    rmw_delta: Option<i64>,
+    replies: Vec<(Timestamp, Value)>,
+    wait_for: u32,
+}
+
+#[derive(Debug)]
+struct Executing {
+    builder: TransactionBuilder,
+    ops: Vec<Op>,
+    op_index: usize,
+    pending_read: Option<PendingRead>,
+}
+
+#[derive(Debug)]
+struct Preparing {
+    tx: Transaction,
+    txid: TxId,
+    involved: Vec<ShardId>,
+    /// Per shard: votes by replica index.
+    votes: HashMap<ShardId, HashMap<u32, OccVote>>,
+    decided: HashMap<ShardId, bool>,
+}
+
+#[derive(Debug)]
+struct Deciding {
+    txid: TxId,
+    involved: Vec<ShardId>,
+    commit: bool,
+    acks: HashMap<ShardId, HashSet<u32>>,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Executing(Executing),
+    Preparing(Preparing),
+    Deciding(Deciding),
+    WaitingRetry,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    profile: TxProfile,
+    first_started: SimTime,
+    phase: Phase,
+}
+
+/// A baseline system client.
+pub struct BaselineClient {
+    id: ClientId,
+    cfg: BaselineConfig,
+    generator: Box<dyn TxGenerator>,
+    rng: SmallRng,
+    next_req_id: u64,
+    last_ts: u64,
+    current: Option<InFlight>,
+    backoff: Duration,
+    stats: BaselineClientStats,
+    stopped: bool,
+}
+
+impl BaselineClient {
+    /// Creates a client driven by `generator`.
+    pub fn new(
+        id: ClientId,
+        cfg: BaselineConfig,
+        generator: Box<dyn TxGenerator>,
+        seed: u64,
+    ) -> Self {
+        let backoff = cfg.retry_backoff;
+        BaselineClient {
+            id,
+            cfg,
+            generator,
+            rng: SmallRng::seed_from_u64(seed ^ id.0.rotate_left(17)),
+            next_req_id: 0,
+            last_ts: 0,
+            current: None,
+            backoff,
+            stats: BaselineClientStats::default(),
+            stopped: false,
+        }
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &BaselineClientStats {
+        &self.stats
+    }
+
+    /// The client's identity.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn fresh_timestamp(&mut self, ctx: &Context<BaselineMsg>) -> Timestamp {
+        let mut t = ctx.local_clock().as_nanos();
+        if t <= self.last_ts {
+            t = self.last_ts + 1;
+        }
+        self.last_ts = t;
+        Timestamp::from_nanos(t, self.id)
+    }
+
+    fn replicas_of(&self, shard: ShardId) -> Vec<NodeId> {
+        (0..self.cfg.n())
+            .map(|i| NodeId::Replica(ReplicaId::new(shard, i)))
+            .collect()
+    }
+
+    fn leader_of(&self, shard: ShardId) -> NodeId {
+        NodeId::Replica(ReplicaId::new(shard, 0))
+    }
+
+    /// Where `Prepare`/`Decide` requests go: the leader for ordered systems,
+    /// every replica for TAPIR.
+    fn submit_targets(&self, shard: ShardId) -> Vec<NodeId> {
+        if self.cfg.kind.is_ordered() {
+            vec![self.leader_of(shard)]
+        } else {
+            self.replicas_of(shard)
+        }
+    }
+
+    fn involved_shards(&self, tx: &Transaction) -> Vec<ShardId> {
+        let mut shards: Vec<ShardId> = tx
+            .read_set
+            .iter()
+            .map(|r| self.cfg.shard_for_key(&r.key))
+            .chain(tx.write_set.iter().map(|w| self.cfg.shard_for_key(&w.key)))
+            .collect();
+        shards.sort();
+        shards.dedup();
+        shards
+    }
+
+    // ------------------------------------------------------------------
+    // Closed loop
+    // ------------------------------------------------------------------
+
+    fn start_next_transaction(&mut self, ctx: &mut Context<BaselineMsg>) {
+        if self.stopped {
+            return;
+        }
+        let Some(profile) = self.generator.next_tx() else {
+            self.stopped = true;
+            self.current = None;
+            return;
+        };
+        self.current = Some(InFlight {
+            profile,
+            first_started: ctx.now(),
+            phase: Phase::WaitingRetry,
+        });
+        self.backoff = self.cfg.retry_backoff;
+        self.begin_attempt(ctx);
+    }
+
+    fn begin_attempt(&mut self, ctx: &mut Context<BaselineMsg>) {
+        let ts = self.fresh_timestamp(ctx);
+        let Some(current) = self.current.as_mut() else {
+            return;
+        };
+        let ops = current.profile.ops.clone();
+        current.phase = Phase::Executing(Executing {
+            builder: TransactionBuilder::new(ts),
+            ops,
+            op_index: 0,
+            pending_read: None,
+        });
+        self.advance_execution(ctx);
+    }
+
+    fn advance_execution(&mut self, ctx: &mut Context<BaselineMsg>) {
+        loop {
+            let Some(current) = self.current.as_mut() else {
+                return;
+            };
+            let Phase::Executing(exec) = &mut current.phase else {
+                return;
+            };
+            if exec.pending_read.is_some() {
+                return;
+            }
+            if exec.op_index >= exec.ops.len() {
+                self.send_prepares(ctx);
+                return;
+            }
+            match exec.ops[exec.op_index].clone() {
+                Op::Write(key, value) => {
+                    exec.builder.record_write(key, value);
+                    exec.op_index += 1;
+                }
+                op @ (Op::Read(_) | Op::RmwAdd { .. }) => {
+                    let key = op.key().clone();
+                    let rmw_delta = match op {
+                        Op::RmwAdd { delta, .. } => Some(delta),
+                        _ => None,
+                    };
+                    if let Some(buffered) = exec.builder.buffered_value(&key).cloned() {
+                        if let Some(delta) = rmw_delta {
+                            exec.builder.record_write(key, apply_delta(&buffered, delta));
+                        }
+                        exec.op_index += 1;
+                        continue;
+                    }
+                    self.issue_read(ctx, key, rmw_delta);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn issue_read(&mut self, ctx: &mut Context<BaselineMsg>, key: Key, rmw_delta: Option<i64>) {
+        self.next_req_id += 1;
+        let req_id = self.next_req_id;
+        let shard = self.cfg.shard_for_key(&key);
+        let wait_for = self.cfg.reply_quorum();
+        // TAPIR reads from one (random) replica; the BFT baselines need f+1
+        // matching replies, so they contact f+1 replicas.
+        let targets: Vec<NodeId> = if self.cfg.kind.uses_signatures() {
+            self.replicas_of(shard)
+                .into_iter()
+                .take(wait_for as usize)
+                .collect()
+        } else {
+            let all = self.replicas_of(shard);
+            let pick = self.rng.gen_range(0..all.len());
+            vec![all[pick]]
+        };
+        {
+            let Some(current) = self.current.as_mut() else {
+                return;
+            };
+            let Phase::Executing(exec) = &mut current.phase else {
+                return;
+            };
+            exec.pending_read = Some(PendingRead {
+                req_id,
+                key: key.clone(),
+                rmw_delta,
+                replies: Vec::new(),
+                wait_for,
+            });
+        }
+        self.stats.reads_issued += 1;
+        for target in targets {
+            ctx.charge(self.cfg.cost.message_cost());
+            ctx.send(target, BaselineMsg::Read {
+                req_id,
+                key: key.clone(),
+            });
+        }
+        ctx.schedule_self(
+            self.cfg.request_timeout,
+            BaselineMsg::ClientTimer(BaselineClientTimer::ReadTimeout { req_id }),
+        );
+    }
+
+    fn handle_read_reply(
+        &mut self,
+        ctx: &mut Context<BaselineMsg>,
+        req_id: u64,
+        version: Timestamp,
+        value: Value,
+    ) {
+        if self.cfg.kind.uses_signatures() {
+            ctx.charge(self.cfg.cost.verify_cost());
+        }
+        let ready = {
+            let Some(current) = self.current.as_mut() else {
+                return;
+            };
+            let Phase::Executing(exec) = &mut current.phase else {
+                return;
+            };
+            let Some(pending) = exec.pending_read.as_mut() else {
+                return;
+            };
+            if pending.req_id != req_id {
+                return;
+            }
+            pending.replies.push((version, value));
+            pending.replies.len() as u32 >= pending.wait_for
+        };
+        if !ready {
+            return;
+        }
+        let (key, rmw_delta, replies) = {
+            let Some(current) = self.current.as_mut() else {
+                return;
+            };
+            let Phase::Executing(exec) = &mut current.phase else {
+                return;
+            };
+            let pending = exec.pending_read.take().expect("checked above");
+            (pending.key, pending.rmw_delta, pending.replies)
+        };
+        // Use the freshest version among the replies.
+        let (version, value) = replies
+            .into_iter()
+            .max_by_key(|(v, _)| *v)
+            .unwrap_or((Timestamp::ZERO, Value::empty()));
+        let Some(current) = self.current.as_mut() else {
+            return;
+        };
+        let Phase::Executing(exec) = &mut current.phase else {
+            return;
+        };
+        exec.builder.record_read(key.clone(), version);
+        if let Some(delta) = rmw_delta {
+            exec.builder.record_write(key, apply_delta(&value, delta));
+        }
+        exec.op_index += 1;
+        self.advance_execution(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // 2PC
+    // ------------------------------------------------------------------
+
+    fn send_prepares(&mut self, ctx: &mut Context<BaselineMsg>) {
+        let tx = {
+            let Some(current) = self.current.as_mut() else {
+                return;
+            };
+            let Phase::Executing(exec) = &mut current.phase else {
+                return;
+            };
+            std::mem::replace(&mut exec.builder, TransactionBuilder::new(Timestamp::ZERO)).build()
+        };
+        if tx.is_empty() {
+            self.finish(ctx, true);
+            return;
+        }
+        let txid = tx.id();
+        let involved = self.involved_shards(&tx);
+        for shard in &involved {
+            for target in self.submit_targets(*shard) {
+                if self.cfg.kind.uses_signatures() {
+                    ctx.charge(self.cfg.cost.sign_cost());
+                }
+                ctx.charge(self.cfg.cost.message_cost());
+                ctx.send(
+                    target,
+                    BaselineMsg::Submit {
+                        request: ShardRequest::Prepare { tx: tx.clone() },
+                    },
+                );
+            }
+        }
+        if let Some(current) = self.current.as_mut() {
+            current.phase = Phase::Preparing(Preparing {
+                tx,
+                txid,
+                involved,
+                votes: HashMap::new(),
+                decided: HashMap::new(),
+            });
+        }
+        ctx.schedule_self(
+            self.cfg.request_timeout,
+            BaselineMsg::ClientTimer(BaselineClientTimer::PrepareTimeout { txid }),
+        );
+    }
+
+    fn handle_prepare_result(
+        &mut self,
+        ctx: &mut Context<BaselineMsg>,
+        from: NodeId,
+        txid: TxId,
+        vote: OccVote,
+    ) {
+        if self.cfg.kind.uses_signatures() {
+            ctx.charge(self.cfg.cost.verify_cost());
+        }
+        // For the ordered systems all correct replicas execute the prepare
+        // identically, so `f + 1` matching votes decide a shard. TAPIR
+        // replicas execute independently (inconsistent replication), so a
+        // shard only commits when *all* its replicas agree — a single abort
+        // vote aborts the shard. This mirrors TAPIR's fast quorum while
+        // keeping every replica's store consistent.
+        let (commit_quorum, abort_quorum) = if self.cfg.kind.is_ordered() {
+            (self.cfg.reply_quorum(), self.cfg.reply_quorum())
+        } else {
+            (self.cfg.n(), 1)
+        };
+        let outcome = {
+            let Some(current) = self.current.as_mut() else {
+                return;
+            };
+            let Phase::Preparing(prep) = &mut current.phase else {
+                return;
+            };
+            if prep.txid != txid {
+                return;
+            }
+            let Some(replica) = from.as_replica() else {
+                return;
+            };
+            prep.votes
+                .entry(replica.shard)
+                .or_default()
+                .insert(replica.index, vote);
+            // A shard is decided once enough matching votes are in.
+            for (shard, votes) in prep.votes.iter() {
+                if prep.decided.contains_key(shard) {
+                    continue;
+                }
+                let commits = votes.values().filter(|v| v.is_commit()).count() as u32;
+                let aborts = votes.len() as u32 - commits;
+                if commits >= commit_quorum {
+                    prep.decided.insert(*shard, true);
+                } else if aborts >= abort_quorum {
+                    prep.decided.insert(*shard, false);
+                }
+            }
+            if prep.involved.iter().all(|s| prep.decided.contains_key(s)) {
+                Some((
+                    prep.involved.clone(),
+                    prep.involved.iter().all(|s| prep.decided[s]),
+                ))
+            } else {
+                None
+            }
+        };
+        let Some((involved, commit)) = outcome else {
+            return;
+        };
+        self.send_decides(ctx, txid, involved, commit);
+    }
+
+    fn send_decides(
+        &mut self,
+        ctx: &mut Context<BaselineMsg>,
+        txid: TxId,
+        involved: Vec<ShardId>,
+        commit: bool,
+    ) {
+        for shard in &involved {
+            for target in self.submit_targets(*shard) {
+                if self.cfg.kind.uses_signatures() {
+                    ctx.charge(self.cfg.cost.sign_cost());
+                }
+                ctx.charge(self.cfg.cost.message_cost());
+                ctx.send(
+                    target,
+                    BaselineMsg::Submit {
+                        request: ShardRequest::Decide { txid, commit },
+                    },
+                );
+            }
+        }
+        if self.cfg.kind.is_ordered() {
+            // The ordered systems must wait for the decision to be ordered
+            // and acknowledged.
+            if let Some(current) = self.current.as_mut() {
+                current.phase = Phase::Deciding(Deciding {
+                    txid,
+                    involved,
+                    commit,
+                    acks: HashMap::new(),
+                });
+            }
+            ctx.schedule_self(
+                self.cfg.request_timeout,
+                BaselineMsg::ClientTimer(BaselineClientTimer::DecideTimeout { txid }),
+            );
+        } else {
+            // TAPIR: the decision is final as soon as the client determines
+            // it; the commit message is asynchronous.
+            self.finish(ctx, commit);
+        }
+    }
+
+    fn handle_decide_ack(&mut self, ctx: &mut Context<BaselineMsg>, from: NodeId, txid: TxId) {
+        let quorum = self.cfg.reply_quorum();
+        let done = {
+            let Some(current) = self.current.as_mut() else {
+                return;
+            };
+            let Phase::Deciding(dec) = &mut current.phase else {
+                return;
+            };
+            if dec.txid != txid {
+                return;
+            }
+            let Some(replica) = from.as_replica() else {
+                return;
+            };
+            dec.acks.entry(replica.shard).or_default().insert(replica.index);
+            dec.involved
+                .iter()
+                .all(|s| dec.acks.get(s).map(|a| a.len() as u32 >= quorum).unwrap_or(false))
+                .then_some(dec.commit)
+        };
+        if let Some(commit) = done {
+            self.finish(ctx, commit);
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Context<BaselineMsg>, committed: bool) {
+        let Some(current) = self.current.as_ref() else {
+            return;
+        };
+        if committed {
+            self.stats.committed += 1;
+            let latency = ctx.now() - current.first_started;
+            self.stats.latencies_ns.push(latency.as_nanos());
+            *self
+                .stats
+                .per_label
+                .entry(current.profile.label)
+                .or_insert(0) += 1;
+            self.current = None;
+            self.start_next_transaction(ctx);
+        } else {
+            self.stats.aborted_attempts += 1;
+            let jitter = self.rng.gen_range(0..self.backoff.as_nanos().max(1));
+            let delay = self.backoff + Duration::from_nanos(jitter);
+            self.backoff = Duration::from_nanos(
+                (self.backoff.as_nanos() * 2).min(self.cfg.max_backoff.as_nanos()),
+            );
+            if let Some(current) = self.current.as_mut() {
+                current.phase = Phase::WaitingRetry;
+            }
+            ctx.schedule_self(
+                delay,
+                BaselineMsg::ClientTimer(BaselineClientTimer::RetryBackoff),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn handle_timer(&mut self, ctx: &mut Context<BaselineMsg>, timer: BaselineClientTimer) {
+        match timer {
+            BaselineClientTimer::ReadTimeout { req_id } => {
+                let pending = {
+                    let Some(current) = self.current.as_ref() else {
+                        return;
+                    };
+                    let Phase::Executing(exec) = &current.phase else {
+                        return;
+                    };
+                    match &exec.pending_read {
+                        Some(p) if p.req_id == req_id => Some(p.key.clone()),
+                        _ => None,
+                    }
+                };
+                if let Some(key) = pending {
+                    // Widen to every replica of the shard and keep waiting.
+                    let shard = self.cfg.shard_for_key(&key);
+                    for target in self.replicas_of(shard) {
+                        ctx.charge(self.cfg.cost.message_cost());
+                        ctx.send(target, BaselineMsg::Read {
+                            req_id,
+                            key: key.clone(),
+                        });
+                    }
+                    ctx.schedule_self(
+                        self.cfg.request_timeout,
+                        BaselineMsg::ClientTimer(BaselineClientTimer::ReadTimeout { req_id }),
+                    );
+                }
+            }
+            BaselineClientTimer::PrepareTimeout { txid } => {
+                let resend = {
+                    match self.current.as_ref().map(|c| &c.phase) {
+                        Some(Phase::Preparing(p)) if p.txid == txid => {
+                            Some((p.tx.clone(), p.involved.clone()))
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some((tx, involved)) = resend {
+                    for shard in &involved {
+                        for target in self.submit_targets(*shard) {
+                            ctx.charge(self.cfg.cost.message_cost());
+                            ctx.send(
+                                target,
+                                BaselineMsg::Submit {
+                                    request: ShardRequest::Prepare { tx: tx.clone() },
+                                },
+                            );
+                        }
+                    }
+                    ctx.schedule_self(
+                        self.cfg.request_timeout,
+                        BaselineMsg::ClientTimer(BaselineClientTimer::PrepareTimeout { txid }),
+                    );
+                }
+            }
+            BaselineClientTimer::DecideTimeout { txid } => {
+                let resend = {
+                    match self.current.as_ref().map(|c| &c.phase) {
+                        Some(Phase::Deciding(d)) if d.txid == txid => {
+                            Some((d.involved.clone(), d.commit))
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some((involved, commit)) = resend {
+                    for shard in &involved {
+                        for target in self.submit_targets(*shard) {
+                            ctx.charge(self.cfg.cost.message_cost());
+                            ctx.send(
+                                target,
+                                BaselineMsg::Submit {
+                                    request: ShardRequest::Decide { txid, commit },
+                                },
+                            );
+                        }
+                    }
+                    ctx.schedule_self(
+                        self.cfg.request_timeout,
+                        BaselineMsg::ClientTimer(BaselineClientTimer::DecideTimeout { txid }),
+                    );
+                }
+            }
+            BaselineClientTimer::RetryBackoff => {
+                if matches!(
+                    self.current.as_ref().map(|c| &c.phase),
+                    Some(Phase::WaitingRetry)
+                ) {
+                    self.begin_attempt(ctx);
+                }
+            }
+        }
+    }
+}
+
+fn apply_delta(value: &Value, delta: i64) -> Value {
+    let current = value.as_u64().unwrap_or(0);
+    let new = if delta >= 0 {
+        current.saturating_add(delta as u64)
+    } else {
+        current.saturating_sub(delta.unsigned_abs())
+    };
+    Value::from_u64(new)
+}
+
+impl Actor<BaselineMsg> for BaselineClient {
+    fn on_start(&mut self, ctx: &mut Context<BaselineMsg>) {
+        self.start_next_transaction(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<BaselineMsg>, from: NodeId, msg: BaselineMsg) {
+        ctx.charge(self.cfg.cost.message_cost());
+        match msg {
+            BaselineMsg::ReadReply {
+                req_id,
+                version,
+                value,
+                ..
+            } => self.handle_read_reply(ctx, req_id, version, value),
+            BaselineMsg::PrepareResult { txid, vote } => {
+                self.handle_prepare_result(ctx, from, txid, vote)
+            }
+            BaselineMsg::DecideAck { txid } => self.handle_decide_ack(ctx, from, txid),
+            BaselineMsg::ClientTimer(timer) => self.handle_timer(ctx, timer),
+            // Replica-directed traffic is ignored.
+            BaselineMsg::Read { .. }
+            | BaselineMsg::Submit { .. }
+            | BaselineMsg::OrderPhase { .. }
+            | BaselineMsg::OrderVote { .. }
+            | BaselineMsg::OrderCommit { .. }
+            | BaselineMsg::BatchTimer => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SystemKind;
+    use basil_common::ScriptedGenerator;
+
+    fn ctx() -> Context<BaselineMsg> {
+        Context::new(
+            NodeId::Client(ClientId(1)),
+            SimTime::from_millis(1),
+            SimTime::from_millis(1),
+        )
+    }
+
+    fn sent(ctx: &Context<BaselineMsg>) -> Vec<(NodeId, BaselineMsg)> {
+        ctx.outputs()
+            .iter()
+            .filter_map(|o| match o {
+                basil_simnet::actor::Output::Send { to, msg } => Some((*to, msg.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn client(kind: SystemKind, profiles: Vec<TxProfile>) -> BaselineClient {
+        BaselineClient::new(
+            ClientId(1),
+            BaselineConfig::new(kind),
+            Box::new(ScriptedGenerator::new(profiles)),
+            9,
+        )
+    }
+
+    #[test]
+    fn tapir_write_only_tx_prepares_on_all_replicas() {
+        let profile = TxProfile::new("w", vec![Op::Write(Key::new("x"), Value::from_u64(1))]);
+        let mut c = client(SystemKind::Tapir, vec![profile]);
+        let mut cx = ctx();
+        c.on_start(&mut cx);
+        let prepares = sent(&cx)
+            .iter()
+            .filter(|(_, m)| matches!(m, BaselineMsg::Submit { request: ShardRequest::Prepare { .. } }))
+            .count();
+        assert_eq!(prepares, 3, "TAPIR sends prepares to all 2f+1 replicas");
+    }
+
+    #[test]
+    fn ordered_system_submits_to_the_leader_only() {
+        let profile = TxProfile::new("w", vec![Op::Write(Key::new("x"), Value::from_u64(1))]);
+        let mut c = client(SystemKind::TxHotstuff, vec![profile]);
+        let mut cx = ctx();
+        c.on_start(&mut cx);
+        let submits: Vec<_> = sent(&cx)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, BaselineMsg::Submit { .. }))
+            .collect();
+        assert_eq!(submits.len(), 1);
+        assert_eq!(
+            submits[0].0,
+            NodeId::Replica(ReplicaId::new(ShardId(0), 0)),
+            "prepare goes to the shard leader"
+        );
+    }
+
+    #[test]
+    fn tapir_read_goes_to_a_single_replica() {
+        let profile = TxProfile::new("r", vec![Op::Read(Key::new("x"))]);
+        let mut c = client(SystemKind::Tapir, vec![profile]);
+        let mut cx = ctx();
+        c.on_start(&mut cx);
+        let reads = sent(&cx)
+            .iter()
+            .filter(|(_, m)| matches!(m, BaselineMsg::Read { .. }))
+            .count();
+        assert_eq!(reads, 1);
+    }
+
+    #[test]
+    fn bft_read_contacts_f_plus_one_replicas() {
+        let profile = TxProfile::new("r", vec![Op::Read(Key::new("x"))]);
+        let mut c = client(SystemKind::TxBftSmart, vec![profile]);
+        let mut cx = ctx();
+        c.on_start(&mut cx);
+        let reads = sent(&cx)
+            .iter()
+            .filter(|(_, m)| matches!(m, BaselineMsg::Read { .. }))
+            .count();
+        assert_eq!(reads, 2);
+    }
+
+    #[test]
+    fn tapir_commits_after_unanimous_prepare_votes() {
+        let profile = TxProfile::new("w", vec![Op::Write(Key::new("x"), Value::from_u64(1))]);
+        let mut c = client(SystemKind::Tapir, vec![profile]);
+        let mut cx = ctx();
+        c.on_start(&mut cx);
+        // Find the txid from the outgoing prepare.
+        let txid = sent(&cx)
+            .iter()
+            .find_map(|(_, m)| match m {
+                BaselineMsg::Submit {
+                    request: ShardRequest::Prepare { tx },
+                } => Some(tx.id()),
+                _ => None,
+            })
+            .expect("prepare sent");
+        // TAPIR's fast quorum: all 2f + 1 replicas must vote commit.
+        let mut last_ctx = ctx();
+        for i in 0..3 {
+            last_ctx = ctx();
+            c.on_message(
+                &mut last_ctx,
+                NodeId::Replica(ReplicaId::new(ShardId(0), i)),
+                BaselineMsg::PrepareResult {
+                    txid,
+                    vote: OccVote::Commit,
+                },
+            );
+            if i < 2 {
+                assert_eq!(c.stats().committed, 0, "not committed before unanimity");
+            }
+        }
+        assert_eq!(c.stats().committed, 1);
+        // The decision was broadcast asynchronously.
+        let decides = sent(&last_ctx)
+            .iter()
+            .filter(|(_, m)| {
+                matches!(
+                    m,
+                    BaselineMsg::Submit {
+                        request: ShardRequest::Decide { commit: true, .. }
+                    }
+                )
+            })
+            .count();
+        assert_eq!(decides, 3);
+    }
+
+    #[test]
+    fn ordered_system_waits_for_decide_acks() {
+        let profile = TxProfile::new("w", vec![Op::Write(Key::new("x"), Value::from_u64(1))]);
+        let mut c = client(SystemKind::TxBftSmart, vec![profile]);
+        let mut cx = ctx();
+        c.on_start(&mut cx);
+        let txid = sent(&cx)
+            .iter()
+            .find_map(|(_, m)| match m {
+                BaselineMsg::Submit {
+                    request: ShardRequest::Prepare { tx },
+                } => Some(tx.id()),
+                _ => None,
+            })
+            .expect("prepare sent");
+        // Two matching commit votes (f+1) decide the shard and trigger the
+        // decide round.
+        for i in 0..2 {
+            let mut cxv = ctx();
+            c.on_message(
+                &mut cxv,
+                NodeId::Replica(ReplicaId::new(ShardId(0), i)),
+                BaselineMsg::PrepareResult {
+                    txid,
+                    vote: OccVote::Commit,
+                },
+            );
+        }
+        assert_eq!(c.stats().committed, 0, "not committed until decide is acked");
+        for i in 0..2 {
+            let mut cxa = ctx();
+            c.on_message(
+                &mut cxa,
+                NodeId::Replica(ReplicaId::new(ShardId(0), i)),
+                BaselineMsg::DecideAck { txid },
+            );
+        }
+        assert_eq!(c.stats().committed, 1);
+    }
+
+    #[test]
+    fn aborted_prepare_schedules_a_retry() {
+        let profile = TxProfile::new("w", vec![Op::Write(Key::new("x"), Value::from_u64(1))]);
+        let mut c = client(SystemKind::Tapir, vec![profile]);
+        let mut cx = ctx();
+        c.on_start(&mut cx);
+        let txid = sent(&cx)
+            .iter()
+            .find_map(|(_, m)| match m {
+                BaselineMsg::Submit {
+                    request: ShardRequest::Prepare { tx },
+                } => Some(tx.id()),
+                _ => None,
+            })
+            .expect("prepare");
+        let mut cx2 = ctx();
+        c.on_message(
+            &mut cx2,
+            NodeId::Replica(ReplicaId::new(ShardId(0), 0)),
+            BaselineMsg::PrepareResult {
+                txid,
+                vote: OccVote::Abort(basil_common::error::AbortReason::Conflict),
+            },
+        );
+        assert_eq!(c.stats().aborted_attempts, 1);
+        assert_eq!(c.stats().committed, 0);
+        // A retry backoff timer was armed.
+        assert!(cx2
+            .outputs()
+            .iter()
+            .any(|o| matches!(o, basil_simnet::actor::Output::Timer { .. })));
+    }
+}

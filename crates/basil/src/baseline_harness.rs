@@ -1,0 +1,255 @@
+//! Simulated-cluster harness for the baseline systems (TAPIR-style,
+//! TxHotstuff, TxBFT-SMaRt), mirroring [`crate::harness::BasilCluster`].
+
+use crate::report::{RunReport, Snapshot};
+use basil_baselines::{BaselineClient, BaselineClientStats, BaselineConfig, BaselineMsg, BaselineReplica};
+use basil_common::{ClientId, Duration, Key, NodeId, ReplicaId, SimTime, TxGenerator, Value};
+use basil_simnet::{NetworkConfig, NodeProps, Simulation};
+
+/// Configuration of a simulated baseline deployment.
+#[derive(Clone, Debug)]
+pub struct BaselineClusterConfig {
+    /// The baseline system and its parameters.
+    pub baseline: BaselineConfig,
+    /// Number of closed-loop clients.
+    pub num_clients: u32,
+    /// Network model.
+    pub network: NetworkConfig,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Initial database contents.
+    pub initial_data: Vec<(Key, Value)>,
+    /// CPU cores per replica.
+    pub replica_cores: u32,
+    /// CPU cores per client.
+    pub client_cores: u32,
+}
+
+impl BaselineClusterConfig {
+    /// A default deployment of the given baseline with `num_clients` clients.
+    pub fn new(baseline: BaselineConfig, num_clients: u32) -> Self {
+        BaselineClusterConfig {
+            baseline,
+            num_clients,
+            network: NetworkConfig::lan(),
+            seed: 42,
+            initial_data: Vec::new(),
+            replica_cores: 8,
+            client_cores: 8,
+        }
+    }
+
+    /// Sets the initial database contents.
+    pub fn with_initial_data(mut self, data: Vec<(Key, Value)>) -> Self {
+        self.initial_data = data;
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A running simulated baseline deployment.
+pub struct BaselineCluster {
+    sim: Simulation<BaselineMsg>,
+    config: BaselineClusterConfig,
+    clients: Vec<ClientId>,
+    replicas: Vec<ReplicaId>,
+}
+
+impl BaselineCluster {
+    /// Builds the deployment; `make_generator` supplies each client's
+    /// workload.
+    pub fn build(
+        config: BaselineClusterConfig,
+        mut make_generator: impl FnMut(ClientId) -> Box<dyn TxGenerator>,
+    ) -> Self {
+        let mut sim = Simulation::new(config.seed, config.network.clone());
+        let mut replicas = Vec::new();
+        for shard in config.baseline.shards() {
+            let shard_data: Vec<(Key, Value)> = config
+                .initial_data
+                .iter()
+                .filter(|(k, _)| config.baseline.shard_for_key(k) == shard)
+                .cloned()
+                .collect();
+            for index in 0..config.baseline.n() {
+                let rid = ReplicaId::new(shard, index);
+                let replica = BaselineReplica::new(rid, config.baseline.clone(), shard_data.clone());
+                sim.add_node(
+                    NodeId::Replica(rid),
+                    NodeProps::replica().with_cores(config.replica_cores),
+                    Box::new(replica),
+                );
+                replicas.push(rid);
+            }
+        }
+        let mut clients = Vec::new();
+        for i in 0..config.num_clients {
+            let cid = ClientId(i as u64);
+            let client = BaselineClient::new(
+                cid,
+                config.baseline.clone(),
+                make_generator(cid),
+                config.seed.wrapping_add(i as u64),
+            );
+            sim.add_node(
+                NodeId::Client(cid),
+                NodeProps::client().with_cores(config.client_cores),
+                Box::new(client),
+            );
+            clients.push(cid);
+        }
+        BaselineCluster {
+            sim,
+            config,
+            clients,
+            replicas,
+        }
+    }
+
+    /// Advances the simulation by `d`.
+    pub fn run_for(&mut self, d: Duration) {
+        self.sim.run_for(d);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Runs a warmup period then a measurement window and reports
+    /// throughput/latency over the window.
+    pub fn run_measured(&mut self, warmup: Duration, window: Duration) -> RunReport {
+        self.run_for(warmup);
+        let start = self.snapshot();
+        self.run_for(window);
+        let end = self.snapshot();
+        RunReport::between(&start, &end, window)
+    }
+
+    /// Per-client statistics.
+    pub fn client_stats(&self) -> Vec<(ClientId, BaselineClientStats)> {
+        self.clients
+            .iter()
+            .filter_map(|cid| {
+                self.sim
+                    .actor::<BaselineClient>(NodeId::Client(*cid))
+                    .map(|c| (*cid, c.stats().clone()))
+            })
+            .collect()
+    }
+
+    /// Aggregates client counters into a snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for (_, stats) in self.client_stats() {
+            snap.correct_clients += 1;
+            snap.committed += stats.committed;
+            snap.aborted_attempts += stats.aborted_attempts;
+            for (label, count) in &stats.per_label {
+                *snap.per_label.entry(label).or_insert(0) += count;
+            }
+            snap.latencies_ns.extend(&stats.latencies_ns);
+        }
+        snap
+    }
+
+    /// Sum of committed transactions across clients.
+    pub fn total_committed(&self) -> u64 {
+        self.client_stats().iter().map(|(_, s)| s.committed).sum()
+    }
+
+    /// The committed value of `key` on the first replica of its shard.
+    pub fn latest_value(&self, key: &Key) -> Option<Value> {
+        let shard = self.config.baseline.shard_for_key(key);
+        let rid = ReplicaId::new(shard, 0);
+        self.sim
+            .actor::<BaselineReplica>(NodeId::Replica(rid))
+            .and_then(|r| r.store().committed_value(key))
+    }
+
+    /// Identifiers of all replicas.
+    pub fn replica_ids(&self) -> &[ReplicaId] {
+        &self.replicas
+    }
+
+    /// Direct access to the underlying simulator.
+    pub fn sim_mut(&mut self) -> &mut Simulation<BaselineMsg> {
+        &mut self.sim
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &BaselineClusterConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basil_baselines::SystemKind;
+    use basil_common::{Op, ScriptedGenerator, TxProfile};
+
+    fn one_write_profile() -> TxProfile {
+        TxProfile::new("set-x", vec![Op::Write(Key::new("x"), Value::from_u64(7))])
+    }
+
+    #[test]
+    fn tapir_cluster_commits_a_transaction() {
+        let config = BaselineClusterConfig::new(BaselineConfig::new(SystemKind::Tapir), 1)
+            .with_initial_data(vec![(Key::new("x"), Value::from_u64(0))]);
+        let mut cluster = BaselineCluster::build(config, |_| {
+            Box::new(ScriptedGenerator::new([one_write_profile()]))
+        });
+        cluster.run_for(Duration::from_millis(50));
+        assert_eq!(cluster.total_committed(), 1);
+        assert_eq!(cluster.latest_value(&Key::new("x")), Some(Value::from_u64(7)));
+    }
+
+    #[test]
+    fn hotstuff_cluster_commits_a_transaction() {
+        let config = BaselineClusterConfig::new(
+            BaselineConfig::new(SystemKind::TxHotstuff).with_batch_size(1),
+            1,
+        )
+        .with_initial_data(vec![(Key::new("x"), Value::from_u64(0))]);
+        let mut cluster = BaselineCluster::build(config, |_| {
+            Box::new(ScriptedGenerator::new([one_write_profile()]))
+        });
+        cluster.run_for(Duration::from_millis(100));
+        assert_eq!(cluster.total_committed(), 1);
+        assert_eq!(cluster.latest_value(&Key::new("x")), Some(Value::from_u64(7)));
+    }
+
+    #[test]
+    fn bftsmart_cluster_commits_rmw_chain() {
+        let config = BaselineClusterConfig::new(
+            BaselineConfig::new(SystemKind::TxBftSmart).with_batch_size(1),
+            1,
+        )
+        .with_initial_data(vec![(Key::new("counter"), Value::from_u64(10))]);
+        let profiles = vec![
+            TxProfile::new(
+                "incr",
+                vec![Op::RmwAdd {
+                    key: Key::new("counter"),
+                    delta: 5,
+                }],
+            );
+            2
+        ];
+        let mut cluster = BaselineCluster::build(config, move |_| {
+            Box::new(ScriptedGenerator::new(profiles.clone()))
+        });
+        cluster.run_for(Duration::from_millis(300));
+        assert_eq!(cluster.total_committed(), 2);
+        assert_eq!(
+            cluster.latest_value(&Key::new("counter")),
+            Some(Value::from_u64(20))
+        );
+    }
+}

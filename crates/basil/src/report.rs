@@ -1,0 +1,182 @@
+//! Aggregated run reports: throughput, latency, commit rate.
+
+use basil_common::Duration;
+use std::collections::HashMap;
+
+/// A snapshot of aggregate client counters at one point in simulated time.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Committed transactions across correct clients.
+    pub committed: u64,
+    /// Aborted (retried) attempts across correct clients.
+    pub aborted_attempts: u64,
+    /// Fast-path decisions.
+    pub fast_path: u64,
+    /// Slow-path (ST2) decisions.
+    pub slow_path: u64,
+    /// Fallback recoveries started.
+    pub fallbacks: u64,
+    /// Number of latency samples recorded so far (used to diff windows).
+    pub latency_samples: usize,
+    /// All latencies recorded so far, in nanoseconds.
+    pub latencies_ns: Vec<u64>,
+    /// Committed per workload label.
+    pub per_label: HashMap<&'static str, u64>,
+    /// Number of correct (non-Byzantine) clients contributing.
+    pub correct_clients: u32,
+    /// Committed transactions by Byzantine clients (their successful,
+    /// protocol-following commits).
+    pub byz_committed: u64,
+    /// Transactions issued under a Byzantine strategy.
+    pub faulty_issued: u64,
+}
+
+/// Throughput/latency report over a measurement window.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Length of the measurement window.
+    pub window: Duration,
+    /// Transactions committed by correct clients in the window.
+    pub committed: u64,
+    /// Aborted attempts by correct clients in the window.
+    pub aborted_attempts: u64,
+    /// Correct-client throughput in transactions per second.
+    pub throughput_tps: f64,
+    /// Throughput per correct client (the metric of Figure 7).
+    pub throughput_per_correct_client: f64,
+    /// Mean commit latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Median commit latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th percentile commit latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// committed / (committed + aborted attempts).
+    pub commit_rate: f64,
+    /// Fraction of decisions that used the single-round-trip fast path.
+    pub fast_path_fraction: f64,
+    /// Fallback recoveries started during the window.
+    pub fallbacks: u64,
+    /// Fraction of processed transactions that were faulty (Byzantine).
+    pub faulty_fraction: f64,
+    /// Committed count per workload label.
+    pub per_label: HashMap<&'static str, u64>,
+}
+
+impl RunReport {
+    /// Computes the report for the window between two snapshots.
+    pub fn between(start: &Snapshot, end: &Snapshot, window: Duration) -> RunReport {
+        let committed = end.committed.saturating_sub(start.committed);
+        let aborted = end.aborted_attempts.saturating_sub(start.aborted_attempts);
+        let secs = window.as_secs_f64().max(1e-9);
+        let mut latencies: Vec<u64> = end.latencies_ns[start.latency_samples.min(end.latencies_ns.len())..].to_vec();
+        latencies.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+            latencies[idx] as f64 / 1e6
+        };
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().map(|l| *l as f64).sum::<f64>() / latencies.len() as f64 / 1e6
+        };
+        let fast = end.fast_path.saturating_sub(start.fast_path);
+        let slow = end.slow_path.saturating_sub(start.slow_path);
+        let decisions = fast + slow;
+        let mut per_label = HashMap::new();
+        for (label, count) in &end.per_label {
+            let before = start.per_label.get(label).copied().unwrap_or(0);
+            per_label.insert(*label, count.saturating_sub(before));
+        }
+        let correct_total = committed + aborted;
+        let byz = end.faulty_issued.saturating_sub(start.faulty_issued);
+        let processed = correct_total + byz;
+        RunReport {
+            window,
+            committed,
+            aborted_attempts: aborted,
+            throughput_tps: committed as f64 / secs,
+            throughput_per_correct_client: if end.correct_clients == 0 {
+                0.0
+            } else {
+                committed as f64 / secs / end.correct_clients as f64
+            },
+            mean_latency_ms: mean,
+            p50_latency_ms: pct(0.50),
+            p99_latency_ms: pct(0.99),
+            commit_rate: if correct_total == 0 {
+                1.0
+            } else {
+                committed as f64 / correct_total as f64
+            },
+            fast_path_fraction: if decisions == 0 {
+                1.0
+            } else {
+                fast as f64 / decisions as f64
+            },
+            fallbacks: end.fallbacks.saturating_sub(start.fallbacks),
+            faulty_fraction: if processed == 0 {
+                0.0
+            } else {
+                byz as f64 / processed as f64
+            },
+            per_label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_between_snapshots() {
+        let start = Snapshot {
+            committed: 100,
+            aborted_attempts: 10,
+            fast_path: 90,
+            slow_path: 20,
+            latency_samples: 2,
+            latencies_ns: vec![1_000_000, 2_000_000],
+            correct_clients: 4,
+            ..Default::default()
+        };
+        let end = Snapshot {
+            committed: 300,
+            aborted_attempts: 30,
+            fast_path: 270,
+            slow_path: 40,
+            latency_samples: 6,
+            latencies_ns: vec![
+                1_000_000, 2_000_000, 3_000_000, 5_000_000, 7_000_000, 9_000_000,
+            ],
+            correct_clients: 4,
+            ..Default::default()
+        };
+        let r = RunReport::between(&start, &end, Duration::from_secs(2));
+        assert_eq!(r.committed, 200);
+        assert_eq!(r.aborted_attempts, 20);
+        assert!((r.throughput_tps - 100.0).abs() < 1e-9);
+        assert!((r.throughput_per_correct_client - 25.0).abs() < 1e-9);
+        // Window latencies are the last four samples: 3, 5, 7, 9 ms.
+        assert!((r.mean_latency_ms - 6.0).abs() < 1e-9);
+        assert!(r.p50_latency_ms >= 3.0 && r.p50_latency_ms <= 7.0);
+        assert!((r.p99_latency_ms - 9.0).abs() < 1e-9);
+        assert!((r.commit_rate - 200.0 / 220.0).abs() < 1e-9);
+        // 180 fast vs 20 slow decisions in the window.
+        assert!((r.fast_path_fraction - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_well_defined() {
+        let s = Snapshot::default();
+        let r = RunReport::between(&s, &s, Duration::from_secs(1));
+        assert_eq!(r.committed, 0);
+        assert_eq!(r.throughput_tps, 0.0);
+        assert_eq!(r.mean_latency_ms, 0.0);
+        assert_eq!(r.commit_rate, 1.0);
+        assert_eq!(r.faulty_fraction, 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: SHA-256,
+//! HMAC, Merkle reply batching, and the signature scheme. These measure the
+//! real (host) cost of the from-scratch implementations; the simulator
+//! charges the calibrated ed25519 costs instead (see `basil_crypto::cost`).
+
+use basil_common::{ClientId, NodeId};
+use basil_crypto::hmac::hmac_sha256;
+use basil_crypto::{BatchProof, BatchSigner, KeyRegistry, MerkleTree, Sha256, SignatureCache};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha256::digest(data))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    c.bench_function("hmac_sha256_64B", |b| {
+        let key = [7u8; 32];
+        let msg = [1u8; 64];
+        b.iter(|| hmac_sha256(&key, &msg))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for leaves in [4usize, 16, 64] {
+        let payloads: Vec<Vec<u8>> = (0..leaves).map(|i| format!("reply-{i}").into_bytes()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("build_and_prove", leaves),
+            &payloads,
+            |b, payloads| {
+                b.iter(|| {
+                    let tree = MerkleTree::build(payloads);
+                    tree.prove(leaves / 2)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let registry = KeyRegistry::from_seed(1);
+    let node = NodeId::Client(ClientId(1));
+    let keypair = registry.keypair(node);
+    c.bench_function("sign_single", |b| {
+        b.iter(|| BatchProof::sign_single(&keypair, b"a reply payload"))
+    });
+    let proof = BatchProof::sign_single(&keypair, b"a reply payload");
+    c.bench_function("verify_single_uncached", |b| {
+        b.iter(|| {
+            let mut cache = SignatureCache::new();
+            proof.verify(b"a reply payload", &registry, &mut cache)
+        })
+    });
+    c.bench_function("batch_sign_16", |b| {
+        b.iter(|| {
+            let mut signer = BatchSigner::new(registry.keypair(node), 16);
+            for i in 0..16u64 {
+                signer.push(NodeId::Client(ClientId(i)), format!("reply {i}").into_bytes());
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_hmac, bench_merkle, bench_signatures
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Scaled-down versions of the paper's figure experiments, runnable through
+//! `cargo bench`. Each benchmark runs one simulated deployment for a short
+//! measurement window; the full-size experiments (with the paper-vs-measured
+//! tables) are the `fig*` binaries in `src/bin/`.
+
+use basil::baselines::SystemKind;
+use basil_bench::{basil_default, run_baseline, run_basil, RunParams, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration as StdDuration;
+
+fn params() -> RunParams {
+    RunParams::quick()
+}
+
+fn bench_fig4_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_smallbank_point");
+    group.sample_size(10).measurement_time(StdDuration::from_secs(20));
+    group.bench_function("basil", |b| {
+        b.iter(|| run_basil(basil_default(1), Workload::Smallbank, &params()))
+    });
+    group.bench_function("tapir", |b| {
+        b.iter(|| run_baseline(SystemKind::Tapir, 1, Workload::Smallbank, &params()))
+    });
+    group.bench_function("txhotstuff", |b| {
+        b.iter(|| run_baseline(SystemKind::TxHotstuff, 1, Workload::Smallbank, &params()))
+    });
+    group.bench_function("txbftsmart", |b| {
+        b.iter(|| run_baseline(SystemKind::TxBftSmart, 1, Workload::Smallbank, &params()))
+    });
+    group.finish();
+}
+
+fn bench_fig5a_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_signature_ablation");
+    group.sample_size(10).measurement_time(StdDuration::from_secs(20));
+    let workload = Workload::RwUniform { reads: 2, writes: 2 };
+    group.bench_function("basil", |b| b.iter(|| run_basil(basil_default(1), workload, &params())));
+    group.bench_function("basil_noproofs", |b| {
+        b.iter(|| run_basil(basil_default(1).without_proofs(), workload, &params()))
+    });
+    group.finish();
+}
+
+fn bench_fig6a_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_fastpath_ablation");
+    group.sample_size(10).measurement_time(StdDuration::from_secs(20));
+    let workload = Workload::RwZipf { reads: 2, writes: 2 };
+    group.bench_function("basil", |b| b.iter(|| run_basil(basil_default(1), workload, &params())));
+    group.bench_function("basil_nofp", |b| {
+        b.iter(|| run_basil(basil_default(1).without_fast_path(), workload, &params()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_points, bench_fig5a_points, bench_fig6a_points);
+criterion_main!(benches);

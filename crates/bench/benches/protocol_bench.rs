@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for protocol-level building blocks: vote
+//! tallying/classification, certificate validation, and the fallback view
+//! rules.
+
+use basil_common::{ClientId, NodeId, ReplicaId, ShardConfig, ShardId, TxId};
+use basil_core::certs::{validate_commit_cert, CommitCert, ShardVotes};
+use basil_core::config::BasilConfig;
+use basil_core::crypto_engine::SigEngine;
+use basil_core::messages::{ProtoDecision, ProtoVote, SignedSt1Reply, St1ReplyBody};
+use basil_core::quorum::ShardTally;
+use basil_core::views::next_view;
+use basil_crypto::KeyRegistry;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn signed_votes(registry: &KeyRegistry, cfg: &BasilConfig, txid: TxId, n: u32) -> Vec<SignedSt1Reply> {
+    (0..n)
+        .map(|i| {
+            let rid = ReplicaId::new(ShardId(0), i);
+            let body = St1ReplyBody {
+                txid,
+                replica: rid,
+                vote: ProtoVote::Commit,
+            };
+            let mut engine = SigEngine::new(NodeId::Replica(rid), registry.clone(), cfg);
+            let (proof, _) = engine.sign(&body.signed_bytes());
+            SignedSt1Reply {
+                body,
+                proof,
+                conflict: None,
+            }
+        })
+        .collect()
+}
+
+fn bench_tally(c: &mut Criterion) {
+    let cfg = ShardConfig::new(1);
+    let registry = KeyRegistry::from_seed(1);
+    let basil_cfg = BasilConfig::test_single_shard();
+    let txid = TxId::from_bytes([1; 32]);
+    let votes = signed_votes(&registry, &basil_cfg, txid, 6);
+    c.bench_function("shard_tally_classify_fast_commit", |b| {
+        b.iter(|| {
+            let mut tally = ShardTally::new(txid, ShardId(0), cfg);
+            for v in &votes {
+                tally.add(v.clone());
+            }
+            tally.classify(false)
+        })
+    });
+}
+
+fn bench_cert_validation(c: &mut Criterion) {
+    let registry = KeyRegistry::from_seed(1);
+    let basil_cfg = BasilConfig::test_single_shard();
+    let txid = TxId::from_bytes([2; 32]);
+    let votes = signed_votes(&registry, &basil_cfg, txid, 6);
+    let cert = CommitCert {
+        txid,
+        fast_votes: vec![ShardVotes {
+            txid,
+            shard: ShardId(0),
+            decision: ProtoDecision::Commit,
+            votes,
+            conflict: None,
+        }],
+        slow: None,
+    };
+    let shard_cfg = basil_cfg.system.shard;
+    c.bench_function("validate_fast_commit_cert_cold_cache", |b| {
+        b.iter(|| {
+            let mut engine = SigEngine::new(
+                NodeId::Client(ClientId(1)),
+                registry.clone(),
+                &basil_cfg,
+            );
+            validate_commit_cert(&cert, Some(&[ShardId(0)]), &shard_cfg, &mut engine)
+        })
+    });
+    c.bench_function("validate_fast_commit_cert_warm_cache", |b| {
+        let mut engine = SigEngine::new(NodeId::Client(ClientId(1)), registry.clone(), &basil_cfg);
+        b.iter(|| validate_commit_cert(&cert, Some(&[ShardId(0)]), &shard_cfg, &mut engine))
+    });
+}
+
+fn bench_views(c: &mut Criterion) {
+    let cfg = ShardConfig::new(1);
+    let reported = [3u64, 3, 2, 2, 1, 0];
+    c.bench_function("fallback_next_view", |b| b.iter(|| next_view(1, &reported, &cfg)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tally, bench_cert_validation, bench_views
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the storage substrates: the MVTSO engine
+//! (Algorithm 1) and the baseline OCC store.
+
+use basil_common::{ClientId, Duration, Key, SimTime, Timestamp, Value};
+use basil_store::occ::OccStore;
+use basil_store::{MvtsoStore, Transaction, TransactionBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn tx(i: u64) -> Transaction {
+    let mut b = TransactionBuilder::new(Timestamp::from_nanos(1_000 + i * 10, ClientId(i % 16)));
+    b.record_read(Key::new(format!("r{}", i % 256)), Timestamp::ZERO);
+    b.record_write(Key::new(format!("w{}", i % 256)), Value::from_u64(i));
+    b.build()
+}
+
+fn bench_mvtso(c: &mut Criterion) {
+    c.bench_function("mvtso_prepare_commit", |b| {
+        b.iter_batched(
+            MvtsoStore::new,
+            |mut store| {
+                for i in 0..64u64 {
+                    let t = tx(i);
+                    store.prepare(&t, SimTime::from_secs(1), Duration::from_millis(100));
+                    store.commit(&t);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("mvtso_versioned_read", |b| {
+        let mut store = MvtsoStore::new();
+        for i in 0..256u64 {
+            let t = tx(i);
+            store.prepare(&t, SimTime::from_secs(1), Duration::from_millis(100));
+            store.commit(&t);
+        }
+        let key = Key::new("w17");
+        b.iter(|| store.read_without_rts(&key, Timestamp::from_nanos(u64::MAX, ClientId(0))))
+    });
+}
+
+fn bench_occ(c: &mut Criterion) {
+    c.bench_function("occ_prepare_commit", |b| {
+        b.iter_batched(
+            OccStore::new,
+            |mut store| {
+                for i in 0..64u64 {
+                    let mut builder =
+                        TransactionBuilder::new(Timestamp::from_nanos(1_000 + i, ClientId(1)));
+                    builder.record_write(Key::new(format!("k{}", i % 64)), Value::from_u64(i));
+                    let t = builder.build();
+                    store.prepare(&t);
+                    store.commit(&t.id());
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_txid(c: &mut Criterion) {
+    let t = tx(7);
+    c.bench_function("transaction_id_hash", |b| b.iter(|| t.id()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mvtso, bench_occ, bench_txid
+}
+criterion_main!(benches);

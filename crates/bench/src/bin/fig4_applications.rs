@@ -1,0 +1,114 @@
+//! Figure 4: application-level performance of Basil vs TAPIR, TxHotstuff and
+//! TxBFT-SMaRt on TPC-C, Smallbank, and Retwis (throughput and mean latency).
+
+use basil::baselines::SystemKind;
+use basil_bench::{
+    basil_default, basil_tpcc, lat, print_table, run_baseline, run_basil, tps, RunParams, Workload,
+};
+
+fn params() -> RunParams {
+    if std::env::var("BASIL_BENCH_QUICK").is_ok() {
+        RunParams::quick()
+    } else {
+        RunParams::default()
+    }
+}
+
+fn main() {
+    let workloads = [Workload::Tpcc, Workload::Smallbank, Workload::Retwis];
+    // Paper reference numbers (Figure 4a throughput in tx/s, 4b latency ms).
+    let paper_tput = [
+        ("TAPIR", [19_801, 61_445, 43_286]),
+        ("Basil", [4_862, 23_536, 24_549]),
+        ("TxHotstuff", [924, 6_401, 5_159]),
+        ("TxBFT-SMaRt", [1_294, 8_746, 6_253]),
+    ];
+    let paper_lat = [
+        ("TAPIR", [7.3, 2.3, 2.0]),
+        ("Basil", [30.7, 11.7, 10.0]),
+        ("TxHotstuff", [73.1, 42.6, 48.9]),
+        ("TxBFT-SMaRt", [59.4, 18.7, 23.3]),
+    ];
+
+    let p = params();
+    let mut tput_rows = Vec::new();
+    let mut lat_rows = Vec::new();
+    let mut measured: Vec<Vec<f64>> = Vec::new();
+
+    for (system_idx, system) in ["TAPIR", "Basil", "TxHotstuff", "TxBFT-SMaRt"].iter().enumerate() {
+        let mut tput_row = vec![system.to_string()];
+        let mut lat_row = vec![system.to_string()];
+        let mut tputs = Vec::new();
+        for (w_idx, workload) in workloads.iter().enumerate() {
+            let report = match *system {
+                "Basil" => {
+                    let cfg = if *workload == Workload::Tpcc {
+                        basil_tpcc()
+                    } else {
+                        basil_default(1)
+                    };
+                    run_basil(cfg, *workload, &p)
+                }
+                "TAPIR" => run_baseline(SystemKind::Tapir, 1, *workload, &p),
+                "TxHotstuff" => run_baseline(SystemKind::TxHotstuff, 1, *workload, &p),
+                _ => run_baseline(SystemKind::TxBftSmart, 1, *workload, &p),
+            };
+            tput_row.push(tps(&report));
+            tput_row.push(paper_tput[system_idx].1[w_idx].to_string());
+            lat_row.push(lat(&report));
+            lat_row.push(format!("{:.1}", paper_lat[system_idx].1[w_idx]));
+            tputs.push(report.throughput_tps);
+            eprintln!(
+                "[fig4] {} / {}: {:.0} tx/s, {:.2} ms, commit rate {:.2}",
+                system,
+                workload.name(),
+                report.throughput_tps,
+                report.mean_latency_ms,
+                report.commit_rate
+            );
+        }
+        measured.push(tputs);
+        tput_rows.push(tput_row);
+        lat_rows.push(lat_row);
+    }
+
+    print_table(
+        "Figure 4a: peak throughput (tx/s) — measured vs paper",
+        &[
+            "system",
+            "TPCC",
+            "paper",
+            "Smallbank",
+            "paper",
+            "Retwis",
+            "paper",
+        ],
+        &tput_rows,
+    );
+    print_table(
+        "Figure 4b: mean latency (ms) — measured vs paper",
+        &[
+            "system",
+            "TPCC",
+            "paper",
+            "Smallbank",
+            "paper",
+            "Retwis",
+            "paper",
+        ],
+        &lat_rows,
+    );
+
+    // Shape summary: the paper's headline ratios.
+    let (tapir, basil, hotstuff, bftsmart) = (&measured[0], &measured[1], &measured[2], &measured[3]);
+    println!("\nShape checks (per workload: TPCC, Smallbank, Retwis):");
+    for i in 0..3 {
+        println!(
+            "  {:10} Basil/TxHotstuff = {:.1}x (paper 3.7-5.2x), Basil/TxBFT-SMaRt = {:.1}x (paper 2.7-3.9x), TAPIR/Basil = {:.1}x (paper 1.8-4.1x)",
+            workloads[i].name(),
+            basil[i] / hotstuff[i].max(1.0),
+            basil[i] / bftsmart[i].max(1.0),
+            tapir[i] / basil[i].max(1.0),
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 5b: the cost of Byzantine-independent reads — throughput and
+//! latency of a read-only workload (24 operations per transaction, batch 16)
+//! as the read quorum grows from one replica to `f+1` and `2f+1`.
+
+use basil::ReadQuorum;
+use basil_bench::{basil_default, print_table, run_basil, RunParams, Workload};
+
+fn main() {
+    let p = if std::env::var("BASIL_BENCH_QUICK").is_ok() {
+        RunParams::quick()
+    } else {
+        RunParams::default()
+    };
+    let quorums = [
+        ("one read", ReadQuorum::One),
+        ("f+1 reads", ReadQuorum::FPlusOne),
+        ("2f+1 reads", ReadQuorum::TwoFPlusOne),
+    ];
+    let mut rows = Vec::new();
+    let mut baseline_tput = None;
+    for (name, quorum) in quorums {
+        let mut cfg = basil_default(1);
+        cfg.system.read_quorum = quorum;
+        let report = run_basil(cfg, Workload::ReadOnly { ops: 24 }, &p);
+        let relative = baseline_tput
+            .map(|b: f64| format!("{:+.0}%", (report.throughput_tps / b - 1.0) * 100.0))
+            .unwrap_or_else(|| "baseline".to_string());
+        if baseline_tput.is_none() {
+            baseline_tput = Some(report.throughput_tps);
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}", report.throughput_tps),
+            format!("{:.2}", report.mean_latency_ms),
+            relative,
+        ]);
+        eprintln!(
+            "[fig5b] {name}: {:.0} tx/s, {:.2} ms",
+            report.throughput_tps, report.mean_latency_ms
+        );
+    }
+    print_table(
+        "Figure 5b: read quorum size (read-only, 24 ops/txn) — paper: -20% at f+1, further -16% at 2f+1",
+        &["quorum", "tx/s", "latency ms", "vs one read"],
+        &rows,
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 5c: scaling the number of shards (1 to 3) on the CPU-bound RW-U
+//! workload with three reads and three writes per transaction, for Basil and
+//! Basil-NoProofs. The paper reports a 1.9x scale-up without proofs but only
+//! 1.3x with them (cross-shard certificates cost a signature per shard).
+
+use basil_bench::{basil_default, print_table, run_basil, RunParams, Workload};
+
+fn main() {
+    let p = if std::env::var("BASIL_BENCH_QUICK").is_ok() {
+        RunParams::quick()
+    } else {
+        RunParams::default()
+    };
+    let workload = Workload::RwUniform { reads: 3, writes: 3 };
+    let mut rows = Vec::new();
+    let mut basil_at = Vec::new();
+    let mut noproofs_at = Vec::new();
+    for shards in 1..=3u32 {
+        let with_sigs = run_basil(basil_default(shards), workload, &p);
+        let no_proofs = run_basil(basil_default(shards).without_proofs(), workload, &p);
+        basil_at.push(with_sigs.throughput_tps);
+        noproofs_at.push(no_proofs.throughput_tps);
+        rows.push(vec![
+            shards.to_string(),
+            format!("{:.0}", with_sigs.throughput_tps),
+            format!("{:.0}", no_proofs.throughput_tps),
+        ]);
+        eprintln!(
+            "[fig5c] {shards} shard(s): Basil {:.0} tx/s, NoProofs {:.0} tx/s",
+            with_sigs.throughput_tps, no_proofs.throughput_tps
+        );
+    }
+    print_table(
+        "Figure 5c: shard scaling (RW-U, 3 reads / 3 writes)",
+        &["shards", "Basil tx/s", "NoProofs tx/s"],
+        &rows,
+    );
+    println!(
+        "\nScale-up 1 -> 3 shards: Basil {:.1}x (paper 1.3x), NoProofs {:.1}x (paper 1.9x)",
+        basil_at[2] / basil_at[0].max(1.0),
+        noproofs_at[2] / noproofs_at[0].max(1.0)
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 6a: the benefit of the single-round-trip fast path — Basil with and
+//! without the fast path (Basil-NoFP) on RW-U and RW-Z. The paper reports
+//! +19% on the uniform workload and +49% on the contended Zipfian workload.
+
+use basil_bench::{basil_default, print_table, run_basil, RunParams, Workload};
+
+fn main() {
+    let p = if std::env::var("BASIL_BENCH_QUICK").is_ok() {
+        RunParams::quick()
+    } else {
+        RunParams::default()
+    };
+    let workloads = [
+        ("RW-U", Workload::RwUniform { reads: 2, writes: 2 }, 32_027.0, 38_241.0),
+        ("RW-Z", Workload::RwZipf { reads: 2, writes: 2 }, 2_454.0, 4_777.0),
+    ];
+    let mut rows = Vec::new();
+    for (name, workload, paper_nofp, paper_fp) in workloads {
+        let no_fp = run_basil(basil_default(1).without_fast_path(), workload, &p);
+        let fp = run_basil(basil_default(1), workload, &p);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}", no_fp.throughput_tps),
+            format!("{:.0}", fp.throughput_tps),
+            format!("{:+.0}%", (fp.throughput_tps / no_fp.throughput_tps.max(1.0) - 1.0) * 100.0),
+            format!("{:+.0}%", (paper_fp / paper_nofp - 1.0) * 100.0),
+        ]);
+        eprintln!(
+            "[fig6a] {name}: NoFP {:.0} tx/s ({:.2} ms, fast fraction {:.2}), FP {:.0} tx/s ({:.2} ms, fast fraction {:.2})",
+            no_fp.throughput_tps,
+            no_fp.mean_latency_ms,
+            no_fp.fast_path_fraction,
+            fp.throughput_tps,
+            fp.mean_latency_ms,
+            fp.fast_path_fraction
+        );
+    }
+    print_table(
+        "Figure 6a: fast path ablation",
+        &["workload", "Basil-NoFP tx/s", "Basil tx/s", "gain", "paper gain"],
+        &rows,
+    );
+}

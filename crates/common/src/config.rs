@@ -1,0 +1,297 @@
+//! Shard and deployment configuration, including Basil's quorum arithmetic.
+//!
+//! Basil provisions `n = 5f + 1` replicas per shard (Section 3). The derived
+//! quorum sizes are:
+//!
+//! | quorum | size | purpose |
+//! |---|---|---|
+//! | commit quorum (CQ) | `3f + 1` | slow-path commit vote of a shard |
+//! | abort quorum (AQ) | `f + 1` | slow-path abort vote of a shard |
+//! | fast commit | `5f + 1` | unanimous vote; shard vote already durable |
+//! | fast abort | `3f + 1` | shard can never produce a CQ for commit |
+//! | stage-2 (logging) quorum | `n - f = 4f + 1` | durable 2PC decision on `S_log` |
+//! | read reply quorum | `f + 1` | at least one correct replica answered |
+//! | prepared-version vouching | `f + 1` | a prepared version may be adopted as a dependency |
+
+use crate::ids::ShardId;
+use crate::kv::Key;
+use crate::time::Duration;
+
+/// Per-shard replication configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Maximum number of Byzantine replicas tolerated in the shard.
+    pub f: u32,
+}
+
+impl ShardConfig {
+    /// Creates a shard configuration tolerating `f` Byzantine replicas.
+    pub fn new(f: u32) -> Self {
+        ShardConfig { f }
+    }
+
+    /// Total number of replicas in the shard, `n = 5f + 1`.
+    pub fn n(&self) -> u32 {
+        5 * self.f + 1
+    }
+
+    /// Commit quorum `CQ = 3f + 1` (slow path).
+    pub fn commit_quorum(&self) -> u32 {
+        3 * self.f + 1
+    }
+
+    /// Abort quorum `AQ = f + 1` (slow path).
+    pub fn abort_quorum(&self) -> u32 {
+        self.f + 1
+    }
+
+    /// Fast-path commit quorum: all `5f + 1` replicas.
+    pub fn fast_commit_quorum(&self) -> u32 {
+        self.n()
+    }
+
+    /// Fast-path abort quorum: `3f + 1` replicas.
+    pub fn fast_abort_quorum(&self) -> u32 {
+        3 * self.f + 1
+    }
+
+    /// Stage-2 logging quorum `n - f = 4f + 1`.
+    pub fn st2_quorum(&self) -> u32 {
+        self.n() - self.f
+    }
+
+    /// Number of matching read replies a client must collect before adopting
+    /// a committed version: `f + 1` replies guarantee one correct replica.
+    pub fn read_reply_quorum(&self) -> u32 {
+        self.f + 1
+    }
+
+    /// Number of replicas that must return the *same prepared version* before
+    /// a client may adopt it as a dependency (`f + 1`).
+    pub fn prepared_vouch_quorum(&self) -> u32 {
+        self.f + 1
+    }
+
+    /// Quorum of matching current views a replica needs to adopt `v + 1`
+    /// during fallback leader election (rule R1): `3f + 1`.
+    pub fn view_r1_quorum(&self) -> u32 {
+        3 * self.f + 1
+    }
+
+    /// Quorum of matching current views that lets a replica skip ahead to a
+    /// larger view (rule R2): `f + 1`.
+    pub fn view_r2_quorum(&self) -> u32 {
+        self.f + 1
+    }
+
+    /// Number of `ElectFB` messages a fallback leader must gather before it
+    /// considers itself elected: `4f + 1`.
+    pub fn elect_quorum(&self) -> u32 {
+        4 * self.f + 1
+    }
+}
+
+/// How many replicas a client sends its read requests to, and how many
+/// replies it waits for (Section 6.2 / Figure 5b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadQuorum {
+    /// Read from a single replica (no Byzantine independence; baseline point).
+    One,
+    /// Send to `2f + 1`, wait for `f + 1` replies (Basil's default).
+    FPlusOne,
+    /// Send to `3f + 1`, wait for `2f + 1` replies (lowers the chance of
+    /// missing the freshest prepared version at the cost of more work).
+    TwoFPlusOne,
+}
+
+impl ReadQuorum {
+    /// Number of replicas the read request is sent to.
+    pub fn fanout(&self, cfg: &ShardConfig) -> u32 {
+        match self {
+            ReadQuorum::One => 1,
+            ReadQuorum::FPlusOne => 2 * cfg.f + 1,
+            ReadQuorum::TwoFPlusOne => 3 * cfg.f + 1,
+        }
+    }
+
+    /// Number of replies the client waits for before choosing a version.
+    pub fn wait_for(&self, cfg: &ShardConfig) -> u32 {
+        match self {
+            ReadQuorum::One => 1,
+            ReadQuorum::FPlusOne => cfg.f + 1,
+            ReadQuorum::TwoFPlusOne => 2 * cfg.f + 1,
+        }
+    }
+}
+
+/// Deployment-wide configuration shared by clients and replicas.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Number of data shards.
+    pub num_shards: u32,
+    /// Per-shard replication configuration.
+    pub shard: ShardConfig,
+    /// Timestamp acceptance window `delta`: replicas reject operations whose
+    /// timestamp exceeds their local clock plus `delta` (Section 4.1).
+    pub delta: Duration,
+    /// Read quorum configuration.
+    pub read_quorum: ReadQuorum,
+    /// Whether the single-round-trip fast path is enabled (Figure 6a ablation).
+    pub fast_path: bool,
+    /// Reply batch size used by replicas for signature amortization
+    /// (Section 4.4, Figure 6b). `1` disables batching.
+    pub batch_size: u32,
+    /// Maximum time a replica holds a partially filled batch before flushing.
+    pub batch_timeout: Duration,
+    /// Whether signatures/verification are performed and charged
+    /// (`false` reproduces the `Basil-NoProofs` configuration of Figure 5a/5c).
+    pub signatures: bool,
+}
+
+impl SystemConfig {
+    /// A small configuration suitable for unit and integration tests:
+    /// one shard, `f = 1`, generous timestamp window.
+    pub fn single_shard_f1() -> Self {
+        SystemConfig {
+            num_shards: 1,
+            shard: ShardConfig::new(1),
+            delta: Duration::from_millis(50),
+            read_quorum: ReadQuorum::FPlusOne,
+            fast_path: true,
+            batch_size: 1,
+            batch_timeout: Duration::from_micros(500),
+            signatures: true,
+        }
+    }
+
+    /// A configuration with `num_shards` shards and `f = 1`.
+    pub fn sharded(num_shards: u32) -> Self {
+        SystemConfig {
+            num_shards,
+            ..SystemConfig::single_shard_f1()
+        }
+    }
+
+    /// Total number of replicas across all shards.
+    pub fn total_replicas(&self) -> u32 {
+        self.num_shards * self.shard.n()
+    }
+
+    /// Maps a key to the shard responsible for it, using a stable hash of the
+    /// key bytes (FNV-1a). Every participant must agree on this mapping.
+    pub fn shard_for_key(&self, key: &Key) -> ShardId {
+        ShardId((mix64(fnv1a(key.as_bytes())) % self.num_shards as u64) as u32)
+    }
+
+    /// All shard identifiers in the deployment.
+    pub fn shards(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.num_shards).map(ShardId)
+    }
+}
+
+/// SplitMix64 finalizer; diffuses the weak low bits of FNV for short keys so
+/// the modulo placement is close to uniform.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a 64-bit hash; used only for key placement, not for integrity.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::Key;
+
+    #[test]
+    fn quorum_sizes_for_f1() {
+        let c = ShardConfig::new(1);
+        assert_eq!(c.n(), 6);
+        assert_eq!(c.commit_quorum(), 4);
+        assert_eq!(c.abort_quorum(), 2);
+        assert_eq!(c.fast_commit_quorum(), 6);
+        assert_eq!(c.fast_abort_quorum(), 4);
+        assert_eq!(c.st2_quorum(), 5);
+        assert_eq!(c.read_reply_quorum(), 2);
+        assert_eq!(c.elect_quorum(), 5);
+        assert_eq!(c.view_r1_quorum(), 4);
+        assert_eq!(c.view_r2_quorum(), 2);
+    }
+
+    #[test]
+    fn quorum_sizes_for_f2() {
+        let c = ShardConfig::new(2);
+        assert_eq!(c.n(), 11);
+        assert_eq!(c.commit_quorum(), 7);
+        assert_eq!(c.abort_quorum(), 3);
+        assert_eq!(c.st2_quorum(), 9);
+    }
+
+    #[test]
+    fn quorum_intersection_properties() {
+        // Two commit quorums of conflicting transactions must intersect in a
+        // correct replica: 2 * (3f+1) - n = f + 1 > f.
+        for f in 1..5u32 {
+            let c = ShardConfig::new(f);
+            let overlap = 2 * c.commit_quorum() as i64 - c.n() as i64;
+            assert!(overlap > f as i64, "f={f}: CQ/CQ overlap too small");
+            // A fast-commit certificate and a fast-abort certificate must
+            // also intersect in a correct replica.
+            let overlap_fast = (c.fast_commit_quorum() + c.fast_abort_quorum()) as i64 - c.n() as i64;
+            assert!(overlap_fast > f as i64);
+            // Any client stepping in for a fast-path commit sees at least a CQ.
+            assert!(c.fast_commit_quorum() - 2 * f >= c.commit_quorum());
+        }
+    }
+
+    #[test]
+    fn read_quorum_fanout_and_wait() {
+        let c = ShardConfig::new(1);
+        assert_eq!(ReadQuorum::One.fanout(&c), 1);
+        assert_eq!(ReadQuorum::One.wait_for(&c), 1);
+        assert_eq!(ReadQuorum::FPlusOne.fanout(&c), 3);
+        assert_eq!(ReadQuorum::FPlusOne.wait_for(&c), 2);
+        assert_eq!(ReadQuorum::TwoFPlusOne.fanout(&c), 4);
+        assert_eq!(ReadQuorum::TwoFPlusOne.wait_for(&c), 3);
+    }
+
+    #[test]
+    fn key_placement_is_stable_and_in_range() {
+        let cfg = SystemConfig::sharded(3);
+        for i in 0..100 {
+            let k = Key::new(format!("key{i}"));
+            let s1 = cfg.shard_for_key(&k);
+            let s2 = cfg.shard_for_key(&k);
+            assert_eq!(s1, s2);
+            assert!(s1.0 < 3);
+        }
+    }
+
+    #[test]
+    fn key_placement_spreads_keys() {
+        let cfg = SystemConfig::sharded(3);
+        let mut counts = [0usize; 3];
+        for i in 0..3000 {
+            let k = Key::new(format!("key{i}"));
+            counts[cfg.shard_for_key(&k).0 as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 500, "distribution too skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn total_replicas() {
+        assert_eq!(SystemConfig::sharded(3).total_replicas(), 18);
+        assert_eq!(SystemConfig::single_shard_f1().total_replicas(), 6);
+    }
+}

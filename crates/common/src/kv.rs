@@ -1,0 +1,191 @@
+//! Keys and values stored by the system.
+//!
+//! Basil is a key-value store: keys are opaque UTF-8 strings (benchmarks use
+//! structured names such as `"warehouse:3"` or `"acct:12345:checking"`), and
+//! values are opaque byte strings. Both are reference-counted so the
+//! multiversion store and in-flight messages can share them without copying.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A key in the store. Cheap to clone (`Arc<str>`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(Arc<str>);
+
+/// A value in the store. Cheap to clone (`Arc<[u8]>`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Value(Arc<[u8]>);
+
+impl Key {
+    /// Creates a key from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Key(Arc::from(s.as_ref()))
+    }
+
+    /// The key as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The key as raw bytes (used when hashing transaction metadata).
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+
+    /// Length of the key in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Value {
+    /// Creates a value from raw bytes.
+    pub fn new(bytes: impl AsRef<[u8]>) -> Self {
+        Value(Arc::from(bytes.as_ref()))
+    }
+
+    /// Creates a value from a UTF-8 string.
+    pub fn from_str_value(s: &str) -> Self {
+        Value(Arc::from(s.as_bytes()))
+    }
+
+    /// A conventional empty value (e.g. a deleted marker or placeholder row).
+    pub fn empty() -> Self {
+        Value(Arc::from(&[] as &[u8]))
+    }
+
+    /// Encodes an unsigned integer as a value (used by the banking workloads
+    /// that store balances).
+    pub fn from_u64(v: u64) -> Self {
+        Value(Arc::from(v.to_be_bytes().as_slice()))
+    }
+
+    /// Decodes a value previously produced by [`Value::from_u64`].
+    ///
+    /// Returns `None` if the value does not hold exactly eight bytes.
+    pub fn as_u64(&self) -> Option<u64> {
+        let bytes: [u8; 8] = self.0.as_ref().try_into().ok()?;
+        Some(u64::from_be_bytes(bytes))
+    }
+
+    /// The raw bytes of the value.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the value in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl<T: AsRef<str>> From<T> for Key {
+    fn from(s: T) -> Self {
+        Key::new(s)
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(b: &[u8]) -> Self {
+        Value::new(b)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::new(b)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::from_u64(v)
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k\"{}\"", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Ok(s) = std::str::from_utf8(&self.0) {
+            if s.len() <= 32 && s.chars().all(|c| !c.is_control()) {
+                return write!(f, "v\"{s}\"");
+            }
+        }
+        write!(f, "v[{} bytes]", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_round_trips() {
+        let k = Key::new("acct:42");
+        assert_eq!(k.as_str(), "acct:42");
+        assert_eq!(k.as_bytes(), b"acct:42");
+        assert_eq!(k.len(), 7);
+        assert!(!k.is_empty());
+        let k2: Key = "acct:42".into();
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn value_u64_round_trip() {
+        let v = Value::from_u64(123_456);
+        assert_eq!(v.as_u64(), Some(123_456));
+        assert_eq!(v.len(), 8);
+        let text = Value::from_str_value("hello");
+        assert_eq!(text.as_u64(), None);
+    }
+
+    #[test]
+    fn empty_value() {
+        let v = Value::empty();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn keys_order_lexicographically() {
+        let a = Key::new("a:1");
+        let b = Key::new("a:2");
+        let c = Key::new("b:0");
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn value_debug_is_readable_for_short_text() {
+        assert_eq!(format!("{:?}", Value::from_str_value("hi")), "v\"hi\"");
+        let big = Value::new(vec![0u8; 100]);
+        assert_eq!(format!("{big:?}"), "v[100 bytes]");
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let v = Value::new(vec![1, 2, 3]);
+        let w = v.clone();
+        assert_eq!(v.as_bytes().as_ptr(), w.as_bytes().as_ptr());
+    }
+}

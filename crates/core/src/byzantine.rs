@@ -1,0 +1,204 @@
+//! Byzantine behaviour strategies for clients and replicas.
+//!
+//! Section 6.4 of the paper evaluates Basil under client misbehaviour. A
+//! Byzantine client's best strategy is to follow the workload's access
+//! distribution, use plausible timestamps, and then either withhold progress
+//! (stall) or equivocate its ST2 decision. Replica misbehaviour (refusing to
+//! vote, voting abort, staying silent on reads) is used in the read-quorum
+//! and fast-path experiments and in the robustness tests.
+
+use rand_like::SmallPrng;
+
+/// Strategy a client applies to the transactions it marks as faulty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientStrategy {
+    /// Follow the protocol.
+    Correct,
+    /// Send `ST1` and then stop: never aggregate votes, never log, never
+    /// write back (`stall-early`).
+    StallEarly,
+    /// Drive the transaction to a decision (including ST2 when needed) but
+    /// never send the writeback certificates (`stall-late`).
+    StallLate,
+    /// Equivocate the ST2 decision whenever the collected votes allow both a
+    /// commit and an abort tally, then stall (`equiv-real`). When the votes
+    /// do not allow it, behave like `StallLate`.
+    EquivReal,
+    /// Always equivocate the ST2 decision, regardless of the votes received
+    /// (`equiv-forced`); requires the experiment hook that relaxes ST2
+    /// justification checking at replicas.
+    EquivForced,
+}
+
+impl ClientStrategy {
+    /// Whether this strategy ever equivocates.
+    pub fn equivocates(&self) -> bool {
+        matches!(self, ClientStrategy::EquivReal | ClientStrategy::EquivForced)
+    }
+
+    /// Whether the strategy is the honest one.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, ClientStrategy::Correct)
+    }
+}
+
+/// Behaviour of a replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaBehavior {
+    /// Follow the protocol.
+    Correct,
+    /// Never answer `ST1` prepares (forces the slow path / recovery).
+    WithholdVotes,
+    /// Vote abort on every transaction (disables the fast commit path).
+    AlwaysVoteAbort,
+    /// Ignore read requests (forces clients to rely on the other replicas of
+    /// the read quorum).
+    IgnoreReads,
+    /// Crash-stop: ignore every message.
+    Silent,
+}
+
+impl ReplicaBehavior {
+    /// Whether the replica follows the protocol.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, ReplicaBehavior::Correct)
+    }
+}
+
+/// Per-client fault injection: which strategy to use and what fraction of the
+/// client's newly admitted transactions are faulty.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultProfile {
+    /// Strategy applied to faulty transactions.
+    pub strategy: ClientStrategy,
+    /// Probability in `[0, 1]` that a newly admitted transaction is faulty.
+    pub faulty_fraction: f64,
+}
+
+impl FaultProfile {
+    /// A fully honest client.
+    pub fn honest() -> Self {
+        FaultProfile {
+            strategy: ClientStrategy::Correct,
+            faulty_fraction: 0.0,
+        }
+    }
+
+    /// A client applying `strategy` to every transaction.
+    pub fn always(strategy: ClientStrategy) -> Self {
+        FaultProfile {
+            strategy,
+            faulty_fraction: 1.0,
+        }
+    }
+
+    /// Samples whether the next transaction is faulty.
+    pub fn sample_faulty(&self, prng: &mut SmallPrng) -> bool {
+        !self.strategy.is_correct()
+            && self.faulty_fraction > 0.0
+            && prng.next_f64() < self.faulty_fraction
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self::honest()
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift64*), kept local so the protocol crate
+/// does not need a `rand` dependency and Byzantine sampling stays
+/// reproducible under a fixed seed.
+pub mod rand_like {
+    /// A deterministic 64-bit PRNG.
+    #[derive(Clone, Debug)]
+    pub struct SmallPrng {
+        state: u64,
+    }
+
+    impl SmallPrng {
+        /// Creates a PRNG from a seed (zero is remapped to a fixed constant).
+        pub fn new(seed: u64) -> Self {
+            SmallPrng {
+                state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+            }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_like::SmallPrng;
+    use super::*;
+
+    #[test]
+    fn strategy_classification() {
+        assert!(ClientStrategy::Correct.is_correct());
+        assert!(!ClientStrategy::StallEarly.is_correct());
+        assert!(ClientStrategy::EquivReal.equivocates());
+        assert!(ClientStrategy::EquivForced.equivocates());
+        assert!(!ClientStrategy::StallLate.equivocates());
+        assert!(ReplicaBehavior::Correct.is_correct());
+        assert!(!ReplicaBehavior::Silent.is_correct());
+    }
+
+    #[test]
+    fn honest_profile_never_faulty() {
+        let mut prng = SmallPrng::new(1);
+        let p = FaultProfile::honest();
+        assert!((0..1000).all(|_| !p.sample_faulty(&mut prng)));
+    }
+
+    #[test]
+    fn fault_fraction_is_roughly_respected() {
+        let mut prng = SmallPrng::new(7);
+        let p = FaultProfile {
+            strategy: ClientStrategy::StallEarly,
+            faulty_fraction: 0.3,
+        };
+        let faulty = (0..10_000).filter(|_| p.sample_faulty(&mut prng)).count();
+        assert!((2_500..3_500).contains(&faulty), "faulty={faulty}");
+    }
+
+    #[test]
+    fn always_profile_is_always_faulty() {
+        let mut prng = SmallPrng::new(3);
+        let p = FaultProfile::always(ClientStrategy::StallLate);
+        assert!((0..100).all(|_| p.sample_faulty(&mut prng)));
+    }
+
+    #[test]
+    fn prng_is_deterministic_and_bounded() {
+        let mut a = SmallPrng::new(42);
+        let mut b = SmallPrng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallPrng::new(9);
+        for _ in 0..1000 {
+            let f = c.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(c.next_below(7) < 7);
+        }
+    }
+}

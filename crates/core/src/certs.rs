@@ -1,0 +1,750 @@
+//! Vote tallies and decision certificates (`V-CERT`, `C-CERT`, `A-CERT`).
+//!
+//! A shard's vote on a transaction is made durable in one of two ways
+//! (Section 4.2): on the fast path the raw set of `ST1R` votes is itself a
+//! vote certificate (unanimous commit, `3f+1` abort, or one abort backed by a
+//! conflicting commit certificate); on the slow path the client logs its
+//! 2PC decision on a single logging shard and the `n-f` matching `ST2R`
+//! acknowledgements form the certificate. Decision certificates bundle this
+//! evidence and travel in writeback messages, read replies (committed
+//! versions), and conflict-abort votes.
+
+use crate::crypto_engine::SigEngine;
+use crate::messages::{ProtoDecision, SignedSt1Reply, SignedSt2Reply, View};
+use basil_common::{Duration, NodeId, ShardConfig, ShardId, TxId};
+use std::collections::HashSet;
+
+/// The votes a client gathered from one shard in stage ST1: either a durable
+/// fast-path certificate or a slow-path tally that still needs logging.
+#[derive(Clone, Debug)]
+pub struct ShardVotes {
+    /// The transaction voted on.
+    pub txid: TxId,
+    /// The shard these votes come from.
+    pub shard: ShardId,
+    /// The shard-level decision the votes support.
+    pub decision: ProtoDecision,
+    /// The signed `ST1R` votes.
+    pub votes: Vec<SignedSt1Reply>,
+    /// For the conflict-abort fast path: a commit certificate of a
+    /// conflicting transaction, in which case a single abort vote suffices.
+    pub conflict: Option<Box<DecisionCert>>,
+}
+
+/// The logging-shard certificate produced by stage ST2: `n - f` matching
+/// acknowledgements.
+#[derive(Clone, Debug)]
+pub struct VoteCert {
+    /// The transaction.
+    pub txid: TxId,
+    /// The logging shard.
+    pub shard: ShardId,
+    /// The logged decision.
+    pub decision: ProtoDecision,
+    /// The view in which the decision was logged (0 unless the fallback ran).
+    pub view: View,
+    /// The matching signed `ST2R` acknowledgements.
+    pub replies: Vec<SignedSt2Reply>,
+}
+
+/// A commit certificate (`C-CERT`).
+#[derive(Clone, Debug)]
+pub struct CommitCert {
+    /// The committed transaction.
+    pub txid: TxId,
+    /// Fast path: the unanimous vote sets of every involved shard.
+    /// Slow path: empty.
+    pub fast_votes: Vec<ShardVotes>,
+    /// Slow path: the logging-shard certificate. Fast path: `None`.
+    pub slow: Option<VoteCert>,
+}
+
+/// An abort certificate (`A-CERT`).
+#[derive(Clone, Debug)]
+pub struct AbortCert {
+    /// The aborted transaction.
+    pub txid: TxId,
+    /// Fast path: one shard's abort vote set (either `3f+1` abort votes, or a
+    /// single vote backed by a conflicting commit certificate).
+    pub fast_votes: Option<ShardVotes>,
+    /// Slow path: the logging-shard certificate.
+    pub slow: Option<VoteCert>,
+}
+
+/// Either kind of decision certificate.
+#[derive(Clone, Debug)]
+pub enum DecisionCert {
+    /// Commit certificate.
+    Commit(CommitCert),
+    /// Abort certificate.
+    Abort(AbortCert),
+}
+
+impl DecisionCert {
+    /// The transaction this certificate decides.
+    pub fn txid(&self) -> TxId {
+        match self {
+            DecisionCert::Commit(c) => c.txid,
+            DecisionCert::Abort(a) => a.txid,
+        }
+    }
+
+    /// The decision carried by the certificate.
+    pub fn decision(&self) -> ProtoDecision {
+        match self {
+            DecisionCert::Commit(_) => ProtoDecision::Commit,
+            DecisionCert::Abort(_) => ProtoDecision::Abort,
+        }
+    }
+}
+
+/// Outcome of validating a certificate: whether it is acceptable and how much
+/// CPU the validation cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Validation {
+    /// Whether the certificate (or tally) is valid.
+    pub valid: bool,
+    /// CPU cost of the signature checks performed.
+    pub cost: Duration,
+}
+
+impl Validation {
+    fn invalid(cost: Duration) -> Self {
+        Validation { valid: false, cost }
+    }
+}
+
+/// Counts the distinct replicas of `shard` among `votes` whose vote matches
+/// `want`, verifying each signature, and returns `(count, all_signatures_ok,
+/// cost)`.
+fn count_valid_st1_votes(
+    txid: TxId,
+    shard: ShardId,
+    want: &crate::messages::ProtoVote,
+    votes: &[SignedSt1Reply],
+    engine: &mut SigEngine,
+) -> (u32, Duration) {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut cost = Duration::ZERO;
+    for v in votes {
+        if v.body.txid != txid || v.body.replica.shard != shard || &v.body.vote != want {
+            continue;
+        }
+        if seen.contains(&v.body.replica.index) {
+            continue;
+        }
+        if engine.enabled() {
+            // The claimed replica identity must match the signer.
+            let signer_ok = v
+                .proof
+                .as_ref()
+                .map(|p| p.signer() == NodeId::Replica(v.body.replica))
+                .unwrap_or(false);
+            let (ok, c) = engine.verify(&v.body.signed_bytes(), v.proof.as_ref());
+            cost += c;
+            if !ok || !signer_ok {
+                continue;
+            }
+        }
+        seen.insert(v.body.replica.index);
+    }
+    (seen.len() as u32, cost)
+}
+
+/// Counts the distinct replicas of `shard` among `replies` whose decision and
+/// decision view match, verifying signatures.
+fn count_valid_st2_replies(
+    txid: TxId,
+    shard: ShardId,
+    decision: ProtoDecision,
+    view: View,
+    replies: &[SignedSt2Reply],
+    engine: &mut SigEngine,
+) -> (u32, Duration) {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut cost = Duration::ZERO;
+    for r in replies {
+        if r.body.txid != txid
+            || r.body.replica.shard != shard
+            || r.body.decision != decision
+            || r.body.view_decision != view
+        {
+            continue;
+        }
+        if seen.contains(&r.body.replica.index) {
+            continue;
+        }
+        if engine.enabled() {
+            let signer_ok = r
+                .proof
+                .as_ref()
+                .map(|p| p.signer() == NodeId::Replica(r.body.replica))
+                .unwrap_or(false);
+            let (ok, c) = engine.verify(&r.body.signed_bytes(), r.proof.as_ref());
+            cost += c;
+            if !ok || !signer_ok {
+                continue;
+            }
+        }
+        seen.insert(r.body.replica.index);
+    }
+    (seen.len() as u32, cost)
+}
+
+/// Validates a slow-path logging certificate: `n - f` matching, correctly
+/// signed `ST2R` acknowledgements from distinct replicas of the logging
+/// shard.
+pub fn validate_vote_cert(cert: &VoteCert, cfg: &ShardConfig, engine: &mut SigEngine) -> Validation {
+    let (count, cost) = count_valid_st2_replies(
+        cert.txid,
+        cert.shard,
+        cert.decision,
+        cert.view,
+        &cert.replies,
+        engine,
+    );
+    Validation {
+        valid: count >= cfg.st2_quorum(),
+        cost,
+    }
+}
+
+/// Validates one shard's vote set as *fast-path* evidence for `decision`.
+///
+/// * Commit: all `5f + 1` replicas voted commit.
+/// * Abort: either `3f + 1` abort votes, or one abort vote accompanied by a
+///   valid commit certificate of a conflicting transaction.
+pub fn validate_fast_shard_votes(
+    sv: &ShardVotes,
+    cfg: &ShardConfig,
+    engine: &mut SigEngine,
+) -> Validation {
+    let mut total_cost = Duration::ZERO;
+    match sv.decision {
+        ProtoDecision::Commit => {
+            let (count, cost) = count_valid_st1_votes(
+                sv.txid,
+                sv.shard,
+                &crate::messages::ProtoVote::Commit,
+                &sv.votes,
+                engine,
+            );
+            total_cost += cost;
+            Validation {
+                valid: count >= cfg.fast_commit_quorum(),
+                cost: total_cost,
+            }
+        }
+        ProtoDecision::Abort => {
+            if let Some(conflict) = &sv.conflict {
+                // Conflict-abort: the conflicting transaction's commit
+                // certificate must itself be valid and must be for a
+                // *different* transaction.
+                if conflict.txid() == sv.txid || !conflict.decision().is_commit() {
+                    return Validation::invalid(total_cost);
+                }
+                let v = validate_decision_cert(conflict, cfg, engine);
+                total_cost += v.cost;
+                let (count, cost) = count_valid_st1_votes(
+                    sv.txid,
+                    sv.shard,
+                    &crate::messages::ProtoVote::Abort,
+                    &sv.votes,
+                    engine,
+                );
+                total_cost += cost;
+                return Validation {
+                    valid: v.valid && count >= 1,
+                    cost: total_cost,
+                };
+            }
+            let (count, cost) = count_valid_st1_votes(
+                sv.txid,
+                sv.shard,
+                &crate::messages::ProtoVote::Abort,
+                &sv.votes,
+                engine,
+            );
+            total_cost += cost;
+            Validation {
+                valid: count >= cfg.fast_abort_quorum(),
+                cost: total_cost,
+            }
+        }
+    }
+}
+
+/// Validates one shard's vote set as *slow-path justification* for a 2PC
+/// decision being logged in ST2: a commit decision needs a commit quorum
+/// (`3f + 1`) from every shard; an abort decision needs an abort quorum
+/// (`f + 1`) or a conflict certificate from at least one shard.
+pub fn validate_tally_for_decision(
+    sv: &ShardVotes,
+    decision: ProtoDecision,
+    cfg: &ShardConfig,
+    engine: &mut SigEngine,
+) -> Validation {
+    match decision {
+        ProtoDecision::Commit => {
+            let (count, cost) = count_valid_st1_votes(
+                sv.txid,
+                sv.shard,
+                &crate::messages::ProtoVote::Commit,
+                &sv.votes,
+                engine,
+            );
+            Validation {
+                valid: count >= cfg.commit_quorum(),
+                cost,
+            }
+        }
+        ProtoDecision::Abort => {
+            if sv.conflict.is_some() {
+                return validate_fast_shard_votes(sv, cfg, engine);
+            }
+            let (count, cost) = count_valid_st1_votes(
+                sv.txid,
+                sv.shard,
+                &crate::messages::ProtoVote::Abort,
+                &sv.votes,
+                engine,
+            );
+            Validation {
+                valid: count >= cfg.abort_quorum(),
+                cost,
+            }
+        }
+    }
+}
+
+/// Validates an ST2 message's justification: the decision must be supported
+/// by the attached tallies. `expected_shards`, when known (the replica has
+/// the transaction), lets the validator insist that *every* involved shard
+/// voted commit for a commit decision.
+pub fn validate_st2_justification(
+    txid: TxId,
+    decision: ProtoDecision,
+    shard_votes: &[ShardVotes],
+    expected_shards: Option<&[ShardId]>,
+    cfg: &ShardConfig,
+    engine: &mut SigEngine,
+) -> Validation {
+    let mut cost = Duration::ZERO;
+    match decision {
+        ProtoDecision::Commit => {
+            let mut supported: HashSet<ShardId> = HashSet::new();
+            for sv in shard_votes {
+                if sv.txid != txid || !sv.decision.is_commit() {
+                    continue;
+                }
+                let v = validate_tally_for_decision(sv, ProtoDecision::Commit, cfg, engine);
+                cost += v.cost;
+                if v.valid {
+                    supported.insert(sv.shard);
+                }
+            }
+            let valid = match expected_shards {
+                Some(shards) => shards.iter().all(|s| supported.contains(s)),
+                None => !supported.is_empty(),
+            };
+            Validation { valid, cost }
+        }
+        ProtoDecision::Abort => {
+            for sv in shard_votes {
+                if sv.txid != txid || sv.decision.is_commit() {
+                    continue;
+                }
+                let v = validate_tally_for_decision(sv, ProtoDecision::Abort, cfg, engine);
+                cost += v.cost;
+                if v.valid {
+                    return Validation { valid: true, cost };
+                }
+            }
+            Validation { valid: false, cost }
+        }
+    }
+}
+
+/// Validates a commit certificate.
+pub fn validate_commit_cert(
+    cert: &CommitCert,
+    expected_shards: Option<&[ShardId]>,
+    cfg: &ShardConfig,
+    engine: &mut SigEngine,
+) -> Validation {
+    let mut cost = Duration::ZERO;
+    if let Some(slow) = &cert.slow {
+        if slow.txid != cert.txid || !slow.decision.is_commit() {
+            return Validation::invalid(cost);
+        }
+        let v = validate_vote_cert(slow, cfg, engine);
+        return Validation {
+            valid: v.valid,
+            cost: cost + v.cost,
+        };
+    }
+    // Fast path: every involved shard must have a unanimous vote set.
+    let mut supported: HashSet<ShardId> = HashSet::new();
+    for sv in &cert.fast_votes {
+        if sv.txid != cert.txid || !sv.decision.is_commit() {
+            continue;
+        }
+        let v = validate_fast_shard_votes(sv, cfg, engine);
+        cost += v.cost;
+        if v.valid {
+            supported.insert(sv.shard);
+        }
+    }
+    let valid = match expected_shards {
+        Some(shards) => !shards.is_empty() && shards.iter().all(|s| supported.contains(s)),
+        None => !supported.is_empty(),
+    };
+    Validation { valid, cost }
+}
+
+/// Validates an abort certificate.
+pub fn validate_abort_cert(cert: &AbortCert, cfg: &ShardConfig, engine: &mut SigEngine) -> Validation {
+    if let Some(slow) = &cert.slow {
+        if slow.txid != cert.txid || slow.decision.is_commit() {
+            return Validation::invalid(Duration::ZERO);
+        }
+        return validate_vote_cert(slow, cfg, engine);
+    }
+    match &cert.fast_votes {
+        Some(sv) => {
+            if sv.txid != cert.txid || sv.decision.is_commit() {
+                return Validation::invalid(Duration::ZERO);
+            }
+            validate_fast_shard_votes(sv, cfg, engine)
+        }
+        None => Validation::invalid(Duration::ZERO),
+    }
+}
+
+/// Validates either kind of decision certificate.
+pub fn validate_decision_cert(
+    cert: &DecisionCert,
+    cfg: &ShardConfig,
+    engine: &mut SigEngine,
+) -> Validation {
+    match cert {
+        DecisionCert::Commit(c) => validate_commit_cert(c, None, cfg, engine),
+        DecisionCert::Abort(a) => validate_abort_cert(a, cfg, engine),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BasilConfig;
+    use crate::messages::{ProtoVote, St1ReplyBody, St2ReplyBody};
+    use basil_common::{ClientId, ReplicaId};
+    use basil_crypto::KeyRegistry;
+
+    fn cfg() -> BasilConfig {
+        BasilConfig::test_single_shard()
+    }
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::from_seed(11)
+    }
+
+    fn engine_for(node: NodeId) -> SigEngine {
+        SigEngine::new(node, registry(), &cfg())
+    }
+
+    fn client_engine() -> SigEngine {
+        engine_for(NodeId::Client(ClientId(0)))
+    }
+
+    fn txid() -> TxId {
+        TxId::from_bytes([42; 32])
+    }
+
+    fn signed_vote(replica_index: u32, vote: ProtoVote, id: TxId) -> SignedSt1Reply {
+        let replica = ReplicaId::new(ShardId(0), replica_index);
+        let body = St1ReplyBody {
+            txid: id,
+            replica,
+            vote,
+        };
+        let mut engine = engine_for(NodeId::Replica(replica));
+        let (proof, _) = engine.sign(&body.signed_bytes());
+        SignedSt1Reply {
+            body,
+            proof,
+            conflict: None,
+        }
+    }
+
+    fn signed_st2(replica_index: u32, decision: ProtoDecision, id: TxId, view: View) -> SignedSt2Reply {
+        let replica = ReplicaId::new(ShardId(0), replica_index);
+        let body = St2ReplyBody {
+            txid: id,
+            replica,
+            decision,
+            view_decision: view,
+            view_current: view,
+        };
+        let mut engine = engine_for(NodeId::Replica(replica));
+        let (proof, _) = engine.sign(&body.signed_bytes());
+        SignedSt2Reply { body, proof }
+    }
+
+    fn commit_votes(n: u32) -> Vec<SignedSt1Reply> {
+        (0..n).map(|i| signed_vote(i, ProtoVote::Commit, txid())).collect()
+    }
+
+    fn abort_votes(n: u32) -> Vec<SignedSt1Reply> {
+        (0..n).map(|i| signed_vote(i, ProtoVote::Abort, txid())).collect()
+    }
+
+    fn shard_votes(decision: ProtoDecision, votes: Vec<SignedSt1Reply>) -> ShardVotes {
+        ShardVotes {
+            txid: txid(),
+            shard: ShardId(0),
+            decision,
+            votes,
+            conflict: None,
+        }
+    }
+
+    #[test]
+    fn fast_commit_requires_unanimity() {
+        let shard_cfg = cfg().system.shard;
+        let mut engine = client_engine();
+        let sv = shard_votes(ProtoDecision::Commit, commit_votes(6));
+        assert!(validate_fast_shard_votes(&sv, &shard_cfg, &mut engine).valid);
+
+        let sv5 = shard_votes(ProtoDecision::Commit, commit_votes(5));
+        assert!(!validate_fast_shard_votes(&sv5, &shard_cfg, &mut engine).valid);
+    }
+
+    #[test]
+    fn duplicate_votes_do_not_inflate_the_count() {
+        let shard_cfg = cfg().system.shard;
+        let mut engine = client_engine();
+        let mut votes = commit_votes(3);
+        // Replica 0's vote repeated three more times.
+        votes.extend(std::iter::repeat_n(signed_vote(0, ProtoVote::Commit, txid()), 3));
+        let sv = shard_votes(ProtoDecision::Commit, votes);
+        assert!(!validate_fast_shard_votes(&sv, &shard_cfg, &mut engine).valid);
+    }
+
+    #[test]
+    fn forged_signature_is_not_counted() {
+        let shard_cfg = cfg().system.shard;
+        let mut engine = client_engine();
+        let mut votes = commit_votes(5);
+        // A vote whose body claims replica 5 but is signed by replica 0.
+        let mut forged = signed_vote(0, ProtoVote::Commit, txid());
+        forged.body.replica = ReplicaId::new(ShardId(0), 5);
+        votes.push(forged);
+        let sv = shard_votes(ProtoDecision::Commit, votes);
+        assert!(!validate_fast_shard_votes(&sv, &shard_cfg, &mut engine).valid);
+    }
+
+    #[test]
+    fn fast_abort_needs_3f_plus_1() {
+        let shard_cfg = cfg().system.shard;
+        let mut engine = client_engine();
+        let sv = shard_votes(ProtoDecision::Abort, abort_votes(4));
+        assert!(validate_fast_shard_votes(&sv, &shard_cfg, &mut engine).valid);
+        let sv3 = shard_votes(ProtoDecision::Abort, abort_votes(3));
+        assert!(!validate_fast_shard_votes(&sv3, &shard_cfg, &mut engine).valid);
+    }
+
+    #[test]
+    fn slow_tallies_use_smaller_quorums() {
+        let shard_cfg = cfg().system.shard;
+        let mut engine = client_engine();
+        let commit_tally = shard_votes(ProtoDecision::Commit, commit_votes(4));
+        assert!(validate_tally_for_decision(&commit_tally, ProtoDecision::Commit, &shard_cfg, &mut engine).valid);
+        let commit_small = shard_votes(ProtoDecision::Commit, commit_votes(3));
+        assert!(!validate_tally_for_decision(&commit_small, ProtoDecision::Commit, &shard_cfg, &mut engine).valid);
+
+        let abort_tally = shard_votes(ProtoDecision::Abort, abort_votes(2));
+        assert!(validate_tally_for_decision(&abort_tally, ProtoDecision::Abort, &shard_cfg, &mut engine).valid);
+        let abort_small = shard_votes(ProtoDecision::Abort, abort_votes(1));
+        assert!(!validate_tally_for_decision(&abort_small, ProtoDecision::Abort, &shard_cfg, &mut engine).valid);
+    }
+
+    #[test]
+    fn vote_cert_requires_n_minus_f_matching_acks() {
+        let shard_cfg = cfg().system.shard;
+        let mut engine = client_engine();
+        let cert = VoteCert {
+            txid: txid(),
+            shard: ShardId(0),
+            decision: ProtoDecision::Commit,
+            view: 0,
+            replies: (0..5).map(|i| signed_st2(i, ProtoDecision::Commit, txid(), 0)).collect(),
+        };
+        assert!(validate_vote_cert(&cert, &shard_cfg, &mut engine).valid);
+
+        let mut short = cert.clone();
+        short.replies.truncate(4);
+        assert!(!validate_vote_cert(&short, &shard_cfg, &mut engine).valid);
+
+        // A mismatching decision view breaks the match.
+        let mut mixed = cert.clone();
+        mixed.replies[0] = signed_st2(0, ProtoDecision::Commit, txid(), 1);
+        assert!(!validate_vote_cert(&mixed, &shard_cfg, &mut engine).valid);
+    }
+
+    #[test]
+    fn st2_justification_commit_needs_every_expected_shard() {
+        let shard_cfg = cfg().system.shard;
+        let mut engine = client_engine();
+        let tally = shard_votes(ProtoDecision::Commit, commit_votes(4));
+        let ok = validate_st2_justification(
+            txid(),
+            ProtoDecision::Commit,
+            &[tally.clone()],
+            Some(&[ShardId(0)]),
+            &shard_cfg,
+            &mut engine,
+        );
+        assert!(ok.valid);
+        let missing_shard = validate_st2_justification(
+            txid(),
+            ProtoDecision::Commit,
+            &[tally],
+            Some(&[ShardId(0), ShardId(1)]),
+            &shard_cfg,
+            &mut engine,
+        );
+        assert!(!missing_shard.valid);
+    }
+
+    #[test]
+    fn st2_justification_abort_needs_one_abort_quorum() {
+        let shard_cfg = cfg().system.shard;
+        let mut engine = client_engine();
+        let tally = shard_votes(ProtoDecision::Abort, abort_votes(2));
+        let ok = validate_st2_justification(
+            txid(),
+            ProtoDecision::Abort,
+            &[tally],
+            Some(&[ShardId(0)]),
+            &shard_cfg,
+            &mut engine,
+        );
+        assert!(ok.valid);
+        let not_ok = validate_st2_justification(
+            txid(),
+            ProtoDecision::Abort,
+            &[],
+            Some(&[ShardId(0)]),
+            &shard_cfg,
+            &mut engine,
+        );
+        assert!(!not_ok.valid);
+    }
+
+    #[test]
+    fn commit_cert_fast_and_slow_paths() {
+        let shard_cfg = cfg().system.shard;
+        let mut engine = client_engine();
+        let fast = CommitCert {
+            txid: txid(),
+            fast_votes: vec![shard_votes(ProtoDecision::Commit, commit_votes(6))],
+            slow: None,
+        };
+        assert!(validate_commit_cert(&fast, Some(&[ShardId(0)]), &shard_cfg, &mut engine).valid);
+
+        let slow = CommitCert {
+            txid: txid(),
+            fast_votes: vec![],
+            slow: Some(VoteCert {
+                txid: txid(),
+                shard: ShardId(0),
+                decision: ProtoDecision::Commit,
+                view: 0,
+                replies: (0..5).map(|i| signed_st2(i, ProtoDecision::Commit, txid(), 0)).collect(),
+            }),
+        };
+        assert!(validate_commit_cert(&slow, Some(&[ShardId(0)]), &shard_cfg, &mut engine).valid);
+
+        // A slow cert whose inner decision is abort cannot prove a commit.
+        let bogus = CommitCert {
+            txid: txid(),
+            fast_votes: vec![],
+            slow: Some(VoteCert {
+                txid: txid(),
+                shard: ShardId(0),
+                decision: ProtoDecision::Abort,
+                view: 0,
+                replies: (0..5).map(|i| signed_st2(i, ProtoDecision::Abort, txid(), 0)).collect(),
+            }),
+        };
+        assert!(!validate_commit_cert(&bogus, Some(&[ShardId(0)]), &shard_cfg, &mut engine).valid);
+    }
+
+    #[test]
+    fn abort_cert_via_conflicting_commit_cert() {
+        let shard_cfg = cfg().system.shard;
+        let mut engine = client_engine();
+        // A valid commit certificate for some other transaction.
+        let other_tx = TxId::from_bytes([9; 32]);
+        let other_votes: Vec<SignedSt1Reply> = (0..6)
+            .map(|i| signed_vote(i, ProtoVote::Commit, other_tx))
+            .collect();
+        let conflicting_cert = DecisionCert::Commit(CommitCert {
+            txid: other_tx,
+            fast_votes: vec![ShardVotes {
+                txid: other_tx,
+                shard: ShardId(0),
+                decision: ProtoDecision::Commit,
+                votes: other_votes,
+                conflict: None,
+            }],
+            slow: None,
+        });
+
+        let cert = AbortCert {
+            txid: txid(),
+            fast_votes: Some(ShardVotes {
+                txid: txid(),
+                shard: ShardId(0),
+                decision: ProtoDecision::Abort,
+                votes: abort_votes(1),
+                conflict: Some(Box::new(conflicting_cert)),
+            }),
+            slow: None,
+        };
+        assert!(validate_abort_cert(&cert, &shard_cfg, &mut engine).valid);
+
+        // Without the conflict certificate a single abort vote is not enough.
+        let weak = AbortCert {
+            txid: txid(),
+            fast_votes: Some(shard_votes(ProtoDecision::Abort, abort_votes(1))),
+            slow: None,
+        };
+        assert!(!validate_abort_cert(&weak, &shard_cfg, &mut engine).valid);
+    }
+
+    #[test]
+    fn validation_is_free_and_permissive_when_signatures_disabled() {
+        let mut no_sig_cfg = cfg().without_proofs();
+        no_sig_cfg.crypto_mode = crate::config::CryptoMode::Real;
+        let mut engine = SigEngine::new(NodeId::Client(ClientId(0)), registry(), &no_sig_cfg);
+        // Unsigned votes (proof = None) are still counted by replica identity.
+        let votes: Vec<SignedSt1Reply> = (0..6)
+            .map(|i| SignedSt1Reply {
+                body: St1ReplyBody {
+                    txid: txid(),
+                    replica: ReplicaId::new(ShardId(0), i),
+                    vote: ProtoVote::Commit,
+                },
+                proof: None,
+                conflict: None,
+            })
+            .collect();
+        let sv = shard_votes(ProtoDecision::Commit, votes);
+        let shard_cfg = no_sig_cfg.system.shard;
+        let v = validate_fast_shard_votes(&sv, &shard_cfg, &mut engine);
+        assert!(v.valid);
+        assert_eq!(v.cost, Duration::ZERO);
+    }
+}

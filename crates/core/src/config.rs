@@ -1,0 +1,141 @@
+//! Protocol configuration.
+
+use crate::byzantine::{ClientStrategy, ReplicaBehavior};
+use basil_common::{Duration, SystemConfig};
+use basil_crypto::CostModel;
+
+/// Whether signatures are actually computed or only their cost is charged.
+///
+/// In the `Simulated` mode every signature artifact is produced with a dummy
+/// tag and verification succeeds structurally; the CPU *cost* of the
+/// corresponding real operation is still charged to the node, so performance
+/// results are unaffected while benchmark wall-clock time stays manageable.
+/// Correctness-oriented tests (forged messages, Byzantine replicas) use
+/// `Real`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CryptoMode {
+    /// Compute and verify real HMAC-based signatures.
+    Real,
+    /// Produce placeholder signatures; only charge their CPU cost.
+    Simulated,
+}
+
+/// Full configuration of a Basil deployment (shared by clients and replicas).
+#[derive(Clone, Debug)]
+pub struct BasilConfig {
+    /// Shard layout, quorum sizes, timestamp window, batching, read quorums.
+    pub system: SystemConfig,
+    /// CPU cost model for cryptographic operations.
+    pub cost: CostModel,
+    /// Whether signatures are actually computed (see [`CryptoMode`]).
+    pub crypto_mode: CryptoMode,
+    /// Client-side timeout before a read is retried against more replicas.
+    pub read_timeout: Duration,
+    /// Client-side timeout on the prepare phase before the client considers
+    /// dependencies stalled and invokes the fallback.
+    pub prepare_timeout: Duration,
+    /// Client-side timeout on stage ST2 before the message is re-sent.
+    pub st2_timeout: Duration,
+    /// Base timeout of the per-transaction fallback; doubled per view.
+    pub fallback_timeout: Duration,
+    /// Base retry backoff after an aborted transaction (exponential with
+    /// jitter, as in the paper's closed-loop clients).
+    pub retry_backoff: Duration,
+    /// Maximum exponential backoff.
+    pub max_backoff: Duration,
+    /// Default Byzantine strategy of clients (individual clients can
+    /// override).
+    pub client_strategy: ClientStrategy,
+    /// Default behaviour of replicas.
+    pub replica_behavior: ReplicaBehavior,
+    /// Experiment hook for the `equiv-forced` failure mode of Section 6.4:
+    /// replicas accept ST2 decisions without checking that the attached vote
+    /// tallies justify them, so Byzantine clients can always equivocate.
+    pub relax_st2_validation: bool,
+}
+
+impl BasilConfig {
+    /// Configuration used by most unit and integration tests: one shard,
+    /// `f = 1`, no batching, real crypto.
+    pub fn test_single_shard() -> Self {
+        BasilConfig {
+            system: SystemConfig::single_shard_f1(),
+            cost: CostModel::ed25519_default(),
+            crypto_mode: CryptoMode::Real,
+            read_timeout: Duration::from_millis(5),
+            prepare_timeout: Duration::from_millis(10),
+            st2_timeout: Duration::from_millis(10),
+            fallback_timeout: Duration::from_millis(20),
+            retry_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(50),
+            client_strategy: ClientStrategy::Correct,
+            replica_behavior: ReplicaBehavior::Correct,
+            relax_st2_validation: false,
+        }
+    }
+
+    /// Configuration for benchmark runs: crypto cost charged but not
+    /// computed, batching per `system.batch_size`.
+    pub fn bench(system: SystemConfig) -> Self {
+        BasilConfig {
+            system,
+            crypto_mode: CryptoMode::Simulated,
+            ..Self::test_single_shard()
+        }
+    }
+
+    /// Returns a copy with signatures disabled entirely (the `Basil-NoProofs`
+    /// configuration of Figures 5a and 5c).
+    pub fn without_proofs(mut self) -> Self {
+        self.system.signatures = false;
+        self.cost = CostModel::no_proofs();
+        self
+    }
+
+    /// Returns a copy with the fast path disabled (`Basil-NoFP`, Figure 6a).
+    pub fn without_fast_path(mut self) -> Self {
+        self.system.fast_path = false;
+        self
+    }
+
+    /// Returns a copy with the given reply batch size.
+    pub fn with_batch_size(mut self, batch: u32) -> Self {
+        self.system.batch_size = batch.max(1);
+        self
+    }
+
+    /// Whether signatures are generated/validated at all.
+    pub fn signatures_enabled(&self) -> bool {
+        self.system.signatures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_helpers() {
+        let cfg = BasilConfig::test_single_shard();
+        assert!(cfg.signatures_enabled());
+        assert!(cfg.system.fast_path);
+
+        let np = cfg.clone().without_proofs();
+        assert!(!np.signatures_enabled());
+        assert!(!np.cost.enabled);
+
+        let nofp = cfg.clone().without_fast_path();
+        assert!(!nofp.system.fast_path);
+
+        let batched = cfg.with_batch_size(16);
+        assert_eq!(batched.system.batch_size, 16);
+        assert_eq!(batched.clone().with_batch_size(0).system.batch_size, 1);
+    }
+
+    #[test]
+    fn bench_config_uses_simulated_crypto() {
+        let cfg = BasilConfig::bench(SystemConfig::sharded(3));
+        assert_eq!(cfg.crypto_mode, CryptoMode::Simulated);
+        assert_eq!(cfg.system.num_shards, 3);
+    }
+}

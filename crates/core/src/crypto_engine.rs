@@ -1,0 +1,340 @@
+//! Signing and verification with CPU-cost accounting.
+//!
+//! Every protocol participant owns a [`SigEngine`]. The engine produces and
+//! checks [`BatchProof`]s (single-leaf proofs for unbatched messages) and
+//! returns, alongside each artifact or verdict, the CPU [`Duration`] the
+//! operation would cost on the paper's testbed, which the caller charges to
+//! its simulated node. In [`CryptoMode::Simulated`] the arithmetic is skipped
+//! but the cost is still charged, keeping benchmark wall-clock time low
+//! without changing simulated results.
+
+use crate::config::{BasilConfig, CryptoMode};
+use basil_common::{Duration, NodeId};
+use basil_crypto::batch::BatchVerifyOutcome;
+use basil_crypto::sig::Signature;
+use basil_crypto::{BatchProof, CostModel, Digest, KeyPair, KeyRegistry, MerkleTree, SignatureCache};
+
+/// A node's signing/verification facility.
+pub struct SigEngine {
+    keypair: KeyPair,
+    registry: KeyRegistry,
+    cache: SignatureCache,
+    cost: CostModel,
+    mode: CryptoMode,
+    enabled: bool,
+    /// Counter used to give each simulated-mode signature (or batch of
+    /// signatures) a distinct root, so the verifier-side signature cache
+    /// behaves as it would with real batches.
+    dummy_counter: u64,
+}
+
+impl SigEngine {
+    /// Creates an engine for `node` under the given configuration.
+    pub fn new(node: NodeId, registry: KeyRegistry, cfg: &BasilConfig) -> Self {
+        SigEngine {
+            keypair: registry.keypair(node),
+            registry,
+            cache: SignatureCache::new(),
+            cost: cfg.cost,
+            mode: cfg.crypto_mode,
+            enabled: cfg.signatures_enabled(),
+            dummy_counter: 0,
+        }
+    }
+
+    /// Whether signatures are produced at all (`false` in `NoProofs` runs).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Signs a single payload. Returns `None` (at zero cost) when signatures
+    /// are disabled.
+    pub fn sign(&mut self, payload: &[u8]) -> (Option<BatchProof>, Duration) {
+        if !self.enabled {
+            return (None, Duration::ZERO);
+        }
+        let cost = self.cost.sign_cost() + self.cost.hash_cost(payload.len());
+        let proof = match self.mode {
+            CryptoMode::Real => BatchProof::sign_single(&self.keypair, payload),
+            CryptoMode::Simulated => {
+                self.dummy_counter += 1;
+                dummy_proof(self.keypair.node(), self.dummy_counter, 1)
+            }
+        };
+        (Some(proof), cost)
+    }
+
+    /// Authenticates a client request. Requests only need point-to-point
+    /// authentication (a MAC), not transferability, so the CPU cost charged
+    /// is the MAC cost rather than a full signature.
+    pub fn sign_request(&mut self, payload: &[u8]) -> (Option<BatchProof>, Duration) {
+        if !self.enabled {
+            return (None, Duration::ZERO);
+        }
+        let proof = match self.mode {
+            CryptoMode::Real => BatchProof::sign_single(&self.keypair, payload),
+            CryptoMode::Simulated => {
+                self.dummy_counter += 1;
+                dummy_proof(self.keypair.node(), self.dummy_counter, 1)
+            }
+        };
+        (Some(proof), self.cost.mac_cost())
+    }
+
+    /// Verifies a client request MAC.
+    pub fn verify_request(&mut self, payload: &[u8], proof: Option<&BatchProof>) -> (bool, Duration) {
+        if !self.enabled {
+            return (true, Duration::ZERO);
+        }
+        let Some(proof) = proof else {
+            return (false, Duration::ZERO);
+        };
+        match self.mode {
+            CryptoMode::Real => {
+                let outcome = proof.verify(payload, &self.registry, &mut self.cache);
+                (outcome.valid, self.cost.mac_cost())
+            }
+            CryptoMode::Simulated => (true, self.cost.mac_cost()),
+        }
+    }
+
+    /// Signs a batch of payloads (replica reply batching). Returns one proof
+    /// per payload plus the total CPU cost of building and signing the batch.
+    pub fn sign_batch(&mut self, payloads: &[Vec<u8>]) -> (Vec<Option<BatchProof>>, Duration) {
+        if payloads.is_empty() {
+            return (Vec::new(), Duration::ZERO);
+        }
+        if !self.enabled {
+            return (vec![None; payloads.len()], Duration::ZERO);
+        }
+        let avg_len = payloads.iter().map(Vec::len).sum::<usize>() / payloads.len();
+        let cost = self.cost.batch_sign_cost(payloads.len(), avg_len.max(1));
+        match self.mode {
+            CryptoMode::Real => {
+                let tree = MerkleTree::build(payloads);
+                let root = tree.root();
+                let root_signature = self.keypair.sign(root.as_bytes());
+                let proofs = (0..payloads.len())
+                    .map(|i| {
+                        Some(BatchProof {
+                            root,
+                            root_signature,
+                            inclusion: tree.prove(i),
+                            batch_size: payloads.len(),
+                        })
+                    })
+                    .collect();
+                (proofs, cost)
+            }
+            CryptoMode::Simulated => {
+                self.dummy_counter += 1;
+                (
+                    vec![
+                        Some(dummy_proof(
+                            self.keypair.node(),
+                            self.dummy_counter,
+                            payloads.len()
+                        ));
+                        payloads.len()
+                    ],
+                    cost,
+                )
+            }
+        }
+    }
+
+    /// Verifies a signed payload. When `proof` is `None` the message is
+    /// accepted only if signatures are disabled deployment-wide.
+    pub fn verify(&mut self, payload: &[u8], proof: Option<&BatchProof>) -> (bool, Duration) {
+        if !self.enabled {
+            return (true, Duration::ZERO);
+        }
+        let Some(proof) = proof else {
+            return (false, Duration::ZERO);
+        };
+        match self.mode {
+            CryptoMode::Real => {
+                let before_hits = self.cache.hits();
+                let outcome: BatchVerifyOutcome = proof.verify(payload, &self.registry, &mut self.cache);
+                let cached = self.cache.hits() > before_hits;
+                let cost =
+                    self.cost
+                        .batch_verify_cost(proof.batch_size, payload.len().max(1), cached && outcome.valid);
+                (outcome.valid, cost)
+            }
+            CryptoMode::Simulated => {
+                // Structural acceptance; model the cache by root identity.
+                let cached = self.cache.contains(&proof.root, &proof.root_signature);
+                if !cached {
+                    self.cache.insert(proof.root, proof.root_signature);
+                }
+                let cost = self
+                    .cost
+                    .batch_verify_cost(proof.batch_size, payload.len().max(1), cached);
+                (true, cost)
+            }
+        }
+    }
+
+    /// Verifies a set of signed payloads (certificate validation); returns
+    /// whether all were valid and the summed cost.
+    pub fn verify_all<'a>(
+        &mut self,
+        items: impl IntoIterator<Item = (&'a [u8], Option<&'a BatchProof>)>,
+    ) -> (bool, Duration) {
+        let mut all_valid = true;
+        let mut total = Duration::ZERO;
+        for (payload, proof) in items {
+            let (ok, cost) = self.verify(payload, proof);
+            all_valid &= ok;
+            total += cost;
+        }
+        (all_valid, total)
+    }
+
+    /// The per-message (de)serialization overhead from the cost model.
+    pub fn message_cost(&self) -> Duration {
+        self.cost.message_cost()
+    }
+
+    /// The identity this engine signs as.
+    pub fn node(&self) -> NodeId {
+        self.keypair.node()
+    }
+}
+
+/// A placeholder proof used in [`CryptoMode::Simulated`]: structurally valid,
+/// never actually checked. The root encodes the signer and a per-engine batch
+/// counter so that distinct batches have distinct roots (the verifier-side
+/// signature cache then amortizes exactly as it would with real batches).
+fn dummy_proof(signer: NodeId, counter: u64, batch_size: usize) -> BatchProof {
+    let mut root_bytes = [0u8; 32];
+    root_bytes[..8].copy_from_slice(&counter.to_be_bytes());
+    match signer {
+        NodeId::Client(c) => {
+            root_bytes[8] = 1;
+            root_bytes[9..17].copy_from_slice(&c.0.to_be_bytes());
+        }
+        NodeId::Replica(r) => {
+            root_bytes[8] = 2;
+            root_bytes[9..13].copy_from_slice(&r.shard.0.to_be_bytes());
+            root_bytes[13..17].copy_from_slice(&r.index.to_be_bytes());
+        }
+    }
+    let leaf = MerkleTree::build(&[b"simulated".as_slice()]);
+    BatchProof {
+        root: Digest(root_bytes),
+        root_signature: Signature {
+            signer,
+            tag: Digest::ZERO,
+        },
+        inclusion: leaf.prove(0),
+        batch_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BasilConfig;
+    use basil_common::{ClientId, ReplicaId, ShardId};
+
+    fn replica(i: u32) -> NodeId {
+        NodeId::Replica(ReplicaId::new(ShardId(0), i))
+    }
+
+    fn engine(mode: CryptoMode, signatures: bool) -> (SigEngine, SigEngine) {
+        let mut cfg = BasilConfig::test_single_shard();
+        cfg.crypto_mode = mode;
+        cfg.system.signatures = signatures;
+        if !signatures {
+            cfg.cost = CostModel::no_proofs();
+        }
+        let registry = KeyRegistry::from_seed(7);
+        (
+            SigEngine::new(replica(0), registry.clone(), &cfg),
+            SigEngine::new(NodeId::Client(ClientId(1)), registry, &cfg),
+        )
+    }
+
+    #[test]
+    fn real_mode_signs_and_verifies() {
+        let (mut signer, mut verifier) = engine(CryptoMode::Real, true);
+        let (proof, sign_cost) = signer.sign(b"vote");
+        assert!(sign_cost > Duration::ZERO);
+        let (ok, verify_cost) = verifier.verify(b"vote", proof.as_ref());
+        assert!(ok);
+        assert!(verify_cost > Duration::ZERO);
+        let (bad, _) = verifier.verify(b"other", proof.as_ref());
+        assert!(!bad);
+    }
+
+    #[test]
+    fn missing_proof_is_rejected_when_signatures_enabled() {
+        let (_, mut verifier) = engine(CryptoMode::Real, true);
+        let (ok, _) = verifier.verify(b"vote", None);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn disabled_signatures_cost_nothing_and_accept_everything() {
+        let (mut signer, mut verifier) = engine(CryptoMode::Real, false);
+        let (proof, cost) = signer.sign(b"vote");
+        assert!(proof.is_none());
+        assert_eq!(cost, Duration::ZERO);
+        let (ok, vcost) = verifier.verify(b"vote", None);
+        assert!(ok);
+        assert_eq!(vcost, Duration::ZERO);
+    }
+
+    #[test]
+    fn simulated_mode_charges_but_accepts() {
+        let (mut signer, mut verifier) = engine(CryptoMode::Simulated, true);
+        let (proof, cost) = signer.sign(b"vote");
+        assert!(proof.is_some());
+        assert!(cost > Duration::ZERO);
+        let (ok, vcost) = verifier.verify(b"anything", proof.as_ref());
+        assert!(ok);
+        assert!(vcost > Duration::ZERO);
+    }
+
+    #[test]
+    fn batch_signing_amortizes_cost_per_reply() {
+        let (mut signer, mut verifier) = engine(CryptoMode::Real, true);
+        let payloads: Vec<Vec<u8>> = (0..16).map(|i| format!("reply {i}").into_bytes()).collect();
+        let (proofs, batch_cost) = signer.sign_batch(&payloads);
+        assert_eq!(proofs.len(), 16);
+        let (single, single_cost) = signer.sign(b"reply 0");
+        assert!(single.is_some());
+        assert!(
+            batch_cost < single_cost * 16,
+            "batch {batch_cost:?} should be cheaper than 16 individual signatures {:?}",
+            single_cost * 16
+        );
+        // All proofs verify, and the second verification of the same batch
+        // hits the signature cache (cheaper).
+        let (ok, first_cost) = verifier.verify(&payloads[0], proofs[0].as_ref());
+        assert!(ok);
+        let (ok, second_cost) = verifier.verify(&payloads[1], proofs[1].as_ref());
+        assert!(ok);
+        assert!(second_cost < first_cost);
+    }
+
+    #[test]
+    fn verify_all_aggregates() {
+        let (mut signer, mut verifier) = engine(CryptoMode::Real, true);
+        let (p1, _) = signer.sign(b"a");
+        let (p2, _) = signer.sign(b"b");
+        let (ok, cost) = verifier.verify_all([
+            (b"a".as_slice(), p1.as_ref()),
+            (b"b".as_slice(), p2.as_ref()),
+        ]);
+        assert!(ok);
+        assert!(cost > Duration::ZERO);
+        let (ok, _) = verifier.verify_all([
+            (b"a".as_slice(), p1.as_ref()),
+            (b"tampered".as_slice(), p2.as_ref()),
+        ]);
+        assert!(!ok);
+    }
+}

@@ -1,0 +1,626 @@
+//! The Basil wire protocol.
+//!
+//! Naming follows the paper: `READ`/read replies for the execution phase,
+//! `ST1`/`ST1R` for stage one of the prepare phase, `ST2`/`ST2R` for the
+//! decision-logging stage, writeback messages carrying commit/abort
+//! certificates, and the fallback messages `RP` (recovery prepare),
+//! `InvokeFB`, `ElectFB`, and `DecFB` of Section 5.
+//!
+//! Every reply that may end up inside a certificate carries a
+//! [`basil_crypto::BatchProof`], which covers both individually signed and
+//! batch-signed replies (Section 4.4). Client-originated requests carry a
+//! single-leaf proof. When signatures are disabled deployment-wide
+//! (`Basil-NoProofs`) the proofs are absent.
+
+use crate::certs::DecisionCert;
+use basil_common::{Key, ReplicaId, Timestamp, TxId, Value};
+use basil_crypto::BatchProof;
+use basil_store::Transaction;
+
+/// A fallback view number (per transaction).
+pub type View = u64;
+
+/// A replica's vote on a transaction in stage ST1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoVote {
+    /// Commit vote.
+    Commit,
+    /// Abort vote (optionally justified by a conflict certificate carried
+    /// alongside in the reply).
+    Abort,
+}
+
+impl ProtoVote {
+    /// True for [`ProtoVote::Commit`].
+    pub fn is_commit(&self) -> bool {
+        matches!(self, ProtoVote::Commit)
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            ProtoVote::Commit => 1,
+            ProtoVote::Abort => 2,
+        }
+    }
+}
+
+/// A two-phase-commit decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtoDecision {
+    /// The transaction commits.
+    Commit,
+    /// The transaction aborts.
+    Abort,
+}
+
+impl ProtoDecision {
+    /// True for [`ProtoDecision::Commit`].
+    pub fn is_commit(&self) -> bool {
+        matches!(self, ProtoDecision::Commit)
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            ProtoDecision::Commit => 1,
+            ProtoDecision::Abort => 2,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution phase
+// ---------------------------------------------------------------------------
+
+/// Client read request (`READ` in the paper).
+#[derive(Clone, Debug)]
+pub struct ReadRequest {
+    /// Client-chosen request identifier, echoed in the reply.
+    pub req_id: u64,
+    /// Key to read.
+    pub key: Key,
+    /// The reading transaction's timestamp (used for version selection and
+    /// recorded as the key's RTS).
+    pub ts: Timestamp,
+    /// Client authentication.
+    pub auth: Option<BatchProof>,
+}
+
+impl ReadRequest {
+    /// Canonical bytes covered by the client's signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.key.len());
+        out.extend_from_slice(b"READ");
+        out.extend_from_slice(&self.req_id.to_be_bytes());
+        out.extend_from_slice(&self.ts.time.to_be_bytes());
+        out.extend_from_slice(&self.ts.client.0.to_be_bytes());
+        out.extend_from_slice(self.key.as_bytes());
+        out
+    }
+}
+
+/// The committed half of a read reply: the newest committed version visible
+/// to the reader, together with the certificate proving it committed.
+#[derive(Clone, Debug)]
+pub struct CommittedRead {
+    /// Version timestamp (the writer's transaction timestamp).
+    pub version: Timestamp,
+    /// The value.
+    pub value: Value,
+    /// The writing transaction.
+    pub txid: TxId,
+    /// Commit certificate for the writing transaction. `None` only for the
+    /// initial (genesis) versions loaded at deployment time.
+    pub cert: Option<Box<DecisionCert>>,
+}
+
+/// The prepared half of a read reply: the newest prepared-but-uncommitted
+/// version visible to the reader. The full transaction is included so that
+/// any reader can later take it upon itself to finish the transaction
+/// (Section 5: "ST1 messages contain all of T's planned writes").
+#[derive(Clone, Debug)]
+pub struct PreparedRead {
+    /// The preparing transaction (its timestamp is the version).
+    pub tx: Transaction,
+}
+
+/// Reply to a [`ReadRequest`].
+#[derive(Clone, Debug)]
+pub struct ReadReplyBody {
+    /// Echo of the request identifier.
+    pub req_id: u64,
+    /// The key read.
+    pub key: Key,
+    /// Newest committed version below the reader's timestamp.
+    pub committed: Option<CommittedRead>,
+    /// Newest prepared version below the reader's timestamp.
+    pub prepared: Option<PreparedRead>,
+}
+
+impl ReadReplyBody {
+    /// Canonical bytes covered by the replica's (batched) signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(b"READR");
+        out.extend_from_slice(&self.req_id.to_be_bytes());
+        out.extend_from_slice(self.key.as_bytes());
+        match &self.committed {
+            Some(c) => {
+                out.push(1);
+                out.extend_from_slice(&c.version.time.to_be_bytes());
+                out.extend_from_slice(&c.version.client.0.to_be_bytes());
+                out.extend_from_slice(c.txid.as_bytes());
+                out.extend_from_slice(c.value.as_bytes());
+            }
+            None => out.push(0),
+        }
+        match &self.prepared {
+            Some(p) => {
+                out.push(1);
+                out.extend_from_slice(p.tx.id().as_bytes());
+            }
+            None => out.push(0),
+        }
+        out
+    }
+}
+
+/// A signed read reply.
+#[derive(Clone, Debug)]
+pub struct ReadReply {
+    /// Reply payload.
+    pub body: ReadReplyBody,
+    /// Replica signature (batched).
+    pub proof: Option<BatchProof>,
+}
+
+// ---------------------------------------------------------------------------
+// Prepare phase
+// ---------------------------------------------------------------------------
+
+/// Stage ST1: the prepare request carrying the full transaction.
+#[derive(Clone, Debug)]
+pub struct St1 {
+    /// The transaction to prepare.
+    pub tx: Transaction,
+    /// Client authentication over the transaction encoding.
+    pub auth: Option<BatchProof>,
+    /// True when this ST1 is a recovery prepare (`RP`) sent by a client
+    /// trying to finish someone else's stalled transaction; replicas register
+    /// the sender as an interested client and reply with whatever state they
+    /// already have.
+    pub recovery: bool,
+}
+
+impl St1 {
+    /// Canonical bytes covered by the client's signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = self.tx.encode();
+        out.extend_from_slice(b"ST1");
+        out
+    }
+}
+
+/// Body of an `ST1R` vote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct St1ReplyBody {
+    /// The transaction voted on.
+    pub txid: TxId,
+    /// The voting replica (also bound by the signature).
+    pub replica: ReplicaId,
+    /// The replica's vote.
+    pub vote: ProtoVote,
+}
+
+impl St1ReplyBody {
+    /// Canonical bytes covered by the replica's (batched) signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40);
+        out.extend_from_slice(b"ST1R");
+        out.extend_from_slice(self.txid.as_bytes());
+        out.extend_from_slice(&self.replica.shard.0.to_be_bytes());
+        out.extend_from_slice(&self.replica.index.to_be_bytes());
+        out.push(self.vote.tag());
+        out
+    }
+}
+
+/// A signed `ST1R` vote, as aggregated into vote tallies and certificates.
+#[derive(Clone, Debug)]
+pub struct SignedSt1Reply {
+    /// Vote payload.
+    pub body: St1ReplyBody,
+    /// Replica signature (batched).
+    pub proof: Option<BatchProof>,
+    /// Optional evidence for an abort vote: a commit certificate of a
+    /// conflicting transaction (fast-abort case 5 of Section 4.2).
+    pub conflict: Option<Box<DecisionCert>>,
+}
+
+/// Stage ST2: the client logs its tentative 2PC decision on the logging
+/// shard `S_log`.
+#[derive(Clone, Debug)]
+pub struct St2 {
+    /// The transaction the decision is for.
+    pub txid: TxId,
+    /// The decision being logged.
+    pub decision: ProtoDecision,
+    /// The per-shard vote tallies justifying the decision.
+    pub shard_votes: Vec<crate::certs::ShardVotes>,
+    /// View in which the decision is proposed (`0` for the original client).
+    pub view: View,
+    /// Client authentication.
+    pub auth: Option<BatchProof>,
+}
+
+impl St2 {
+    /// Canonical bytes covered by the client's signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        out.extend_from_slice(b"ST2");
+        out.extend_from_slice(self.txid.as_bytes());
+        out.push(self.decision.tag());
+        out.extend_from_slice(&self.view.to_be_bytes());
+        out
+    }
+}
+
+/// Body of an `ST2R` acknowledgement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct St2ReplyBody {
+    /// The transaction.
+    pub txid: TxId,
+    /// The acknowledging replica (also bound by the signature).
+    pub replica: ReplicaId,
+    /// The decision this replica has logged.
+    pub decision: ProtoDecision,
+    /// The view in which the logged decision was adopted.
+    pub view_decision: View,
+    /// The replica's current view for this transaction.
+    pub view_current: View,
+}
+
+impl St2ReplyBody {
+    /// Canonical bytes covered by the replica's signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(56);
+        out.extend_from_slice(b"ST2R");
+        out.extend_from_slice(self.txid.as_bytes());
+        out.extend_from_slice(&self.replica.shard.0.to_be_bytes());
+        out.extend_from_slice(&self.replica.index.to_be_bytes());
+        out.push(self.decision.tag());
+        out.extend_from_slice(&self.view_decision.to_be_bytes());
+        out.extend_from_slice(&self.view_current.to_be_bytes());
+        out
+    }
+}
+
+/// A signed `ST2R`.
+#[derive(Clone, Debug)]
+pub struct SignedSt2Reply {
+    /// Acknowledgement payload.
+    pub body: St2ReplyBody,
+    /// Replica signature.
+    pub proof: Option<BatchProof>,
+}
+
+// ---------------------------------------------------------------------------
+// Writeback phase
+// ---------------------------------------------------------------------------
+
+/// Asynchronous writeback: the client forwards the decision certificate to
+/// every participating shard.
+#[derive(Clone, Debug)]
+pub struct Writeback {
+    /// The decision certificate (`C-CERT` or `A-CERT`).
+    pub cert: DecisionCert,
+    /// The transaction body, included so that replicas that never received
+    /// the `ST1` (e.g. they were partitioned during prepare) can still apply
+    /// the writes.
+    pub tx: Option<Transaction>,
+}
+
+// ---------------------------------------------------------------------------
+// Fallback (Section 5)
+// ---------------------------------------------------------------------------
+
+/// `InvokeFB`: a client asks the logging shard to elect a fallback leader for
+/// a stalled transaction whose ST2 state has diverged.
+#[derive(Clone, Debug)]
+pub struct InvokeFb {
+    /// The stalled transaction.
+    pub txid: TxId,
+    /// The signed current views the client gathered from `RP` replies; these
+    /// justify the view the replicas should move to (rules R1/R2).
+    pub views: Vec<SignedSt2Reply>,
+    /// Client authentication.
+    pub auth: Option<BatchProof>,
+}
+
+impl InvokeFb {
+    /// Canonical bytes covered by the client's signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40);
+        out.extend_from_slice(b"IFB");
+        out.extend_from_slice(self.txid.as_bytes());
+        out.extend_from_slice(&(self.views.len() as u32).to_be_bytes());
+        out
+    }
+}
+
+/// Body of an `ElectFB` message: a replica nominates the fallback leader of
+/// its current view and reports its logged decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElectFbBody {
+    /// The stalled transaction.
+    pub txid: TxId,
+    /// The nominating replica (also bound by the signature).
+    pub replica: ReplicaId,
+    /// The decision this replica has logged, if any.
+    pub decision: Option<ProtoDecision>,
+    /// The view the replica is electing a leader for.
+    pub view: View,
+}
+
+impl ElectFbBody {
+    /// Canonical bytes covered by the replica's signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        out.extend_from_slice(b"ELECTFB");
+        out.extend_from_slice(self.txid.as_bytes());
+        out.extend_from_slice(&self.replica.shard.0.to_be_bytes());
+        out.extend_from_slice(&self.replica.index.to_be_bytes());
+        match self.decision {
+            Some(d) => out.push(d.tag()),
+            None => out.push(0),
+        }
+        out.extend_from_slice(&self.view.to_be_bytes());
+        out
+    }
+}
+
+/// A signed `ElectFB`.
+#[derive(Clone, Debug)]
+pub struct SignedElectFb {
+    /// Election payload.
+    pub body: ElectFbBody,
+    /// Replica signature.
+    pub proof: Option<BatchProof>,
+}
+
+/// `DecFB`: the elected fallback leader proposes a reconciled decision,
+/// justified by the quorum of `ElectFB` messages that elected it.
+#[derive(Clone, Debug)]
+pub struct DecFb {
+    /// The stalled transaction.
+    pub txid: TxId,
+    /// The reconciled decision (majority of the reported logged decisions).
+    pub decision: ProtoDecision,
+    /// The view in which this leader was elected.
+    pub view: View,
+    /// The `ElectFB` messages proving the sender's leadership.
+    pub elect_proof: Vec<SignedElectFb>,
+    /// Leader signature.
+    pub auth: Option<BatchProof>,
+}
+
+impl DecFb {
+    /// Canonical bytes covered by the leader's signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        out.extend_from_slice(b"DECFB");
+        out.extend_from_slice(self.txid.as_bytes());
+        out.push(self.decision.tag());
+        out.extend_from_slice(&self.view.to_be_bytes());
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+/// Client-side timers (delivered as self-messages).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientTimer {
+    /// A read has not gathered enough replies.
+    ReadTimeout {
+        /// The outstanding request.
+        req_id: u64,
+    },
+    /// The prepare phase (ST1) has not completed.
+    PrepareTimeout {
+        /// The transaction being prepared.
+        txid: TxId,
+    },
+    /// The decision-logging stage (ST2) has not completed.
+    St2Timeout {
+        /// The transaction being logged.
+        txid: TxId,
+    },
+    /// A dependency recovery attempt should be (re)driven.
+    FallbackTimeout {
+        /// The stalled dependency.
+        txid: TxId,
+    },
+    /// The retry backoff after an abort has elapsed.
+    RetryBackoff,
+}
+
+/// Replica-side timers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicaTimer {
+    /// Flush a partially filled reply batch (Section 4.4).
+    BatchFlush,
+}
+
+// ---------------------------------------------------------------------------
+// Top-level message enum
+// ---------------------------------------------------------------------------
+
+/// Every message exchanged in a Basil deployment.
+#[derive(Clone, Debug)]
+pub enum BasilMsg {
+    /// Client -> replica: versioned read.
+    Read(ReadRequest),
+    /// Replica -> client: read reply.
+    ReadReply(ReadReply),
+    /// Client -> replica: stage ST1 prepare (also used as `RP`).
+    St1(St1),
+    /// Replica -> client: ST1 vote.
+    St1Reply(SignedSt1Reply),
+    /// Client -> replica (logging shard): stage ST2 decision logging.
+    St2(St2),
+    /// Replica -> client: ST2 acknowledgement.
+    St2Reply(SignedSt2Reply),
+    /// Client -> replica: writeback of the decision certificate.
+    Writeback(Writeback),
+    /// Client -> replica: remove the RTS left by an abandoned execution-phase
+    /// read (client-side `Abort()`).
+    RtsRelease {
+        /// Key whose RTS should be dropped.
+        key: Key,
+        /// The timestamp to remove.
+        ts: Timestamp,
+    },
+    /// Client -> replica (logging shard): start fallback leader election.
+    InvokeFb(InvokeFb),
+    /// Replica -> fallback leader: leader nomination.
+    ElectFb(SignedElectFb),
+    /// Fallback leader -> replicas: reconciled decision.
+    DecFb(DecFb),
+    /// Client self-message timers.
+    ClientTimer(ClientTimer),
+    /// Replica self-message timers.
+    ReplicaTimer(ReplicaTimer),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basil_common::{ClientId, ShardId};
+    use basil_store::TransactionBuilder;
+
+    fn ts(t: u64, c: u64) -> Timestamp {
+        Timestamp::from_nanos(t, ClientId(c))
+    }
+
+    fn rep(i: u32) -> ReplicaId {
+        ReplicaId::new(ShardId(0), i)
+    }
+
+    #[test]
+    fn vote_and_decision_tags_are_distinct() {
+        assert_ne!(ProtoVote::Commit.tag(), ProtoVote::Abort.tag());
+        assert_ne!(ProtoDecision::Commit.tag(), ProtoDecision::Abort.tag());
+        assert!(ProtoVote::Commit.is_commit());
+        assert!(!ProtoVote::Abort.is_commit());
+        assert!(ProtoDecision::Commit.is_commit());
+        assert!(!ProtoDecision::Abort.is_commit());
+    }
+
+    #[test]
+    fn signed_bytes_bind_the_vote() {
+        let a = St1ReplyBody {
+            txid: TxId::from_bytes([1; 32]),
+            replica: rep(0),
+            vote: ProtoVote::Commit,
+        };
+        let b = St1ReplyBody {
+            txid: TxId::from_bytes([1; 32]),
+            replica: rep(0),
+            vote: ProtoVote::Abort,
+        };
+        assert_ne!(a.signed_bytes(), b.signed_bytes());
+        let c = St1ReplyBody {
+            txid: TxId::from_bytes([2; 32]),
+            replica: rep(0),
+            vote: ProtoVote::Commit,
+        };
+        assert_ne!(a.signed_bytes(), c.signed_bytes());
+        let d = St1ReplyBody {
+            txid: TxId::from_bytes([1; 32]),
+            replica: rep(1),
+            vote: ProtoVote::Commit,
+        };
+        assert_ne!(a.signed_bytes(), d.signed_bytes());
+    }
+
+    #[test]
+    fn st2r_bytes_bind_views_and_decision() {
+        let base = St2ReplyBody {
+            txid: TxId::from_bytes([3; 32]),
+            replica: rep(2),
+            decision: ProtoDecision::Commit,
+            view_decision: 0,
+            view_current: 0,
+        };
+        let mut other = base.clone();
+        other.view_current = 1;
+        assert_ne!(base.signed_bytes(), other.signed_bytes());
+        let mut flipped = base.clone();
+        flipped.decision = ProtoDecision::Abort;
+        assert_ne!(base.signed_bytes(), flipped.signed_bytes());
+    }
+
+    #[test]
+    fn read_request_and_reply_bytes_are_content_sensitive() {
+        let req = ReadRequest {
+            req_id: 9,
+            key: Key::new("x"),
+            ts: ts(100, 1),
+            auth: None,
+        };
+        let mut req2 = req.clone();
+        req2.ts = ts(101, 1);
+        assert_ne!(req.signed_bytes(), req2.signed_bytes());
+
+        let reply = ReadReplyBody {
+            req_id: 9,
+            key: Key::new("x"),
+            committed: Some(CommittedRead {
+                version: ts(50, 2),
+                value: Value::from_u64(5),
+                txid: TxId::from_bytes([4; 32]),
+                cert: None,
+            }),
+            prepared: None,
+        };
+        let mut reply2 = reply.clone();
+        reply2.committed.as_mut().expect("present").value = Value::from_u64(6);
+        assert_ne!(reply.signed_bytes(), reply2.signed_bytes());
+    }
+
+    #[test]
+    fn electfb_bytes_distinguish_absent_decision() {
+        let body = |d: Option<ProtoDecision>| ElectFbBody {
+            txid: TxId::from_bytes([7; 32]),
+            replica: rep(4),
+            decision: d,
+            view: 3,
+        };
+        let none = body(None).signed_bytes();
+        let commit = body(Some(ProtoDecision::Commit)).signed_bytes();
+        let abort = body(Some(ProtoDecision::Abort)).signed_bytes();
+        assert_ne!(none, commit);
+        assert_ne!(commit, abort);
+    }
+
+    #[test]
+    fn st1_signed_bytes_cover_transaction() {
+        let mut b = TransactionBuilder::new(ts(10, 1));
+        b.record_write(Key::new("k"), Value::from_u64(1));
+        let st1 = St1 {
+            tx: b.build(),
+            auth: None,
+            recovery: false,
+        };
+        let mut b2 = TransactionBuilder::new(ts(10, 1));
+        b2.record_write(Key::new("k"), Value::from_u64(2));
+        let st1_other = St1 {
+            tx: b2.build(),
+            auth: None,
+            recovery: false,
+        };
+        assert_ne!(st1.signed_bytes(), st1_other.signed_bytes());
+    }
+}

@@ -1,0 +1,1476 @@
+//! The Basil replica.
+//!
+//! A replica serves versioned reads, runs the MVTSO concurrency-control check
+//! for `ST1` prepares (deferring its vote while dependencies are undecided),
+//! logs `ST2` decisions, applies writeback certificates, and takes part in
+//! the per-transaction fallback protocol (view tracking, leader election, and
+//! decision reconciliation). Replies are batched and signed through a Merkle
+//! tree per Section 4.4.
+
+use crate::byzantine::ReplicaBehavior;
+use crate::certs::{validate_st2_justification, DecisionCert};
+use crate::config::BasilConfig;
+use crate::crypto_engine::SigEngine;
+use crate::messages::{
+    BasilMsg, CommittedRead, DecFb, ElectFbBody, InvokeFb, PreparedRead, ProtoDecision, ProtoVote,
+    ReadReply, ReadReplyBody, ReadRequest, ReplicaTimer, SignedElectFb, SignedSt1Reply,
+    SignedSt2Reply, St1, St1ReplyBody, St2, St2ReplyBody, View, Writeback,
+};
+use crate::views::{fallback_leader_index, next_view};
+use basil_common::{Key, NodeId, ReplicaId, ShardId, TxId, Value};
+use basil_simnet::{Actor, Context};
+use basil_store::{CheckOutcome, MvtsoStore, Transaction, Vote};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+/// Counters exposed for tests, experiments, and the harness.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaStats {
+    /// Read requests served.
+    pub reads_served: u64,
+    /// ST1 prepares for which a vote was produced immediately.
+    pub st1_voted: u64,
+    /// ST1 prepares whose vote was deferred on dependencies.
+    pub st1_deferred: u64,
+    /// Commit certificates applied.
+    pub commits_applied: u64,
+    /// Abort certificates applied.
+    pub aborts_applied: u64,
+    /// ST2 decisions logged.
+    pub st2_logged: u64,
+    /// Fallback invocations processed.
+    pub fallback_invocations: u64,
+    /// DecFB decisions adopted.
+    pub fallback_decisions_adopted: u64,
+    /// Messages dropped because of Byzantine behaviour configuration.
+    pub byzantine_drops: u64,
+    /// Replies that went through the batch signer.
+    pub replies_batched: u64,
+    /// Batches signed.
+    pub batches_signed: u64,
+}
+
+/// Per-transaction protocol state kept by a replica.
+#[derive(Debug, Default)]
+struct TxRecord {
+    /// The transaction metadata (from ST1 or a writeback).
+    tx: Option<Transaction>,
+    /// The ST1 vote this replica cast, if any.
+    own_vote: Option<ProtoVote>,
+    /// Whether the vote is withheld waiting for dependencies.
+    vote_pending: bool,
+    /// Clients waiting for the deferred ST1 reply.
+    waiting_clients: Vec<NodeId>,
+    /// The logged 2PC decision and the view it was adopted in.
+    logged: Option<(ProtoDecision, View)>,
+    /// This replica's current fallback view for the transaction.
+    current_view: View,
+    /// The final applied decision, if any.
+    decided: Option<ProtoDecision>,
+    /// Clients interested in this transaction's outcome (recovery).
+    interested: HashSet<NodeId>,
+    /// ST2 messages that arrived before the transaction body.
+    buffered_st2: Vec<(NodeId, St2)>,
+}
+
+/// A reply waiting to be batched, signed, and sent.
+#[derive(Debug)]
+enum PendingReply {
+    Read(ReadReplyBody),
+    St1(St1ReplyBody, Option<Box<DecisionCert>>),
+    St2(St2ReplyBody),
+}
+
+impl PendingReply {
+    fn signed_bytes(&self) -> Vec<u8> {
+        match self {
+            PendingReply::Read(b) => b.signed_bytes(),
+            PendingReply::St1(b, _) => b.signed_bytes(),
+            PendingReply::St2(b) => b.signed_bytes(),
+        }
+    }
+}
+
+/// The Basil replica actor.
+pub struct BasilReplica {
+    id: ReplicaId,
+    cfg: BasilConfig,
+    engine: SigEngine,
+    store: MvtsoStore,
+    behavior: ReplicaBehavior,
+    records: HashMap<TxId, TxRecord>,
+    /// Commit/abort certificates by transaction (commit certificates are also
+    /// attached to committed versions in read replies).
+    certs: HashMap<TxId, DecisionCert>,
+    /// Replies awaiting batch signing.
+    out_batch: Vec<(NodeId, PendingReply)>,
+    batch_timer_armed: bool,
+    /// ElectFB messages collected while acting as fallback leader.
+    elections: HashMap<(TxId, View), HashMap<u32, SignedElectFb>>,
+    /// Elections already concluded (avoid double DecFB).
+    elections_done: HashSet<(TxId, View)>,
+    stats: ReplicaStats,
+}
+
+impl BasilReplica {
+    /// Creates a replica for shard `id.shard` preloaded with `initial_data`.
+    pub fn new(
+        id: ReplicaId,
+        cfg: BasilConfig,
+        registry: basil_crypto::KeyRegistry,
+        behavior: ReplicaBehavior,
+        initial_data: impl IntoIterator<Item = (Key, Value)>,
+    ) -> Self {
+        let engine = SigEngine::new(NodeId::Replica(id), registry, &cfg);
+        BasilReplica {
+            id,
+            cfg,
+            engine,
+            store: MvtsoStore::with_initial_data(initial_data),
+            behavior,
+            records: HashMap::new(),
+            certs: HashMap::new(),
+            out_batch: Vec::new(),
+            batch_timer_armed: false,
+            elections: HashMap::new(),
+            elections_done: HashSet::new(),
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// This replica's identity.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Counters collected so far.
+    pub fn stats(&self) -> &ReplicaStats {
+        &self.stats
+    }
+
+    /// Read access to the underlying store (used by the harness for the
+    /// serializability audit and by examples to inspect final state).
+    pub fn store(&self) -> &MvtsoStore {
+        &self.store
+    }
+
+    /// Overrides the replica's behaviour (used by failure-injection tests).
+    pub fn set_behavior(&mut self, behavior: ReplicaBehavior) {
+        self.behavior = behavior;
+    }
+
+    fn record(&mut self, txid: TxId) -> &mut TxRecord {
+        self.records.entry(txid).or_default()
+    }
+
+    fn shard_replicas(&self) -> Vec<NodeId> {
+        let shard = self.id.shard;
+        (0..self.cfg.system.shard.n())
+            .map(|i| NodeId::Replica(ReplicaId::new(shard, i)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Reply batching (Section 4.4)
+    // ------------------------------------------------------------------
+
+    fn enqueue_reply(&mut self, ctx: &mut Context<BasilMsg>, to: NodeId, reply: PendingReply) {
+        self.stats.replies_batched += 1;
+        self.out_batch.push((to, reply));
+        let batch_size = self.cfg.system.batch_size.max(1) as usize;
+        if !self.engine.enabled() || batch_size == 1 || self.out_batch.len() >= batch_size {
+            self.flush_batch(ctx);
+        } else if !self.batch_timer_armed {
+            self.batch_timer_armed = true;
+            ctx.schedule_self(
+                self.cfg.system.batch_timeout,
+                BasilMsg::ReplicaTimer(ReplicaTimer::BatchFlush),
+            );
+        }
+    }
+
+    fn flush_batch(&mut self, ctx: &mut Context<BasilMsg>) {
+        if self.out_batch.is_empty() {
+            return;
+        }
+        let batch: Vec<(NodeId, PendingReply)> = std::mem::take(&mut self.out_batch);
+        let payloads: Vec<Vec<u8>> = batch.iter().map(|(_, r)| r.signed_bytes()).collect();
+        let (proofs, cost) = self.engine.sign_batch(&payloads);
+        ctx.charge(cost);
+        self.stats.batches_signed += 1;
+        for ((to, reply), proof) in batch.into_iter().zip(proofs) {
+            let msg = match reply {
+                PendingReply::Read(body) => BasilMsg::ReadReply(ReadReply { body, proof }),
+                PendingReply::St1(body, conflict) => BasilMsg::St1Reply(SignedSt1Reply {
+                    body,
+                    proof,
+                    conflict,
+                }),
+                PendingReply::St2(body) => BasilMsg::St2Reply(SignedSt2Reply { body, proof }),
+            };
+            ctx.charge(self.engine.message_cost());
+            ctx.send(to, msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution phase: reads
+    // ------------------------------------------------------------------
+
+    fn handle_read(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, req: ReadRequest) {
+        if self.behavior == ReplicaBehavior::IgnoreReads {
+            self.stats.byzantine_drops += 1;
+            return;
+        }
+        let (ok, cost) = self.engine.verify_request(&req.signed_bytes(), req.auth.as_ref());
+        ctx.charge(cost);
+        if !ok {
+            return;
+        }
+        // Timestamp acceptance window (Section 4.1): ignore reads too far in
+        // the future.
+        if req.ts.exceeds_bound(ctx.local_clock(), self.cfg.system.delta) {
+            return;
+        }
+        let result = self.store.read(&req.key, req.ts);
+        let committed = result.committed.map(|c| CommittedRead {
+            version: c.version,
+            value: c.value,
+            cert: self.certs.get(&c.txid).cloned().map(Box::new),
+            txid: c.txid,
+        });
+        let prepared = result
+            .prepared
+            .and_then(|p| self.store.prepared_tx(&p.txid).cloned())
+            .map(|tx| PreparedRead { tx });
+        let body = ReadReplyBody {
+            req_id: req.req_id,
+            key: req.key,
+            committed,
+            prepared,
+        };
+        self.stats.reads_served += 1;
+        self.enqueue_reply(ctx, from, PendingReply::Read(body));
+    }
+
+    // ------------------------------------------------------------------
+    // Prepare phase: ST1
+    // ------------------------------------------------------------------
+
+    fn handle_st1(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, st1: St1) {
+        let (ok, cost) = self.engine.verify_request(&st1.signed_bytes(), st1.auth.as_ref());
+        ctx.charge(cost);
+        if !ok {
+            return;
+        }
+        let txid = st1.tx.id();
+        if st1.recovery {
+            self.record(txid).interested.insert(from);
+        } else if self.behavior == ReplicaBehavior::WithholdVotes {
+            self.stats.byzantine_drops += 1;
+            return;
+        }
+
+        // A known certificate answers the request immediately (recovery fast
+        // path: the client can jump straight to writeback).
+        if let Some(cert) = self.certs.get(&txid) {
+            ctx.charge(self.engine.message_cost());
+            ctx.send(
+                from,
+                BasilMsg::Writeback(Writeback {
+                    cert: cert.clone(),
+                    tx: self.record(txid).tx.clone(),
+                }),
+            );
+            return;
+        }
+
+        let record = self.records.entry(txid).or_default();
+        if record.tx.is_none() {
+            record.tx = Some(st1.tx.clone());
+        }
+
+        // If we logged an ST2 decision already, a recovering client is better
+        // served by that state.
+        if st1.recovery {
+            if let Some((decision, view)) = record.logged {
+                let body = St2ReplyBody {
+                    txid,
+                    replica: self.id,
+                    decision,
+                    view_decision: view,
+                    view_current: record.current_view,
+                };
+                self.enqueue_reply(ctx, from, PendingReply::St2(body));
+                return;
+            }
+        }
+
+        // Re-deliveries are answered with the stored vote.
+        if let Some(vote) = record.own_vote.clone() {
+            let body = St1ReplyBody {
+                txid,
+                replica: self.id,
+                vote,
+            };
+            self.enqueue_reply(ctx, from, PendingReply::St1(body, None));
+            return;
+        }
+        if record.vote_pending {
+            if !record.waiting_clients.contains(&from) {
+                record.waiting_clients.push(from);
+            }
+            return;
+        }
+
+        // Byzantine behaviour: always vote abort without consulting the store.
+        if self.behavior == ReplicaBehavior::AlwaysVoteAbort {
+            let record = self.record(txid);
+            record.own_vote = Some(ProtoVote::Abort);
+            self.stats.st1_voted += 1;
+            let body = St1ReplyBody {
+                txid,
+                replica: self.id,
+                vote: ProtoVote::Abort,
+            };
+            self.enqueue_reply(ctx, from, PendingReply::St1(body, None));
+            return;
+        }
+
+        // Run the MVTSO check (Algorithm 1). Charge a hash of the transaction
+        // encoding as the processing cost of the check itself.
+        ctx.charge(self.engine.message_cost());
+        let outcome = self
+            .store
+            .prepare(&st1.tx, ctx.local_clock(), self.cfg.system.delta);
+        match outcome {
+            CheckOutcome::Decided(vote) => {
+                let proto = match vote {
+                    Vote::Commit => ProtoVote::Commit,
+                    Vote::Abort(_) => ProtoVote::Abort,
+                };
+                let record = self.record(txid);
+                record.own_vote = Some(proto.clone());
+                self.stats.st1_voted += 1;
+                let body = St1ReplyBody {
+                    txid,
+                    replica: self.id,
+                    vote: proto,
+                };
+                self.enqueue_reply(ctx, from, PendingReply::St1(body, None));
+                // A buffered ST2 can now be validated against the transaction.
+                self.process_buffered_st2(ctx, txid);
+            }
+            CheckOutcome::Pending { .. } => {
+                let record = self.record(txid);
+                record.vote_pending = true;
+                record.waiting_clients.push(from);
+                self.stats.st1_deferred += 1;
+            }
+        }
+    }
+
+    /// Sends the deferred ST1 votes released by a dependency decision.
+    fn deliver_released_votes(&mut self, ctx: &mut Context<BasilMsg>, released: Vec<(TxId, Vote)>) {
+        for (txid, vote) in released {
+            let proto = match vote {
+                Vote::Commit => ProtoVote::Commit,
+                Vote::Abort(_) => ProtoVote::Abort,
+            };
+            let (waiting, interested) = {
+                let record = self.record(txid);
+                record.own_vote = Some(proto.clone());
+                record.vote_pending = false;
+                (
+                    std::mem::take(&mut record.waiting_clients),
+                    record.interested.iter().copied().collect::<Vec<_>>(),
+                )
+            };
+            self.stats.st1_voted += 1;
+            let mut recipients: Vec<NodeId> = waiting;
+            for c in interested {
+                if !recipients.contains(&c) {
+                    recipients.push(c);
+                }
+            }
+            for client in recipients {
+                let body = St1ReplyBody {
+                    txid,
+                    replica: self.id,
+                    vote: proto.clone(),
+                };
+                self.enqueue_reply(ctx, client, PendingReply::St1(body, None));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prepare phase: ST2 (decision logging)
+    // ------------------------------------------------------------------
+
+    fn handle_st2(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, st2: St2) {
+        let (ok, cost) = self.engine.verify_request(&st2.signed_bytes(), st2.auth.as_ref());
+        ctx.charge(cost);
+        if !ok {
+            return;
+        }
+        let txid = st2.txid;
+        // Without the transaction body we cannot check which shards must have
+        // voted; buffer until the ST1 arrives (unless validation is relaxed).
+        let tx_known = self
+            .records
+            .get(&txid)
+            .map(|r| r.tx.is_some())
+            .unwrap_or(false);
+        if !tx_known && self.engine.enabled() && !self.cfg.relax_st2_validation {
+            self.record(txid).buffered_st2.push((from, st2));
+            return;
+        }
+        self.apply_st2(ctx, from, st2);
+    }
+
+    fn process_buffered_st2(&mut self, ctx: &mut Context<BasilMsg>, txid: TxId) {
+        let buffered = std::mem::take(&mut self.record(txid).buffered_st2);
+        for (from, st2) in buffered {
+            self.apply_st2(ctx, from, st2);
+        }
+    }
+
+    fn apply_st2(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, st2: St2) {
+        let txid = st2.txid;
+        let expected_shards: Option<Vec<ShardId>> = self
+            .records
+            .get(&txid)
+            .and_then(|r| r.tx.as_ref())
+            .map(|tx| tx.involved_shards(&self.cfg.system));
+        if !self.cfg.relax_st2_validation {
+            let validation = validate_st2_justification(
+                txid,
+                st2.decision,
+                &st2.shard_votes,
+                expected_shards.as_deref(),
+                &self.cfg.system.shard,
+                &mut self.engine,
+            );
+            ctx.charge(validation.cost);
+            if !validation.valid {
+                return;
+            }
+        }
+        let replica_id = self.id;
+        let (decision, view_decision, view_current, newly_logged) = {
+            let record = self.record(txid);
+            record.interested.insert(from);
+            let newly_logged = record.logged.is_none();
+            if newly_logged {
+                record.logged = Some((st2.decision, st2.view));
+                record.current_view = record.current_view.max(st2.view);
+            }
+            let (decision, view_decision) = record.logged.expect("just set");
+            (decision, view_decision, record.current_view, newly_logged)
+        };
+        if newly_logged {
+            self.stats.st2_logged += 1;
+        }
+        let body = St2ReplyBody {
+            txid,
+            replica: replica_id,
+            decision,
+            view_decision,
+            view_current,
+        };
+        self.enqueue_reply(ctx, from, PendingReply::St2(body));
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback phase
+    // ------------------------------------------------------------------
+
+    fn handle_writeback(&mut self, ctx: &mut Context<BasilMsg>, wb: Writeback) {
+        let txid = wb.cert.txid();
+        if self.records.get(&txid).and_then(|r| r.decided).is_some() {
+            return; // already applied
+        }
+        let expected_shards: Option<Vec<ShardId>> = self
+            .records
+            .get(&txid)
+            .and_then(|r| r.tx.as_ref())
+            .or(wb.tx.as_ref())
+            .map(|tx| tx.involved_shards(&self.cfg.system));
+        let validation = match &wb.cert {
+            DecisionCert::Commit(c) => crate::certs::validate_commit_cert(
+                c,
+                expected_shards.as_deref(),
+                &self.cfg.system.shard,
+                &mut self.engine,
+            ),
+            DecisionCert::Abort(a) => {
+                crate::certs::validate_abort_cert(a, &self.cfg.system.shard, &mut self.engine)
+            }
+        };
+        ctx.charge(validation.cost);
+        if !validation.valid {
+            return;
+        }
+
+        let tx = {
+            let record = self.record(txid);
+            if record.tx.is_none() {
+                record.tx = wb.tx.clone();
+            }
+            record.tx.clone()
+        };
+        let decision = wb.cert.decision();
+        let released = match decision {
+            ProtoDecision::Commit => {
+                let Some(tx) = tx else {
+                    // Cannot apply writes without the transaction body; wait
+                    // for a writeback that carries it.
+                    return;
+                };
+                self.stats.commits_applied += 1;
+                self.store.commit(&tx)
+            }
+            ProtoDecision::Abort => {
+                self.stats.aborts_applied += 1;
+                self.store.abort(txid)
+            }
+        };
+        self.certs.insert(txid, wb.cert.clone());
+        let interested: Vec<NodeId> = {
+            let record = self.record(txid);
+            record.decided = Some(decision);
+            record.interested.drain().collect()
+        };
+        // Forward the outcome to clients waiting on this transaction.
+        for client in interested {
+            ctx.charge(self.engine.message_cost());
+            ctx.send(
+                client,
+                BasilMsg::Writeback(Writeback {
+                    cert: wb.cert.clone(),
+                    tx: None,
+                }),
+            );
+        }
+        self.deliver_released_votes(ctx, released);
+    }
+
+    // ------------------------------------------------------------------
+    // Fallback protocol (Section 5)
+    // ------------------------------------------------------------------
+
+    fn handle_invoke_fb(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, ifb: InvokeFb) {
+        let (ok, cost) = self.engine.verify_request(&ifb.signed_bytes(), ifb.auth.as_ref());
+        ctx.charge(cost);
+        if !ok {
+            return;
+        }
+        self.stats.fallback_invocations += 1;
+        let txid = ifb.txid;
+
+        // Validate and extract the reported current views.
+        let mut reported: Vec<View> = Vec::new();
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut verify_cost = basil_common::Duration::ZERO;
+        for view_reply in &ifb.views {
+            if view_reply.body.txid != txid || view_reply.body.replica.shard != self.id.shard {
+                continue;
+            }
+            if seen.contains(&view_reply.body.replica.index) {
+                continue;
+            }
+            if self.engine.enabled() {
+                let signer_ok = view_reply
+                    .proof
+                    .as_ref()
+                    .map(|p| p.signer() == NodeId::Replica(view_reply.body.replica))
+                    .unwrap_or(false);
+                let (ok, c) = self
+                    .engine
+                    .verify(&view_reply.body.signed_bytes(), view_reply.proof.as_ref());
+                verify_cost += c;
+                if !ok || !signer_ok {
+                    continue;
+                }
+            }
+            seen.insert(view_reply.body.replica.index);
+            reported.push(view_reply.body.view_current);
+        }
+        ctx.charge(verify_cost);
+
+        // Optimization from Appendix B.5: moving from view 0 to view 1 needs
+        // no proof at all.
+        let shard_cfg = self.cfg.system.shard;
+        let (view, decision) = {
+            let record = self.record(txid);
+            record.interested.insert(from);
+            let proposed = next_view(record.current_view, &reported, &shard_cfg);
+            let new_view = if record.current_view == 0 {
+                proposed.max(1)
+            } else {
+                proposed
+            };
+            // If the proof does not justify a newer view we still (re)send
+            // our election message for the current view so a retrying client
+            // can make progress.
+            record.current_view = new_view.max(record.current_view);
+            (record.current_view, record.logged.map(|(d, _)| d))
+        };
+        let leader_index =
+            fallback_leader_index(view, txid, self.cfg.system.shard.n());
+        let leader = NodeId::Replica(ReplicaId::new(self.id.shard, leader_index));
+        let body = ElectFbBody {
+            txid,
+            replica: self.id,
+            decision,
+            view,
+        };
+        let (proof, sign_cost) = self.engine.sign(&body.signed_bytes());
+        ctx.charge(sign_cost + self.engine.message_cost());
+        ctx.send(leader, BasilMsg::ElectFb(SignedElectFb { body, proof }));
+    }
+
+    fn handle_elect_fb(&mut self, ctx: &mut Context<BasilMsg>, efb: SignedElectFb) {
+        let txid = efb.body.txid;
+        let view = efb.body.view;
+        // Only the designated leader for this view collects elections.
+        let leader_index = fallback_leader_index(view, txid, self.cfg.system.shard.n());
+        if leader_index != self.id.index {
+            return;
+        }
+        if self.elections_done.contains(&(txid, view)) {
+            return;
+        }
+        if self.engine.enabled() {
+            let signer_ok = efb
+                .proof
+                .as_ref()
+                .map(|p| p.signer() == NodeId::Replica(efb.body.replica))
+                .unwrap_or(false);
+            let (ok, cost) = self.engine.verify(&efb.body.signed_bytes(), efb.proof.as_ref());
+            ctx.charge(cost);
+            if !ok || !signer_ok {
+                return;
+            }
+        }
+        let entry = self.elections.entry((txid, view)).or_default();
+        entry.insert(efb.body.replica.index, efb);
+        if (entry.len() as u32) < self.cfg.system.shard.elect_quorum() {
+            return;
+        }
+        // Elected: reconcile the decision as the majority of reported logged
+        // decisions.
+        let votes: Vec<SignedElectFb> = entry.values().cloned().collect();
+        let commits = votes
+            .iter()
+            .filter(|v| v.body.decision == Some(ProtoDecision::Commit))
+            .count();
+        let aborts = votes
+            .iter()
+            .filter(|v| v.body.decision == Some(ProtoDecision::Abort))
+            .count();
+        if commits == 0 && aborts == 0 {
+            // No replica has logged anything; nothing safe to propose.
+            return;
+        }
+        let decision = if commits >= aborts {
+            ProtoDecision::Commit
+        } else {
+            ProtoDecision::Abort
+        };
+        self.elections_done.insert((txid, view));
+        let dec = DecFb {
+            txid,
+            decision,
+            view,
+            elect_proof: votes,
+            auth: None,
+        };
+        let (proof, cost) = self.engine.sign(&dec.signed_bytes());
+        ctx.charge(cost);
+        let dec = DecFb { auth: proof, ..dec };
+        for replica in self.shard_replicas() {
+            ctx.charge(self.engine.message_cost());
+            ctx.send(replica, BasilMsg::DecFb(dec.clone()));
+        }
+    }
+
+    fn handle_dec_fb(&mut self, ctx: &mut Context<BasilMsg>, dfb: DecFb) {
+        let txid = dfb.txid;
+        let view = dfb.view;
+        // Validate the leader's identity and signature.
+        let leader_index = fallback_leader_index(view, txid, self.cfg.system.shard.n());
+        if self.engine.enabled() {
+            let signer_ok = dfb
+                .auth
+                .as_ref()
+                .map(|p| {
+                    p.signer()
+                        == NodeId::Replica(ReplicaId::new(self.id.shard, leader_index))
+                })
+                .unwrap_or(false);
+            let (ok, cost) = self.engine.verify(&dfb.signed_bytes(), dfb.auth.as_ref());
+            ctx.charge(cost);
+            if !ok || !signer_ok {
+                return;
+            }
+            // Validate the election proof: 4f+1 distinct, correctly signed
+            // ElectFB messages for this view.
+            let mut seen: HashSet<u32> = HashSet::new();
+            let mut cost_total = basil_common::Duration::ZERO;
+            for e in &dfb.elect_proof {
+                if e.body.txid != txid || e.body.view != view {
+                    continue;
+                }
+                if seen.contains(&e.body.replica.index) {
+                    continue;
+                }
+                let signer_ok = e
+                    .proof
+                    .as_ref()
+                    .map(|p| p.signer() == NodeId::Replica(e.body.replica))
+                    .unwrap_or(false);
+                let (ok, c) = self.engine.verify(&e.body.signed_bytes(), e.proof.as_ref());
+                cost_total += c;
+                if ok && signer_ok {
+                    seen.insert(e.body.replica.index);
+                }
+            }
+            ctx.charge(cost_total);
+            if (seen.len() as u32) < self.cfg.system.shard.elect_quorum() {
+                return;
+            }
+        }
+        let replica_id = self.id;
+        let interested: Vec<NodeId> = {
+            let record = self.record(txid);
+            if view < record.current_view {
+                return;
+            }
+            record.current_view = view;
+            record.logged = Some((dfb.decision, view));
+            record.interested.iter().copied().collect()
+        };
+        self.stats.fallback_decisions_adopted += 1;
+        let body = St2ReplyBody {
+            txid,
+            replica: replica_id,
+            decision: dfb.decision,
+            view_decision: view,
+            view_current: view,
+        };
+        for client in interested {
+            self.enqueue_reply(ctx, client, PendingReply::St2(body.clone()));
+        }
+    }
+}
+
+impl Actor<BasilMsg> for BasilReplica {
+    fn on_message(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, msg: BasilMsg) {
+        if self.behavior == ReplicaBehavior::Silent {
+            self.stats.byzantine_drops += 1;
+            return;
+        }
+        // Per-message deserialization overhead.
+        ctx.charge(self.engine.message_cost());
+        match msg {
+            BasilMsg::Read(req) => self.handle_read(ctx, from, req),
+            BasilMsg::St1(st1) => self.handle_st1(ctx, from, st1),
+            BasilMsg::St2(st2) => self.handle_st2(ctx, from, st2),
+            BasilMsg::Writeback(wb) => self.handle_writeback(ctx, wb),
+            BasilMsg::RtsRelease { key, ts } => self.store.remove_rts(&key, ts),
+            BasilMsg::InvokeFb(ifb) => self.handle_invoke_fb(ctx, from, ifb),
+            BasilMsg::ElectFb(efb) => self.handle_elect_fb(ctx, efb),
+            BasilMsg::DecFb(dfb) => self.handle_dec_fb(ctx, dfb),
+            BasilMsg::ReplicaTimer(ReplicaTimer::BatchFlush) => {
+                self.batch_timer_armed = false;
+                self.flush_batch(ctx);
+            }
+            // Messages addressed to clients are ignored if misrouted.
+            BasilMsg::ReadReply(_)
+            | BasilMsg::St1Reply(_)
+            | BasilMsg::St2Reply(_)
+            | BasilMsg::ClientTimer(_) => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certs::ShardVotes;
+    use crate::config::CryptoMode;
+    use basil_common::{ClientId, SimTime, Timestamp};
+    use basil_crypto::KeyRegistry;
+    use basil_store::TransactionBuilder;
+
+    fn cfg() -> BasilConfig {
+        let mut c = BasilConfig::test_single_shard();
+        c.crypto_mode = CryptoMode::Real;
+        c
+    }
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::from_seed(77)
+    }
+
+    fn replica(index: u32) -> BasilReplica {
+        BasilReplica::new(
+            ReplicaId::new(ShardId(0), index),
+            cfg(),
+            registry(),
+            ReplicaBehavior::Correct,
+            [(Key::new("x"), Value::from_u64(0)), (Key::new("y"), Value::from_u64(0))],
+        )
+    }
+
+    fn client_node() -> NodeId {
+        NodeId::Client(ClientId(9))
+    }
+
+    fn client_engine() -> SigEngine {
+        SigEngine::new(client_node(), registry(), &cfg())
+    }
+
+    fn ctx_at(node: NodeId, ms: u64) -> Context<BasilMsg> {
+        Context::new(node, SimTime::from_millis(ms), SimTime::from_millis(ms))
+    }
+
+    fn write_tx(t: u64, key: &str, val: u64) -> Transaction {
+        let mut b = TransactionBuilder::new(Timestamp::from_nanos(t, ClientId(9)));
+        b.record_write(Key::new(key), Value::from_u64(val));
+        b.build()
+    }
+
+    fn signed_st1(tx: &Transaction, recovery: bool) -> St1 {
+        let mut engine = client_engine();
+        let st1 = St1 {
+            tx: tx.clone(),
+            auth: None,
+            recovery,
+        };
+        let (proof, _) = engine.sign(&st1.signed_bytes());
+        St1 { auth: proof, ..st1 }
+    }
+
+    fn signed_read(req_id: u64, key: &str, ts_nanos: u64) -> ReadRequest {
+        let mut engine = client_engine();
+        let req = ReadRequest {
+            req_id,
+            key: Key::new(key),
+            ts: Timestamp::from_nanos(ts_nanos, ClientId(9)),
+            auth: None,
+        };
+        let (proof, _) = engine.sign(&req.signed_bytes());
+        ReadRequest { auth: proof, ..req }
+    }
+
+    /// Extracts all messages sent to a given node from a context.
+    fn sent_to(ctx: &Context<BasilMsg>, to: NodeId) -> Vec<BasilMsg> {
+        ctx.outputs()
+            .iter()
+            .filter_map(|o| match o {
+                basil_simnet::actor::Output::Send { to: t, msg } if *t == to => Some(msg.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_is_answered_with_initial_version() {
+        let mut r = replica(0);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_read(&mut ctx, client_node(), signed_read(1, "x", 1_000_000));
+        // Batch size is 1 in the test config, so the reply is flushed
+        // immediately.
+        let msgs = sent_to(&ctx, client_node());
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0] {
+            BasilMsg::ReadReply(reply) => {
+                assert_eq!(reply.body.req_id, 1);
+                let committed = reply.body.committed.as_ref().expect("initial version");
+                assert_eq!(committed.value, Value::from_u64(0));
+                assert!(reply.body.prepared.is_none());
+                assert!(reply.proof.is_some());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(r.stats().reads_served, 1);
+    }
+
+    #[test]
+    fn read_with_future_timestamp_is_ignored() {
+        let mut r = replica(0);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        // delta is 50ms in the test config; ask for a read 10 seconds ahead.
+        r.handle_read(&mut ctx, client_node(), signed_read(1, "x", 10_000_000_000));
+        assert!(sent_to(&ctx, client_node()).is_empty());
+    }
+
+    #[test]
+    fn forged_read_request_is_dropped() {
+        let mut r = replica(0);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        let mut req = signed_read(1, "x", 1_000_000);
+        req.key = Key::new("y"); // payload no longer matches the signature
+        r.handle_read(&mut ctx, client_node(), req);
+        assert!(sent_to(&ctx, client_node()).is_empty());
+    }
+
+    #[test]
+    fn st1_produces_commit_vote_and_st1_is_idempotent() {
+        let mut r = replica(0);
+        let tx = write_tx(1_000_000, "x", 7);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&tx, false));
+        let msgs = sent_to(&ctx, client_node());
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0] {
+            BasilMsg::St1Reply(reply) => {
+                assert_eq!(reply.body.txid, tx.id());
+                assert_eq!(reply.body.vote, ProtoVote::Commit);
+                assert_eq!(reply.body.replica, r.id());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Re-delivery returns the stored vote without re-running the check.
+        let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+        r.handle_st1(&mut ctx2, client_node(), signed_st1(&tx, false));
+        assert_eq!(sent_to(&ctx2, client_node()).len(), 1);
+        assert_eq!(r.stats().st1_voted, 1);
+    }
+
+    #[test]
+    fn conflicting_st1_votes_abort() {
+        let mut r = replica(0);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        // A committed reader at ts 3ms read version 0 of x.
+        let mut b = TransactionBuilder::new(Timestamp::from_nanos(3_000_000, ClientId(1)));
+        b.record_read(Key::new("x"), Timestamp::ZERO);
+        b.record_write(Key::new("y"), Value::from_u64(1));
+        let reader = b.build();
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&reader, false));
+
+        // A writer of x at ts 2ms would invalidate that read: abort vote.
+        let writer = write_tx(2_000_000, "x", 9);
+        let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+        r.handle_st1(&mut ctx2, client_node(), signed_st1(&writer, false));
+        match &sent_to(&ctx2, client_node())[0] {
+            BasilMsg::St1Reply(reply) => assert_eq!(reply.body.vote, ProtoVote::Abort),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn withholding_replica_does_not_vote() {
+        let mut r = replica(0);
+        r.set_behavior(ReplicaBehavior::WithholdVotes);
+        let tx = write_tx(1_000_000, "x", 7);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&tx, false));
+        assert!(sent_to(&ctx, client_node()).is_empty());
+        assert_eq!(r.stats().byzantine_drops, 1);
+    }
+
+    #[test]
+    fn always_abort_replica_votes_abort() {
+        let mut r = replica(0);
+        r.set_behavior(ReplicaBehavior::AlwaysVoteAbort);
+        let tx = write_tx(1_000_000, "x", 7);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&tx, false));
+        match &sent_to(&ctx, client_node())[0] {
+            BasilMsg::St1Reply(reply) => assert_eq!(reply.body.vote, ProtoVote::Abort),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Builds a valid fast-path commit certificate for `tx` signed by all six
+    /// replicas of shard 0.
+    fn fast_commit_cert(tx: &Transaction) -> DecisionCert {
+        let votes: Vec<SignedSt1Reply> = (0..6)
+            .map(|i| {
+                let rid = ReplicaId::new(ShardId(0), i);
+                let body = St1ReplyBody {
+                    txid: tx.id(),
+                    replica: rid,
+                    vote: ProtoVote::Commit,
+                };
+                let mut engine = SigEngine::new(NodeId::Replica(rid), registry(), &cfg());
+                let (proof, _) = engine.sign(&body.signed_bytes());
+                SignedSt1Reply {
+                    body,
+                    proof,
+                    conflict: None,
+                }
+            })
+            .collect();
+        DecisionCert::Commit(crate::certs::CommitCert {
+            txid: tx.id(),
+            fast_votes: vec![ShardVotes {
+                txid: tx.id(),
+                shard: ShardId(0),
+                decision: ProtoDecision::Commit,
+                votes,
+                conflict: None,
+            }],
+            slow: None,
+        })
+    }
+
+    #[test]
+    fn valid_writeback_commits_and_serves_new_version() {
+        let mut r = replica(0);
+        let tx = write_tx(1_000_000, "x", 42);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&tx, false));
+
+        let cert = fast_commit_cert(&tx);
+        let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+        r.handle_writeback(
+            &mut ctx2,
+            Writeback {
+                cert,
+                tx: Some(tx.clone()),
+            },
+        );
+        assert_eq!(r.stats().commits_applied, 1);
+        assert_eq!(
+            r.store().latest_committed(&Key::new("x")).expect("x").1,
+            Value::from_u64(42)
+        );
+
+        // A later read returns the committed version together with its
+        // certificate.
+        let mut ctx3 = ctx_at(NodeId::Replica(r.id()), 3);
+        r.handle_read(&mut ctx3, client_node(), signed_read(2, "x", 5_000_000));
+        match &sent_to(&ctx3, client_node())[0] {
+            BasilMsg::ReadReply(reply) => {
+                let committed = reply.body.committed.as_ref().expect("committed");
+                assert_eq!(committed.value, Value::from_u64(42));
+                assert!(committed.cert.is_some(), "cert attached for committed reads");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_writeback_is_rejected() {
+        let mut r = replica(0);
+        let tx = write_tx(1_000_000, "x", 42);
+        // Certificate with too few votes (only 3 of 6).
+        let votes: Vec<SignedSt1Reply> = (0..3)
+            .map(|i| {
+                let rid = ReplicaId::new(ShardId(0), i);
+                let body = St1ReplyBody {
+                    txid: tx.id(),
+                    replica: rid,
+                    vote: ProtoVote::Commit,
+                };
+                let mut engine = SigEngine::new(NodeId::Replica(rid), registry(), &cfg());
+                let (proof, _) = engine.sign(&body.signed_bytes());
+                SignedSt1Reply {
+                    body,
+                    proof,
+                    conflict: None,
+                }
+            })
+            .collect();
+        let cert = DecisionCert::Commit(crate::certs::CommitCert {
+            txid: tx.id(),
+            fast_votes: vec![ShardVotes {
+                txid: tx.id(),
+                shard: ShardId(0),
+                decision: ProtoDecision::Commit,
+                votes,
+                conflict: None,
+            }],
+            slow: None,
+        });
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_writeback(
+            &mut ctx,
+            Writeback {
+                cert,
+                tx: Some(tx.clone()),
+            },
+        );
+        assert_eq!(r.stats().commits_applied, 0);
+        assert!(r.store().latest_committed(&Key::new("x")).expect("x").1 == Value::from_u64(0));
+    }
+
+    #[test]
+    fn recovery_st1_after_commit_returns_certificate() {
+        let mut r = replica(0);
+        let tx = write_tx(1_000_000, "x", 42);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&tx, false));
+        let cert = fast_commit_cert(&tx);
+        let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+        r.handle_writeback(
+            &mut ctx2,
+            Writeback {
+                cert,
+                tx: Some(tx.clone()),
+            },
+        );
+        // Another client recovers the transaction: it gets the certificate
+        // straight away.
+        let other_client = NodeId::Client(ClientId(22));
+        let mut ctx3 = ctx_at(NodeId::Replica(r.id()), 3);
+        r.handle_st1(&mut ctx3, other_client, signed_st1(&tx, true));
+        match &sent_to(&ctx3, other_client)[0] {
+            BasilMsg::Writeback(wb) => {
+                assert_eq!(wb.cert.txid(), tx.id());
+                assert!(wb.cert.decision().is_commit());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deferred_vote_released_by_dependency_commit() {
+        let mut r = replica(0);
+        // T1 writes x (prepared only).
+        let t1 = write_tx(1_000_000, "x", 5);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&t1, false));
+
+        // T2 reads T1's prepared write and declares the dependency.
+        let mut b = TransactionBuilder::new(Timestamp::from_nanos(2_000_000, ClientId(3)));
+        b.record_dependent_read(Key::new("x"), t1.timestamp, t1.id());
+        b.record_write(Key::new("y"), Value::from_u64(6));
+        let t2 = b.build();
+        let dependent_client = NodeId::Client(ClientId(3));
+        let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+        r.handle_st1(&mut ctx2, dependent_client, signed_st1(&t2, false));
+        assert!(sent_to(&ctx2, dependent_client).is_empty(), "vote deferred");
+        assert_eq!(r.stats().st1_deferred, 1);
+
+        // Committing T1 releases T2's vote.
+        let mut ctx3 = ctx_at(NodeId::Replica(r.id()), 3);
+        r.handle_writeback(
+            &mut ctx3,
+            Writeback {
+                cert: fast_commit_cert(&t1),
+                tx: Some(t1.clone()),
+            },
+        );
+        let releases = sent_to(&ctx3, dependent_client);
+        assert_eq!(releases.len(), 1);
+        match &releases[0] {
+            BasilMsg::St1Reply(reply) => {
+                assert_eq!(reply.body.txid, t2.id());
+                assert_eq!(reply.body.vote, ProtoVote::Commit);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn shard_votes_commit_tally(tx: &Transaction, count: u32) -> Vec<ShardVotes> {
+        let votes: Vec<SignedSt1Reply> = (0..count)
+            .map(|i| {
+                let rid = ReplicaId::new(ShardId(0), i);
+                let body = St1ReplyBody {
+                    txid: tx.id(),
+                    replica: rid,
+                    vote: ProtoVote::Commit,
+                };
+                let mut engine = SigEngine::new(NodeId::Replica(rid), registry(), &cfg());
+                let (proof, _) = engine.sign(&body.signed_bytes());
+                SignedSt1Reply {
+                    body,
+                    proof,
+                    conflict: None,
+                }
+            })
+            .collect();
+        vec![ShardVotes {
+            txid: tx.id(),
+            shard: ShardId(0),
+            decision: ProtoDecision::Commit,
+            votes,
+            conflict: None,
+        }]
+    }
+
+    fn signed_st2(tx: &Transaction, decision: ProtoDecision, tally: Vec<ShardVotes>) -> St2 {
+        let mut engine = client_engine();
+        let st2 = St2 {
+            txid: tx.id(),
+            decision,
+            shard_votes: tally,
+            view: 0,
+            auth: None,
+        };
+        let (proof, _) = engine.sign(&st2.signed_bytes());
+        St2 { auth: proof, ..st2 }
+    }
+
+    #[test]
+    fn st2_logs_justified_decision_and_replies() {
+        let mut r = replica(0);
+        let tx = write_tx(1_000_000, "x", 5);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&tx, false));
+
+        let st2 = signed_st2(&tx, ProtoDecision::Commit, shard_votes_commit_tally(&tx, 4));
+        let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+        r.handle_st2(&mut ctx2, client_node(), st2);
+        match &sent_to(&ctx2, client_node())[0] {
+            BasilMsg::St2Reply(reply) => {
+                assert_eq!(reply.body.decision, ProtoDecision::Commit);
+                assert_eq!(reply.body.view_decision, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.stats().st2_logged, 1);
+    }
+
+    #[test]
+    fn st2_with_insufficient_justification_is_ignored() {
+        let mut r = replica(0);
+        let tx = write_tx(1_000_000, "x", 5);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&tx, false));
+
+        // Only 2 commit votes: not a commit quorum.
+        let st2 = signed_st2(&tx, ProtoDecision::Commit, shard_votes_commit_tally(&tx, 2));
+        let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+        r.handle_st2(&mut ctx2, client_node(), st2);
+        assert!(sent_to(&ctx2, client_node()).is_empty());
+        assert_eq!(r.stats().st2_logged, 0);
+    }
+
+    #[test]
+    fn logged_decision_is_sticky_under_equivocation() {
+        let mut r = replica(0);
+        let tx = write_tx(1_000_000, "x", 5);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&tx, false));
+
+        let commit = signed_st2(&tx, ProtoDecision::Commit, shard_votes_commit_tally(&tx, 4));
+        let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+        r.handle_st2(&mut ctx2, client_node(), commit);
+
+        // A conflicting abort ST2 (equivocation) does not change the log;
+        // the replica answers with the decision it already logged.
+        let abort_votes: Vec<SignedSt1Reply> = (0..2)
+            .map(|i| {
+                let rid = ReplicaId::new(ShardId(0), i);
+                let body = St1ReplyBody {
+                    txid: tx.id(),
+                    replica: rid,
+                    vote: ProtoVote::Abort,
+                };
+                let mut engine = SigEngine::new(NodeId::Replica(rid), registry(), &cfg());
+                let (proof, _) = engine.sign(&body.signed_bytes());
+                SignedSt1Reply {
+                    body,
+                    proof,
+                    conflict: None,
+                }
+            })
+            .collect();
+        let abort_tally = vec![ShardVotes {
+            txid: tx.id(),
+            shard: ShardId(0),
+            decision: ProtoDecision::Abort,
+            votes: abort_votes,
+            conflict: None,
+        }];
+        let abort = signed_st2(&tx, ProtoDecision::Abort, abort_tally);
+        let mut ctx3 = ctx_at(NodeId::Replica(r.id()), 3);
+        r.handle_st2(&mut ctx3, client_node(), abort);
+        match &sent_to(&ctx3, client_node())[0] {
+            BasilMsg::St2Reply(reply) => assert_eq!(reply.body.decision, ProtoDecision::Commit),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.stats().st2_logged, 1);
+    }
+
+    #[test]
+    fn batching_delays_replies_until_full() {
+        let mut cfg2 = cfg();
+        cfg2.system.batch_size = 3;
+        let mut r = BasilReplica::new(
+            ReplicaId::new(ShardId(0), 0),
+            cfg2,
+            registry(),
+            ReplicaBehavior::Correct,
+            [(Key::new("x"), Value::from_u64(0))],
+        );
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_read(&mut ctx, client_node(), signed_read(1, "x", 1_000_000));
+        assert!(sent_to(&ctx, client_node()).is_empty(), "batch not full yet");
+        // The batch flush timer was armed.
+        assert!(ctx
+            .outputs()
+            .iter()
+            .any(|o| matches!(o, basil_simnet::actor::Output::Timer { .. })));
+
+        let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+        r.handle_read(&mut ctx2, client_node(), signed_read(2, "x", 1_000_000));
+        assert!(sent_to(&ctx2, client_node()).is_empty());
+        let mut ctx3 = ctx_at(NodeId::Replica(r.id()), 3);
+        r.handle_read(&mut ctx3, client_node(), signed_read(3, "x", 1_000_000));
+        let replies = sent_to(&ctx3, client_node());
+        assert_eq!(replies.len(), 3, "full batch flushed at once");
+        assert_eq!(r.stats().batches_signed, 1);
+
+        // All replies in the batch share the same root signature.
+        let roots: HashSet<_> = replies
+            .iter()
+            .map(|m| match m {
+                BasilMsg::ReadReply(rr) => rr.proof.as_ref().expect("signed").root,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(roots.len(), 1);
+    }
+
+    #[test]
+    fn batch_flush_timer_flushes_partial_batch() {
+        let mut cfg2 = cfg();
+        cfg2.system.batch_size = 8;
+        let mut r = BasilReplica::new(
+            ReplicaId::new(ShardId(0), 0),
+            cfg2,
+            registry(),
+            ReplicaBehavior::Correct,
+            [(Key::new("x"), Value::from_u64(0))],
+        );
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_read(&mut ctx, client_node(), signed_read(1, "x", 1_000_000));
+        assert!(sent_to(&ctx, client_node()).is_empty());
+        let mut timer_ctx = ctx_at(NodeId::Replica(r.id()), 2);
+        r.on_message(
+            &mut timer_ctx,
+            NodeId::Replica(r.id()),
+            BasilMsg::ReplicaTimer(ReplicaTimer::BatchFlush),
+        );
+        assert_eq!(sent_to(&timer_ctx, client_node()).len(), 1);
+    }
+
+    #[test]
+    fn silent_replica_ignores_everything() {
+        let mut r = replica(0);
+        r.set_behavior(ReplicaBehavior::Silent);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.on_message(
+            &mut ctx,
+            client_node(),
+            BasilMsg::Read(signed_read(1, "x", 1_000_000)),
+        );
+        assert!(ctx.outputs().is_empty());
+    }
+
+    #[test]
+    fn fallback_election_and_decision_adoption() {
+        // Replica 0..5; exercise InvokeFB -> ElectFB -> DecFB across
+        // hand-driven replicas.
+        let tx = write_tx(1_000_000, "x", 5);
+        let txid = tx.id();
+        let n = 6u32;
+        let mut replicas: Vec<BasilReplica> = (0..n).map(replica).collect();
+        let client = client_node();
+
+        // Every replica prepares the transaction and logs an ST2 decision;
+        // replicas 0-2 log Commit, replicas 3-5 log Abort (the result of an
+        // equivocating client). Use the relax hook to skip tally checks for
+        // the abort half (simulating the forced-equivocation experiment).
+        for (i, r) in replicas.iter_mut().enumerate() {
+            let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+            r.handle_st1(&mut ctx, client, signed_st1(&tx, false));
+            r.cfg.relax_st2_validation = true;
+            let decision = if i < 3 {
+                ProtoDecision::Commit
+            } else {
+                ProtoDecision::Abort
+            };
+            let st2 = signed_st2(&tx, decision, shard_votes_commit_tally(&tx, 4));
+            let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+            r.handle_st2(&mut ctx2, client, st2);
+        }
+
+        // The recovering client invokes the fallback with the replicas'
+        // signed current views (all view 0, so no proof is needed to move to
+        // view 1).
+        let ifb = {
+            let mut engine = client_engine();
+            let ifb = InvokeFb {
+                txid,
+                views: vec![],
+                auth: None,
+            };
+            let (proof, _) = engine.sign(&ifb.signed_bytes());
+            InvokeFb { auth: proof, ..ifb }
+        };
+
+        // Deliver InvokeFB to all replicas and collect their ElectFB
+        // messages.
+        let mut elect_msgs: Vec<(NodeId, SignedElectFb)> = Vec::new();
+        for r in replicas.iter_mut() {
+            let mut ctx = ctx_at(NodeId::Replica(r.id()), 3);
+            r.handle_invoke_fb(&mut ctx, client, ifb.clone());
+            for out in ctx.outputs() {
+                if let basil_simnet::actor::Output::Send { to, msg } = out {
+                    if let BasilMsg::ElectFb(e) = msg {
+                        elect_msgs.push((*to, e.clone()));
+                    }
+                }
+            }
+        }
+        assert_eq!(elect_msgs.len(), 6, "every replica nominates a leader");
+        let leader_index = fallback_leader_index(1, txid, n);
+        assert!(elect_msgs
+            .iter()
+            .all(|(to, _)| *to == NodeId::Replica(ReplicaId::new(ShardId(0), leader_index))));
+
+        // Deliver the ElectFB messages to the leader; it should emit DecFB
+        // with the majority decision (Commit: 3 vs 3 ties to commit, but with
+        // commits >= aborts the rule picks Commit).
+        let mut dec_msgs: Vec<DecFb> = Vec::new();
+        {
+            let leader = &mut replicas[leader_index as usize];
+            for (_, e) in &elect_msgs {
+                let mut ctx = ctx_at(NodeId::Replica(leader.id()), 4);
+                leader.handle_elect_fb(&mut ctx, e.clone());
+                for out in ctx.outputs() {
+                    if let basil_simnet::actor::Output::Send { msg, .. } = out {
+                        if let BasilMsg::DecFb(d) = msg {
+                            dec_msgs.push(d.clone());
+                        }
+                    }
+                }
+            }
+        }
+        assert!(!dec_msgs.is_empty(), "leader proposes a reconciled decision");
+        let dec = dec_msgs[0].clone();
+        assert_eq!(dec.view, 1);
+
+        // Replicas adopt the decision and answer interested clients with
+        // matching ST2R messages.
+        let mut st2r_decisions = Vec::new();
+        for r in replicas.iter_mut() {
+            let mut ctx = ctx_at(NodeId::Replica(r.id()), 5);
+            r.handle_dec_fb(&mut ctx, dec.clone());
+            for msg in sent_to(&ctx, client) {
+                if let BasilMsg::St2Reply(s) = msg {
+                    st2r_decisions.push((s.body.decision, s.body.view_decision));
+                }
+            }
+        }
+        assert!(st2r_decisions.len() >= 5);
+        assert!(st2r_decisions.iter().all(|(d, v)| *d == dec.decision && *v == 1));
+    }
+}

@@ -1,0 +1,210 @@
+//! Cryptographic CPU cost model.
+//!
+//! The evaluation's central overhead (Section 6.2) is the CPU time replicas
+//! and clients spend generating and verifying ed25519 signatures and hashing
+//! batches. The cluster simulator charges these costs to the node's CPU so
+//! that throughput saturates where the paper's does. The defaults below are
+//! calibrated to ed25519-donna on a ~2 GHz core (the CloudLab m510 machines
+//! used in the paper): roughly 55 µs per signature generation, 130 µs per
+//! verification, and a few µs per KiB of hashing.
+
+use basil_common::Duration;
+
+/// CPU cost of cryptographic operations, charged in simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of generating one signature.
+    pub sign: Duration,
+    /// Cost of verifying one signature.
+    pub verify: Duration,
+    /// Cost of hashing, per 256 bytes of input (SHA-256 block granularity is
+    /// finer, but per-256-byte accounting keeps the arithmetic simple).
+    pub hash_per_256b: Duration,
+    /// Cost of computing or checking a MAC. Client requests are MAC
+    /// authenticated (they do not need to be transferable), so they are far
+    /// cheaper than the replica replies that end up inside certificates.
+    pub mac: Duration,
+    /// Fixed per-message serialization/deserialization overhead, charged for
+    /// every message sent or received. This models the protobuf + networking
+    /// CPU cost the paper observes as the residual bottleneck once signature
+    /// batching is enabled.
+    pub message_overhead: Duration,
+    /// Whether signature costs are charged at all. `false` models the
+    /// `Basil-NoProofs` configuration (Figure 5a/5c), where cores otherwise
+    /// used for crypto become available for request processing.
+    pub enabled: bool,
+}
+
+impl CostModel {
+    /// Cost model calibrated to the paper's testbed.
+    pub fn ed25519_default() -> Self {
+        CostModel {
+            sign: Duration::from_micros(55),
+            verify: Duration::from_micros(130),
+            hash_per_256b: Duration::from_micros(1),
+            mac: Duration::from_micros(2),
+            message_overhead: Duration::from_micros(6),
+            enabled: true,
+        }
+    }
+
+    /// The `NoProofs` configuration: signatures and their verification are
+    /// free (not performed), only message overhead remains.
+    pub fn no_proofs() -> Self {
+        CostModel {
+            enabled: false,
+            ..Self::ed25519_default()
+        }
+    }
+
+    /// Cost of computing or verifying a request MAC.
+    pub fn mac_cost(&self) -> Duration {
+        if self.enabled {
+            self.mac
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Cost of signing one message.
+    pub fn sign_cost(&self) -> Duration {
+        if self.enabled {
+            self.sign
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Cost of verifying one signature.
+    pub fn verify_cost(&self) -> Duration {
+        if self.enabled {
+            self.verify
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Cost of verifying `count` signatures.
+    pub fn verify_many(&self, count: u64) -> Duration {
+        if self.enabled {
+            Duration::from_nanos(self.verify.as_nanos() * count)
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Cost of hashing `bytes` bytes.
+    pub fn hash_cost(&self, bytes: usize) -> Duration {
+        if !self.enabled {
+            return Duration::ZERO;
+        }
+        let blocks = (bytes as u64).div_ceil(256).max(1);
+        Duration::from_nanos(self.hash_per_256b.as_nanos() * blocks)
+    }
+
+    /// Cost of building a Merkle tree over a batch of `batch_size` replies of
+    /// roughly `reply_bytes` bytes each, plus signing the root. This is the
+    /// replica-side cost of one reply batch (Section 4.4): batching divides
+    /// the signature cost by `b` but adds `O(b)` hashing.
+    pub fn batch_sign_cost(&self, batch_size: usize, reply_bytes: usize) -> Duration {
+        if !self.enabled {
+            return Duration::ZERO;
+        }
+        // One leaf hash per reply plus ~one interior hash per reply.
+        let hashing =
+            Duration::from_nanos(self.hash_cost(reply_bytes).as_nanos() * 2 * batch_size as u64);
+        self.sign + hashing
+    }
+
+    /// Client-side cost of validating one batched reply: recompute the leaf
+    /// and the log2(b) path hashes, plus a signature verification unless the
+    /// root signature was already cached.
+    pub fn batch_verify_cost(
+        &self,
+        batch_size: usize,
+        reply_bytes: usize,
+        signature_cached: bool,
+    ) -> Duration {
+        if !self.enabled {
+            return Duration::ZERO;
+        }
+        let depth = (batch_size.max(1) as f64).log2().ceil() as u64 + 1;
+        let hashing = Duration::from_nanos(self.hash_cost(reply_bytes).as_nanos() * depth);
+        if signature_cached {
+            hashing
+        } else {
+            hashing + self.verify
+        }
+    }
+
+    /// Per-message serialization overhead (always charged, even in NoProofs
+    /// mode, because it is not a cryptographic cost).
+    pub fn message_cost(&self) -> Duration {
+        self.message_overhead
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::ed25519_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = CostModel::ed25519_default();
+        assert!(c.verify > c.sign, "verification is costlier than signing for ed25519");
+        assert!(c.sign > Duration::from_micros(10));
+        assert!(c.enabled);
+    }
+
+    #[test]
+    fn no_proofs_zeroes_crypto_but_not_messages() {
+        let c = CostModel::no_proofs();
+        assert_eq!(c.sign_cost(), Duration::ZERO);
+        assert_eq!(c.verify_cost(), Duration::ZERO);
+        assert_eq!(c.hash_cost(1024), Duration::ZERO);
+        assert_eq!(c.batch_sign_cost(16, 100), Duration::ZERO);
+        assert!(c.message_cost() > Duration::ZERO);
+    }
+
+    #[test]
+    fn hash_cost_scales_with_size() {
+        let c = CostModel::ed25519_default();
+        assert!(c.hash_cost(10_000) > c.hash_cost(1_000));
+        assert_eq!(c.hash_cost(0), c.hash_cost(1));
+        assert_eq!(c.hash_cost(256), c.hash_cost(200));
+    }
+
+    #[test]
+    fn batching_amortizes_signatures() {
+        let c = CostModel::ed25519_default();
+        // Per-reply cost with batching should be below per-reply cost without.
+        let unbatched_per_reply = c.batch_sign_cost(1, 128);
+        let batched_16 = c.batch_sign_cost(16, 128);
+        let batched_per_reply = Duration::from_nanos(batched_16.as_nanos() / 16);
+        assert!(batched_per_reply < unbatched_per_reply);
+        // But total batch cost grows with batch size (hashing overhead).
+        assert!(batched_16 > unbatched_per_reply);
+    }
+
+    #[test]
+    fn cached_verification_is_cheaper() {
+        let c = CostModel::ed25519_default();
+        let cold = c.batch_verify_cost(16, 128, false);
+        let warm = c.batch_verify_cost(16, 128, true);
+        assert!(warm < cold);
+        assert!(cold - warm >= c.verify - Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn verify_many_is_linear() {
+        let c = CostModel::ed25519_default();
+        assert_eq!(c.verify_many(0), Duration::ZERO);
+        assert_eq!(c.verify_many(3).as_nanos(), c.verify.as_nanos() * 3);
+    }
+}

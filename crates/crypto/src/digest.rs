@@ -1,0 +1,85 @@
+//! 32-byte digests produced by [`crate::sha256::Sha256`].
+
+use std::fmt;
+
+/// A 256-bit digest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the hash of an empty Merkle tree.
+    pub const ZERO: Digest = Digest([0; 32]);
+
+    /// Raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Full lowercase hexadecimal rendering.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parses a digest from a 64-character hexadecimal string.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok()?;
+        }
+        Some(Digest(out))
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "digest:{}",
+            self.0[..4].iter().map(|b| format!("{b:02x}")).collect::<String>()
+        )
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let d = Digest(bytes);
+        let parsed = Digest::from_hex(&d.to_hex()).expect("valid hex");
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert!(Digest::from_hex("abcd").is_none());
+        assert!(Digest::from_hex(&"zz".repeat(32)).is_none());
+    }
+
+    #[test]
+    fn debug_is_short_display_is_full() {
+        let d = Digest([0xab; 32]);
+        assert_eq!(format!("{d:?}"), "digest:abababab");
+        assert_eq!(format!("{d}").len(), 64);
+    }
+}

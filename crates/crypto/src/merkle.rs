@@ -1,0 +1,235 @@
+//! Merkle trees and inclusion proofs.
+//!
+//! Basil replicas amortize signature generation by batching replies: the
+//! replica builds a Merkle tree over the batch, signs only the root, and sends
+//! each client its own reply together with the sibling path needed to
+//! recompute the root (Section 4.4, Figure 2). This module provides the tree
+//! and proof machinery; [`crate::batch`] wires it to signing.
+
+use crate::digest::Digest;
+use crate::sha256::Sha256;
+
+/// Domain-separation prefixes so a leaf hash can never be confused with an
+/// interior-node hash (second-preimage hardening).
+const LEAF_PREFIX: &[u8] = &[0x00];
+const NODE_PREFIX: &[u8] = &[0x01];
+
+/// Hashes a leaf payload.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    Sha256::digest_parts(&[LEAF_PREFIX, data])
+}
+
+/// Hashes two child digests into a parent digest.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    Sha256::digest_parts(&[NODE_PREFIX, left.as_bytes(), right.as_bytes()])
+}
+
+/// A Merkle tree over a batch of leaf payloads.
+///
+/// The tree keeps every level so inclusion proofs can be extracted for any
+/// leaf. An odd node at the end of a level is promoted (paired with itself is
+/// avoided; we copy it up unchanged), matching the common "Bitcoin-style
+/// duplicate-free" construction.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// `levels[0]` holds the leaf hashes; the last level holds the root only.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// An inclusion proof: the sibling digests from the leaf up to the root,
+/// together with the leaf's index (the index encodes left/right orientation
+/// at each level).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf within the batch.
+    pub leaf_index: usize,
+    /// Number of leaves in the batch.
+    pub leaf_count: usize,
+    /// Sibling hashes from the leaf level upward. Levels where the node has
+    /// no sibling (odd tail) contribute `None`.
+    pub siblings: Vec<Option<Digest>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaf payloads. Panics if `leaves` is empty.
+    pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> Self {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        let leaf_level: Vec<Digest> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
+        Self::from_leaf_hashes(leaf_level)
+    }
+
+    /// Builds a tree from already-hashed leaves.
+    pub fn from_leaf_hashes(leaf_level: Vec<Digest>) -> Self {
+        assert!(!leaf_level.is_empty(), "Merkle tree needs at least one leaf");
+        let mut levels = vec![leaf_level];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut i = 0;
+            while i < prev.len() {
+                if i + 1 < prev.len() {
+                    next.push(node_hash(&prev[i], &prev[i + 1]));
+                } else {
+                    // Odd tail: promote unchanged.
+                    next.push(prev[i]);
+                }
+                i += 2;
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest of the tree.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Extracts the inclusion proof for leaf `index`. Panics if out of range.
+    pub fn prove(&self, index: usize) -> MerkleProof {
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            siblings.push(level.get(sibling_idx).copied());
+            idx /= 2;
+        }
+        MerkleProof {
+            leaf_index: index,
+            leaf_count: self.leaf_count(),
+            siblings,
+        }
+    }
+}
+
+impl MerkleProof {
+    /// Recomputes the root implied by this proof for the given leaf payload.
+    pub fn compute_root(&self, leaf_payload: &[u8]) -> Digest {
+        self.compute_root_from_hash(leaf_hash(leaf_payload))
+    }
+
+    /// Recomputes the root starting from an already-hashed leaf.
+    pub fn compute_root_from_hash(&self, leaf: Digest) -> Digest {
+        let mut current = leaf;
+        let mut idx = self.leaf_index;
+        for sibling in &self.siblings {
+            current = match sibling {
+                Some(s) if idx % 2 == 0 => node_hash(&current, s),
+                Some(s) => node_hash(s, &current),
+                // Odd tail: node promoted unchanged.
+                None => current,
+            };
+            idx /= 2;
+        }
+        current
+    }
+
+    /// Verifies that `leaf_payload` is included under `expected_root`.
+    pub fn verify(&self, leaf_payload: &[u8], expected_root: &Digest) -> bool {
+        self.compute_root(leaf_payload) == *expected_root
+    }
+
+    /// The number of sibling hashes shipped with the proof (log2 of batch size).
+    pub fn len(&self) -> usize {
+        self.siblings.len()
+    }
+
+    /// True when the proof is for a single-leaf batch.
+    pub fn is_empty(&self) -> bool {
+        self.siblings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payloads(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("reply-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let tree = MerkleTree::build(&[b"only".as_slice()]);
+        assert_eq!(tree.root(), leaf_hash(b"only"));
+        assert_eq!(tree.leaf_count(), 1);
+        let proof = tree.prove(0);
+        assert!(proof.verify(b"only", &tree.root()));
+        assert!(proof.is_empty());
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaves_and_sizes() {
+        for n in 1..=33usize {
+            let leaves = payloads(n);
+            let tree = MerkleTree::build(&leaves);
+            for (i, leaf) in leaves.iter().enumerate() {
+                let proof = tree.prove(i);
+                assert!(
+                    proof.verify(leaf, &tree.root()),
+                    "proof failed for leaf {i} of {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_payload() {
+        let leaves = payloads(8);
+        let tree = MerkleTree::build(&leaves);
+        let proof = tree.prove(3);
+        assert!(!proof.verify(b"reply-4", &tree.root()));
+        assert!(!proof.verify(b"garbage", &tree.root()));
+    }
+
+    #[test]
+    fn proof_rejects_wrong_root() {
+        let leaves = payloads(8);
+        let tree = MerkleTree::build(&leaves);
+        let other = MerkleTree::build(&payloads(7));
+        let proof = tree.prove(0);
+        assert!(!proof.verify(b"reply-0", &other.root()));
+    }
+
+    #[test]
+    fn proof_rejects_transplanted_index() {
+        let leaves = payloads(8);
+        let tree = MerkleTree::build(&leaves);
+        let mut proof = tree.prove(2);
+        proof.leaf_index = 3;
+        assert!(!proof.verify(b"reply-2", &tree.root()));
+    }
+
+    #[test]
+    fn different_batches_have_different_roots() {
+        let a = MerkleTree::build(&payloads(8));
+        let b = MerkleTree::build(&payloads(9));
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A leaf whose payload happens to equal two concatenated digests must
+        // not hash to the same value as the interior node over those digests.
+        let l = leaf_hash(b"x");
+        let r = leaf_hash(b"y");
+        let mut concat = Vec::new();
+        concat.extend_from_slice(l.as_bytes());
+        concat.extend_from_slice(r.as_bytes());
+        assert_ne!(leaf_hash(&concat), node_hash(&l, &r));
+    }
+
+    #[test]
+    fn proof_depth_is_logarithmic() {
+        let tree = MerkleTree::build(&payloads(16));
+        assert_eq!(tree.prove(0).len(), 4);
+        let tree = MerkleTree::build(&payloads(32));
+        assert_eq!(tree.prove(31).len(), 5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Network model: latency, jitter, loss, and partitions.
+
+use basil_common::{Duration, NodeId};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Configuration of the simulated network.
+///
+/// The defaults approximate the CloudLab m510 cluster the paper used:
+/// 0.15 ms ping (so 75 µs one way), 10 GbE (bandwidth is not modelled; the
+/// per-message CPU overhead in the crypto cost model covers serialization).
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Mean one-way latency between distinct nodes.
+    pub one_way_latency: Duration,
+    /// Uniform jitter added to each message: the actual latency is drawn from
+    /// `[one_way_latency, one_way_latency + jitter]`.
+    pub jitter: Duration,
+    /// Latency of a node talking to itself (loopback).
+    pub loopback_latency: Duration,
+    /// Probability in `[0, 1)` that a message is silently dropped.
+    pub drop_probability: f64,
+}
+
+impl NetworkConfig {
+    /// LAN profile matching the paper's testbed.
+    pub fn lan() -> Self {
+        NetworkConfig {
+            one_way_latency: Duration::from_micros(75),
+            jitter: Duration::from_micros(20),
+            loopback_latency: Duration::from_micros(5),
+            drop_probability: 0.0,
+        }
+    }
+
+    /// An idealized instantaneous network, useful in unit tests where only
+    /// protocol logic matters.
+    pub fn instant() -> Self {
+        NetworkConfig {
+            one_way_latency: Duration::from_nanos(1),
+            jitter: Duration::ZERO,
+            loopback_latency: Duration::from_nanos(1),
+            drop_probability: 0.0,
+        }
+    }
+
+    /// A lossy LAN, for fault-injection tests.
+    pub fn lossy(drop_probability: f64) -> Self {
+        NetworkConfig {
+            drop_probability,
+            ..NetworkConfig::lan()
+        }
+    }
+
+    /// Samples the delivery latency for a message from `from` to `to`.
+    pub fn sample_latency(&self, from: NodeId, to: NodeId, rng: &mut impl Rng) -> Duration {
+        if from == to {
+            return self.loopback_latency;
+        }
+        if self.jitter == Duration::ZERO {
+            return self.one_way_latency;
+        }
+        let extra = rng.gen_range(0..=self.jitter.as_nanos());
+        self.one_way_latency + Duration::from_nanos(extra)
+    }
+
+    /// Decides whether a message is dropped.
+    pub fn sample_drop(&self, rng: &mut impl Rng) -> bool {
+        self.drop_probability > 0.0 && rng.gen::<f64>() < self.drop_probability
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::lan()
+    }
+}
+
+/// A dynamic partition: messages between the two sides are dropped while the
+/// partition is active. Used by liveness and fallback tests.
+#[derive(Clone, Debug, Default)]
+pub struct Partition {
+    isolated: HashSet<NodeId>,
+    active: bool,
+}
+
+impl Partition {
+    /// Creates an inactive partition isolating `nodes` from everyone else.
+    pub fn isolating(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        Partition {
+            isolated: nodes.into_iter().collect(),
+            active: false,
+        }
+    }
+
+    /// Activates the partition.
+    pub fn activate(&mut self) {
+        self.active = true;
+    }
+
+    /// Heals the partition.
+    pub fn heal(&mut self) {
+        self.active = false;
+    }
+
+    /// Whether the partition currently blocks traffic between `a` and `b`.
+    pub fn blocks(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.active || a == b {
+            return false;
+        }
+        self.isolated.contains(&a) != self.isolated.contains(&b)
+    }
+
+    /// Whether the partition is currently active.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basil_common::{ClientId, ReplicaId, ShardId};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn c(n: u64) -> NodeId {
+        NodeId::Client(ClientId(n))
+    }
+    fn r(i: u32) -> NodeId {
+        NodeId::Replica(ReplicaId::new(ShardId(0), i))
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let cfg = NetworkConfig::lan();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let l = cfg.sample_latency(c(1), r(0), &mut rng);
+            assert!(l >= cfg.one_way_latency);
+            assert!(l <= cfg.one_way_latency + cfg.jitter);
+        }
+    }
+
+    #[test]
+    fn loopback_uses_loopback_latency() {
+        let cfg = NetworkConfig::lan();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(cfg.sample_latency(c(1), c(1), &mut rng), cfg.loopback_latency);
+    }
+
+    #[test]
+    fn drop_probability_zero_never_drops() {
+        let cfg = NetworkConfig::lan();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| !cfg.sample_drop(&mut rng)));
+    }
+
+    #[test]
+    fn drop_probability_is_roughly_respected() {
+        let cfg = NetworkConfig::lossy(0.3);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let drops = (0..10_000).filter(|_| cfg.sample_drop(&mut rng)).count();
+        assert!((2_500..3_500).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn partition_blocks_cross_traffic_only_when_active() {
+        let mut p = Partition::isolating([r(0), r(1)]);
+        assert!(!p.blocks(r(0), r(5)));
+        p.activate();
+        assert!(p.blocks(r(0), r(5)));
+        assert!(p.blocks(r(5), r(1)), "blocking is symmetric");
+        assert!(!p.blocks(r(0), r(1)), "within the isolated side traffic flows");
+        assert!(!p.blocks(r(4), r(5)), "outside the isolated side traffic flows");
+        p.heal();
+        assert!(!p.blocks(r(0), r(5)));
+    }
+}

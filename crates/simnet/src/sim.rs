@@ -1,0 +1,666 @@
+//! The discrete-event simulation engine.
+
+use crate::actor::{Actor, Context, Output};
+use crate::metrics::Metrics;
+use crate::network::{NetworkConfig, Partition};
+use basil_common::{Duration, NodeId, SimTime};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Static properties of a simulated node.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeProps {
+    /// Number of CPU cores available for message processing.
+    pub cores: u32,
+    /// Offset of this node's local clock from global simulation time, in
+    /// nanoseconds (positive = clock runs ahead). Models NTP skew.
+    pub clock_skew_ns: i64,
+}
+
+impl NodeProps {
+    /// A client node: clients in the paper's closed-loop benchmark drive a
+    /// handful of outstanding requests, so a few cores suffice.
+    pub fn client() -> Self {
+        NodeProps {
+            cores: 2,
+            clock_skew_ns: 0,
+        }
+    }
+
+    /// A replica node matching the paper's m510 servers (8 cores).
+    pub fn replica() -> Self {
+        NodeProps {
+            cores: 8,
+            clock_skew_ns: 0,
+        }
+    }
+
+    /// Overrides the core count.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores.max(1);
+        self
+    }
+
+    /// Overrides the clock skew.
+    pub fn with_skew_ns(mut self, skew: i64) -> Self {
+        self.clock_skew_ns = skew;
+        self
+    }
+}
+
+impl Default for NodeProps {
+    fn default() -> Self {
+        NodeProps {
+            cores: 1,
+            clock_skew_ns: 0,
+        }
+    }
+}
+
+struct NodeSlot<M> {
+    actor: Box<dyn Actor<M>>,
+    props: NodeProps,
+    core_free: Vec<SimTime>,
+    crashed: bool,
+}
+
+impl<M> NodeSlot<M> {
+    fn local_clock(&self, now: SimTime) -> SimTime {
+        let ns = now.as_nanos() as i64 + self.props.clock_skew_ns;
+        SimTime::from_nanos(ns.max(0) as u64)
+    }
+
+    /// Index of the core that frees up earliest.
+    fn earliest_core(&self) -> usize {
+        self.core_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("nodes have at least one core")
+    }
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    to: NodeId,
+    from: NodeId,
+    msg: M,
+    is_timer: bool,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// Generic over the message type `M` exchanged by the actors registered in
+/// it. All randomness (latency jitter, message loss) flows from the seed
+/// passed to [`Simulation::new`], so runs are reproducible.
+pub struct Simulation<M> {
+    nodes: HashMap<NodeId, NodeSlot<M>>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    now: SimTime,
+    seq: u64,
+    network: NetworkConfig,
+    partitions: Vec<Partition>,
+    rng: SmallRng,
+    metrics: Metrics,
+    started: bool,
+}
+
+impl<M: Clone + 'static> Simulation<M> {
+    /// Creates an empty simulation.
+    pub fn new(seed: u64, network: NetworkConfig) -> Self {
+        Simulation {
+            nodes: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            network,
+            partitions: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            metrics: Metrics::default(),
+            started: false,
+        }
+    }
+
+    /// Registers an actor under `id`. Panics if the id is already taken.
+    pub fn add_node(&mut self, id: NodeId, props: NodeProps, actor: Box<dyn Actor<M>>) {
+        assert!(
+            !self.nodes.contains_key(&id),
+            "node {id:?} registered twice"
+        );
+        let cores = props.cores.max(1) as usize;
+        self.nodes.insert(
+            id,
+            NodeSlot {
+                actor,
+                props,
+                core_free: vec![SimTime::ZERO; cores],
+                crashed: false,
+            },
+        );
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Simulation-wide metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// All registered node identifiers.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Immutable access to a registered actor, downcast to its concrete type.
+    pub fn actor<A: Actor<M>>(&self, id: NodeId) -> Option<&A> {
+        self.nodes
+            .get(&id)
+            .and_then(|slot| slot.actor.as_any().downcast_ref::<A>())
+    }
+
+    /// Mutable access to a registered actor, downcast to its concrete type.
+    pub fn actor_mut<A: Actor<M>>(&mut self, id: NodeId) -> Option<&mut A> {
+        self.nodes
+            .get_mut(&id)
+            .and_then(|slot| slot.actor.as_any_mut().downcast_mut::<A>())
+    }
+
+    /// Marks a node as crashed: all subsequent deliveries to it are dropped.
+    pub fn crash(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(&id) {
+            slot.crashed = true;
+        }
+    }
+
+    /// Restarts a crashed node (its actor state is preserved).
+    pub fn restart(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(&id) {
+            slot.crashed = false;
+        }
+    }
+
+    /// Installs a network partition. Returns its index for later healing.
+    pub fn add_partition(&mut self, partition: Partition) -> usize {
+        self.partitions.push(partition);
+        self.partitions.len() - 1
+    }
+
+    /// Mutable access to an installed partition (to activate or heal it).
+    pub fn partition_mut(&mut self, index: usize) -> Option<&mut Partition> {
+        self.partitions.get_mut(index)
+    }
+
+    /// Injects a message from the outside world (e.g. the benchmark harness)
+    /// to be delivered to `to` at time `at`.
+    pub fn inject(&mut self, to: NodeId, from: NodeId, msg: M, at: SimTime) {
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            to,
+            from,
+            msg,
+            is_timer: false,
+        }));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let ids = self.node_ids();
+        for id in ids {
+            let slot = self.nodes.get_mut(&id).expect("listed node exists");
+            let local = slot.local_clock(SimTime::ZERO);
+            let mut ctx = Context::new(id, SimTime::ZERO, local);
+            slot.actor.on_start(&mut ctx);
+            let (outputs, charged) = ctx.finish();
+            let completion = SimTime::ZERO + charged;
+            if charged > Duration::ZERO {
+                let core = slot.earliest_core();
+                slot.core_free[core] = completion;
+                self.metrics.node_mut(id).cpu_busy += charged;
+            }
+            self.apply_outputs(id, completion, outputs);
+        }
+    }
+
+    /// Runs until the event queue is exhausted or `deadline` is reached.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event exists");
+            self.now = ev.at;
+            self.dispatch(ev);
+        }
+        self.now = deadline.max(self.now);
+    }
+
+    /// Runs for `d` of simulated time past the current time.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        match self.queue.pop() {
+            Some(Reverse(ev)) => {
+                self.now = ev.at;
+                self.dispatch(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn dispatch(&mut self, ev: Event<M>) {
+        self.metrics.events_processed += 1;
+        self.metrics.last_event_at = ev.at;
+
+        let Some(slot) = self.nodes.get_mut(&ev.to) else {
+            // Message to an unknown node: drop.
+            self.metrics.messages_dropped += 1;
+            return;
+        };
+        if slot.crashed {
+            self.metrics.messages_dropped += 1;
+            return;
+        }
+
+        // Queue for a free core.
+        let core = slot.earliest_core();
+        let start = slot.core_free[core].max(ev.at);
+        let wait = start - ev.at;
+        let local = slot.local_clock(start);
+
+        let mut ctx = Context::new(ev.to, start, local);
+        if ev.is_timer {
+            slot.actor.on_timer(&mut ctx, ev.msg);
+        } else {
+            slot.actor.on_message(&mut ctx, ev.from, ev.msg);
+        }
+        let (outputs, charged) = ctx.finish();
+        let completion = start + charged;
+        slot.core_free[core] = completion;
+
+        {
+            let nm = self.metrics.node_mut(ev.to);
+            if ev.is_timer {
+                nm.timers_fired += 1;
+            } else {
+                nm.messages_processed += 1;
+            }
+            nm.cpu_busy += charged;
+            nm.queue_wait += wait;
+        }
+        self.metrics.messages_delivered += u64::from(!ev.is_timer);
+
+        self.apply_outputs(ev.to, completion, outputs);
+    }
+
+    fn apply_outputs(&mut self, from: NodeId, completion: SimTime, outputs: Vec<Output<M>>) {
+        for out in outputs {
+            match out {
+                Output::Send { to, msg } => {
+                    self.metrics.messages_sent += 1;
+                    self.metrics.node_mut(from).messages_sent += 1;
+                    if self.partitions.iter().any(|p| p.blocks(from, to)) {
+                        self.metrics.messages_dropped += 1;
+                        continue;
+                    }
+                    if self.network.sample_drop(&mut self.rng) {
+                        self.metrics.messages_dropped += 1;
+                        continue;
+                    }
+                    let latency = self.network.sample_latency(from, to, &mut self.rng);
+                    let seq = self.next_seq();
+                    self.queue.push(Reverse(Event {
+                        at: completion + latency,
+                        seq,
+                        to,
+                        from,
+                        msg,
+                        is_timer: false,
+                    }));
+                }
+                Output::Timer { delay, msg } => {
+                    let seq = self.next_seq();
+                    self.queue.push(Reverse(Event {
+                        at: completion + delay,
+                        seq,
+                        to: from,
+                        from,
+                        msg,
+                        is_timer: true,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basil_common::ClientId;
+    use std::any::Any;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+        Tick,
+    }
+
+    /// Sends `count` pings to a peer on start, counts pongs.
+    struct Pinger {
+        peer: NodeId,
+        count: u32,
+        pongs_received: Vec<u32>,
+        completion_times: Vec<SimTime>,
+    }
+
+    impl Actor<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            for i in 0..self.count {
+                ctx.send(self.peer, Msg::Ping(i));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+            if let Msg::Pong(i) = msg {
+                self.pongs_received.push(i);
+                self.completion_times.push(ctx.now());
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Echoes pings as pongs, charging a fixed CPU cost per ping.
+    struct Echoer {
+        cpu_per_ping: Duration,
+        handled: u32,
+    }
+
+    impl Actor<Msg> for Echoer {
+        fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+            if let Msg::Ping(i) = msg {
+                self.handled += 1;
+                ctx.charge(self.cpu_per_ping);
+                ctx.send(from, Msg::Pong(i));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn client(n: u64) -> NodeId {
+        NodeId::Client(ClientId(n))
+    }
+
+    fn build_ping_pong(
+        seed: u64,
+        net: NetworkConfig,
+        count: u32,
+        cores: u32,
+        cpu: Duration,
+    ) -> Simulation<Msg> {
+        let mut sim = Simulation::new(seed, net);
+        sim.add_node(
+            client(1),
+            NodeProps::default(),
+            Box::new(Pinger {
+                peer: client(2),
+                count,
+                pongs_received: Vec::new(),
+                completion_times: Vec::new(),
+            }),
+        );
+        sim.add_node(
+            client(2),
+            NodeProps::default().with_cores(cores),
+            Box::new(Echoer {
+                cpu_per_ping: cpu,
+                handled: 0,
+            }),
+        );
+        sim
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = build_ping_pong(1, NetworkConfig::lan(), 5, 1, Duration::from_micros(10));
+        sim.run_until(SimTime::from_millis(10));
+        let pinger: &Pinger = sim.actor(client(1)).expect("pinger exists");
+        assert_eq!(pinger.pongs_received.len(), 5);
+        let echoer: &Echoer = sim.actor(client(2)).expect("echoer exists");
+        assert_eq!(echoer.handled, 5);
+        assert_eq!(sim.metrics().messages_delivered, 10);
+    }
+
+    #[test]
+    fn single_core_serializes_processing() {
+        // 10 pings arrive nearly simultaneously; with one core and 100us per
+        // ping, the last pong must come back at least ~1ms after the first.
+        let mut sim =
+            build_ping_pong(1, NetworkConfig::instant(), 10, 1, Duration::from_micros(100));
+        sim.run_until(SimTime::from_millis(50));
+        let pinger: &Pinger = sim.actor(client(1)).expect("pinger");
+        assert_eq!(pinger.pongs_received.len(), 10);
+        let first = *pinger.completion_times.first().expect("non-empty");
+        let last = *pinger.completion_times.last().expect("non-empty");
+        assert!(
+            last - first >= Duration::from_micros(850),
+            "expected serialization, got spread {:?}",
+            last - first
+        );
+        let m = sim.metrics().node(client(2)).expect("metrics");
+        assert_eq!(m.cpu_busy, Duration::from_micros(1000));
+        assert!(m.queue_wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn more_cores_reduce_latency() {
+        let run = |cores: u32| {
+            let mut sim = build_ping_pong(
+                1,
+                NetworkConfig::instant(),
+                8,
+                cores,
+                Duration::from_micros(100),
+            );
+            sim.run_until(SimTime::from_millis(50));
+            let pinger: &Pinger = sim.actor(client(1)).expect("pinger");
+            *pinger.completion_times.last().expect("non-empty")
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert!(parallel < serial, "8 cores {parallel:?} !< 1 core {serial:?}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let trace = |seed| {
+            let mut sim = build_ping_pong(seed, NetworkConfig::lan(), 20, 2, Duration::from_micros(30));
+            sim.run_until(SimTime::from_millis(20));
+            let pinger: &Pinger = sim.actor(client(1)).expect("pinger");
+            pinger.completion_times.clone()
+        };
+        assert_eq!(trace(7), trace(7));
+        assert_ne!(trace(7), trace(8), "different seeds should differ in jitter");
+    }
+
+    #[test]
+    fn crashed_node_drops_messages() {
+        let mut sim = build_ping_pong(1, NetworkConfig::lan(), 5, 1, Duration::ZERO);
+        sim.crash(client(2));
+        sim.run_until(SimTime::from_millis(10));
+        let pinger: &Pinger = sim.actor(client(1)).expect("pinger");
+        assert!(pinger.pongs_received.is_empty());
+        assert_eq!(sim.metrics().messages_dropped, 5);
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        struct PeriodicSender {
+            peer: NodeId,
+        }
+        impl Actor<Msg> for PeriodicSender {
+            fn on_start(&mut self, ctx: &mut Context<Msg>) {
+                ctx.schedule_self(Duration::from_millis(1), Msg::Tick);
+            }
+            fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+                if msg == Msg::Tick {
+                    ctx.send(self.peer, Msg::Ping(0));
+                    ctx.schedule_self(Duration::from_millis(1), Msg::Tick);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut sim: Simulation<Msg> = Simulation::new(3, NetworkConfig::lan());
+        sim.add_node(
+            client(1),
+            NodeProps::default(),
+            Box::new(PeriodicSender { peer: client(2) }),
+        );
+        sim.add_node(
+            client(2),
+            NodeProps::default(),
+            Box::new(Echoer {
+                cpu_per_ping: Duration::ZERO,
+                handled: 0,
+            }),
+        );
+        let pidx = sim.add_partition(Partition::isolating([client(2)]));
+        sim.partition_mut(pidx).expect("partition").activate();
+        sim.run_until(SimTime::from_millis(10));
+        let handled_during_partition = sim.actor::<Echoer>(client(2)).expect("echoer").handled;
+        assert_eq!(handled_during_partition, 0);
+        sim.partition_mut(pidx).expect("partition").heal();
+        sim.run_until(SimTime::from_millis(20));
+        assert!(sim.actor::<Echoer>(client(2)).expect("echoer").handled > 5);
+    }
+
+    #[test]
+    fn clock_skew_shifts_local_clock() {
+        struct ClockReader {
+            readings: Vec<(SimTime, SimTime)>,
+        }
+        impl Actor<Msg> for ClockReader {
+            fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, _msg: Msg) {
+                self.readings.push((ctx.now(), ctx.local_clock()));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(3, NetworkConfig::instant());
+        sim.add_node(
+            client(1),
+            NodeProps::default().with_skew_ns(2_000_000),
+            Box::new(ClockReader { readings: vec![] }),
+        );
+        sim.inject(client(1), client(1), Msg::Tick, SimTime::from_millis(5));
+        sim.run_until(SimTime::from_millis(10));
+        let reader: &ClockReader = sim.actor(client(1)).expect("reader");
+        let (global, local) = reader.readings[0];
+        assert_eq!(local - global, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn lossy_network_drops_some_messages() {
+        let mut sim = build_ping_pong(11, NetworkConfig::lossy(0.5), 100, 4, Duration::ZERO);
+        sim.run_until(SimTime::from_millis(100));
+        let pinger: &Pinger = sim.actor(client(1)).expect("pinger");
+        assert!(pinger.pongs_received.len() < 100);
+        assert!(sim.metrics().messages_dropped > 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_resumes() {
+        let mut sim = build_ping_pong(1, NetworkConfig::lan(), 3, 1, Duration::ZERO);
+        sim.run_until(SimTime::from_micros(10)); // too early for round trips
+        let before = sim.actor::<Pinger>(client(1)).expect("pinger").pongs_received.len();
+        assert_eq!(before, 0);
+        assert_eq!(sim.now(), SimTime::from_micros(10));
+        sim.run_until(SimTime::from_millis(5));
+        let after = sim.actor::<Pinger>(client(1)).expect("pinger").pongs_received.len();
+        assert_eq!(after, 3);
+    }
+
+    #[test]
+    fn inject_delivers_external_messages() {
+        let mut sim: Simulation<Msg> = Simulation::new(1, NetworkConfig::instant());
+        sim.add_node(
+            client(2),
+            NodeProps::default(),
+            Box::new(Echoer {
+                cpu_per_ping: Duration::ZERO,
+                handled: 0,
+            }),
+        );
+        sim.inject(client(2), client(99), Msg::Ping(1), SimTime::from_millis(1));
+        sim.run_until(SimTime::from_millis(2));
+        assert_eq!(sim.actor::<Echoer>(client(2)).expect("echoer").handled, 1);
+    }
+}

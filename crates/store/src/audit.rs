@@ -1,0 +1,320 @@
+//! Serializability auditing.
+//!
+//! Tests and benchmarks use this module to check, after the fact, that the
+//! set of transactions a system committed forms a serializable history. It
+//! builds Adya's direct serialization graph (DSG) — the construction used in
+//! the paper's proof of Lemma 1 — and verifies that it is acyclic, and that
+//! every read observed a version actually produced by a committed transaction
+//! (or the initial database state).
+
+use crate::tx::Transaction;
+use basil_common::{Key, Timestamp, TxId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Ways in which a committed history can violate Byz-serializability.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditError {
+    /// A committed transaction read a version that no committed transaction
+    /// (nor the initial state) produced — e.g. a value fabricated by a
+    /// Byzantine replica or a read from an aborted transaction.
+    ReadFromUncommitted {
+        /// The reader.
+        reader: TxId,
+        /// Key whose read is unaccounted for.
+        key: Key,
+        /// The claimed version.
+        version: Timestamp,
+    },
+    /// Two distinct committed transactions share a timestamp; the
+    /// serialization order would be ambiguous.
+    DuplicateTimestamp {
+        /// The shared timestamp.
+        timestamp: Timestamp,
+    },
+    /// The direct serialization graph contains a cycle.
+    Cycle {
+        /// Transactions participating in the detected cycle.
+        members: Vec<TxId>,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::ReadFromUncommitted { reader, key, version } => write!(
+                f,
+                "committed transaction {reader} read {key:?} at {version}, which no committed transaction wrote"
+            ),
+            AuditError::DuplicateTimestamp { timestamp } => {
+                write!(f, "two committed transactions share timestamp {timestamp}")
+            }
+            AuditError::Cycle { members } => {
+                write!(f, "serialization graph contains a cycle through {members:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Checks that `committed` is a serializable history.
+///
+/// Edges are built exactly as in the paper's Lemma 1 proof:
+///
+/// * `ww`: `Ti -> Tj` when both write key `x` and `ts_i < ts_j` (the version
+///   order of MVTSO is timestamp order);
+/// * `wr`: `Ti -> Tj` when `Tj` read the version of `x` that `Ti` wrote;
+/// * `rw`: `Ti -> Tj` when `Ti` read a version of `x` older than the version
+///   `Tj` wrote.
+///
+/// Returns `Ok(())` when the graph is acyclic and every read is accounted
+/// for.
+pub fn audit_serializability(committed: &[Transaction]) -> Result<(), AuditError> {
+    // Index committed writers per key, ordered by timestamp.
+    let mut writers: HashMap<&Key, BTreeMap<Timestamp, usize>> = HashMap::new();
+    let mut seen_ts: HashMap<Timestamp, usize> = HashMap::new();
+    for (i, tx) in committed.iter().enumerate() {
+        if let Some(_prev) = seen_ts.insert(tx.timestamp, i) {
+            return Err(AuditError::DuplicateTimestamp {
+                timestamp: tx.timestamp,
+            });
+        }
+        for w in &tx.write_set {
+            writers.entry(&w.key).or_default().insert(tx.timestamp, i);
+        }
+    }
+
+    let n = committed.len();
+    let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    let add_edge = |from: usize, to: usize, edges: &mut Vec<HashSet<usize>>| {
+        if from != to {
+            edges[from].insert(to);
+        }
+    };
+
+    // ww edges: consecutive (in fact all) writers of the same key in
+    // timestamp order. Adjacent pairs suffice for cycle detection because ww
+    // edges are transitive along the version chain.
+    for versions in writers.values() {
+        let idx: Vec<usize> = versions.values().copied().collect();
+        for pair in idx.windows(2) {
+            add_edge(pair[0], pair[1], &mut edges);
+        }
+    }
+
+    // wr and rw edges, plus read accountability.
+    for (j, tx) in committed.iter().enumerate() {
+        for read in &tx.read_set {
+            let key_writers = writers.get(&read.key);
+            if read.version != Timestamp::ZERO {
+                match key_writers.and_then(|w| w.get(&read.version)) {
+                    Some(&i) => add_edge(i, j, &mut edges), // wr
+                    None => {
+                        return Err(AuditError::ReadFromUncommitted {
+                            reader: tx.id(),
+                            key: read.key.clone(),
+                            version: read.version,
+                        });
+                    }
+                }
+            }
+            // rw: every committed writer of this key with a version newer
+            // than what we read is anti-depended upon. The earliest such
+            // writer suffices for cycle detection (later writers are
+            // reachable from it through ww edges).
+            if let Some(w) = key_writers {
+                if let Some((_, &i)) = w
+                    .range((
+                        std::ops::Bound::Excluded(read.version),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .next()
+                {
+                    add_edge(j, i, &mut edges);
+                }
+            }
+        }
+    }
+
+    // Cycle detection via iterative DFS with colouring.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour = vec![Colour::White; n];
+    for start in 0..n {
+        if colour[start] != Colour::White {
+            continue;
+        }
+        // Stack of (node, iterator position over its successors).
+        let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        colour[start] = Colour::Grey;
+        let succ: Vec<usize> = edges[start].iter().copied().collect();
+        stack.push((start, succ, 0));
+        while let Some((node, succ, pos)) = stack.last_mut() {
+            if *pos < succ.len() {
+                let next = succ[*pos];
+                *pos += 1;
+                match colour[next] {
+                    Colour::White => {
+                        colour[next] = Colour::Grey;
+                        let next_succ: Vec<usize> = edges[next].iter().copied().collect();
+                        stack.push((next, next_succ, 0));
+                    }
+                    Colour::Grey => {
+                        // Found a back edge: everything grey on the stack from
+                        // `next` onward is part of a cycle.
+                        let members: Vec<TxId> = stack
+                            .iter()
+                            .map(|(i, _, _)| committed[*i].id())
+                            .collect();
+                        return Err(AuditError::Cycle { members });
+                    }
+                    Colour::Black => {}
+                }
+            } else {
+                colour[*node] = Colour::Black;
+                stack.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TransactionBuilder;
+    use basil_common::{ClientId, Key, Value};
+
+    fn ts(t: u64, c: u64) -> Timestamp {
+        Timestamp::from_nanos(t, ClientId(c))
+    }
+
+    fn k(s: &str) -> Key {
+        Key::new(s)
+    }
+
+    fn write_tx(t: u64, c: u64, key: &str) -> Transaction {
+        let mut b = TransactionBuilder::new(ts(t, c));
+        b.record_write(k(key), Value::from_u64(t));
+        b.build()
+    }
+
+    #[test]
+    fn empty_and_single_histories_are_serializable() {
+        assert!(audit_serializability(&[]).is_ok());
+        assert!(audit_serializability(&[write_tx(1, 1, "x")]).is_ok());
+    }
+
+    #[test]
+    fn chain_of_rmw_is_serializable() {
+        // T1 writes x@100; T2 reads x@100, writes x@200; T3 reads x@200.
+        let t1 = write_tx(100, 1, "x");
+        let mut b = TransactionBuilder::new(ts(200, 2));
+        b.record_read(k("x"), ts(100, 1));
+        b.record_write(k("x"), Value::from_u64(2));
+        let t2 = b.build();
+        let mut b = TransactionBuilder::new(ts(300, 3));
+        b.record_read(k("x"), ts(200, 2));
+        let t3 = b.build();
+        assert!(audit_serializability(&[t3, t1, t2]).is_ok());
+    }
+
+    #[test]
+    fn read_of_unknown_version_is_flagged() {
+        let mut b = TransactionBuilder::new(ts(200, 2));
+        b.record_read(k("x"), ts(123, 9)); // nobody wrote this
+        let t = b.build();
+        match audit_serializability(&[t]) {
+            Err(AuditError::ReadFromUncommitted { key, version, .. }) => {
+                assert_eq!(key, k("x"));
+                assert_eq!(version, ts(123, 9));
+            }
+            other => panic!("expected ReadFromUncommitted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn initial_version_reads_are_fine() {
+        let mut b = TransactionBuilder::new(ts(200, 2));
+        b.record_read(k("x"), Timestamp::ZERO);
+        let t = b.build();
+        assert!(audit_serializability(&[t]).is_ok());
+    }
+
+    #[test]
+    fn write_skew_style_cycle_is_detected() {
+        // Classic non-serializable interleaving expressed in version reads:
+        // T1 reads y@0 and writes x; T2 reads x@0 and writes y.
+        // rw edges: T1 -> T2 (T1 read y older than T2's write)
+        //           T2 -> T1 (T2 read x older than T1's write)  => cycle.
+        let mut b = TransactionBuilder::new(ts(100, 1));
+        b.record_read(k("y"), Timestamp::ZERO);
+        b.record_write(k("x"), Value::from_u64(1));
+        let t1 = b.build();
+        let mut b = TransactionBuilder::new(ts(110, 2));
+        b.record_read(k("x"), Timestamp::ZERO);
+        b.record_write(k("y"), Value::from_u64(1));
+        let t2 = b.build();
+        match audit_serializability(&[t1, t2]) {
+            Err(AuditError::Cycle { members }) => assert!(members.len() >= 2),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_update_cycle_is_detected() {
+        // T1 and T2 both read x@0 and both write x: whichever is serialized
+        // first, the other read a stale version => cycle via rw edges.
+        let mk = |t: u64, c: u64| {
+            let mut b = TransactionBuilder::new(ts(t, c));
+            b.record_read(k("x"), Timestamp::ZERO);
+            b.record_write(k("x"), Value::from_u64(t));
+            b.build()
+        };
+        let t1 = mk(100, 1);
+        let t2 = mk(200, 2);
+        assert!(matches!(
+            audit_serializability(&[t1, t2]),
+            Err(AuditError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_timestamps_are_rejected() {
+        let t1 = write_tx(100, 1, "x");
+        let t2 = write_tx(100, 1, "y"); // same (time, client) pair
+        assert!(matches!(
+            audit_serializability(&[t1, t2]),
+            Err(AuditError::DuplicateTimestamp { .. })
+        ));
+    }
+
+    #[test]
+    fn independent_transactions_are_serializable() {
+        let txs: Vec<Transaction> = (1..50u64).map(|i| write_tx(i * 10, i, &format!("k{i}"))).collect();
+        assert!(audit_serializability(&txs).is_ok());
+    }
+
+    #[test]
+    fn large_valid_rmw_history_is_serializable() {
+        // A long chain of read-modify-writes on a handful of keys, each
+        // reading the immediately preceding version: always serializable.
+        let mut txs = Vec::new();
+        let mut latest: HashMap<String, Timestamp> = HashMap::new();
+        for i in 1..200u64 {
+            let key = format!("k{}", i % 5);
+            let prev = latest.get(&key).copied().unwrap_or(Timestamp::ZERO);
+            let now = ts(i * 10, i % 7);
+            let mut b = TransactionBuilder::new(now);
+            b.record_read(k(&key), prev);
+            b.record_write(k(&key), Value::from_u64(i));
+            txs.push(b.build());
+            latest.insert(key, now);
+        }
+        assert!(audit_serializability(&txs).is_ok());
+    }
+}

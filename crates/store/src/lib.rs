@@ -1,0 +1,31 @@
+//! # basil-store
+//!
+//! The multiversioned storage substrate of the Basil reproduction.
+//!
+//! Basil modifies multiversioned timestamp ordering (MVTSO) to run under
+//! Byzantine faults (Section 4). This crate implements the storage-engine
+//! half of that design, independent of networking and quorums:
+//!
+//! * [`tx`] — the transaction representation: timestamp, read set (with the
+//!   versions read), buffered write set, dependency set, and the
+//!   hash-derived transaction identifier.
+//! * [`mvtso`] — the per-replica storage engine: committed version chains,
+//!   prepared (visible but uncommitted) writes, read timestamps (RTS),
+//!   the concurrency-control check of **Algorithm 1**, and dependency
+//!   tracking with deferred votes ("wait for all pending dependencies").
+//! * [`occ`] — a classic backward-validation OCC check used by the baseline
+//!   systems (TxHotstuff / TxBFT-SMaRt / TAPIR-style) in the evaluation.
+//! * [`audit`] — a serialization-graph auditor used by tests to verify that
+//!   every committed history is acyclic (Byz-serializability, Lemma 1).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod mvtso;
+pub mod occ;
+pub mod tx;
+
+pub use audit::{audit_serializability, AuditError};
+pub use mvtso::{CheckOutcome, MvtsoStore, ReadResult, Vote};
+pub use tx::{Dependency, ReadOp, Transaction, TransactionBuilder, WriteOp};

@@ -1,0 +1,1017 @@
+//! The per-replica MVTSO storage engine and the concurrency-control check of
+//! Algorithm 1.
+//!
+//! Each Basil replica holds one [`MvtsoStore`] for its shard's key range. The
+//! store tracks, per key:
+//!
+//! * the chain of **committed** versions,
+//! * the **prepared** (visible but uncommitted) writes of transactions that
+//!   passed the concurrency-control check,
+//! * the read timestamps (**RTS**) left behind by execution-phase reads, and
+//! * the reads performed by prepared and committed transactions.
+//!
+//! [`MvtsoStore::prepare`] implements Algorithm 1 of the paper. Step 7 of the
+//! algorithm ("wait for all pending dependencies") is realised without
+//! blocking: if some dependencies of the transaction have no decision yet the
+//! check returns [`CheckOutcome::Pending`], and the replica defers its vote
+//! until [`MvtsoStore::commit`] / [`MvtsoStore::abort`] of the dependencies
+//! release it (the returned wake-ups carry the final vote).
+//!
+//! One deviation from the paper's text is documented inline: a dependency the
+//! replica has *never heard of* (its `ST1` has not arrived, e.g. due to
+//! message reordering) is treated as pending rather than invalid, which
+//! avoids spurious aborts during fault-free executions while preserving
+//! safety (the vote is still withheld until the dependency's fate is known).
+
+use crate::tx::{Dependency, Transaction};
+use basil_common::error::AbortReason;
+use basil_common::{Duration, Key, SimTime, Timestamp, TxId, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A replica's vote on whether committing a transaction preserves
+/// serializability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vote {
+    /// The transaction may commit.
+    Commit,
+    /// The transaction must abort, for the given reason.
+    Abort(AbortReason),
+}
+
+impl Vote {
+    /// True for [`Vote::Commit`].
+    pub fn is_commit(&self) -> bool {
+        matches!(self, Vote::Commit)
+    }
+}
+
+/// Result of running the concurrency-control check for a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The vote is known immediately.
+    Decided(Vote),
+    /// The transaction is prepared, but the vote is withheld until every
+    /// listed dependency reaches a decision on this replica.
+    Pending {
+        /// Dependencies whose decision this replica has not yet learned.
+        waiting_on: Vec<TxId>,
+    },
+}
+
+/// The final, durable decision for a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The transaction committed.
+    Commit,
+    /// The transaction aborted.
+    Abort,
+}
+
+/// The latest committed version of a key visible to a given timestamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommittedVersion {
+    /// Timestamp of the transaction that wrote the version.
+    pub version: Timestamp,
+    /// The value written.
+    pub value: Value,
+    /// Identifier of the writing transaction.
+    pub txid: TxId,
+}
+
+/// The latest prepared (uncommitted) version of a key visible to a timestamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedVersion {
+    /// Timestamp of the preparing transaction.
+    pub version: Timestamp,
+    /// The value it intends to write.
+    pub value: Value,
+    /// Identifier of the preparing transaction.
+    pub txid: TxId,
+    /// That transaction's own dependency set (`Dep_T'`), which the reader
+    /// needs in order to understand what must commit before its dependency
+    /// can.
+    pub deps: Vec<Dependency>,
+}
+
+/// Reply to a versioned read: the newest committed and newest prepared
+/// versions with timestamps strictly smaller than the reader's timestamp.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReadResult {
+    /// Newest committed version visible to the reader, if any.
+    pub committed: Option<CommittedVersion>,
+    /// Newest prepared version visible to the reader, if any.
+    pub prepared: Option<PreparedVersion>,
+}
+
+/// The multiversioned store of a single replica.
+#[derive(Debug, Default)]
+pub struct MvtsoStore {
+    /// Committed versions per key, ordered by writer timestamp.
+    committed_versions: HashMap<Key, BTreeMap<Timestamp, (TxId, Value)>>,
+    /// Metadata of committed transactions (needed for the read-write checks
+    /// and for the serializability audit).
+    committed_txs: HashMap<TxId, Transaction>,
+    /// Reads performed by committed transactions, per key, indexed by the
+    /// reader's timestamp; the value is the version that was read.
+    committed_reads: HashMap<Key, BTreeMap<Timestamp, Timestamp>>,
+    /// Metadata of prepared (visible, uncommitted) transactions.
+    prepared_txs: HashMap<TxId, Transaction>,
+    /// Prepared writes per key, ordered by writer timestamp.
+    prepared_writes: HashMap<Key, BTreeMap<Timestamp, TxId>>,
+    /// Reads performed by prepared transactions, per key, indexed by reader
+    /// timestamp; value is the version read.
+    prepared_reads: HashMap<Key, BTreeMap<Timestamp, Timestamp>>,
+    /// Read timestamps left by execution-phase reads.
+    rts: HashMap<Key, BTreeSet<Timestamp>>,
+    /// Final decisions known to this replica.
+    decisions: HashMap<TxId, Decision>,
+    /// Aborted transactions (subset view of `decisions`, kept for fast checks).
+    aborted: HashSet<TxId>,
+    /// Transactions whose vote is withheld, with the dependencies still
+    /// missing a decision.
+    pending: HashMap<TxId, HashSet<TxId>>,
+    /// Reverse index: dependency -> transactions waiting on it.
+    waiters: HashMap<TxId, Vec<TxId>>,
+}
+
+impl MvtsoStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store preloaded with initial data. The initial versions are
+    /// committed at [`Timestamp::ZERO`] by a synthetic "genesis" transaction.
+    pub fn with_initial_data(data: impl IntoIterator<Item = (Key, Value)>) -> Self {
+        let mut store = Self::new();
+        for (key, value) in data {
+            store
+                .committed_versions
+                .entry(key)
+                .or_default()
+                .insert(Timestamp::ZERO, (TxId::default(), value));
+        }
+        store
+    }
+
+    /// Loads one more initial key (same semantics as
+    /// [`MvtsoStore::with_initial_data`]).
+    pub fn load_initial(&mut self, key: Key, value: Value) {
+        self.committed_versions
+            .entry(key)
+            .or_default()
+            .insert(Timestamp::ZERO, (TxId::default(), value));
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Serves a versioned read at timestamp `ts` and records `ts` in the
+    /// key's RTS set (Section 4.1, replica read logic step 2).
+    pub fn read(&mut self, key: &Key, ts: Timestamp) -> ReadResult {
+        self.rts.entry(key.clone()).or_default().insert(ts);
+        self.read_without_rts(key, ts)
+    }
+
+    /// Serves a versioned read without registering an RTS (used when
+    /// re-serving a retried read that already registered one).
+    pub fn read_without_rts(&self, key: &Key, ts: Timestamp) -> ReadResult {
+        let committed = self.committed_versions.get(key).and_then(|versions| {
+            versions
+                .range(..ts)
+                .next_back()
+                .map(|(version, (txid, value))| CommittedVersion {
+                    version: *version,
+                    value: value.clone(),
+                    txid: *txid,
+                })
+        });
+        let prepared = self.prepared_writes.get(key).and_then(|versions| {
+            versions.range(..ts).next_back().and_then(|(version, txid)| {
+                self.prepared_txs.get(txid).map(|tx| PreparedVersion {
+                    version: *version,
+                    value: tx
+                        .written_value(key)
+                        .cloned()
+                        .unwrap_or_else(Value::empty),
+                    txid: *txid,
+                    deps: tx.deps.clone(),
+                })
+            })
+        });
+        ReadResult { committed, prepared }
+    }
+
+    /// Removes a read timestamp previously registered by [`MvtsoStore::read`]
+    /// (client-initiated `Abort()` during the execution phase).
+    pub fn remove_rts(&mut self, key: &Key, ts: Timestamp) {
+        if let Some(set) = self.rts.get_mut(key) {
+            set.remove(&ts);
+            if set.is_empty() {
+                self.rts.remove(key);
+            }
+        }
+    }
+
+    /// The newest committed value of a key (used by examples and tests to
+    /// inspect final state).
+    pub fn latest_committed(&self, key: &Key) -> Option<(Timestamp, Value)> {
+        self.committed_versions.get(key).and_then(|versions| {
+            versions
+                .iter()
+                .next_back()
+                .map(|(ts, (_, value))| (*ts, value.clone()))
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 1: the concurrency-control check
+    // ------------------------------------------------------------------
+
+    /// Runs the MVTSO concurrency-control check (Algorithm 1) for `tx`.
+    ///
+    /// `local_clock` and `delta` implement the timestamp acceptance window of
+    /// lines 1-2. On success the transaction is added to the prepared set and
+    /// becomes visible to subsequent reads.
+    pub fn prepare(&mut self, tx: &Transaction, local_clock: SimTime, delta: Duration) -> CheckOutcome {
+        let txid = tx.id();
+
+        // A transaction we already know the fate of keeps that fate.
+        if let Some(decision) = self.decisions.get(&txid) {
+            return CheckOutcome::Decided(match decision {
+                Decision::Commit => Vote::Commit,
+                Decision::Abort => Vote::Abort(AbortReason::Conflict),
+            });
+        }
+        // Re-delivery of a prepare we are still waiting on.
+        if let Some(missing) = self.pending.get(&txid) {
+            return CheckOutcome::Pending {
+                waiting_on: missing.iter().copied().collect(),
+            };
+        }
+        // Re-delivery of a prepare we already voted to commit.
+        if self.prepared_txs.contains_key(&txid) {
+            return CheckOutcome::Decided(Vote::Commit);
+        }
+
+        // (1) Timestamp bound: ts_T <= localClock + delta.
+        if tx.timestamp.exceeds_bound(local_clock, delta) {
+            return CheckOutcome::Decided(Vote::Abort(AbortReason::TimestampOutOfBounds));
+        }
+
+        // (2) Dependency validity: every dependency this replica knows about
+        // must actually have produced the claimed version.
+        for dep in &tx.deps {
+            let known = self
+                .prepared_txs
+                .get(&dep.txid)
+                .or_else(|| self.committed_txs.get(&dep.txid));
+            if let Some(dep_tx) = known {
+                let produced = dep_tx.writes(&dep.key) && dep_tx.timestamp == dep.version;
+                if !produced {
+                    return CheckOutcome::Decided(Vote::Abort(AbortReason::InvalidDependency));
+                }
+            } else if self.aborted.contains(&dep.txid) {
+                // The dependency already aborted here; the dependent cannot
+                // commit (Algorithm 1, lines 16-18).
+                return CheckOutcome::Decided(Vote::Abort(AbortReason::DependencyAborted));
+            }
+            // Unknown dependency: treated as pending (see module docs).
+        }
+
+        // (3) Reads must not claim versions from the future; that would prove
+        // client misbehaviour.
+        for read in &tx.read_set {
+            if read.version > tx.timestamp {
+                return CheckOutcome::Decided(Vote::Abort(AbortReason::Misbehavior));
+            }
+        }
+
+        // (4) Reads in T did not miss any committed or prepared write:
+        // no write W to `key` with version_read < ts_W < ts_T may exist.
+        for read in &tx.read_set {
+            if self.has_write_in_range(&read.key, read.version, tx.timestamp) {
+                return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
+            }
+        }
+
+        // (5) Writes in T must not invalidate reads of prepared or committed
+        // transactions: no reader T' with ts_T' > ts_T may have read a
+        // version older than ts_T for a key T writes.
+        for write in &tx.write_set {
+            if self.write_invalidates_reader(&write.key, tx.timestamp) {
+                return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
+            }
+        }
+
+        // (6) Writes must not invalidate ongoing reads (RTS check).
+        for write in &tx.write_set {
+            if let Some(set) = self.rts.get(&write.key) {
+                if set
+                    .range((
+                        std::ops::Bound::Excluded(tx.timestamp),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .next()
+                    .is_some()
+                {
+                    return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
+                }
+            }
+        }
+
+        // (7) Prepared.add(T): make the transaction visible to future reads.
+        self.index_prepared(txid, tx);
+
+        // (8) Wait for all pending dependencies.
+        let mut missing: HashSet<TxId> = HashSet::new();
+        for dep in &tx.deps {
+            match self.decisions.get(&dep.txid) {
+                Some(Decision::Commit) => {}
+                Some(Decision::Abort) => {
+                    // A dependency already aborted: withdraw the prepare.
+                    self.unindex_prepared(&txid);
+                    return CheckOutcome::Decided(Vote::Abort(AbortReason::DependencyAborted));
+                }
+                None => {
+                    missing.insert(dep.txid);
+                }
+            }
+        }
+        if missing.is_empty() {
+            return CheckOutcome::Decided(Vote::Commit);
+        }
+        for dep in &missing {
+            self.waiters.entry(*dep).or_default().push(txid);
+        }
+        let waiting_on: Vec<TxId> = missing.iter().copied().collect();
+        self.pending.insert(txid, missing);
+        CheckOutcome::Pending { waiting_on }
+    }
+
+    fn has_write_in_range(&self, key: &Key, lower: Timestamp, upper: Timestamp) -> bool {
+        let in_committed = self
+            .committed_versions
+            .get(key)
+            .map(|versions| {
+                versions
+                    .range((
+                        std::ops::Bound::Excluded(lower),
+                        std::ops::Bound::Excluded(upper),
+                    ))
+                    .next()
+                    .is_some()
+            })
+            .unwrap_or(false);
+        if in_committed {
+            return true;
+        }
+        self.prepared_writes
+            .get(key)
+            .map(|versions| {
+                versions
+                    .range((
+                        std::ops::Bound::Excluded(lower),
+                        std::ops::Bound::Excluded(upper),
+                    ))
+                    .next()
+                    .is_some()
+            })
+            .unwrap_or(false)
+    }
+
+    fn write_invalidates_reader(&self, key: &Key, write_ts: Timestamp) -> bool {
+        let check = |reads: &BTreeMap<Timestamp, Timestamp>| {
+            reads
+                .range((
+                    std::ops::Bound::Excluded(write_ts),
+                    std::ops::Bound::Unbounded,
+                ))
+                .any(|(_, version_read)| *version_read < write_ts)
+        };
+        let committed_hit = self.committed_reads.get(key).map(|r| check(r)).unwrap_or(false);
+        if committed_hit {
+            return true;
+        }
+        self.prepared_reads.get(key).map(|r| check(r)).unwrap_or(false)
+    }
+
+    fn index_prepared(&mut self, txid: TxId, tx: &Transaction) {
+        for write in &tx.write_set {
+            self.prepared_writes
+                .entry(write.key.clone())
+                .or_default()
+                .insert(tx.timestamp, txid);
+        }
+        for read in &tx.read_set {
+            self.prepared_reads
+                .entry(read.key.clone())
+                .or_default()
+                .insert(tx.timestamp, read.version);
+        }
+        self.prepared_txs.insert(txid, tx.clone());
+    }
+
+    fn unindex_prepared(&mut self, txid: &TxId) {
+        if let Some(tx) = self.prepared_txs.remove(txid) {
+            for write in &tx.write_set {
+                if let Some(map) = self.prepared_writes.get_mut(&write.key) {
+                    map.remove(&tx.timestamp);
+                    if map.is_empty() {
+                        self.prepared_writes.remove(&write.key);
+                    }
+                }
+            }
+            for read in &tx.read_set {
+                if let Some(map) = self.prepared_reads.get_mut(&read.key) {
+                    map.remove(&tx.timestamp);
+                    if map.is_empty() {
+                        self.prepared_reads.remove(&read.key);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Decisions
+    // ------------------------------------------------------------------
+
+    /// Applies a commit decision for `tx`: its writes become committed
+    /// versions and its reads are recorded for future checks. Returns the
+    /// votes of transactions whose deferred check was waiting on this
+    /// decision.
+    pub fn commit(&mut self, tx: &Transaction) -> Vec<(TxId, Vote)> {
+        let txid = tx.id();
+        if matches!(self.decisions.get(&txid), Some(Decision::Commit)) {
+            return Vec::new();
+        }
+        self.unindex_prepared(&txid);
+        self.pending.remove(&txid);
+        self.decisions.insert(txid, Decision::Commit);
+
+        for write in &tx.write_set {
+            self.committed_versions
+                .entry(write.key.clone())
+                .or_default()
+                .insert(tx.timestamp, (txid, write.value.clone()));
+        }
+        for read in &tx.read_set {
+            self.committed_reads
+                .entry(read.key.clone())
+                .or_default()
+                .insert(tx.timestamp, read.version);
+        }
+        self.committed_txs.insert(txid, tx.clone());
+
+        self.wake_waiters(txid, Decision::Commit)
+    }
+
+    /// Applies an abort decision for `txid`. Returns the votes of
+    /// transactions whose deferred check was waiting on this decision (each
+    /// of them votes abort, per Algorithm 1 lines 16-18).
+    pub fn abort(&mut self, txid: TxId) -> Vec<(TxId, Vote)> {
+        if matches!(self.decisions.get(&txid), Some(Decision::Abort)) {
+            return Vec::new();
+        }
+        self.unindex_prepared(&txid);
+        self.pending.remove(&txid);
+        self.decisions.insert(txid, Decision::Abort);
+        self.aborted.insert(txid);
+        self.wake_waiters(txid, Decision::Abort)
+    }
+
+    fn wake_waiters(&mut self, resolved: TxId, decision: Decision) -> Vec<(TxId, Vote)> {
+        let mut released = Vec::new();
+        let Some(waiters) = self.waiters.remove(&resolved) else {
+            return released;
+        };
+        for waiter in waiters {
+            let Some(missing) = self.pending.get_mut(&waiter) else {
+                continue; // already resolved some other way
+            };
+            match decision {
+                Decision::Abort => {
+                    // The dependency aborted: the waiter votes abort and is
+                    // withdrawn from the prepared set.
+                    self.pending.remove(&waiter);
+                    self.unindex_prepared(&waiter);
+                    released.push((waiter, Vote::Abort(AbortReason::DependencyAborted)));
+                }
+                Decision::Commit => {
+                    missing.remove(&resolved);
+                    if missing.is_empty() {
+                        self.pending.remove(&waiter);
+                        released.push((waiter, Vote::Commit));
+                    }
+                }
+            }
+        }
+        released
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// The decision this replica knows for `txid`, if any.
+    pub fn decision(&self, txid: &TxId) -> Option<Decision> {
+        self.decisions.get(txid).copied()
+    }
+
+    /// Whether the transaction is currently prepared (visible, uncommitted).
+    pub fn is_prepared(&self, txid: &TxId) -> bool {
+        self.prepared_txs.contains_key(txid)
+    }
+
+    /// The prepared transaction's metadata, if present.
+    pub fn prepared_tx(&self, txid: &TxId) -> Option<&Transaction> {
+        self.prepared_txs.get(txid)
+    }
+
+    /// The committed transaction's metadata, if present.
+    pub fn committed_tx(&self, txid: &TxId) -> Option<&Transaction> {
+        self.committed_txs.get(txid)
+    }
+
+    /// Whether the transaction's vote is currently withheld waiting on
+    /// dependencies.
+    pub fn is_pending(&self, txid: &TxId) -> bool {
+        self.pending.contains_key(txid)
+    }
+
+    /// All committed transactions (used by the serializability audit).
+    pub fn committed_snapshot(&self) -> Vec<Transaction> {
+        self.committed_txs.values().cloned().collect()
+    }
+
+    /// Number of committed transactions.
+    pub fn committed_count(&self) -> usize {
+        self.committed_txs.len()
+    }
+
+    /// Number of currently prepared transactions.
+    pub fn prepared_count(&self) -> usize {
+        self.prepared_txs.len()
+    }
+
+    /// Garbage-collects bookkeeping that can no longer affect any future
+    /// check: committed versions strictly older than the newest one at or
+    /// below `watermark` (the newest such version must be retained because
+    /// future readers may still need it), committed read records below the
+    /// watermark, and RTS entries below the watermark.
+    pub fn gc_before(&mut self, watermark: Timestamp) {
+        for versions in self.committed_versions.values_mut() {
+            if let Some(keep_from) = versions.range(..=watermark).next_back().map(|(ts, _)| *ts) {
+                *versions = versions.split_off(&keep_from);
+            }
+        }
+        for reads in self.committed_reads.values_mut() {
+            *reads = reads.split_off(&watermark);
+        }
+        for set in self.rts.values_mut() {
+            *set = set.split_off(&watermark);
+        }
+        self.rts.retain(|_, set| !set.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TransactionBuilder;
+    use basil_common::ClientId;
+
+    const DELTA: Duration = Duration::from_millis(100);
+    // A clock far enough in the future that timestamp-bound checks pass by
+    // default in these unit tests.
+    const CLOCK: SimTime = SimTime::from_secs(1);
+
+    fn ts(t: u64, c: u64) -> Timestamp {
+        Timestamp::from_nanos(t, ClientId(c))
+    }
+
+    fn k(s: &str) -> Key {
+        Key::new(s)
+    }
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    fn store_with_xy() -> MvtsoStore {
+        MvtsoStore::with_initial_data([(k("x"), v(0)), (k("y"), v(0))])
+    }
+
+    /// A transaction reading nothing and writing `key := val` at `t`.
+    fn blind_write(t: u64, c: u64, key: &str, val: u64) -> Transaction {
+        let mut b = TransactionBuilder::new(ts(t, c));
+        b.record_write(k(key), v(val));
+        b.build()
+    }
+
+    /// A read-modify-write transaction on one key.
+    fn rmw(t: u64, c: u64, key: &str, read_version: Timestamp, val: u64) -> Transaction {
+        let mut b = TransactionBuilder::new(ts(t, c));
+        b.record_read(k(key), read_version);
+        b.record_write(k(key), v(val));
+        b.build()
+    }
+
+    fn expect_commit(out: CheckOutcome) {
+        assert_eq!(out, CheckOutcome::Decided(Vote::Commit));
+    }
+
+    fn expect_abort(out: CheckOutcome, reason: AbortReason) {
+        assert_eq!(out, CheckOutcome::Decided(Vote::Abort(reason)));
+    }
+
+    #[test]
+    fn read_returns_initial_version() {
+        let mut store = store_with_xy();
+        let r = store.read(&k("x"), ts(10, 1));
+        let committed = r.committed.expect("initial version exists");
+        assert_eq!(committed.version, Timestamp::ZERO);
+        assert_eq!(committed.value, v(0));
+        assert!(r.prepared.is_none());
+        assert!(store.read(&k("unknown"), ts(10, 1)).committed.is_none());
+    }
+
+    #[test]
+    fn prepare_and_commit_installs_version() {
+        let mut store = store_with_xy();
+        let t = blind_write(100, 1, "x", 42);
+        expect_commit(store.prepare(&t, CLOCK, DELTA));
+        assert!(store.is_prepared(&t.id()));
+
+        // Visible as prepared to later readers, not as committed.
+        let r = store.read(&k("x"), ts(200, 2));
+        assert_eq!(r.prepared.as_ref().expect("prepared visible").value, v(42));
+        assert_eq!(r.committed.expect("initial").version, Timestamp::ZERO);
+
+        let woken = store.commit(&t);
+        assert!(woken.is_empty());
+        assert!(!store.is_prepared(&t.id()));
+        let r = store.read(&k("x"), ts(200, 2));
+        assert_eq!(r.committed.expect("committed").value, v(42));
+        assert!(r.prepared.is_none());
+        assert_eq!(store.decision(&t.id()), Some(Decision::Commit));
+    }
+
+    #[test]
+    fn read_ignores_versions_at_or_above_reader_timestamp() {
+        let mut store = store_with_xy();
+        let t = blind_write(100, 1, "x", 42);
+        expect_commit(store.prepare(&t, CLOCK, DELTA));
+        store.commit(&t);
+        // A reader at exactly ts 100 must not see the version written at 100
+        // (reads return versions strictly smaller than the reader timestamp).
+        let r = store.read(&k("x"), ts(100, 0));
+        assert_eq!(r.committed.expect("initial").version, Timestamp::ZERO);
+        // A reader below 100 sees only the initial version.
+        let r = store.read(&k("x"), ts(50, 2));
+        assert_eq!(r.committed.expect("initial").version, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn timestamp_bound_rejected() {
+        let mut store = store_with_xy();
+        let t = blind_write(u64::MAX / 2, 1, "x", 1);
+        expect_abort(
+            store.prepare(&t, SimTime::from_millis(1), Duration::from_millis(1)),
+            AbortReason::TimestampOutOfBounds,
+        );
+        assert!(!store.is_prepared(&t.id()));
+    }
+
+    #[test]
+    fn read_from_future_is_misbehaviour() {
+        let mut store = store_with_xy();
+        let mut b = TransactionBuilder::new(ts(100, 1));
+        b.record_read(k("x"), ts(500, 2)); // claims to have read the future
+        let t = b.build();
+        expect_abort(store.prepare(&t, CLOCK, DELTA), AbortReason::Misbehavior);
+    }
+
+    #[test]
+    fn stale_read_misses_committed_write_aborts() {
+        let mut store = store_with_xy();
+        let w = blind_write(100, 1, "x", 5);
+        expect_commit(store.prepare(&w, CLOCK, DELTA));
+        store.commit(&w);
+
+        // T reads version 0 of x but has timestamp 200 > 100: it missed the
+        // write at 100 and must abort (Algorithm 1 lines 7-8).
+        let t = rmw(200, 2, "x", Timestamp::ZERO, 7);
+        expect_abort(store.prepare(&t, CLOCK, DELTA), AbortReason::Conflict);
+    }
+
+    #[test]
+    fn stale_read_misses_prepared_write_aborts() {
+        let mut store = store_with_xy();
+        let w = blind_write(100, 1, "x", 5);
+        expect_commit(store.prepare(&w, CLOCK, DELTA)); // prepared only
+
+        let t = rmw(200, 2, "x", Timestamp::ZERO, 7);
+        expect_abort(store.prepare(&t, CLOCK, DELTA), AbortReason::Conflict);
+    }
+
+    #[test]
+    fn read_of_latest_version_commits() {
+        let mut store = store_with_xy();
+        let w = blind_write(100, 1, "x", 5);
+        expect_commit(store.prepare(&w, CLOCK, DELTA));
+        store.commit(&w);
+
+        // Reader at 200 read the version written at 100: no missed write.
+        let t = rmw(200, 2, "x", ts(100, 1), 7);
+        expect_commit(store.prepare(&t, CLOCK, DELTA));
+    }
+
+    #[test]
+    fn late_write_under_committed_reader_aborts() {
+        let mut store = store_with_xy();
+        // Reader at ts 300 read version 0 of x, committed.
+        let mut b = TransactionBuilder::new(ts(300, 1));
+        b.record_read(k("x"), Timestamp::ZERO);
+        b.record_write(k("dummy"), v(1));
+        let reader = b.build();
+        expect_commit(store.prepare(&reader, CLOCK, DELTA));
+        store.commit(&reader);
+
+        // A writer at ts 200 < 300 writing x would invalidate that read
+        // (the reader should have seen it): abort (lines 9-11).
+        let w = blind_write(200, 2, "x", 9);
+        expect_abort(store.prepare(&w, CLOCK, DELTA), AbortReason::Conflict);
+
+        // A writer above the reader's timestamp is fine.
+        let w2 = blind_write(400, 3, "x", 9);
+        expect_commit(store.prepare(&w2, CLOCK, DELTA));
+    }
+
+    #[test]
+    fn late_write_under_prepared_reader_aborts() {
+        let mut store = store_with_xy();
+        let mut b = TransactionBuilder::new(ts(300, 1));
+        b.record_read(k("x"), Timestamp::ZERO);
+        let reader = b.build();
+        expect_commit(store.prepare(&reader, CLOCK, DELTA)); // prepared only
+
+        let w = blind_write(200, 2, "x", 9);
+        expect_abort(store.prepare(&w, CLOCK, DELTA), AbortReason::Conflict);
+    }
+
+    #[test]
+    fn rts_blocks_late_writer_and_clears_on_removal() {
+        let mut store = store_with_xy();
+        // An execution-phase read at ts 500 leaves an RTS on x.
+        store.read(&k("x"), ts(500, 1));
+
+        let w = blind_write(200, 2, "x", 9);
+        expect_abort(store.prepare(&w, CLOCK, DELTA), AbortReason::Conflict);
+
+        // After the reader abandons its transaction the RTS is removed and
+        // the same write succeeds.
+        store.remove_rts(&k("x"), ts(500, 1));
+        let w2 = blind_write(201, 2, "x", 9);
+        expect_commit(store.prepare(&w2, CLOCK, DELTA));
+    }
+
+    #[test]
+    fn rts_below_writer_timestamp_is_harmless() {
+        let mut store = store_with_xy();
+        store.read(&k("x"), ts(100, 1));
+        let w = blind_write(200, 2, "x", 9);
+        expect_commit(store.prepare(&w, CLOCK, DELTA));
+    }
+
+    #[test]
+    fn write_write_is_not_a_conflict_by_itself() {
+        // MVTSO orders blind writes by timestamp; two writers of the same key
+        // can both commit.
+        let mut store = store_with_xy();
+        let w1 = blind_write(100, 1, "x", 1);
+        let w2 = blind_write(200, 2, "x", 2);
+        expect_commit(store.prepare(&w1, CLOCK, DELTA));
+        expect_commit(store.prepare(&w2, CLOCK, DELTA));
+        store.commit(&w1);
+        store.commit(&w2);
+        assert_eq!(store.latest_committed(&k("x")).expect("x").1, v(2));
+    }
+
+    #[test]
+    fn dependent_read_waits_for_dependency_commit() {
+        let mut store = store_with_xy();
+        let w = blind_write(100, 1, "x", 5);
+        expect_commit(store.prepare(&w, CLOCK, DELTA)); // prepared, not committed
+
+        // T2 reads the prepared version and declares the dependency.
+        let mut b = TransactionBuilder::new(ts(200, 2));
+        b.record_dependent_read(k("x"), ts(100, 1), w.id());
+        b.record_write(k("y"), v(6));
+        let t2 = b.build();
+
+        match store.prepare(&t2, CLOCK, DELTA) {
+            CheckOutcome::Pending { waiting_on } => assert_eq!(waiting_on, vec![w.id()]),
+            other => panic!("expected pending, got {other:?}"),
+        }
+        assert!(store.is_pending(&t2.id()));
+        assert!(store.is_prepared(&t2.id()), "pending transactions are visible");
+
+        // Committing the dependency releases T2 with a commit vote.
+        let woken = store.commit(&w);
+        assert_eq!(woken, vec![(t2.id(), Vote::Commit)]);
+        assert!(!store.is_pending(&t2.id()));
+    }
+
+    #[test]
+    fn dependent_read_aborts_when_dependency_aborts() {
+        let mut store = store_with_xy();
+        let w = blind_write(100, 1, "x", 5);
+        expect_commit(store.prepare(&w, CLOCK, DELTA));
+
+        let mut b = TransactionBuilder::new(ts(200, 2));
+        b.record_dependent_read(k("x"), ts(100, 1), w.id());
+        let t2 = b.build();
+        assert!(matches!(
+            store.prepare(&t2, CLOCK, DELTA),
+            CheckOutcome::Pending { .. }
+        ));
+
+        let woken = store.abort(w.id());
+        assert_eq!(
+            woken,
+            vec![(t2.id(), Vote::Abort(AbortReason::DependencyAborted))]
+        );
+        assert!(
+            !store.is_prepared(&t2.id()),
+            "aborted-by-dependency transactions leave the prepared set"
+        );
+    }
+
+    #[test]
+    fn dependency_already_committed_votes_immediately() {
+        let mut store = store_with_xy();
+        let w = blind_write(100, 1, "x", 5);
+        expect_commit(store.prepare(&w, CLOCK, DELTA));
+        store.commit(&w);
+
+        let mut b = TransactionBuilder::new(ts(200, 2));
+        b.record_dependent_read(k("x"), ts(100, 1), w.id());
+        let t2 = b.build();
+        expect_commit(store.prepare(&t2, CLOCK, DELTA));
+    }
+
+    #[test]
+    fn dependency_already_aborted_votes_abort() {
+        let mut store = store_with_xy();
+        let w = blind_write(100, 1, "x", 5);
+        expect_commit(store.prepare(&w, CLOCK, DELTA));
+        store.abort(w.id());
+
+        let mut b = TransactionBuilder::new(ts(200, 2));
+        b.record_dependent_read(k("x"), ts(100, 1), w.id());
+        let t2 = b.build();
+        expect_abort(store.prepare(&t2, CLOCK, DELTA), AbortReason::DependencyAborted);
+    }
+
+    #[test]
+    fn invalid_dependency_claim_is_rejected() {
+        let mut store = store_with_xy();
+        let w = blind_write(100, 1, "x", 5);
+        expect_commit(store.prepare(&w, CLOCK, DELTA));
+
+        // Claim a dependency on w for key "y", which w never wrote.
+        let mut b = TransactionBuilder::new(ts(200, 2));
+        b.record_dependent_read(k("y"), ts(100, 1), w.id());
+        let t2 = b.build();
+        expect_abort(store.prepare(&t2, CLOCK, DELTA), AbortReason::InvalidDependency);
+
+        // Claim a dependency with the wrong version timestamp.
+        let mut b = TransactionBuilder::new(ts(200, 3));
+        b.record_dependent_read(k("x"), ts(101, 1), w.id());
+        let t3 = b.build();
+        expect_abort(store.prepare(&t3, CLOCK, DELTA), AbortReason::InvalidDependency);
+    }
+
+    #[test]
+    fn unknown_dependency_is_pending_not_invalid() {
+        let mut store = store_with_xy();
+        let unseen = blind_write(100, 1, "x", 5); // never sent to this store
+        let mut b = TransactionBuilder::new(ts(200, 2));
+        b.record_dependent_read(k("x"), ts(100, 1), unseen.id());
+        let t2 = b.build();
+        match store.prepare(&t2, CLOCK, DELTA) {
+            CheckOutcome::Pending { waiting_on } => assert_eq!(waiting_on, vec![unseen.id()]),
+            other => panic!("expected pending, got {other:?}"),
+        }
+        // When the missing dependency's decision finally arrives, the waiter
+        // is released.
+        let woken = store.commit(&unseen);
+        assert_eq!(woken, vec![(t2.id(), Vote::Commit)]);
+    }
+
+    #[test]
+    fn multiple_dependencies_release_only_when_all_commit() {
+        let mut store = store_with_xy();
+        let w1 = blind_write(100, 1, "x", 1);
+        let w2 = blind_write(110, 2, "y", 2);
+        expect_commit(store.prepare(&w1, CLOCK, DELTA));
+        expect_commit(store.prepare(&w2, CLOCK, DELTA));
+
+        let mut b = TransactionBuilder::new(ts(200, 3));
+        b.record_dependent_read(k("x"), ts(100, 1), w1.id());
+        b.record_dependent_read(k("y"), ts(110, 2), w2.id());
+        let t = b.build();
+        assert!(matches!(store.prepare(&t, CLOCK, DELTA), CheckOutcome::Pending { .. }));
+
+        assert!(store.commit(&w1).is_empty(), "still waiting on w2");
+        let woken = store.commit(&w2);
+        assert_eq!(woken, vec![(t.id(), Vote::Commit)]);
+    }
+
+    #[test]
+    fn duplicate_prepare_is_idempotent() {
+        let mut store = store_with_xy();
+        let t = blind_write(100, 1, "x", 1);
+        expect_commit(store.prepare(&t, CLOCK, DELTA));
+        expect_commit(store.prepare(&t, CLOCK, DELTA));
+        assert_eq!(store.prepared_count(), 1);
+
+        store.commit(&t);
+        // After commit, a re-delivered prepare reports commit.
+        expect_commit(store.prepare(&t, CLOCK, DELTA));
+
+        let t2 = blind_write(200, 2, "x", 2);
+        expect_commit(store.prepare(&t2, CLOCK, DELTA));
+        store.abort(t2.id());
+        // After abort, a re-delivered prepare reports abort.
+        expect_abort(store.prepare(&t2, CLOCK, DELTA), AbortReason::Conflict);
+    }
+
+    #[test]
+    fn commit_and_abort_are_idempotent() {
+        let mut store = store_with_xy();
+        let t = blind_write(100, 1, "x", 1);
+        store.prepare(&t, CLOCK, DELTA);
+        assert!(store.commit(&t).is_empty());
+        assert!(store.commit(&t).is_empty());
+        assert_eq!(store.committed_count(), 1);
+
+        let t2 = blind_write(200, 2, "y", 1);
+        store.prepare(&t2, CLOCK, DELTA);
+        assert!(store.abort(t2.id()).is_empty());
+        assert!(store.abort(t2.id()).is_empty());
+        assert_eq!(store.decision(&t2.id()), Some(Decision::Abort));
+    }
+
+    #[test]
+    fn commit_without_prior_prepare_applies_writes() {
+        // A replica that voted abort (or missed ST1 entirely) still applies a
+        // transaction once it receives a valid commit certificate.
+        let mut store = store_with_xy();
+        let t = blind_write(100, 1, "x", 77);
+        store.commit(&t);
+        assert_eq!(store.latest_committed(&k("x")).expect("x").1, v(77));
+        assert_eq!(store.committed_count(), 1);
+    }
+
+    #[test]
+    fn gc_retains_visibility_for_future_readers() {
+        let mut store = store_with_xy();
+        for i in 1..=10u64 {
+            let t = blind_write(i * 100, 1, "x", i);
+            store.prepare(&t, CLOCK, DELTA);
+            store.commit(&t);
+        }
+        store.gc_before(ts(550, 0));
+        // Future readers still see the newest version at or below the
+        // watermark (ts 500) and everything above it.
+        let r = store.read(&k("x"), ts(551, 9));
+        assert_eq!(r.committed.expect("visible").value, v(5));
+        let r = store.read(&k("x"), ts(2_000, 9));
+        assert_eq!(r.committed.expect("latest").value, v(10));
+    }
+
+    #[test]
+    fn prepared_version_carries_dependency_chain_info() {
+        let mut store = store_with_xy();
+        let w1 = blind_write(100, 1, "x", 1);
+        expect_commit(store.prepare(&w1, CLOCK, DELTA));
+
+        let mut b = TransactionBuilder::new(ts(200, 2));
+        b.record_dependent_read(k("x"), ts(100, 1), w1.id());
+        b.record_write(k("y"), v(2));
+        let t2 = b.build();
+        assert!(matches!(store.prepare(&t2, CLOCK, DELTA), CheckOutcome::Pending { .. }));
+
+        // A reader of y at ts 300 sees t2's prepared write, including t2's
+        // dependency on w1, so it can later help finish the whole chain.
+        let r = store.read(&k("y"), ts(300, 3));
+        let prepared = r.prepared.expect("prepared y visible");
+        assert_eq!(prepared.txid, t2.id());
+        assert_eq!(prepared.deps.len(), 1);
+        assert_eq!(prepared.deps[0].txid, w1.id());
+    }
+}

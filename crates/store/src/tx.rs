@@ -1,0 +1,334 @@
+//! Transaction representation.
+//!
+//! A Basil transaction `T` carries its timestamp `ts_T`, the set of keys it
+//! read together with the version (timestamp) it read for each, the buffered
+//! writes it wants to install, and the dependency set `Dep_T`: for every
+//! *prepared-but-uncommitted* version the transaction read, the identifier of
+//! the transaction that produced it. The transaction identifier `id_T` is a
+//! SHA-256 hash over all of this metadata, so a Byzantine client can neither
+//! spoof the set of involved shards nor equivocate the contents (Section 4.2).
+
+use basil_common::{Key, ShardId, SystemConfig, Timestamp, TxId, Value};
+use basil_crypto::Sha256;
+use std::collections::BTreeSet;
+
+/// One read performed by a transaction: the key and the timestamp of the
+/// version that was read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadOp {
+    /// Key that was read.
+    pub key: Key,
+    /// Timestamp of the version returned by the read (the writer's timestamp;
+    /// `Timestamp::ZERO` for the initial value).
+    pub version: Timestamp,
+}
+
+/// One buffered write of a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WriteOp {
+    /// Key being written.
+    pub key: Key,
+    /// New value.
+    pub value: Value,
+}
+
+/// A write-read dependency: this transaction read `version` of `key`, which
+/// was produced by the not-yet-committed transaction `txid`. The dependency
+/// must commit before this transaction can.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dependency {
+    /// The transaction that produced the version we read.
+    pub txid: TxId,
+    /// The key whose prepared version was read.
+    pub key: Key,
+    /// The timestamp of the prepared version (equals the dependency's
+    /// transaction timestamp).
+    pub version: Timestamp,
+}
+
+/// A transaction's metadata, as shipped in `ST1` (prepare) messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// The client-chosen timestamp defining the serialization order.
+    pub timestamp: Timestamp,
+    /// Keys read, with the versions observed.
+    pub read_set: Vec<ReadOp>,
+    /// Buffered writes.
+    pub write_set: Vec<WriteOp>,
+    /// Write-read dependencies on prepared, uncommitted transactions.
+    pub deps: Vec<Dependency>,
+}
+
+impl Transaction {
+    /// Computes the transaction identifier: a SHA-256 digest over the
+    /// canonical encoding of the metadata.
+    pub fn id(&self) -> TxId {
+        TxId::from_bytes(*Sha256::digest(&self.encode()).as_bytes())
+    }
+
+    /// Canonical byte encoding used for hashing and for signing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 32 * (self.read_set.len() + self.write_set.len()));
+        out.extend_from_slice(&self.timestamp.time.to_be_bytes());
+        out.extend_from_slice(&self.timestamp.client.0.to_be_bytes());
+        out.extend_from_slice(&(self.read_set.len() as u32).to_be_bytes());
+        for r in &self.read_set {
+            encode_key(&mut out, &r.key);
+            encode_ts(&mut out, &r.version);
+        }
+        out.extend_from_slice(&(self.write_set.len() as u32).to_be_bytes());
+        for w in &self.write_set {
+            encode_key(&mut out, &w.key);
+            out.extend_from_slice(&(w.value.len() as u32).to_be_bytes());
+            out.extend_from_slice(w.value.as_bytes());
+        }
+        out.extend_from_slice(&(self.deps.len() as u32).to_be_bytes());
+        for d in &self.deps {
+            out.extend_from_slice(d.txid.as_bytes());
+            encode_key(&mut out, &d.key);
+            encode_ts(&mut out, &d.version);
+        }
+        out
+    }
+
+    /// Whether the transaction writes `key`.
+    pub fn writes(&self, key: &Key) -> bool {
+        self.write_set.iter().any(|w| &w.key == key)
+    }
+
+    /// Whether the transaction reads `key`.
+    pub fn reads(&self, key: &Key) -> bool {
+        self.read_set.iter().any(|r| &r.key == key)
+    }
+
+    /// The value this transaction writes to `key`, if any.
+    pub fn written_value(&self, key: &Key) -> Option<&Value> {
+        self.write_set.iter().find(|w| &w.key == key).map(|w| &w.value)
+    }
+
+    /// The version this transaction read for `key`, if any.
+    pub fn read_version(&self, key: &Key) -> Option<Timestamp> {
+        self.read_set.iter().find(|r| &r.key == key).map(|r| r.version)
+    }
+
+    /// The shards touched by this transaction under `cfg`'s key placement,
+    /// in ascending order.
+    pub fn involved_shards(&self, cfg: &SystemConfig) -> Vec<ShardId> {
+        let mut shards: BTreeSet<ShardId> = BTreeSet::new();
+        for r in &self.read_set {
+            shards.insert(cfg.shard_for_key(&r.key));
+        }
+        for w in &self.write_set {
+            shards.insert(cfg.shard_for_key(&w.key));
+        }
+        shards.into_iter().collect()
+    }
+
+    /// True when the transaction touches no keys at all.
+    pub fn is_empty(&self) -> bool {
+        self.read_set.is_empty() && self.write_set.is_empty()
+    }
+}
+
+fn encode_key(out: &mut Vec<u8>, key: &Key) {
+    out.extend_from_slice(&(key.len() as u32).to_be_bytes());
+    out.extend_from_slice(key.as_bytes());
+}
+
+fn encode_ts(out: &mut Vec<u8>, ts: &Timestamp) {
+    out.extend_from_slice(&ts.time.to_be_bytes());
+    out.extend_from_slice(&ts.client.0.to_be_bytes());
+}
+
+/// Incrementally assembles a [`Transaction`] during the execution phase.
+///
+/// The client buffers writes locally and records each read together with the
+/// version it observed; prepared-version reads additionally record a
+/// dependency. `build()` freezes the metadata.
+#[derive(Clone, Debug)]
+pub struct TransactionBuilder {
+    timestamp: Timestamp,
+    read_set: Vec<ReadOp>,
+    write_set: Vec<WriteOp>,
+    deps: Vec<Dependency>,
+}
+
+impl TransactionBuilder {
+    /// Starts building a transaction with the given timestamp.
+    pub fn new(timestamp: Timestamp) -> Self {
+        TransactionBuilder {
+            timestamp,
+            read_set: Vec::new(),
+            write_set: Vec::new(),
+            deps: Vec::new(),
+        }
+    }
+
+    /// The transaction's timestamp.
+    pub fn timestamp(&self) -> Timestamp {
+        self.timestamp
+    }
+
+    /// Records a read of `key` that observed `version`.
+    pub fn record_read(&mut self, key: Key, version: Timestamp) -> &mut Self {
+        self.read_set.push(ReadOp { key, version });
+        self
+    }
+
+    /// Records a read of a prepared (uncommitted) version, adding the
+    /// corresponding dependency.
+    pub fn record_dependent_read(&mut self, key: Key, version: Timestamp, dep_txid: TxId) -> &mut Self {
+        self.read_set.push(ReadOp {
+            key: key.clone(),
+            version,
+        });
+        self.deps.push(Dependency {
+            txid: dep_txid,
+            key,
+            version,
+        });
+        self
+    }
+
+    /// Buffers a write. A later write to the same key overwrites the earlier
+    /// one (last-writer-wins within the transaction).
+    pub fn record_write(&mut self, key: Key, value: Value) -> &mut Self {
+        if let Some(w) = self.write_set.iter_mut().find(|w| w.key == key) {
+            w.value = value;
+        } else {
+            self.write_set.push(WriteOp { key, value });
+        }
+        self
+    }
+
+    /// The value this transaction has buffered for `key`, if any. Reads of
+    /// keys the transaction itself wrote must return the buffered value
+    /// (read-your-writes).
+    pub fn buffered_value(&self, key: &Key) -> Option<&Value> {
+        self.write_set.iter().find(|w| &w.key == key).map(|w| &w.value)
+    }
+
+    /// Whether the builder has already recorded a read of `key`.
+    pub fn has_read(&self, key: &Key) -> bool {
+        self.read_set.iter().any(|r| &r.key == key)
+    }
+
+    /// Number of reads recorded so far.
+    pub fn read_count(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Number of distinct keys written so far.
+    pub fn write_count(&self) -> usize {
+        self.write_set.len()
+    }
+
+    /// Freezes the metadata into an immutable [`Transaction`].
+    pub fn build(self) -> Transaction {
+        Transaction {
+            timestamp: self.timestamp,
+            read_set: self.read_set,
+            write_set: self.write_set,
+            deps: self.deps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basil_common::ClientId;
+
+    fn ts(t: u64, c: u64) -> Timestamp {
+        Timestamp::from_nanos(t, ClientId(c))
+    }
+
+    fn sample_tx() -> Transaction {
+        let mut b = TransactionBuilder::new(ts(100, 1));
+        b.record_read(Key::new("x"), ts(50, 2));
+        b.record_write(Key::new("y"), Value::from_u64(7));
+        b.build()
+    }
+
+    #[test]
+    fn id_is_deterministic_and_content_sensitive() {
+        let a = sample_tx();
+        let b = sample_tx();
+        assert_eq!(a.id(), b.id());
+
+        let mut c = sample_tx();
+        c.write_set[0].value = Value::from_u64(8);
+        assert_ne!(a.id(), c.id());
+
+        let mut d = sample_tx();
+        d.timestamp = ts(101, 1);
+        assert_ne!(a.id(), d.id());
+    }
+
+    #[test]
+    fn id_depends_on_dependencies() {
+        let mut b = TransactionBuilder::new(ts(100, 1));
+        b.record_dependent_read(Key::new("x"), ts(50, 2), TxId::from_bytes([9; 32]));
+        let with_dep = b.build();
+
+        let mut b2 = TransactionBuilder::new(ts(100, 1));
+        b2.record_read(Key::new("x"), ts(50, 2));
+        let without_dep = b2.build();
+
+        assert_ne!(with_dep.id(), without_dep.id());
+        assert_eq!(with_dep.deps.len(), 1);
+        assert_eq!(with_dep.read_set.len(), 1);
+    }
+
+    #[test]
+    fn builder_read_your_writes_and_overwrite() {
+        let mut b = TransactionBuilder::new(ts(10, 1));
+        b.record_write(Key::new("k"), Value::from_u64(1));
+        assert_eq!(b.buffered_value(&Key::new("k")), Some(&Value::from_u64(1)));
+        b.record_write(Key::new("k"), Value::from_u64(2));
+        let t = b.build();
+        assert_eq!(t.write_set.len(), 1);
+        assert_eq!(t.written_value(&Key::new("k")), Some(&Value::from_u64(2)));
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample_tx();
+        assert!(t.reads(&Key::new("x")));
+        assert!(!t.reads(&Key::new("y")));
+        assert!(t.writes(&Key::new("y")));
+        assert!(!t.writes(&Key::new("x")));
+        assert_eq!(t.read_version(&Key::new("x")), Some(ts(50, 2)));
+        assert_eq!(t.read_version(&Key::new("y")), None);
+        assert!(!t.is_empty());
+        assert!(TransactionBuilder::new(ts(1, 1)).build().is_empty());
+    }
+
+    #[test]
+    fn involved_shards_covers_reads_and_writes() {
+        let cfg = SystemConfig::sharded(3);
+        let mut b = TransactionBuilder::new(ts(10, 1));
+        // Touch enough keys that more than one shard is involved.
+        for i in 0..20 {
+            b.record_write(Key::new(format!("w{i}")), Value::from_u64(i));
+            b.record_read(Key::new(format!("r{i}")), Timestamp::ZERO);
+        }
+        let t = b.build();
+        let shards = t.involved_shards(&cfg);
+        assert!(shards.len() >= 2, "expected multiple shards, got {shards:?}");
+        assert!(shards.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        for s in &shards {
+            assert!(s.0 < 3);
+        }
+    }
+
+    #[test]
+    fn encoding_is_prefix_free_between_fields() {
+        // Moving a byte between key and value must change the encoding.
+        let mut b1 = TransactionBuilder::new(ts(1, 1));
+        b1.record_write(Key::new("ab"), Value::new(b"c"));
+        let mut b2 = TransactionBuilder::new(ts(1, 1));
+        b2.record_write(Key::new("a"), Value::new(b"bc"));
+        assert_ne!(b1.build().encode(), b2.build().encode());
+    }
+}

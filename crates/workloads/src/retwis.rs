@@ -1,0 +1,203 @@
+//! Retwis: the social-network workload used to evaluate TAPIR (Figure 4).
+//!
+//! Retwis models a Twitter-like application backed by a key-value store. We
+//! follow the transaction mix of the TAPIR evaluation: add-user (5%),
+//! follow/unfollow (15%), post-tweet (30%), and load-timeline (50%), with
+//! keys drawn from a moderately skewed Zipfian distribution (coefficient
+//! 0.75, as stated in Section 6.1).
+
+use crate::zipf::ZipfSampler;
+use basil_common::{Key, Op, TxGenerator, TxProfile, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The Retwis generator.
+#[derive(Debug)]
+pub struct RetwisGenerator {
+    rng: SmallRng,
+    zipf: ZipfSampler,
+    num_users: u64,
+    next_tweet_id: u64,
+}
+
+impl RetwisGenerator {
+    /// The paper's configuration: Zipf 0.75 over the user population.
+    pub fn paper_config(seed: u64, num_users: u64) -> Self {
+        Self::new(seed, num_users, 0.75)
+    }
+
+    /// A custom configuration.
+    pub fn new(seed: u64, num_users: u64, theta: f64) -> Self {
+        RetwisGenerator {
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(131).wrapping_add(7)),
+            zipf: ZipfSampler::new(num_users.max(2), theta),
+            num_users: num_users.max(2),
+            next_tweet_id: seed.wrapping_mul(1_000_003),
+        }
+    }
+
+    fn user_key(user: u64) -> Key {
+        Key::new(format!("user:{user}"))
+    }
+
+    fn followers_key(user: u64) -> Key {
+        Key::new(format!("followers:{user}"))
+    }
+
+    fn following_key(user: u64) -> Key {
+        Key::new(format!("following:{user}"))
+    }
+
+    fn timeline_key(user: u64) -> Key {
+        Key::new(format!("timeline:{user}"))
+    }
+
+    fn tweet_key(id: u64) -> Key {
+        Key::new(format!("tweet:{id}"))
+    }
+
+    fn sample_user(&mut self) -> u64 {
+        self.zipf.sample(&mut self.rng)
+    }
+}
+
+impl TxGenerator for RetwisGenerator {
+    fn next_tx(&mut self) -> Option<TxProfile> {
+        let dice = self.rng.gen_range(0..100u32);
+        let profile = if dice < 5 {
+            // Add user: read a reference user, create the new user's records.
+            let reference = self.sample_user();
+            let new_user = self.rng.gen_range(0..self.num_users);
+            TxProfile::new(
+                "add_user",
+                vec![
+                    Op::Read(Self::user_key(reference)),
+                    Op::Write(Self::user_key(new_user), Value::from_str_value("profile")),
+                    Op::Write(Self::followers_key(new_user), Value::from_u64(0)),
+                    Op::Write(Self::following_key(new_user), Value::from_u64(0)),
+                ],
+            )
+        } else if dice < 20 {
+            // Follow: update both users' relationship counters.
+            let a = self.sample_user();
+            let b = self.sample_user();
+            TxProfile::new(
+                "follow",
+                vec![
+                    Op::RmwAdd {
+                        key: Self::following_key(a),
+                        delta: 1,
+                    },
+                    Op::RmwAdd {
+                        key: Self::followers_key(b),
+                        delta: 1,
+                    },
+                ],
+            )
+        } else if dice < 50 {
+            // Post tweet: write the tweet, bump the author's counters, and
+            // append to the author's timeline.
+            let author = self.sample_user();
+            self.next_tweet_id = self.next_tweet_id.wrapping_add(1);
+            let tweet = self.next_tweet_id;
+            TxProfile::new(
+                "post_tweet",
+                vec![
+                    Op::Read(Self::user_key(author)),
+                    Op::Write(Self::tweet_key(tweet), Value::from_str_value("140 chars")),
+                    Op::RmwAdd {
+                        key: Self::timeline_key(author),
+                        delta: 1,
+                    },
+                    Op::RmwAdd {
+                        key: Self::user_key(author),
+                        delta: 1,
+                    },
+                ],
+            )
+        } else {
+            // Load timeline: read between 1 and 10 timelines of followed
+            // users.
+            let count = self.rng.gen_range(1..=10u32);
+            let mut ops = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let user = self.sample_user();
+                ops.push(Op::Read(Self::timeline_key(user)));
+            }
+            TxProfile::new("get_timeline", ops)
+        };
+        Some(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn mix_roughly_matches_configuration() {
+        let mut g = RetwisGenerator::paper_config(1, 100_000);
+        let mut counts: HashMap<&'static str, usize> = HashMap::new();
+        let total = 5_000;
+        for _ in 0..total {
+            *counts.entry(g.next_tx().expect("tx").label).or_insert(0) += 1;
+        }
+        let frac = |label: &str| counts.get(label).copied().unwrap_or(0) as f64 / total as f64;
+        assert!((frac("add_user") - 0.05).abs() < 0.02, "add_user {}", frac("add_user"));
+        assert!((frac("follow") - 0.15).abs() < 0.03);
+        assert!((frac("post_tweet") - 0.30).abs() < 0.04);
+        assert!((frac("get_timeline") - 0.50).abs() < 0.04);
+    }
+
+    #[test]
+    fn timeline_reads_are_bounded() {
+        let mut g = RetwisGenerator::paper_config(2, 1_000);
+        for _ in 0..500 {
+            let tx = g.next_tx().expect("tx");
+            if tx.label == "get_timeline" {
+                assert!((1..=10).contains(&tx.ops.len()));
+                assert_eq!(tx.writes(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn post_tweet_writes_new_tweets() {
+        let mut g = RetwisGenerator::paper_config(3, 1_000);
+        let mut tweet_keys = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            let tx = g.next_tx().expect("tx");
+            if tx.label == "post_tweet" {
+                for op in &tx.ops {
+                    if op.key().as_str().starts_with("tweet:") {
+                        assert!(tweet_keys.insert(op.key().clone()), "tweet ids are unique");
+                    }
+                }
+            }
+        }
+        assert!(!tweet_keys.is_empty());
+    }
+
+    #[test]
+    fn accesses_are_skewed_toward_popular_users() {
+        let mut g = RetwisGenerator::paper_config(4, 100_000);
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..3_000 {
+            let tx = g.next_tx().expect("tx");
+            for op in &tx.ops {
+                if let Some(id) = op.key().as_str().split(':').nth(1) {
+                    if let Ok(user) = id.parse::<u64>() {
+                        if user < 1_000 {
+                            hot += 1;
+                        }
+                        total += 1;
+                    }
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.2, "Zipf 0.75 should concentrate accesses, got {frac}");
+    }
+}

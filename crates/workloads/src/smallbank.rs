@@ -1,0 +1,265 @@
+//! Smallbank: a simple banking benchmark (Figure 4).
+//!
+//! The paper configures Smallbank with one million accounts, of which 1,000
+//! "hot" accounts receive 90% of the accesses. Each account has a checking
+//! and a savings balance. The transaction mix follows the OLTPBench
+//! implementation: balance inquiry, deposit-checking, transact-savings,
+//! amalgamate, write-check, and send-payment.
+
+use basil_common::{Key, Op, TxGenerator, TxProfile, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The Smallbank generator.
+#[derive(Debug)]
+pub struct SmallbankGenerator {
+    rng: SmallRng,
+    num_accounts: u64,
+    hot_accounts: u64,
+    hot_probability: f64,
+}
+
+impl SmallbankGenerator {
+    /// The paper's configuration: one million accounts, 1,000 hot accounts
+    /// accessed 90% of the time.
+    pub fn paper_config(seed: u64) -> Self {
+        Self::new(seed, 1_000_000, 1_000, 0.9)
+    }
+
+    /// A custom configuration.
+    pub fn new(seed: u64, num_accounts: u64, hot_accounts: u64, hot_probability: f64) -> Self {
+        SmallbankGenerator {
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(17)),
+            num_accounts: num_accounts.max(2),
+            hot_accounts: hot_accounts.clamp(1, num_accounts.max(2)),
+            hot_probability,
+        }
+    }
+
+    /// The checking-balance key of an account.
+    pub fn checking_key(account: u64) -> Key {
+        Key::new(format!("checking:{account}"))
+    }
+
+    /// The savings-balance key of an account.
+    pub fn savings_key(account: u64) -> Key {
+        Key::new(format!("savings:{account}"))
+    }
+
+    /// Initial data for a (small) deployment: every account starts with the
+    /// given balances. Examples use this; benchmark runs rely on implicit
+    /// zero balances to avoid materializing millions of keys.
+    pub fn initial_data(num_accounts: u64, balance: u64) -> Vec<(Key, Value)> {
+        (0..num_accounts)
+            .flat_map(|a| {
+                [
+                    (Self::checking_key(a), Value::from_u64(balance)),
+                    (Self::savings_key(a), Value::from_u64(balance)),
+                ]
+            })
+            .collect()
+    }
+
+    fn sample_account(&mut self) -> u64 {
+        if self.rng.gen::<f64>() < self.hot_probability {
+            self.rng.gen_range(0..self.hot_accounts)
+        } else {
+            self.rng.gen_range(0..self.num_accounts)
+        }
+    }
+
+    fn two_distinct_accounts(&mut self) -> (u64, u64) {
+        let a = self.sample_account();
+        let mut b = self.sample_account();
+        let mut tries = 0;
+        while b == a && tries < 16 {
+            b = self.sample_account();
+            tries += 1;
+        }
+        if b == a {
+            b = (a + 1) % self.num_accounts;
+        }
+        (a, b)
+    }
+}
+
+impl TxGenerator for SmallbankGenerator {
+    fn next_tx(&mut self) -> Option<TxProfile> {
+        let kind = self.rng.gen_range(0..6u32);
+        let profile = match kind {
+            // Balance: read both balances of one account.
+            0 => {
+                let a = self.sample_account();
+                TxProfile::new(
+                    "balance",
+                    vec![
+                        Op::Read(Self::checking_key(a)),
+                        Op::Read(Self::savings_key(a)),
+                    ],
+                )
+            }
+            // DepositChecking: add to the checking balance.
+            1 => {
+                let a = self.sample_account();
+                let amount = self.rng.gen_range(1..100i64);
+                TxProfile::new(
+                    "deposit_checking",
+                    vec![Op::RmwAdd {
+                        key: Self::checking_key(a),
+                        delta: amount,
+                    }],
+                )
+            }
+            // TransactSavings: add to (or subtract from) the savings balance.
+            2 => {
+                let a = self.sample_account();
+                let amount = self.rng.gen_range(-50..100i64);
+                TxProfile::new(
+                    "transact_savings",
+                    vec![Op::RmwAdd {
+                        key: Self::savings_key(a),
+                        delta: amount,
+                    }],
+                )
+            }
+            // Amalgamate: move everything from account a to account b's
+            // checking balance.
+            3 => {
+                let (a, b) = self.two_distinct_accounts();
+                TxProfile::new(
+                    "amalgamate",
+                    vec![
+                        Op::Read(Self::checking_key(a)),
+                        Op::Read(Self::savings_key(a)),
+                        Op::Write(Self::checking_key(a), Value::from_u64(0)),
+                        Op::Write(Self::savings_key(a), Value::from_u64(0)),
+                        Op::RmwAdd {
+                            key: Self::checking_key(b),
+                            delta: 50,
+                        },
+                    ],
+                )
+            }
+            // WriteCheck: check both balances, then deduct from checking.
+            4 => {
+                let a = self.sample_account();
+                let amount = self.rng.gen_range(1..50i64);
+                TxProfile::new(
+                    "write_check",
+                    vec![
+                        Op::Read(Self::savings_key(a)),
+                        Op::RmwAdd {
+                            key: Self::checking_key(a),
+                            delta: -amount,
+                        },
+                    ],
+                )
+            }
+            // SendPayment: move money between two checking accounts.
+            _ => {
+                let (a, b) = self.two_distinct_accounts();
+                let amount = self.rng.gen_range(1..50i64);
+                TxProfile::new(
+                    "send_payment",
+                    vec![
+                        Op::RmwAdd {
+                            key: Self::checking_key(a),
+                            delta: -amount,
+                        },
+                        Op::RmwAdd {
+                            key: Self::checking_key(b),
+                            delta: amount,
+                        },
+                    ],
+                )
+            }
+        };
+        Some(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generates_all_transaction_types() {
+        let mut g = SmallbankGenerator::new(1, 10_000, 100, 0.9);
+        let mut labels = HashSet::new();
+        for _ in 0..500 {
+            labels.insert(g.next_tx().expect("tx").label);
+        }
+        for expected in [
+            "balance",
+            "deposit_checking",
+            "transact_savings",
+            "amalgamate",
+            "write_check",
+            "send_payment",
+        ] {
+            assert!(labels.contains(expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn hotspot_dominates_accesses() {
+        let mut g = SmallbankGenerator::new(2, 1_000_000, 1_000, 0.9);
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..2_000 {
+            let tx = g.next_tx().expect("tx");
+            for op in &tx.ops {
+                let account: u64 = op
+                    .key()
+                    .as_str()
+                    .split(':')
+                    .nth(1)
+                    .expect("account id")
+                    .parse()
+                    .expect("numeric");
+                if account < 1_000 {
+                    hot += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.8, "hot accounts should receive ~90% of accesses, got {frac}");
+    }
+
+    #[test]
+    fn initial_data_has_two_keys_per_account() {
+        let data = SmallbankGenerator::initial_data(10, 1_000);
+        assert_eq!(data.len(), 20);
+        assert!(data.iter().all(|(_, v)| v.as_u64() == Some(1_000)));
+    }
+
+    #[test]
+    fn amalgamate_touches_two_accounts() {
+        let mut g = SmallbankGenerator::new(3, 100, 10, 0.5);
+        let amalgamate = (0..500)
+            .filter_map(|_| {
+                let tx = g.next_tx().expect("tx");
+                (tx.label == "amalgamate").then_some(tx)
+            })
+            .next()
+            .expect("an amalgamate transaction in 500 draws");
+        let accounts: HashSet<String> = amalgamate
+            .ops
+            .iter()
+            .map(|o| o.key().as_str().split(':').nth(1).expect("id").to_string())
+            .collect();
+        assert_eq!(accounts.len(), 2);
+    }
+
+    #[test]
+    fn transactions_are_small() {
+        // Smallbank transactions are "relatively small" (Section 6.1); the
+        // generator should never emit more than a handful of operations.
+        let mut g = SmallbankGenerator::paper_config(5);
+        for _ in 0..200 {
+            assert!(g.next_tx().expect("tx").ops.len() <= 5);
+        }
+    }
+}

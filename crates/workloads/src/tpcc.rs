@@ -1,0 +1,384 @@
+//! TPC-C: the order-processing benchmark (Figure 4).
+//!
+//! The paper runs TPC-C with 20 warehouses and notes two adaptations for a
+//! key-value API without secondary indices: a separate table mapping a
+//! customer to their latest order (used by order-status) and a separate table
+//! for looking customers up by last name (used by order-status and payment).
+//! Both auxiliary tables are modelled here as dedicated key spaces.
+//!
+//! The generator emits the standard transaction mix: new-order (45%), payment
+//! (43%), order-status (4%), delivery (4%), and stock-level (4%). As in the
+//! paper, contention concentrates on the read-write conflict between payment
+//! (which updates warehouse and district year-to-date counters) and new-order
+//! (which reads them and bumps the district's next-order id).
+
+use basil_common::{Key, Op, TxGenerator, TxProfile, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Number of districts per warehouse (TPC-C standard).
+pub const DISTRICTS_PER_WAREHOUSE: u64 = 10;
+/// Number of customers per district (TPC-C standard).
+pub const CUSTOMERS_PER_DISTRICT: u64 = 3_000;
+/// Number of items in the catalogue (TPC-C standard).
+pub const NUM_ITEMS: u64 = 100_000;
+/// Number of distinct last names used by the non-uniform customer selection.
+pub const NUM_LAST_NAMES: u64 = 1_000;
+
+/// The TPC-C generator.
+#[derive(Debug)]
+pub struct TpccGenerator {
+    rng: SmallRng,
+    warehouses: u64,
+    /// Next order id per (warehouse, district), tracked client-side so order
+    /// keys are unique per generator.
+    next_order_id: HashMap<(u64, u64), u64>,
+    client_tag: u64,
+}
+
+impl TpccGenerator {
+    /// The paper's configuration: 20 warehouses.
+    pub fn paper_config(seed: u64) -> Self {
+        Self::new(seed, 20)
+    }
+
+    /// A custom warehouse count.
+    pub fn new(seed: u64, warehouses: u64) -> Self {
+        TpccGenerator {
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(2_654_435_761).wrapping_add(3)),
+            warehouses: warehouses.max(1),
+            next_order_id: HashMap::new(),
+            client_tag: seed,
+        }
+    }
+
+    // Key builders ------------------------------------------------------
+
+    /// Warehouse row (year-to-date counter).
+    pub fn warehouse_key(w: u64) -> Key {
+        Key::new(format!("warehouse:{w}"))
+    }
+
+    /// District row (year-to-date counter and next order id).
+    pub fn district_key(w: u64, d: u64) -> Key {
+        Key::new(format!("district:{w}:{d}"))
+    }
+
+    /// Customer row (balance).
+    pub fn customer_key(w: u64, d: u64, c: u64) -> Key {
+        Key::new(format!("customer:{w}:{d}:{c}"))
+    }
+
+    /// Auxiliary table: customer lookup by last name (the paper's secondary
+    /// index substitute).
+    pub fn customer_by_name_key(w: u64, d: u64, name: u64) -> Key {
+        Key::new(format!("cust_name_idx:{w}:{d}:{name}"))
+    }
+
+    /// Auxiliary table: a customer's latest order (the paper's secondary
+    /// index substitute for order-status).
+    pub fn latest_order_key(w: u64, d: u64, c: u64) -> Key {
+        Key::new(format!("cust_last_order:{w}:{d}:{c}"))
+    }
+
+    /// Stock row.
+    pub fn stock_key(w: u64, i: u64) -> Key {
+        Key::new(format!("stock:{w}:{i}"))
+    }
+
+    /// Item row (read-only catalogue).
+    pub fn item_key(i: u64) -> Key {
+        Key::new(format!("item:{i}"))
+    }
+
+    /// Order row.
+    pub fn order_key(w: u64, d: u64, o: u64) -> Key {
+        Key::new(format!("order:{w}:{d}:{o}"))
+    }
+
+    /// Order-line row.
+    pub fn order_line_key(w: u64, d: u64, o: u64, line: u64) -> Key {
+        Key::new(format!("order_line:{w}:{d}:{o}:{line}"))
+    }
+
+    /// New-order queue row.
+    pub fn new_order_key(w: u64, d: u64, o: u64) -> Key {
+        Key::new(format!("new_order:{w}:{d}:{o}"))
+    }
+
+    // Sampling helpers ---------------------------------------------------
+
+    fn pick_warehouse(&mut self) -> u64 {
+        self.rng.gen_range(0..self.warehouses)
+    }
+
+    fn pick_district(&mut self) -> u64 {
+        self.rng.gen_range(0..DISTRICTS_PER_WAREHOUSE)
+    }
+
+    fn pick_customer(&mut self) -> u64 {
+        // TPC-C uses a non-uniform random distribution; approximate it by
+        // favouring a hot subset.
+        if self.rng.gen_bool(0.6) {
+            self.rng.gen_range(0..CUSTOMERS_PER_DISTRICT / 10)
+        } else {
+            self.rng.gen_range(0..CUSTOMERS_PER_DISTRICT)
+        }
+    }
+
+    fn pick_item(&mut self) -> u64 {
+        self.rng.gen_range(0..NUM_ITEMS)
+    }
+
+    fn alloc_order_id(&mut self, w: u64, d: u64) -> u64 {
+        let next = self.next_order_id.entry((w, d)).or_insert(0);
+        *next += 1;
+        // Make order ids globally unique across generators by tagging with
+        // the client seed.
+        *next * 10_000 + self.client_tag % 10_000
+    }
+
+    // Transactions -------------------------------------------------------
+
+    fn new_order(&mut self) -> TxProfile {
+        let w = self.pick_warehouse();
+        let d = self.pick_district();
+        let c = self.pick_customer();
+        let o = self.alloc_order_id(w, d);
+        let item_count = self.rng.gen_range(5..=15u64);
+
+        let mut ops = vec![
+            // Reads the warehouse tax rate; conflicts with payment's ytd
+            // update on the same key.
+            Op::Read(Self::warehouse_key(w)),
+            // Bumps the district's next-order-id.
+            Op::RmwAdd {
+                key: Self::district_key(w, d),
+                delta: 1,
+            },
+            Op::Read(Self::customer_key(w, d, c)),
+        ];
+        for line in 0..item_count {
+            let item = self.pick_item();
+            ops.push(Op::Read(Self::item_key(item)));
+            ops.push(Op::RmwAdd {
+                key: Self::stock_key(w, item),
+                delta: -(self.rng.gen_range(1..=10i64)),
+            });
+            ops.push(Op::Write(
+                Self::order_line_key(w, d, o, line),
+                Value::from_u64(item),
+            ));
+        }
+        ops.push(Op::Write(Self::order_key(w, d, o), Value::from_u64(c)));
+        ops.push(Op::Write(Self::new_order_key(w, d, o), Value::from_u64(1)));
+        ops.push(Op::Write(Self::latest_order_key(w, d, c), Value::from_u64(o)));
+        TxProfile::new("new_order", ops)
+    }
+
+    fn payment(&mut self) -> TxProfile {
+        let w = self.pick_warehouse();
+        let d = self.pick_district();
+        let amount = self.rng.gen_range(1..5_000i64);
+        let mut ops = vec![
+            Op::RmwAdd {
+                key: Self::warehouse_key(w),
+                delta: amount,
+            },
+            Op::RmwAdd {
+                key: Self::district_key(w, d),
+                delta: amount,
+            },
+        ];
+        // 60% of payments select the customer by last name through the
+        // auxiliary index table (as in the TPC-C specification and the
+        // paper's adaptation).
+        if self.rng.gen_bool(0.6) {
+            let name = self.rng.gen_range(0..NUM_LAST_NAMES);
+            ops.push(Op::Read(Self::customer_by_name_key(w, d, name)));
+        }
+        let c = self.pick_customer();
+        ops.push(Op::RmwAdd {
+            key: Self::customer_key(w, d, c),
+            delta: -amount,
+        });
+        TxProfile::new("payment", ops)
+    }
+
+    fn order_status(&mut self) -> TxProfile {
+        let w = self.pick_warehouse();
+        let d = self.pick_district();
+        let c = self.pick_customer();
+        let mut ops = Vec::new();
+        if self.rng.gen_bool(0.6) {
+            let name = self.rng.gen_range(0..NUM_LAST_NAMES);
+            ops.push(Op::Read(Self::customer_by_name_key(w, d, name)));
+        }
+        ops.push(Op::Read(Self::customer_key(w, d, c)));
+        // Locate the customer's latest order through the auxiliary table.
+        ops.push(Op::Read(Self::latest_order_key(w, d, c)));
+        let o = self
+            .next_order_id
+            .get(&(w, d))
+            .copied()
+            .unwrap_or(1)
+            .max(1);
+        ops.push(Op::Read(Self::order_key(w, d, o)));
+        for line in 0..5 {
+            ops.push(Op::Read(Self::order_line_key(w, d, o, line)));
+        }
+        TxProfile::new("order_status", ops)
+    }
+
+    fn delivery(&mut self) -> TxProfile {
+        let w = self.pick_warehouse();
+        let d = self.pick_district();
+        let c = self.pick_customer();
+        let o = self
+            .next_order_id
+            .get(&(w, d))
+            .copied()
+            .unwrap_or(1)
+            .max(1);
+        TxProfile::new(
+            "delivery",
+            vec![
+                Op::Read(Self::new_order_key(w, d, o)),
+                Op::Write(Self::new_order_key(w, d, o), Value::from_u64(0)),
+                Op::Write(Self::order_key(w, d, o), Value::from_u64(99)),
+                Op::RmwAdd {
+                    key: Self::customer_key(w, d, c),
+                    delta: 100,
+                },
+            ],
+        )
+    }
+
+    fn stock_level(&mut self) -> TxProfile {
+        let w = self.pick_warehouse();
+        let d = self.pick_district();
+        let mut ops = vec![Op::Read(Self::district_key(w, d))];
+        for _ in 0..20 {
+            let item = self.pick_item();
+            ops.push(Op::Read(Self::stock_key(w, item)));
+        }
+        TxProfile::new("stock_level", ops)
+    }
+}
+
+impl TxGenerator for TpccGenerator {
+    fn next_tx(&mut self) -> Option<TxProfile> {
+        let dice = self.rng.gen_range(0..100u32);
+        let profile = if dice < 45 {
+            self.new_order()
+        } else if dice < 88 {
+            self.payment()
+        } else if dice < 92 {
+            self.order_status()
+        } else if dice < 96 {
+            self.delivery()
+        } else {
+            self.stock_level()
+        };
+        Some(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn mix_matches_tpcc_proportions() {
+        let mut g = TpccGenerator::paper_config(1);
+        let mut counts: HashMap<&'static str, usize> = HashMap::new();
+        let total = 10_000;
+        for _ in 0..total {
+            *counts.entry(g.next_tx().expect("tx").label).or_insert(0) += 1;
+        }
+        let frac = |l: &str| counts.get(l).copied().unwrap_or(0) as f64 / total as f64;
+        assert!((frac("new_order") - 0.45).abs() < 0.03);
+        assert!((frac("payment") - 0.43).abs() < 0.03);
+        assert!((frac("order_status") - 0.04).abs() < 0.02);
+        assert!((frac("delivery") - 0.04).abs() < 0.02);
+        assert!((frac("stock_level") - 0.04).abs() < 0.02);
+    }
+
+    #[test]
+    fn new_order_touches_district_and_stock() {
+        let mut g = TpccGenerator::paper_config(2);
+        let tx = (0..100)
+            .filter_map(|_| {
+                let t = g.next_tx().expect("tx");
+                (t.label == "new_order").then_some(t)
+            })
+            .next()
+            .expect("a new_order in 100 draws");
+        assert!(tx.ops.iter().any(|o| o.key().as_str().starts_with("district:")));
+        assert!(tx.ops.iter().any(|o| o.key().as_str().starts_with("stock:")));
+        assert!(tx.ops.iter().any(|o| o.key().as_str().starts_with("order_line:")));
+        // 5-15 items => between ~13 and ~36 operations.
+        assert!(tx.ops.len() >= 13);
+    }
+
+    #[test]
+    fn payment_and_new_order_conflict_on_warehouse_and_district() {
+        // The contention the paper highlights: payment writes the warehouse
+        // row that new-order reads.
+        let mut g = TpccGenerator::new(3, 1); // single warehouse maximizes conflict
+        let mut payment_writes_warehouse = false;
+        let mut new_order_reads_warehouse = false;
+        for _ in 0..200 {
+            let tx = g.next_tx().expect("tx");
+            match tx.label {
+                "payment" => {
+                    payment_writes_warehouse |= tx
+                        .ops
+                        .iter()
+                        .any(|o| o.is_write() && o.key().as_str().starts_with("warehouse:"));
+                }
+                "new_order" => {
+                    new_order_reads_warehouse |= tx
+                        .ops
+                        .iter()
+                        .any(|o| o.is_read() && o.key().as_str().starts_with("warehouse:"));
+                }
+                _ => {}
+            }
+        }
+        assert!(payment_writes_warehouse);
+        assert!(new_order_reads_warehouse);
+    }
+
+    #[test]
+    fn order_ids_are_unique_per_generator() {
+        let mut g = TpccGenerator::new(4, 2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let tx = g.next_tx().expect("tx");
+            if tx.label == "new_order" {
+                for op in &tx.ops {
+                    if op.key().as_str().starts_with("order:") && op.is_write() {
+                        assert!(seen.insert(op.key().clone()), "duplicate order key");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warehouses_are_bounded() {
+        let mut g = TpccGenerator::paper_config(5);
+        for _ in 0..500 {
+            let tx = g.next_tx().expect("tx");
+            for op in &tx.ops {
+                if let Some(rest) = op.key().as_str().strip_prefix("warehouse:") {
+                    let w: u64 = rest.parse().expect("numeric warehouse");
+                    assert!(w < 20);
+                }
+            }
+        }
+    }
+}

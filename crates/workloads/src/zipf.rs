@@ -1,0 +1,134 @@
+//! Zipfian sampling.
+//!
+//! Implements the rejection-inversion-free approximation of Gray et al.
+//! ("Quickly generating billion-record synthetic databases", SIGMOD '94),
+//! the same construction YCSB uses: the zeta normalization constant is
+//! computed once in `O(n)`, after which every sample is `O(1)`.
+
+use rand::Rng;
+
+/// A Zipfian distribution over ranks `0..n` with skew `theta` (larger theta =
+/// more skew). Rank 0 is the most popular item.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta_theta: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` items with skew `theta` (0 < theta < 1 for
+    /// the classical YCSB range; the paper uses 0.9 for RW-Z and 0.75 for
+    /// Retwis).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0f64 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_theta / zeta_n);
+        ZipfSampler {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+            zeta_theta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Samples a rank in `0..n`; smaller ranks are more likely.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Unused accessor kept for completeness (the two-element zeta used by
+    /// the approximation).
+    pub fn zeta_theta(&self) -> f64 {
+        self.zeta_theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = ZipfSampler::new(1000, 0.9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = ZipfSampler::new(10_000, 0.9);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples: Vec<u64> = (0..50_000).map(|_| z.sample(&mut rng)).collect();
+        let top10 = samples.iter().filter(|&&s| s < 10).count() as f64 / samples.len() as f64;
+        let tail = samples.iter().filter(|&&s| s >= 5_000).count() as f64 / samples.len() as f64;
+        assert!(top10 > 0.15, "top-10 ranks should absorb a large share, got {top10}");
+        assert!(tail < 0.2, "the tail should be rare, got {tail}");
+    }
+
+    #[test]
+    fn lower_theta_is_less_skewed() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let skewed = ZipfSampler::new(10_000, 0.95);
+        let flat = ZipfSampler::new(10_000, 0.5);
+        let frac_top = |z: &ZipfSampler, rng: &mut SmallRng| {
+            let hits = (0..20_000).filter(|_| z.sample(rng) < 10).count();
+            hits as f64 / 20_000.0
+        };
+        let s = frac_top(&skewed, &mut rng);
+        let f = frac_top(&flat, &mut rng);
+        assert!(s > f, "theta=0.95 ({s}) should be more skewed than 0.5 ({f})");
+    }
+
+    #[test]
+    fn single_item_always_returns_zero() {
+        let z = ZipfSampler::new(1, 0.9);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!((0..100).all(|_| z.sample(&mut rng) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in (0, 1)")]
+    fn invalid_theta_panics() {
+        let _ = ZipfSampler::new(10, 1.5);
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration tests for the baseline systems (TAPIR-style,
+//! TxHotstuff, TxBFT-SMaRt) running on the same simulator and workloads.
+
+use basil::baseline_harness::{BaselineCluster, BaselineClusterConfig};
+use basil::baselines::{BaselineConfig, SystemKind};
+use basil::workloads::ycsb::YcsbGenerator;
+use basil::{Duration, Key, Op, ScriptedGenerator, TxProfile, Value};
+
+fn counter_profiles(count: usize) -> Vec<TxProfile> {
+    vec![
+        TxProfile::new(
+            "incr",
+            vec![Op::RmwAdd {
+                key: Key::new("counter"),
+                delta: 1,
+            }],
+        );
+        count
+    ]
+}
+
+fn run_counter_workload(kind: SystemKind) -> (u64, u64) {
+    let config = BaselineClusterConfig::new(BaselineConfig::new(kind).with_batch_size(1), 3)
+        .with_initial_data(vec![(Key::new("counter"), Value::from_u64(0))]);
+    let mut cluster = BaselineCluster::build(config, |_| Box::new(ScriptedGenerator::new(counter_profiles(8))));
+    cluster.run_for(Duration::from_secs(3));
+    let committed = cluster.total_committed();
+    let value = cluster
+        .latest_value(&Key::new("counter"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    (committed, value)
+}
+
+/// Counter increments applied through each baseline are exact: the committed
+/// count equals the final counter value (no lost or duplicated updates).
+#[test]
+fn tapir_counter_is_exact() {
+    let (committed, value) = run_counter_workload(SystemKind::Tapir);
+    assert!(committed > 0);
+    assert_eq!(committed, value);
+}
+
+#[test]
+fn hotstuff_counter_is_exact() {
+    let (committed, value) = run_counter_workload(SystemKind::TxHotstuff);
+    assert!(committed > 0);
+    assert_eq!(committed, value);
+}
+
+#[test]
+fn bftsmart_counter_is_exact() {
+    let (committed, value) = run_counter_workload(SystemKind::TxBftSmart);
+    assert!(committed > 0);
+    assert_eq!(committed, value);
+}
+
+/// All three baselines sustain an uncontended YCSB workload.
+#[test]
+fn baselines_sustain_ycsb_uniform() {
+    for kind in [SystemKind::Tapir, SystemKind::TxHotstuff, SystemKind::TxBftSmart] {
+        let config = BaselineClusterConfig::new(BaselineConfig::new(kind), 4).with_seed(5);
+        let mut cluster = BaselineCluster::build(config, |client| {
+            Box::new(YcsbGenerator::rw_uniform(client.0, 100_000, 2, 2))
+        });
+        let report = cluster.run_measured(Duration::from_millis(150), Duration::from_millis(400));
+        assert!(
+            report.committed > 20,
+            "{} committed too little: {}",
+            kind.name(),
+            report.committed
+        );
+    }
+}
+
+/// Cross-shard transactions commit atomically in the ordered baselines.
+#[test]
+fn ordered_baseline_cross_shard_transfers_conserve_money() {
+    let config = BaselineClusterConfig::new(
+        BaselineConfig::new(SystemKind::TxBftSmart)
+            .with_shards(2)
+            .with_batch_size(1),
+        2,
+    )
+    .with_initial_data(
+        (0..10)
+            .map(|i| (Key::new(format!("acct{i}")), Value::from_u64(100)))
+            .collect(),
+    );
+    let mut cluster = BaselineCluster::build(config, |client| {
+        let profiles: Vec<TxProfile> = (0..6)
+            .map(|i| {
+                let from = (client.0 * 6 + i) % 10;
+                let to = (from + 3) % 10;
+                TxProfile::new(
+                    "transfer",
+                    vec![
+                        Op::RmwAdd {
+                            key: Key::new(format!("acct{from}")),
+                            delta: -5,
+                        },
+                        Op::RmwAdd {
+                            key: Key::new(format!("acct{to}")),
+                            delta: 5,
+                        },
+                    ],
+                )
+            })
+            .collect();
+        Box::new(ScriptedGenerator::new(profiles))
+    });
+    cluster.run_for(Duration::from_secs(3));
+    assert!(cluster.total_committed() > 0);
+    let total: u64 = (0..10)
+        .map(|i| {
+            cluster
+                .latest_value(&Key::new(format!("acct{i}")))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(total, 1_000, "transfers must conserve the total balance");
+}
+
+/// TAPIR is faster than the BFT baselines on the same workload (the paper's
+/// headline ordering), and commits with lower latency.
+#[test]
+fn tapir_outperforms_ordered_bft_baselines() {
+    let run = |kind: SystemKind| {
+        let config = BaselineClusterConfig::new(BaselineConfig::new(kind), 6).with_seed(9);
+        let mut cluster = BaselineCluster::build(config, |client| {
+            Box::new(YcsbGenerator::rw_uniform(client.0, 100_000, 2, 2))
+        });
+        cluster.run_measured(Duration::from_millis(150), Duration::from_millis(400))
+    };
+    let tapir = run(SystemKind::Tapir);
+    let hotstuff = run(SystemKind::TxHotstuff);
+    let bftsmart = run(SystemKind::TxBftSmart);
+    assert!(
+        tapir.throughput_tps > hotstuff.throughput_tps,
+        "TAPIR {} <= TxHotstuff {}",
+        tapir.throughput_tps,
+        hotstuff.throughput_tps
+    );
+    assert!(
+        tapir.throughput_tps > bftsmart.throughput_tps,
+        "TAPIR {} <= TxBFT-SMaRt {}",
+        tapir.throughput_tps,
+        bftsmart.throughput_tps
+    );
+    assert!(
+        tapir.mean_latency_ms < hotstuff.mean_latency_ms,
+        "TAPIR latency {} >= TxHotstuff latency {}",
+        tapir.mean_latency_ms,
+        hotstuff.mean_latency_ms
+    );
+}
