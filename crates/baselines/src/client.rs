@@ -12,8 +12,8 @@
 use crate::messages::{BaselineClientTimer, BaselineMsg, ShardRequest};
 use crate::profile::BaselineConfig;
 use basil_common::{
-    ClientId, Duration, Key, NodeId, Op, ReplicaId, ShardId, SimTime, Timestamp, TxGenerator,
-    TxId, TxProfile, Value,
+    ClientId, Duration, Key, NodeId, Op, ReplicaId, ShardId, SimTime, Timestamp, TxGenerator, TxId,
+    TxProfile, Value,
 };
 use basil_simnet::{Actor, Context};
 use basil_store::occ::OccVote;
@@ -44,7 +44,9 @@ impl BaselineClientStats {
         if self.latencies_ns.is_empty() {
             return 0.0;
         }
-        self.latencies_ns.iter().map(|l| *l as f64).sum::<f64>() / self.latencies_ns.len() as f64 / 1e6
+        self.latencies_ns.iter().map(|l| *l as f64).sum::<f64>()
+            / self.latencies_ns.len() as f64
+            / 1e6
     }
 
     /// committed / (committed + aborted attempts).
@@ -260,7 +262,8 @@ impl BaselineClient {
                     };
                     if let Some(buffered) = exec.builder.buffered_value(&key).cloned() {
                         if let Some(delta) = rmw_delta {
-                            exec.builder.record_write(key, apply_delta(&buffered, delta));
+                            exec.builder
+                                .record_write(key, apply_delta(&buffered, delta));
                         }
                         exec.op_index += 1;
                         continue;
@@ -307,10 +310,13 @@ impl BaselineClient {
         self.stats.reads_issued += 1;
         for target in targets {
             ctx.charge(self.cfg.cost.message_cost());
-            ctx.send(target, BaselineMsg::Read {
-                req_id,
-                key: key.clone(),
-            });
+            ctx.send(
+                target,
+                BaselineMsg::Read {
+                    req_id,
+                    key: key.clone(),
+                },
+            );
         }
         ctx.schedule_self(
             self.cfg.request_timeout,
@@ -549,10 +555,18 @@ impl BaselineClient {
             let Some(replica) = from.as_replica() else {
                 return;
             };
-            dec.acks.entry(replica.shard).or_default().insert(replica.index);
+            dec.acks
+                .entry(replica.shard)
+                .or_default()
+                .insert(replica.index);
             dec.involved
                 .iter()
-                .all(|s| dec.acks.get(s).map(|a| a.len() as u32 >= quorum).unwrap_or(false))
+                .all(|s| {
+                    dec.acks
+                        .get(s)
+                        .map(|a| a.len() as u32 >= quorum)
+                        .unwrap_or(false)
+                })
                 .then_some(dec.commit)
         };
         if let Some(commit) = done {
@@ -616,10 +630,13 @@ impl BaselineClient {
                     let shard = self.cfg.shard_for_key(&key);
                     for target in self.replicas_of(shard) {
                         ctx.charge(self.cfg.cost.message_cost());
-                        ctx.send(target, BaselineMsg::Read {
-                            req_id,
-                            key: key.clone(),
-                        });
+                        ctx.send(
+                            target,
+                            BaselineMsg::Read {
+                                req_id,
+                                key: key.clone(),
+                            },
+                        );
                     }
                     ctx.schedule_self(
                         self.cfg.request_timeout,
@@ -782,7 +799,14 @@ mod tests {
         c.on_start(&mut cx);
         let prepares = sent(&cx)
             .iter()
-            .filter(|(_, m)| matches!(m, BaselineMsg::Submit { request: ShardRequest::Prepare { .. } }))
+            .filter(|(_, m)| {
+                matches!(
+                    m,
+                    BaselineMsg::Submit {
+                        request: ShardRequest::Prepare { .. }
+                    }
+                )
+            })
             .count();
         assert_eq!(prepares, 3, "TAPIR sends prepares to all 2f+1 replicas");
     }
@@ -907,7 +931,11 @@ mod tests {
                 },
             );
         }
-        assert_eq!(c.stats().committed, 0, "not committed until decide is acked");
+        assert_eq!(
+            c.stats().committed,
+            0,
+            "not committed until decide is acked"
+        );
         for i in 0..2 {
             let mut cxa = ctx();
             c.on_message(

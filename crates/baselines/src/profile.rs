@@ -178,7 +178,9 @@ mod tests {
 
     #[test]
     fn ordering_depth_ranks_hotstuff_above_pbft() {
-        assert!(SystemKind::TxHotstuff.ordering_phases() > SystemKind::TxBftSmart.ordering_phases());
+        assert!(
+            SystemKind::TxHotstuff.ordering_phases() > SystemKind::TxBftSmart.ordering_phases()
+        );
         assert_eq!(SystemKind::Tapir.ordering_phases(), 0);
         assert!(!SystemKind::Tapir.is_ordered());
         assert!(SystemKind::TxHotstuff.is_ordered());

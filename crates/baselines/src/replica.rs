@@ -126,7 +126,12 @@ impl BaselineReplica {
     // Request intake
     // ------------------------------------------------------------------
 
-    fn handle_submit(&mut self, ctx: &mut Context<BaselineMsg>, from: NodeId, request: ShardRequest) {
+    fn handle_submit(
+        &mut self,
+        ctx: &mut Context<BaselineMsg>,
+        from: NodeId,
+        request: ShardRequest,
+    ) {
         ctx.charge(self.verify_cost());
         if !self.cfg.kind.is_ordered() {
             // TAPIR: execute immediately.
@@ -201,7 +206,13 @@ impl BaselineReplica {
         ctx.send(self.leader(), BaselineMsg::OrderVote { seq, phase });
     }
 
-    fn handle_order_vote(&mut self, ctx: &mut Context<BaselineMsg>, from: NodeId, seq: u64, phase: u32) {
+    fn handle_order_vote(
+        &mut self,
+        ctx: &mut Context<BaselineMsg>,
+        from: NodeId,
+        seq: u64,
+        phase: u32,
+    ) {
         if !self.is_leader() {
             return;
         }
@@ -436,7 +447,10 @@ mod tests {
             },
         );
         assert!(matches!(sent(&c2)[0].1, BaselineMsg::DecideAck { .. }));
-        assert_eq!(r.store().committed_value(&Key::new("x")), Some(Value::from_u64(100)));
+        assert_eq!(
+            r.store().committed_value(&Key::new("x")),
+            Some(Value::from_u64(100))
+        );
     }
 
     #[test]
@@ -521,7 +535,11 @@ mod tests {
         // Not enough requests for a batch: only a timer was armed.
         assert!(sent(&c).is_empty());
         let mut c2 = ctx(NodeId::Replica(leader.id()));
-        leader.on_message(&mut c2, NodeId::Replica(leader.id()), BaselineMsg::BatchTimer);
+        leader.on_message(
+            &mut c2,
+            NodeId::Replica(leader.id()),
+            BaselineMsg::BatchTimer,
+        );
         let proposals = sent(&c2)
             .iter()
             .filter(|(_, m)| matches!(m, BaselineMsg::OrderPhase { phase: 0, .. }))

@@ -1,190 +1,139 @@
-//! Simulated-cluster harness for the baseline systems (TAPIR-style,
-//! TxHotstuff, TxBFT-SMaRt), mirroring [`crate::harness::BasilCluster`].
+//! The baseline-systems adapter (TAPIR-style, TxHotstuff, TxBFT-SMaRt) for
+//! the generic cluster runtime.
+//!
+//! [`BaselineCluster`] is the same
+//! [`ProtocolCluster`](crate::cluster::ProtocolCluster) engine that runs
+//! Basil, instantiated with [`BaselineProtocol`]; the whole cluster
+//! lifecycle — spawning, genesis data, measurement windows, the
+//! serializability audit — is shared code, which is what makes the
+//! harness's Basil-vs-baseline comparisons apples-to-apples.
 
-use crate::report::{RunReport, Snapshot};
-use basil_baselines::{BaselineClient, BaselineClientStats, BaselineConfig, BaselineMsg, BaselineReplica};
-use basil_common::{ClientId, Duration, Key, NodeId, ReplicaId, SimTime, TxGenerator, Value};
-use basil_simnet::{NetworkConfig, NodeProps, Simulation};
+use crate::cluster::{self, ClusterProtocol, ProtocolCluster};
+use crate::report::Snapshot;
+use basil_baselines::{
+    BaselineClient, BaselineClientStats, BaselineConfig, BaselineMsg, BaselineReplica,
+};
+use basil_common::{ClientId, Key, ReplicaId, ShardId, TxGenerator, TxId, Value};
+use basil_core::byzantine::FaultProfile;
+use basil_core::ReplicaBehavior;
+use basil_store::mvtso::Decision;
+use basil_store::Transaction;
 
-/// Configuration of a simulated baseline deployment.
+/// The [`ClusterProtocol`] adapter for the baseline systems.
+///
+/// The paper evaluates the baselines only in fault-free executions, so this
+/// adapter ignores Byzantine fault profiles and replica behaviour
+/// overrides; everything else rides the shared engine.
 #[derive(Clone, Debug)]
-pub struct BaselineClusterConfig {
+pub struct BaselineProtocol {
     /// The baseline system and its parameters.
     pub baseline: BaselineConfig,
-    /// Number of closed-loop clients.
-    pub num_clients: u32,
-    /// Network model.
-    pub network: NetworkConfig,
-    /// Simulation seed.
-    pub seed: u64,
-    /// Initial database contents.
-    pub initial_data: Vec<(Key, Value)>,
-    /// CPU cores per replica.
-    pub replica_cores: u32,
-    /// CPU cores per client.
-    pub client_cores: u32,
 }
+
+impl BaselineProtocol {
+    /// Wraps a baseline configuration in the adapter.
+    pub fn new(baseline: BaselineConfig) -> Self {
+        BaselineProtocol { baseline }
+    }
+}
+
+impl ClusterProtocol for BaselineProtocol {
+    type Msg = BaselineMsg;
+    type Client = BaselineClient;
+    type Replica = BaselineReplica;
+    type Stats = BaselineClientStats;
+
+    fn shards(&self) -> Vec<ShardId> {
+        self.baseline.shards().collect()
+    }
+
+    fn shard_for_key(&self, key: &Key) -> ShardId {
+        self.baseline.shard_for_key(key)
+    }
+
+    fn replicas_per_shard(&self) -> u32 {
+        self.baseline.n()
+    }
+
+    fn make_replica(
+        &self,
+        rid: ReplicaId,
+        behavior: ReplicaBehavior,
+        initial_data: Vec<(Key, Value)>,
+    ) -> BaselineReplica {
+        assert!(
+            behavior.is_correct(),
+            "the baseline systems are evaluated fault-free; replica behaviour \
+             overrides are not supported by the baseline adapter"
+        );
+        BaselineReplica::new(rid, self.baseline.clone(), initial_data)
+    }
+
+    fn make_client(
+        &self,
+        cid: ClientId,
+        generator: Box<dyn TxGenerator>,
+        fault: FaultProfile,
+        seed: u64,
+    ) -> BaselineClient {
+        assert!(
+            fault.strategy.is_correct(),
+            "the baseline systems are evaluated fault-free; Byzantine client \
+             profiles are not supported by the baseline adapter"
+        );
+        BaselineClient::new(cid, self.baseline.clone(), generator, seed)
+    }
+
+    fn client_stats(client: &BaselineClient) -> &BaselineClientStats {
+        client.stats()
+    }
+
+    fn accumulate(stats: &BaselineClientStats, _byzantine: bool, snap: &mut Snapshot) {
+        snap.correct_clients += 1;
+        snap.committed += stats.committed;
+        snap.aborted_attempts += stats.aborted_attempts;
+        for (label, count) in &stats.per_label {
+            *snap.per_label.entry(label).or_insert(0) += count;
+        }
+        snap.latencies_ns.extend(&stats.latencies_ns);
+    }
+
+    fn latest_value(replica: &BaselineReplica, key: &Key) -> Option<Value> {
+        replica.store().committed_value(key)
+    }
+
+    fn committed_transactions(replica: &BaselineReplica) -> Vec<Transaction> {
+        replica.store().committed_snapshot()
+    }
+
+    fn decision(replica: &BaselineReplica, txid: &TxId) -> Option<Decision> {
+        replica.store().decision(txid)
+    }
+
+    fn set_behavior(_replica: &mut BaselineReplica, behavior: ReplicaBehavior) {
+        // The baselines are evaluated fault-free (see the crate docs of
+        // `basil-baselines`); reject misbehaviour injection loudly rather
+        // than silently measuring an honest run.
+        assert!(
+            behavior.is_correct(),
+            "the baseline systems are evaluated fault-free; replica behaviour \
+             injection is not supported by the baseline adapter"
+        );
+    }
+}
+
+/// Configuration of a simulated baseline deployment.
+pub type BaselineClusterConfig = cluster::ClusterConfig<BaselineProtocol>;
+
+/// A running simulated baseline deployment — the generic engine
+/// instantiated with the baseline adapter.
+pub type BaselineCluster = ProtocolCluster<BaselineProtocol>;
 
 impl BaselineClusterConfig {
-    /// A default deployment of the given baseline with `num_clients` clients.
+    /// A default deployment of the given baseline with `num_clients`
+    /// clients.
     pub fn new(baseline: BaselineConfig, num_clients: u32) -> Self {
-        BaselineClusterConfig {
-            baseline,
-            num_clients,
-            network: NetworkConfig::lan(),
-            seed: 42,
-            initial_data: Vec::new(),
-            replica_cores: 8,
-            client_cores: 8,
-        }
-    }
-
-    /// Sets the initial database contents.
-    pub fn with_initial_data(mut self, data: Vec<(Key, Value)>) -> Self {
-        self.initial_data = data;
-        self
-    }
-
-    /// Sets the simulation seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-}
-
-/// A running simulated baseline deployment.
-pub struct BaselineCluster {
-    sim: Simulation<BaselineMsg>,
-    config: BaselineClusterConfig,
-    clients: Vec<ClientId>,
-    replicas: Vec<ReplicaId>,
-}
-
-impl BaselineCluster {
-    /// Builds the deployment; `make_generator` supplies each client's
-    /// workload.
-    pub fn build(
-        config: BaselineClusterConfig,
-        mut make_generator: impl FnMut(ClientId) -> Box<dyn TxGenerator>,
-    ) -> Self {
-        let mut sim = Simulation::new(config.seed, config.network.clone());
-        let mut replicas = Vec::new();
-        for shard in config.baseline.shards() {
-            let shard_data: Vec<(Key, Value)> = config
-                .initial_data
-                .iter()
-                .filter(|(k, _)| config.baseline.shard_for_key(k) == shard)
-                .cloned()
-                .collect();
-            for index in 0..config.baseline.n() {
-                let rid = ReplicaId::new(shard, index);
-                let replica = BaselineReplica::new(rid, config.baseline.clone(), shard_data.clone());
-                sim.add_node(
-                    NodeId::Replica(rid),
-                    NodeProps::replica().with_cores(config.replica_cores),
-                    Box::new(replica),
-                );
-                replicas.push(rid);
-            }
-        }
-        let mut clients = Vec::new();
-        for i in 0..config.num_clients {
-            let cid = ClientId(i as u64);
-            let client = BaselineClient::new(
-                cid,
-                config.baseline.clone(),
-                make_generator(cid),
-                config.seed.wrapping_add(i as u64),
-            );
-            sim.add_node(
-                NodeId::Client(cid),
-                NodeProps::client().with_cores(config.client_cores),
-                Box::new(client),
-            );
-            clients.push(cid);
-        }
-        BaselineCluster {
-            sim,
-            config,
-            clients,
-            replicas,
-        }
-    }
-
-    /// Advances the simulation by `d`.
-    pub fn run_for(&mut self, d: Duration) {
-        self.sim.run_for(d);
-    }
-
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.sim.now()
-    }
-
-    /// Runs a warmup period then a measurement window and reports
-    /// throughput/latency over the window.
-    pub fn run_measured(&mut self, warmup: Duration, window: Duration) -> RunReport {
-        self.run_for(warmup);
-        let start = self.snapshot();
-        self.run_for(window);
-        let end = self.snapshot();
-        RunReport::between(&start, &end, window)
-    }
-
-    /// Per-client statistics.
-    pub fn client_stats(&self) -> Vec<(ClientId, BaselineClientStats)> {
-        self.clients
-            .iter()
-            .filter_map(|cid| {
-                self.sim
-                    .actor::<BaselineClient>(NodeId::Client(*cid))
-                    .map(|c| (*cid, c.stats().clone()))
-            })
-            .collect()
-    }
-
-    /// Aggregates client counters into a snapshot.
-    pub fn snapshot(&self) -> Snapshot {
-        let mut snap = Snapshot::default();
-        for (_, stats) in self.client_stats() {
-            snap.correct_clients += 1;
-            snap.committed += stats.committed;
-            snap.aborted_attempts += stats.aborted_attempts;
-            for (label, count) in &stats.per_label {
-                *snap.per_label.entry(label).or_insert(0) += count;
-            }
-            snap.latencies_ns.extend(&stats.latencies_ns);
-        }
-        snap
-    }
-
-    /// Sum of committed transactions across clients.
-    pub fn total_committed(&self) -> u64 {
-        self.client_stats().iter().map(|(_, s)| s.committed).sum()
-    }
-
-    /// The committed value of `key` on the first replica of its shard.
-    pub fn latest_value(&self, key: &Key) -> Option<Value> {
-        let shard = self.config.baseline.shard_for_key(key);
-        let rid = ReplicaId::new(shard, 0);
-        self.sim
-            .actor::<BaselineReplica>(NodeId::Replica(rid))
-            .and_then(|r| r.store().committed_value(key))
-    }
-
-    /// Identifiers of all replicas.
-    pub fn replica_ids(&self) -> &[ReplicaId] {
-        &self.replicas
-    }
-
-    /// Direct access to the underlying simulator.
-    pub fn sim_mut(&mut self) -> &mut Simulation<BaselineMsg> {
-        &mut self.sim
-    }
-
-    /// The cluster configuration.
-    pub fn config(&self) -> &BaselineClusterConfig {
-        &self.config
+        cluster::ClusterConfig::for_protocol(BaselineProtocol::new(baseline), num_clients)
     }
 }
 
@@ -192,10 +141,19 @@ impl BaselineCluster {
 mod tests {
     use super::*;
     use basil_baselines::SystemKind;
-    use basil_common::{Op, ScriptedGenerator, TxProfile};
+    use basil_common::{Duration, Op, ScriptedGenerator, TxProfile};
 
     fn one_write_profile() -> TxProfile {
         TxProfile::new("set-x", vec![Op::Write(Key::new("x"), Value::from_u64(7))])
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluated fault-free")]
+    fn byzantine_clients_are_rejected_loudly() {
+        use basil_core::byzantine::{ClientStrategy, FaultProfile};
+        let config = BaselineClusterConfig::new(BaselineConfig::new(SystemKind::Tapir), 2)
+            .with_byzantine_clients(1, FaultProfile::always(ClientStrategy::StallEarly));
+        let _ = BaselineCluster::build(config, |_| Box::new(ScriptedGenerator::new([])));
     }
 
     #[test]
@@ -207,7 +165,11 @@ mod tests {
         });
         cluster.run_for(Duration::from_millis(50));
         assert_eq!(cluster.total_committed(), 1);
-        assert_eq!(cluster.latest_value(&Key::new("x")), Some(Value::from_u64(7)));
+        assert_eq!(
+            cluster.latest_value(&Key::new("x")),
+            Some(Value::from_u64(7))
+        );
+        cluster.audit().expect("baseline history serializable");
     }
 
     #[test]
@@ -222,7 +184,11 @@ mod tests {
         });
         cluster.run_for(Duration::from_millis(100));
         assert_eq!(cluster.total_committed(), 1);
-        assert_eq!(cluster.latest_value(&Key::new("x")), Some(Value::from_u64(7)));
+        assert_eq!(
+            cluster.latest_value(&Key::new("x")),
+            Some(Value::from_u64(7))
+        );
+        cluster.audit().expect("baseline history serializable");
     }
 
     #[test]
@@ -251,5 +217,6 @@ mod tests {
             cluster.latest_value(&Key::new("counter")),
             Some(Value::from_u64(20))
         );
+        cluster.audit().expect("baseline history serializable");
     }
 }

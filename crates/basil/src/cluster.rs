@@ -1,0 +1,447 @@
+//! The generic simulated-cluster runtime.
+//!
+//! Historically the repository carried two parallel harnesses — one for
+//! Basil deployments and one for the baseline systems — duplicating the
+//! whole cluster lifecycle: replica/client spawning, key-registry and
+//! genesis-data setup, `run_for`/`run_measured` measurement windows,
+//! fault and partition injection, and the serializability audit. This
+//! module extracts that lifecycle into one engine, [`ProtocolCluster`],
+//! generic over a [`ClusterProtocol`] adapter that contributes only the
+//! protocol-specific pieces: how to construct a client or replica actor,
+//! how to read its statistics, and how to inspect its store.
+//!
+//! `basil::harness::BasilCluster` and
+//! `basil::baseline_harness::BaselineCluster` are thin aliases over this
+//! engine; adding a new protocol to the evaluation means writing one
+//! `ClusterProtocol` impl, after which every experiment control — faults,
+//! partitions, measurement windows, audits — works unchanged. This is the
+//! same apples-to-apples harness discipline the paper's own evaluation
+//! needed to compare Basil against TAPIR-style, TxHotstuff, and
+//! TxBFT-SMaRt baselines.
+
+use crate::report::{RunReport, Snapshot};
+use basil_common::{
+    ClientId, Duration, Key, NodeId, ReplicaId, ShardId, SimTime, TxGenerator, TxId, Value,
+};
+use basil_core::byzantine::FaultProfile;
+use basil_core::ReplicaBehavior;
+use basil_simnet::{Actor, NetworkConfig, NodeProps, Simulation};
+use basil_store::mvtso::Decision;
+use basil_store::{audit_serializability, AuditError, Transaction};
+use std::collections::HashMap;
+
+/// The protocol-specific slice of a simulated deployment.
+///
+/// One implementation exists per system under evaluation (Basil, the
+/// baselines, and any protocol a future experiment adds). The engine calls
+/// these hooks to build the cluster and to observe it; everything else —
+/// scheduling, measurement, fault injection, auditing — lives in
+/// [`ProtocolCluster`] and is shared.
+pub trait ClusterProtocol {
+    /// The wire message type exchanged by this protocol's actors.
+    type Msg: Clone + 'static;
+    /// The client actor type (downcast target for stats collection).
+    type Client: Actor<Self::Msg>;
+    /// The replica actor type (downcast target for store inspection).
+    type Replica: Actor<Self::Msg>;
+    /// Per-client statistics exposed by the client actor.
+    type Stats: Clone;
+
+    /// Called once at the start of [`ProtocolCluster::build`], before any
+    /// actor is constructed (e.g. to derive deployment-wide key material
+    /// from the simulation seed).
+    fn prepare_build(&mut self, _seed: u64) {}
+
+    /// The shards of this deployment.
+    fn shards(&self) -> Vec<ShardId>;
+
+    /// Placement: the shard responsible for `key`.
+    fn shard_for_key(&self, key: &Key) -> ShardId;
+
+    /// Number of replicas per shard (`5f + 1` for Basil, `2f + 1` or
+    /// `3f + 1` for the baselines).
+    fn replicas_per_shard(&self) -> u32;
+
+    /// Behaviour assigned to replicas without an explicit override.
+    fn default_replica_behavior(&self) -> ReplicaBehavior {
+        ReplicaBehavior::Correct
+    }
+
+    /// Constructs the replica actor for `rid`, preloaded with its shard's
+    /// slice of the genesis data.
+    fn make_replica(
+        &self,
+        rid: ReplicaId,
+        behavior: ReplicaBehavior,
+        initial_data: Vec<(Key, Value)>,
+    ) -> Self::Replica;
+
+    /// Constructs the client actor for `cid` driving `generator`.
+    /// Protocols without Byzantine-client support ignore `fault` (the
+    /// engine only passes non-honest profiles when the deployment was
+    /// configured with Byzantine clients).
+    fn make_client(
+        &self,
+        cid: ClientId,
+        generator: Box<dyn TxGenerator>,
+        fault: FaultProfile,
+        seed: u64,
+    ) -> Self::Client;
+
+    /// The client's statistics counters.
+    fn client_stats(client: &Self::Client) -> &Self::Stats;
+
+    /// Folds one client's statistics into an aggregate snapshot.
+    /// `byzantine` tells the adapter whether the client was configured as
+    /// faulty (the paper's methodology excludes Byzantine clients from
+    /// throughput).
+    fn accumulate(stats: &Self::Stats, byzantine: bool, snap: &mut Snapshot);
+
+    /// The latest committed value of `key` on a replica (inspection).
+    fn latest_value(replica: &Self::Replica, key: &Key) -> Option<Value>;
+
+    /// The transactions committed on a replica, for the serializability
+    /// audit.
+    fn committed_transactions(replica: &Self::Replica) -> Vec<Transaction>;
+
+    /// The decision a replica recorded for `txid`, if any (for the
+    /// decision-agreement audit).
+    fn decision(replica: &Self::Replica, txid: &TxId) -> Option<Decision>;
+
+    /// Changes a replica's behaviour mid-run (fault injection). Protocols
+    /// without replica misbehaviour support may ignore this.
+    fn set_behavior(replica: &mut Self::Replica, behavior: ReplicaBehavior);
+}
+
+/// Configuration of a simulated deployment, generic over the protocol
+/// adapter `P` supplying the protocol-specific configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig<P> {
+    /// The protocol adapter (and its protocol-level configuration).
+    pub protocol: P,
+    /// Number of closed-loop clients.
+    pub num_clients: u32,
+    /// How many of the clients follow the Byzantine fault profile.
+    pub num_byzantine_clients: u32,
+    /// The strategy and fault fraction applied by Byzantine clients.
+    pub fault: FaultProfile,
+    /// Behaviour overrides for specific replicas.
+    pub replica_behaviors: Vec<(ReplicaId, ReplicaBehavior)>,
+    /// Network model.
+    pub network: NetworkConfig,
+    /// Simulation seed (drives all randomness).
+    pub seed: u64,
+    /// Initial database contents, loaded as committed genesis versions on
+    /// the replicas responsible for each key.
+    pub initial_data: Vec<(Key, Value)>,
+    /// CPU cores per replica (the paper's m510 machines have 8).
+    pub replica_cores: u32,
+    /// CPU cores per client process.
+    pub client_cores: u32,
+}
+
+impl<P> ClusterConfig<P> {
+    /// A deployment of `protocol` with `num_clients` honest clients and
+    /// the default LAN network, seed, and core counts.
+    pub fn for_protocol(protocol: P, num_clients: u32) -> Self {
+        ClusterConfig {
+            protocol,
+            num_clients,
+            num_byzantine_clients: 0,
+            fault: FaultProfile::honest(),
+            replica_behaviors: Vec::new(),
+            network: NetworkConfig::lan(),
+            seed: 42,
+            initial_data: Vec::new(),
+            replica_cores: 8,
+            client_cores: 8,
+        }
+    }
+
+    /// Sets the initial database contents.
+    pub fn with_initial_data(mut self, data: Vec<(Key, Value)>) -> Self {
+        self.initial_data = data;
+        self
+    }
+
+    /// Configures `count` of the clients to follow `fault`.
+    pub fn with_byzantine_clients(mut self, count: u32, fault: FaultProfile) -> Self {
+        self.num_byzantine_clients = count.min(self.num_clients);
+        self.fault = fault;
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the network model.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+}
+
+/// A running simulated deployment of protocol `P`.
+///
+/// Owns the discrete-event simulation and exposes the controls every
+/// experiment needs: run for a simulated duration, take
+/// throughput/latency measurements over a window, inject replica faults
+/// and partitions, and audit the committed history for serializability.
+pub struct ProtocolCluster<P: ClusterProtocol> {
+    sim: Simulation<P::Msg>,
+    config: ClusterConfig<P>,
+    clients: Vec<ClientId>,
+    replicas: Vec<ReplicaId>,
+}
+
+impl<P: ClusterProtocol> ProtocolCluster<P> {
+    /// Builds the deployment. `make_generator` is called once per client
+    /// to produce its workload.
+    pub fn build(
+        mut config: ClusterConfig<P>,
+        mut make_generator: impl FnMut(ClientId) -> Box<dyn TxGenerator>,
+    ) -> Self {
+        config.protocol.prepare_build(config.seed);
+        let mut sim = Simulation::new(config.seed, config.network.clone());
+
+        // Replicas, one group per shard, each holding its shard's slice of
+        // the initial data.
+        let mut replicas = Vec::new();
+        let behavior_overrides: HashMap<ReplicaId, ReplicaBehavior> =
+            config.replica_behaviors.iter().copied().collect();
+        for shard in config.protocol.shards() {
+            let shard_data: Vec<(Key, Value)> = config
+                .initial_data
+                .iter()
+                .filter(|(k, _)| config.protocol.shard_for_key(k) == shard)
+                .cloned()
+                .collect();
+            for index in 0..config.protocol.replicas_per_shard() {
+                let rid = ReplicaId::new(shard, index);
+                let behavior = behavior_overrides
+                    .get(&rid)
+                    .copied()
+                    .unwrap_or_else(|| config.protocol.default_replica_behavior());
+                let replica = config
+                    .protocol
+                    .make_replica(rid, behavior, shard_data.clone());
+                sim.add_node(
+                    NodeId::Replica(rid),
+                    NodeProps::replica().with_cores(config.replica_cores),
+                    Box::new(replica),
+                );
+                replicas.push(rid);
+            }
+        }
+
+        // Clients: the first `num_clients - num_byzantine_clients` are
+        // honest, the rest follow the configured fault profile.
+        let mut clients = Vec::new();
+        let honest = config.num_clients - config.num_byzantine_clients;
+        for i in 0..config.num_clients {
+            let cid = ClientId(i as u64);
+            let fault = if i < honest {
+                FaultProfile::honest()
+            } else {
+                config.fault
+            };
+            let client = config.protocol.make_client(
+                cid,
+                make_generator(cid),
+                fault,
+                config.seed.wrapping_add(i as u64),
+            );
+            sim.add_node(
+                NodeId::Client(cid),
+                NodeProps::client().with_cores(config.client_cores),
+                Box::new(client),
+            );
+            clients.push(cid);
+        }
+
+        ProtocolCluster {
+            sim,
+            config,
+            clients,
+            replicas,
+        }
+    }
+
+    /// Advances the simulation by `d`.
+    pub fn run_for(&mut self, d: Duration) {
+        self.sim.run_for(d);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Runs a warmup period, then a measurement window, and reports
+    /// throughput and latency over the window (correct clients only, as
+    /// in the paper).
+    pub fn run_measured(&mut self, warmup: Duration, window: Duration) -> RunReport {
+        self.run_for(warmup);
+        let start = self.snapshot();
+        self.run_for(window);
+        let end = self.snapshot();
+        RunReport::between(&start, &end, window)
+    }
+
+    /// Direct access to the underlying simulator (fault injection,
+    /// partitions, metrics).
+    pub fn sim_mut(&mut self) -> &mut Simulation<P::Msg> {
+        &mut self.sim
+    }
+
+    /// The simulator's metrics and actors.
+    pub fn sim(&self) -> &Simulation<P::Msg> {
+        &self.sim
+    }
+
+    /// Identifiers of all clients.
+    pub fn client_ids(&self) -> &[ClientId] {
+        &self.clients
+    }
+
+    /// Identifiers of all replicas.
+    pub fn replica_ids(&self) -> &[ReplicaId] {
+        &self.replicas
+    }
+
+    /// Whether client `id` was configured as Byzantine.
+    pub fn is_byzantine_client(&self, id: ClientId) -> bool {
+        let honest = (self.config.num_clients - self.config.num_byzantine_clients) as u64;
+        id.0 >= honest
+    }
+
+    /// Per-client statistics.
+    pub fn client_stats(&self) -> Vec<(ClientId, P::Stats)> {
+        self.clients
+            .iter()
+            .filter_map(|cid| {
+                self.sim
+                    .actor::<P::Client>(NodeId::Client(*cid))
+                    .map(|c| (*cid, P::client_stats(c).clone()))
+            })
+            .collect()
+    }
+
+    /// Changes a replica's behaviour mid-run (fault injection).
+    pub fn set_replica_behavior(&mut self, rid: ReplicaId, behavior: ReplicaBehavior) {
+        if let Some(replica) = self.sim.actor_mut::<P::Replica>(NodeId::Replica(rid)) {
+            P::set_behavior(replica, behavior);
+        }
+    }
+
+    /// Crashes a replica (all messages to it are dropped).
+    pub fn crash_replica(&mut self, rid: ReplicaId) {
+        self.sim.crash(NodeId::Replica(rid));
+    }
+
+    /// Aggregates client counters into a snapshot (correct clients only
+    /// for the throughput-bearing counters, per the paper's methodology).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for cid in &self.clients {
+            if let Some(client) = self.sim.actor::<P::Client>(NodeId::Client(*cid)) {
+                P::accumulate(
+                    P::client_stats(client),
+                    self.is_byzantine_client(*cid),
+                    &mut snap,
+                );
+            }
+        }
+        snap.latency_samples = snap.latencies_ns.len();
+        snap
+    }
+
+    /// The union of transactions committed on any replica, deduplicated
+    /// by transaction id.
+    pub fn committed_transactions(&self) -> Vec<Transaction> {
+        let mut seen: HashMap<TxId, Transaction> = HashMap::new();
+        for rid in &self.replicas {
+            if let Some(replica) = self.sim.actor::<P::Replica>(NodeId::Replica(*rid)) {
+                for tx in P::committed_transactions(replica) {
+                    seen.entry(tx.id()).or_insert(tx);
+                }
+            }
+        }
+        seen.into_values().collect()
+    }
+
+    /// Audits the committed history: serializability of the union of
+    /// committed transactions, and agreement of per-transaction decisions
+    /// across replicas (no transaction may be committed on one correct
+    /// replica and aborted on another — Lemma 2: no C-CERT and A-CERT
+    /// can coexist).
+    pub fn audit(&self) -> Result<(), ClusterAuditError> {
+        let committed = self.committed_transactions();
+        for tx in &committed {
+            let txid = tx.id();
+            for rid in &self.replicas {
+                let Some(replica) = self.sim.actor::<P::Replica>(NodeId::Replica(*rid)) else {
+                    continue;
+                };
+                if P::decision(replica, &txid) == Some(Decision::Abort) {
+                    return Err(ClusterAuditError::DivergentDecision { txid });
+                }
+            }
+        }
+        audit_serializability(&committed).map_err(ClusterAuditError::NotSerializable)?;
+        Ok(())
+    }
+
+    /// Sum of committed transactions over correct clients.
+    pub fn total_committed(&self) -> u64 {
+        self.snapshot().committed
+    }
+
+    /// The latest committed value of `key` as seen by the first replica
+    /// of the key's shard (inspection helper for examples and tests).
+    pub fn latest_value(&self, key: &Key) -> Option<Value> {
+        let shard = self.config.protocol.shard_for_key(key);
+        let rid = ReplicaId::new(shard, 0);
+        self.sim
+            .actor::<P::Replica>(NodeId::Replica(rid))
+            .and_then(|r| P::latest_value(r, key))
+    }
+
+    /// The shard responsible for `key` under this deployment's placement.
+    pub fn shard_for_key(&self, key: &Key) -> ShardId {
+        self.config.protocol.shard_for_key(key)
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig<P> {
+        &self.config
+    }
+}
+
+/// Failures the cluster-level audit can detect.
+#[derive(Clone, Debug)]
+pub enum ClusterAuditError {
+    /// The committed history is not serializable.
+    NotSerializable(AuditError),
+    /// Correct replicas disagree about a transaction's outcome.
+    DivergentDecision {
+        /// The transaction with conflicting outcomes.
+        txid: TxId,
+    },
+}
+
+impl std::fmt::Display for ClusterAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterAuditError::NotSerializable(e) => write!(f, "history not serializable: {e}"),
+            ClusterAuditError::DivergentDecision { txid } => {
+                write!(f, "replicas disagree on the outcome of {txid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterAuditError {}

@@ -1,380 +1,186 @@
-//! The simulated-cluster harness.
+//! The Basil protocol adapter for the generic cluster runtime.
 //!
 //! [`BasilCluster`] stands up a full Basil deployment inside the
 //! discrete-event simulator: `num_shards * (5f + 1)` replicas, a set of
 //! closed-loop clients (some of which may follow a Byzantine strategy), the
-//! key registry, and the network. It exposes the controls the experiments
-//! need: run for a simulated duration, take throughput/latency measurements
-//! over a window, inject replica faults and partitions, and audit the
-//! committed history for serializability.
+//! key registry, and the network. All of the cluster lifecycle — spawning,
+//! measurement windows, fault injection, the serializability audit — is the
+//! shared [`ProtocolCluster`](crate::cluster::ProtocolCluster) engine;
+//! this module contributes only [`BasilProtocol`], the adapter describing
+//! how Basil clients and replicas are constructed and observed.
 
-use crate::report::{RunReport, Snapshot};
-use basil_common::{
-    ClientId, Duration, Key, NodeId, ReplicaId, ShardId, SimTime, TxGenerator, TxId, Value,
-};
+use crate::cluster::{self, ClusterProtocol, ProtocolCluster};
+use crate::report::Snapshot;
+use basil_common::{ClientId, Key, ReplicaId, ShardId, TxGenerator, TxId, Value};
 use basil_core::byzantine::FaultProfile;
 use basil_core::{BasilClient, BasilConfig, BasilMsg, BasilReplica, ClientStats, ReplicaBehavior};
 use basil_crypto::KeyRegistry;
-use basil_simnet::{NetworkConfig, NodeProps, Simulation};
-use basil_store::{audit_serializability, AuditError, Transaction};
-use std::collections::HashMap;
+use basil_store::mvtso::Decision;
+use basil_store::Transaction;
 
-/// Configuration of a simulated Basil deployment.
-#[derive(Clone, Debug)]
-pub struct ClusterConfig {
+pub use crate::cluster::ClusterAuditError;
+
+/// The [`ClusterProtocol`] adapter for Basil deployments.
+#[derive(Clone)]
+pub struct BasilProtocol {
     /// Protocol configuration (shards, quorums, crypto, timeouts).
     pub basil: BasilConfig,
-    /// Number of closed-loop clients.
-    pub num_clients: u32,
-    /// How many of the clients follow the Byzantine fault profile.
-    pub num_byzantine_clients: u32,
-    /// The strategy and fault fraction applied by Byzantine clients.
-    pub fault: FaultProfile,
-    /// Behaviour overrides for specific replicas.
-    pub replica_behaviors: Vec<(ReplicaId, ReplicaBehavior)>,
-    /// Network model.
-    pub network: NetworkConfig,
-    /// Simulation seed (drives all randomness).
-    pub seed: u64,
-    /// Initial database contents, loaded as committed genesis versions on
-    /// the replicas responsible for each key.
-    pub initial_data: Vec<(Key, Value)>,
-    /// CPU cores per replica (the paper's m510 machines have 8).
-    pub replica_cores: u32,
-    /// CPU cores per client process.
-    pub client_cores: u32,
+    /// Deployment-wide key material, derived from the simulation seed in
+    /// [`ClusterProtocol::prepare_build`].
+    registry: Option<KeyRegistry>,
 }
+
+impl BasilProtocol {
+    /// Wraps a protocol configuration in the adapter.
+    pub fn new(basil: BasilConfig) -> Self {
+        BasilProtocol {
+            basil,
+            registry: None,
+        }
+    }
+
+    fn registry(&self) -> &KeyRegistry {
+        self.registry
+            .as_ref()
+            .expect("prepare_build derives the key registry before actors are constructed")
+    }
+}
+
+impl std::fmt::Debug for BasilProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BasilProtocol")
+            .field("basil", &self.basil)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterProtocol for BasilProtocol {
+    type Msg = BasilMsg;
+    type Client = BasilClient;
+    type Replica = BasilReplica;
+    type Stats = ClientStats;
+
+    fn prepare_build(&mut self, seed: u64) {
+        self.registry = Some(KeyRegistry::from_seed(seed));
+    }
+
+    fn shards(&self) -> Vec<ShardId> {
+        self.basil.system.shards().collect()
+    }
+
+    fn shard_for_key(&self, key: &Key) -> ShardId {
+        self.basil.system.shard_for_key(key)
+    }
+
+    fn replicas_per_shard(&self) -> u32 {
+        self.basil.system.shard.n()
+    }
+
+    fn default_replica_behavior(&self) -> ReplicaBehavior {
+        self.basil.replica_behavior
+    }
+
+    fn make_replica(
+        &self,
+        rid: ReplicaId,
+        behavior: ReplicaBehavior,
+        initial_data: Vec<(Key, Value)>,
+    ) -> BasilReplica {
+        BasilReplica::new(
+            rid,
+            self.basil.clone(),
+            self.registry().clone(),
+            behavior,
+            initial_data,
+        )
+    }
+
+    fn make_client(
+        &self,
+        cid: ClientId,
+        generator: Box<dyn TxGenerator>,
+        fault: FaultProfile,
+        seed: u64,
+    ) -> BasilClient {
+        BasilClient::new(
+            cid,
+            self.basil.clone(),
+            self.registry().clone(),
+            generator,
+            fault,
+            seed,
+        )
+    }
+
+    fn client_stats(client: &BasilClient) -> &ClientStats {
+        client.stats()
+    }
+
+    fn accumulate(stats: &ClientStats, byzantine: bool, snap: &mut Snapshot) {
+        if byzantine {
+            snap.byz_committed += stats.committed;
+            snap.faulty_issued += stats.faulty_issued;
+            return;
+        }
+        snap.correct_clients += 1;
+        snap.committed += stats.committed;
+        snap.aborted_attempts += stats.aborted_attempts;
+        snap.fast_path += stats.fast_path_decisions;
+        snap.slow_path += stats.slow_path_decisions;
+        snap.fallbacks += stats.fallback_invocations;
+        snap.faulty_issued += stats.faulty_issued;
+        for (label, count) in &stats.per_label {
+            *snap.per_label.entry(label).or_insert(0) += count;
+        }
+        snap.latencies_ns.extend(&stats.latencies_ns);
+    }
+
+    fn latest_value(replica: &BasilReplica, key: &Key) -> Option<Value> {
+        replica.store().latest_committed(key).map(|(_, v)| v)
+    }
+
+    fn committed_transactions(replica: &BasilReplica) -> Vec<Transaction> {
+        replica.store().committed_snapshot()
+    }
+
+    fn decision(replica: &BasilReplica, txid: &TxId) -> Option<Decision> {
+        replica.store().decision(txid)
+    }
+
+    fn set_behavior(replica: &mut BasilReplica, behavior: ReplicaBehavior) {
+        replica.set_behavior(behavior);
+    }
+}
+
+/// Configuration of a simulated Basil deployment.
+pub type ClusterConfig = cluster::ClusterConfig<BasilProtocol>;
+
+/// A running simulated Basil deployment — the generic engine instantiated
+/// with the Basil adapter.
+pub type BasilCluster = ProtocolCluster<BasilProtocol>;
 
 impl ClusterConfig {
-    /// A single-shard, `f = 1` deployment with `num_clients` honest clients —
-    /// the starting point of most tests and experiments.
+    /// A single-shard, `f = 1` deployment with `num_clients` honest
+    /// clients — the starting point of most tests and experiments.
     pub fn basil_default(num_clients: u32) -> Self {
-        ClusterConfig {
-            basil: BasilConfig::test_single_shard(),
+        cluster::ClusterConfig::for_protocol(
+            BasilProtocol::new(BasilConfig::test_single_shard()),
             num_clients,
-            num_byzantine_clients: 0,
-            fault: FaultProfile::honest(),
-            replica_behaviors: Vec::new(),
-            network: NetworkConfig::lan(),
-            seed: 42,
-            initial_data: Vec::new(),
-            replica_cores: 8,
-            client_cores: 8,
-        }
+        )
     }
 
-    /// Same as [`ClusterConfig::basil_default`] but with the given protocol
-    /// configuration (sharding, batching, ...).
+    /// Same as [`ClusterConfig::basil_default`] but with the given
+    /// protocol configuration (sharding, batching, ...).
     pub fn with_basil(mut self, basil: BasilConfig) -> Self {
-        self.basil = basil;
-        self
-    }
-
-    /// Sets the initial database contents.
-    pub fn with_initial_data(mut self, data: Vec<(Key, Value)>) -> Self {
-        self.initial_data = data;
-        self
-    }
-
-    /// Configures `count` of the clients to follow `fault`.
-    pub fn with_byzantine_clients(mut self, count: u32, fault: FaultProfile) -> Self {
-        self.num_byzantine_clients = count.min(self.num_clients);
-        self.fault = fault;
-        self
-    }
-
-    /// Sets the simulation seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.protocol.basil = basil;
         self
     }
 }
-
-/// A running simulated Basil deployment.
-pub struct BasilCluster {
-    sim: Simulation<BasilMsg>,
-    config: ClusterConfig,
-    clients: Vec<ClientId>,
-    replicas: Vec<ReplicaId>,
-}
-
-impl BasilCluster {
-    /// Builds the deployment. `make_generator` is called once per client to
-    /// produce its workload.
-    pub fn build(
-        config: ClusterConfig,
-        mut make_generator: impl FnMut(ClientId) -> Box<dyn TxGenerator>,
-    ) -> Self {
-        let registry = KeyRegistry::from_seed(config.seed);
-        let mut sim = Simulation::new(config.seed, config.network.clone());
-        let system = &config.basil.system;
-
-        // Replicas, one group of n per shard, each holding its shard's slice
-        // of the initial data.
-        let mut replicas = Vec::new();
-        let behavior_overrides: HashMap<ReplicaId, ReplicaBehavior> =
-            config.replica_behaviors.iter().copied().collect();
-        for shard in system.shards() {
-            let shard_data: Vec<(Key, Value)> = config
-                .initial_data
-                .iter()
-                .filter(|(k, _)| system.shard_for_key(k) == shard)
-                .cloned()
-                .collect();
-            for index in 0..system.shard.n() {
-                let rid = ReplicaId::new(shard, index);
-                let behavior = behavior_overrides
-                    .get(&rid)
-                    .copied()
-                    .unwrap_or(config.basil.replica_behavior);
-                let replica = BasilReplica::new(
-                    rid,
-                    config.basil.clone(),
-                    registry.clone(),
-                    behavior,
-                    shard_data.clone(),
-                );
-                sim.add_node(
-                    NodeId::Replica(rid),
-                    NodeProps::replica().with_cores(config.replica_cores),
-                    Box::new(replica),
-                );
-                replicas.push(rid);
-            }
-        }
-
-        // Clients: the first `num_clients - num_byzantine_clients` are
-        // honest, the rest follow the configured fault profile.
-        let mut clients = Vec::new();
-        let honest = config.num_clients - config.num_byzantine_clients;
-        for i in 0..config.num_clients {
-            let cid = ClientId(i as u64);
-            let fault = if i < honest {
-                FaultProfile::honest()
-            } else {
-                config.fault
-            };
-            let client = BasilClient::new(
-                cid,
-                config.basil.clone(),
-                registry.clone(),
-                make_generator(cid),
-                fault,
-                config.seed.wrapping_add(i as u64),
-            );
-            sim.add_node(
-                NodeId::Client(cid),
-                NodeProps::client().with_cores(config.client_cores),
-                Box::new(client),
-            );
-            clients.push(cid);
-        }
-
-        BasilCluster {
-            sim,
-            config,
-            clients,
-            replicas,
-        }
-    }
-
-    /// Advances the simulation by `d`.
-    pub fn run_for(&mut self, d: Duration) {
-        self.sim.run_for(d);
-    }
-
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.sim.now()
-    }
-
-    /// Runs a warmup period, then a measurement window, and reports
-    /// throughput and latency over the window (correct clients only, as in
-    /// the paper).
-    pub fn run_measured(&mut self, warmup: Duration, window: Duration) -> RunReport {
-        self.run_for(warmup);
-        let start = self.snapshot();
-        self.run_for(window);
-        let end = self.snapshot();
-        RunReport::between(&start, &end, window)
-    }
-
-    /// Direct access to the underlying simulator (fault injection,
-    /// partitions, metrics).
-    pub fn sim_mut(&mut self) -> &mut Simulation<BasilMsg> {
-        &mut self.sim
-    }
-
-    /// The simulator's metrics.
-    pub fn sim(&self) -> &Simulation<BasilMsg> {
-        &self.sim
-    }
-
-    /// Identifiers of all clients.
-    pub fn client_ids(&self) -> &[ClientId] {
-        &self.clients
-    }
-
-    /// Identifiers of all replicas.
-    pub fn replica_ids(&self) -> &[ReplicaId] {
-        &self.replicas
-    }
-
-    /// Whether client `id` was configured as Byzantine.
-    pub fn is_byzantine_client(&self, id: ClientId) -> bool {
-        let honest = (self.config.num_clients - self.config.num_byzantine_clients) as u64;
-        id.0 >= honest
-    }
-
-    /// Per-client statistics.
-    pub fn client_stats(&self) -> Vec<(ClientId, ClientStats)> {
-        self.clients
-            .iter()
-            .filter_map(|cid| {
-                self.sim
-                    .actor::<BasilClient>(NodeId::Client(*cid))
-                    .map(|c| (*cid, c.stats().clone()))
-            })
-            .collect()
-    }
-
-    /// Changes a replica's behaviour mid-run (fault injection).
-    pub fn set_replica_behavior(&mut self, rid: ReplicaId, behavior: ReplicaBehavior) {
-        if let Some(replica) = self.sim.actor_mut::<BasilReplica>(NodeId::Replica(rid)) {
-            replica.set_behavior(behavior);
-        }
-    }
-
-    /// Crashes a replica (all messages to it are dropped).
-    pub fn crash_replica(&mut self, rid: ReplicaId) {
-        self.sim.crash(NodeId::Replica(rid));
-    }
-
-    /// Aggregates client counters into a snapshot (correct clients only for
-    /// the throughput-bearing counters, per the paper's methodology).
-    pub fn snapshot(&self) -> Snapshot {
-        let mut snap = Snapshot::default();
-        for (cid, stats) in self.client_stats() {
-            if self.is_byzantine_client(cid) {
-                snap.byz_committed += stats.committed;
-                snap.faulty_issued += stats.faulty_issued;
-                continue;
-            }
-            snap.correct_clients += 1;
-            snap.committed += stats.committed;
-            snap.aborted_attempts += stats.aborted_attempts;
-            snap.fast_path += stats.fast_path_decisions;
-            snap.slow_path += stats.slow_path_decisions;
-            snap.fallbacks += stats.fallback_invocations;
-            snap.faulty_issued += stats.faulty_issued;
-            for (label, count) in &stats.per_label {
-                *snap.per_label.entry(label).or_insert(0) += count;
-            }
-            snap.latencies_ns.extend(&stats.latencies_ns);
-        }
-        snap.latency_samples = 0; // full history; windows diff by count below
-        snap
-    }
-
-    /// The union of transactions committed on any replica, deduplicated by
-    /// transaction id.
-    pub fn committed_transactions(&self) -> Vec<Transaction> {
-        let mut seen: HashMap<TxId, Transaction> = HashMap::new();
-        for rid in &self.replicas {
-            if let Some(replica) = self.sim.actor::<BasilReplica>(NodeId::Replica(*rid)) {
-                for tx in replica.store().committed_snapshot() {
-                    seen.entry(tx.id()).or_insert(tx);
-                }
-            }
-        }
-        seen.into_values().collect()
-    }
-
-    /// Audits the committed history: serializability of the union of
-    /// committed transactions, and agreement of per-transaction decisions
-    /// across replicas (no transaction may be committed on one correct
-    /// replica and aborted on another).
-    pub fn audit(&self) -> Result<(), ClusterAuditError> {
-        let committed = self.committed_transactions();
-        // Decision agreement: a transaction committed anywhere must not be
-        // recorded as aborted on any other replica (Lemma 2: no C-CERT and
-        // A-CERT can coexist).
-        for tx in &committed {
-            let txid = tx.id();
-            for rid in &self.replicas {
-                let Some(replica) = self.sim.actor::<BasilReplica>(NodeId::Replica(*rid)) else {
-                    continue;
-                };
-                if replica.store().decision(&txid) == Some(basil_store::mvtso::Decision::Abort) {
-                    return Err(ClusterAuditError::DivergentDecision { txid });
-                }
-            }
-        }
-        // Serializability of the committed history.
-        audit_serializability(&committed).map_err(ClusterAuditError::NotSerializable)?;
-        Ok(())
-    }
-
-    /// Sum of committed transactions over correct clients (helper for tests).
-    pub fn total_committed(&self) -> u64 {
-        self.client_stats()
-            .iter()
-            .filter(|(cid, _)| !self.is_byzantine_client(*cid))
-            .map(|(_, s)| s.committed)
-            .sum()
-    }
-
-    /// The latest committed value of `key` as seen by the first replica of
-    /// the key's shard (inspection helper for examples).
-    pub fn latest_value(&self, key: &Key) -> Option<Value> {
-        let shard = self.config.basil.system.shard_for_key(key);
-        let rid = ReplicaId::new(shard, 0);
-        self.sim
-            .actor::<BasilReplica>(NodeId::Replica(rid))
-            .and_then(|r| r.store().latest_committed(key))
-            .map(|(_, v)| v)
-    }
-
-    /// The shard responsible for `key` under this deployment's placement.
-    pub fn shard_for_key(&self, key: &Key) -> ShardId {
-        self.config.basil.system.shard_for_key(key)
-    }
-
-    /// The cluster's configuration.
-    pub fn config(&self) -> &ClusterConfig {
-        &self.config
-    }
-}
-
-/// Failures the cluster-level audit can detect.
-#[derive(Clone, Debug)]
-pub enum ClusterAuditError {
-    /// The committed history is not serializable.
-    NotSerializable(AuditError),
-    /// Correct replicas disagree about a transaction's outcome.
-    DivergentDecision {
-        /// The transaction with conflicting outcomes.
-        txid: TxId,
-    },
-}
-
-impl std::fmt::Display for ClusterAuditError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ClusterAuditError::NotSerializable(e) => write!(f, "history not serializable: {e}"),
-            ClusterAuditError::DivergentDecision { txid } => {
-                write!(f, "replicas disagree on the outcome of {txid}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ClusterAuditError {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use basil_common::{Op, ScriptedGenerator, TxProfile};
+    use basil_common::{Duration, Op, ScriptedGenerator, TxProfile};
 
     #[test]
     fn build_creates_all_nodes() {
@@ -390,11 +196,15 @@ mod tests {
         let config = ClusterConfig::basil_default(1)
             .with_initial_data(vec![(Key::new("x"), Value::from_u64(0))]);
         let profile = TxProfile::new("set-x", vec![Op::Write(Key::new("x"), Value::from_u64(7))]);
-        let mut cluster =
-            BasilCluster::build(config, move |_| Box::new(ScriptedGenerator::new([profile.clone()])));
+        let mut cluster = BasilCluster::build(config, move |_| {
+            Box::new(ScriptedGenerator::new([profile.clone()]))
+        });
         cluster.run_for(Duration::from_millis(50));
         assert_eq!(cluster.total_committed(), 1);
-        assert_eq!(cluster.latest_value(&Key::new("x")), Some(Value::from_u64(7)));
+        assert_eq!(
+            cluster.latest_value(&Key::new("x")),
+            Some(Value::from_u64(7))
+        );
         cluster.audit().expect("history serializable");
     }
 
@@ -412,8 +222,9 @@ mod tests {
             );
             3
         ];
-        let mut cluster =
-            BasilCluster::build(config, move |_| Box::new(ScriptedGenerator::new(profiles.clone())));
+        let mut cluster = BasilCluster::build(config, move |_| {
+            Box::new(ScriptedGenerator::new(profiles.clone()))
+        });
         cluster.run_for(Duration::from_millis(200));
         assert_eq!(cluster.total_committed(), 3);
         assert_eq!(

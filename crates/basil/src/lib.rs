@@ -26,9 +26,11 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline_harness;
+pub mod cluster;
 pub mod harness;
 pub mod report;
 
+pub use baseline_harness::{BaselineCluster, BaselineClusterConfig, BaselineProtocol};
 pub use basil_common::{
     ClientId, Duration, Key, NodeId, Op, ReadQuorum, ReplicaId, ScriptedGenerator, ShardConfig,
     ShardId, SimTime, SystemConfig, Timestamp, TxGenerator, TxId, TxProfile, Value,
@@ -39,8 +41,8 @@ pub use basil_core::{
 pub use basil_crypto::{CostModel, KeyRegistry};
 pub use basil_simnet::{NetworkConfig, Partition, Simulation};
 pub use basil_store::{audit_serializability, AuditError, Transaction};
-pub use baseline_harness::{BaselineCluster, BaselineClusterConfig};
-pub use harness::{BasilCluster, ClusterConfig};
+pub use cluster::{ClusterAuditError, ClusterProtocol, ProtocolCluster};
+pub use harness::{BasilCluster, BasilProtocol, ClusterConfig};
 pub use report::RunReport;
 
 /// Re-export of the workload generators.

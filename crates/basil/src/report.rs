@@ -16,7 +16,8 @@ pub struct Snapshot {
     pub slow_path: u64,
     /// Fallback recoveries started.
     pub fallbacks: u64,
-    /// Number of latency samples recorded so far (used to diff windows).
+    /// Number of latency samples recorded so far (informational; window
+    /// reports diff the latency multisets directly).
     pub latency_samples: usize,
     /// All latencies recorded so far, in nanoseconds.
     pub latencies_ns: Vec<u64>,
@@ -68,8 +69,24 @@ impl RunReport {
         let committed = end.committed.saturating_sub(start.committed);
         let aborted = end.aborted_attempts.saturating_sub(start.aborted_attempts);
         let secs = window.as_secs_f64().max(1e-9);
-        let mut latencies: Vec<u64> = end.latencies_ns[start.latency_samples.min(end.latencies_ns.len())..].to_vec();
-        latencies.sort_unstable();
+        // Window latencies = multiset difference end − start. The snapshots
+        // concatenate per-client latency vectors, so the warmup samples are
+        // not a prefix of the end vector when there is more than one client;
+        // a sorted two-pointer sweep removes exactly one instance of every
+        // warmup sample wherever it sits.
+        let mut start_sorted = start.latencies_ns.clone();
+        start_sorted.sort_unstable();
+        let mut end_sorted = end.latencies_ns.clone();
+        end_sorted.sort_unstable();
+        let mut latencies = Vec::with_capacity(end_sorted.len().saturating_sub(start_sorted.len()));
+        let mut consumed = 0;
+        for v in end_sorted {
+            if consumed < start_sorted.len() && start_sorted[consumed] == v {
+                consumed += 1;
+            } else {
+                latencies.push(v);
+            }
+        }
         let pct = |p: f64| -> f64 {
             if latencies.is_empty() {
                 return 0.0;
@@ -167,6 +184,37 @@ mod tests {
         assert!((r.commit_rate - 200.0 / 220.0).abs() < 1e-9);
         // 180 fast vs 20 slow decisions in the window.
         assert!((r.fast_path_fraction - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_latencies_diff_correctly_across_interleaved_clients() {
+        // Snapshots concatenate per-client latency vectors, so with two
+        // clients the end vector interleaves each client's warmup and
+        // window samples; the report must keep exactly the window samples.
+        let start = Snapshot {
+            latency_samples: 2,
+            // c0 warmup = 1 ms, c1 warmup = 2 ms.
+            latencies_ns: vec![1_000_000, 2_000_000],
+            correct_clients: 2,
+            ..Default::default()
+        };
+        let end = Snapshot {
+            latency_samples: 4,
+            // [c0 warmup, c0 window, c1 warmup, c1 window].
+            latencies_ns: vec![1_000_000, 3_000_000, 2_000_000, 5_000_000],
+            correct_clients: 2,
+            ..Default::default()
+        };
+        let r = RunReport::between(&start, &end, Duration::from_secs(1));
+        // Window samples are 3 ms and 5 ms: mean 4 ms, p99 5 ms. A prefix
+        // slice would instead report [2 ms, 5 ms] (c1's warmup kept, c0's
+        // window sample dropped).
+        assert!(
+            (r.mean_latency_ms - 4.0).abs() < 1e-9,
+            "mean {}",
+            r.mean_latency_ms
+        );
+        assert!((r.p99_latency_ms - 5.0).abs() < 1e-9);
     }
 
     #[test]

@@ -31,7 +31,9 @@ fn bench_hmac(c: &mut Criterion) {
 fn bench_merkle(c: &mut Criterion) {
     let mut group = c.benchmark_group("merkle");
     for leaves in [4usize, 16, 64] {
-        let payloads: Vec<Vec<u8>> = (0..leaves).map(|i| format!("reply-{i}").into_bytes()).collect();
+        let payloads: Vec<Vec<u8>> = (0..leaves)
+            .map(|i| format!("reply-{i}").into_bytes())
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("build_and_prove", leaves),
             &payloads,
@@ -64,7 +66,10 @@ fn bench_signatures(c: &mut Criterion) {
         b.iter(|| {
             let mut signer = BatchSigner::new(registry.keypair(node), 16);
             for i in 0..16u64 {
-                signer.push(NodeId::Client(ClientId(i)), format!("reply {i}").into_bytes());
+                signer.push(
+                    NodeId::Client(ClientId(i)),
+                    format!("reply {i}").into_bytes(),
+                );
             }
         })
     });

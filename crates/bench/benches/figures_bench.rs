@@ -14,7 +14,9 @@ fn params() -> RunParams {
 
 fn bench_fig4_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_smallbank_point");
-    group.sample_size(10).measurement_time(StdDuration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(StdDuration::from_secs(20));
     group.bench_function("basil", |b| {
         b.iter(|| run_basil(basil_default(1), Workload::Smallbank, &params()))
     });
@@ -32,9 +34,16 @@ fn bench_fig4_points(c: &mut Criterion) {
 
 fn bench_fig5a_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5a_signature_ablation");
-    group.sample_size(10).measurement_time(StdDuration::from_secs(20));
-    let workload = Workload::RwUniform { reads: 2, writes: 2 };
-    group.bench_function("basil", |b| b.iter(|| run_basil(basil_default(1), workload, &params())));
+    group
+        .sample_size(10)
+        .measurement_time(StdDuration::from_secs(20));
+    let workload = Workload::RwUniform {
+        reads: 2,
+        writes: 2,
+    };
+    group.bench_function("basil", |b| {
+        b.iter(|| run_basil(basil_default(1), workload, &params()))
+    });
     group.bench_function("basil_noproofs", |b| {
         b.iter(|| run_basil(basil_default(1).without_proofs(), workload, &params()))
     });
@@ -43,14 +52,26 @@ fn bench_fig5a_points(c: &mut Criterion) {
 
 fn bench_fig6a_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6a_fastpath_ablation");
-    group.sample_size(10).measurement_time(StdDuration::from_secs(20));
-    let workload = Workload::RwZipf { reads: 2, writes: 2 };
-    group.bench_function("basil", |b| b.iter(|| run_basil(basil_default(1), workload, &params())));
+    group
+        .sample_size(10)
+        .measurement_time(StdDuration::from_secs(20));
+    let workload = Workload::RwZipf {
+        reads: 2,
+        writes: 2,
+    };
+    group.bench_function("basil", |b| {
+        b.iter(|| run_basil(basil_default(1), workload, &params()))
+    });
     group.bench_function("basil_nofp", |b| {
         b.iter(|| run_basil(basil_default(1).without_fast_path(), workload, &params()))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_fig4_points, bench_fig5a_points, bench_fig6a_points);
+criterion_group!(
+    benches,
+    bench_fig4_points,
+    bench_fig5a_points,
+    bench_fig6a_points
+);
 criterion_main!(benches);

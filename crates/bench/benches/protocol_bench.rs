@@ -12,7 +12,12 @@ use basil_core::views::next_view;
 use basil_crypto::KeyRegistry;
 use criterion::{criterion_group, criterion_main, Criterion};
 
-fn signed_votes(registry: &KeyRegistry, cfg: &BasilConfig, txid: TxId, n: u32) -> Vec<SignedSt1Reply> {
+fn signed_votes(
+    registry: &KeyRegistry,
+    cfg: &BasilConfig,
+    txid: TxId,
+    n: u32,
+) -> Vec<SignedSt1Reply> {
     (0..n)
         .map(|i| {
             let rid = ReplicaId::new(ShardId(0), i);
@@ -68,11 +73,8 @@ fn bench_cert_validation(c: &mut Criterion) {
     let shard_cfg = basil_cfg.system.shard;
     c.bench_function("validate_fast_commit_cert_cold_cache", |b| {
         b.iter(|| {
-            let mut engine = SigEngine::new(
-                NodeId::Client(ClientId(1)),
-                registry.clone(),
-                &basil_cfg,
-            );
+            let mut engine =
+                SigEngine::new(NodeId::Client(ClientId(1)), registry.clone(), &basil_cfg);
             validate_commit_cert(&cert, Some(&[ShardId(0)]), &shard_cfg, &mut engine)
         })
     });
@@ -85,7 +87,9 @@ fn bench_cert_validation(c: &mut Criterion) {
 fn bench_views(c: &mut Criterion) {
     let cfg = ShardConfig::new(1);
     let reported = [3u64, 3, 2, 2, 1, 0];
-    c.bench_function("fallback_next_view", |b| b.iter(|| next_view(1, &reported, &cfg)));
+    c.bench_function("fallback_next_view", |b| {
+        b.iter(|| next_view(1, &reported, &cfg))
+    });
 }
 
 criterion_group! {

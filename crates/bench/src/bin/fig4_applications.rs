@@ -35,7 +35,10 @@ fn main() {
     let mut lat_rows = Vec::new();
     let mut measured: Vec<Vec<f64>> = Vec::new();
 
-    for (system_idx, system) in ["TAPIR", "Basil", "TxHotstuff", "TxBFT-SMaRt"].iter().enumerate() {
+    for (system_idx, system) in ["TAPIR", "Basil", "TxHotstuff", "TxBFT-SMaRt"]
+        .iter()
+        .enumerate()
+    {
         let mut tput_row = vec![system.to_string()];
         let mut lat_row = vec![system.to_string()];
         let mut tputs = Vec::new();
@@ -100,7 +103,8 @@ fn main() {
     );
 
     // Shape summary: the paper's headline ratios.
-    let (tapir, basil, hotstuff, bftsmart) = (&measured[0], &measured[1], &measured[2], &measured[3]);
+    let (tapir, basil, hotstuff, bftsmart) =
+        (&measured[0], &measured[1], &measured[2], &measured[3]);
     println!("\nShape checks (per workload: TPCC, Smallbank, Retwis):");
     for i in 0..3 {
         println!(

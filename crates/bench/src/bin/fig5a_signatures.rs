@@ -10,8 +10,24 @@ fn main() {
         RunParams::default()
     };
     let workloads = [
-        ("RW-U", Workload::RwUniform { reads: 2, writes: 2 }, 38_241.0, 143_880.0),
-        ("RW-Z", Workload::RwZipf { reads: 2, writes: 2 }, 4_777.0, 21_978.0),
+        (
+            "RW-U",
+            Workload::RwUniform {
+                reads: 2,
+                writes: 2,
+            },
+            38_241.0,
+            143_880.0,
+        ),
+        (
+            "RW-Z",
+            Workload::RwZipf {
+                reads: 2,
+                writes: 2,
+            },
+            4_777.0,
+            21_978.0,
+        ),
     ];
     let mut rows = Vec::new();
     for (name, workload, paper_basil, paper_noproofs) in workloads {
@@ -35,7 +51,13 @@ fn main() {
     }
     print_table(
         "Figure 5a: impact of signatures (peak throughput, tx/s)",
-        &["workload", "Basil", "Basil-NoProofs", "speedup", "paper speedup"],
+        &[
+            "workload",
+            "Basil",
+            "Basil-NoProofs",
+            "speedup",
+            "paper speedup",
+        ],
         &rows,
     );
 }

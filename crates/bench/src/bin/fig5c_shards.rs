@@ -11,7 +11,10 @@ fn main() {
     } else {
         RunParams::default()
     };
-    let workload = Workload::RwUniform { reads: 3, writes: 3 };
+    let workload = Workload::RwUniform {
+        reads: 3,
+        writes: 3,
+    };
     let mut rows = Vec::new();
     let mut basil_at = Vec::new();
     let mut noproofs_at = Vec::new();

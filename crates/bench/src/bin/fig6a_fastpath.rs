@@ -11,8 +11,24 @@ fn main() {
         RunParams::default()
     };
     let workloads = [
-        ("RW-U", Workload::RwUniform { reads: 2, writes: 2 }, 32_027.0, 38_241.0),
-        ("RW-Z", Workload::RwZipf { reads: 2, writes: 2 }, 2_454.0, 4_777.0),
+        (
+            "RW-U",
+            Workload::RwUniform {
+                reads: 2,
+                writes: 2,
+            },
+            32_027.0,
+            38_241.0,
+        ),
+        (
+            "RW-Z",
+            Workload::RwZipf {
+                reads: 2,
+                writes: 2,
+            },
+            2_454.0,
+            4_777.0,
+        ),
     ];
     let mut rows = Vec::new();
     for (name, workload, paper_nofp, paper_fp) in workloads {
@@ -22,7 +38,10 @@ fn main() {
             name.to_string(),
             format!("{:.0}", no_fp.throughput_tps),
             format!("{:.0}", fp.throughput_tps),
-            format!("{:+.0}%", (fp.throughput_tps / no_fp.throughput_tps.max(1.0) - 1.0) * 100.0),
+            format!(
+                "{:+.0}%",
+                (fp.throughput_tps / no_fp.throughput_tps.max(1.0) - 1.0) * 100.0
+            ),
             format!("{:+.0}%", (paper_fp / paper_nofp - 1.0) * 100.0),
         ]);
         eprintln!(
@@ -37,7 +56,13 @@ fn main() {
     }
     print_table(
         "Figure 6a: fast path ablation",
-        &["workload", "Basil-NoFP tx/s", "Basil tx/s", "gain", "paper gain"],
+        &[
+            "workload",
+            "Basil-NoFP tx/s",
+            "Basil tx/s",
+            "gain",
+            "paper gain",
+        ],
         &rows,
     );
 }

@@ -12,8 +12,20 @@ fn main() {
     };
     let batches = [1u32, 2, 4, 8, 16, 32];
     let workloads = [
-        ("RW-U", Workload::RwUniform { reads: 2, writes: 2 }),
-        ("RW-Z", Workload::RwZipf { reads: 2, writes: 2 }),
+        (
+            "RW-U",
+            Workload::RwUniform {
+                reads: 2,
+                writes: 2,
+            },
+        ),
+        (
+            "RW-Z",
+            Workload::RwZipf {
+                reads: 2,
+                writes: 2,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, workload) in workloads {

@@ -22,8 +22,20 @@ fn main() {
         ("equiv-real", ClientStrategy::EquivReal),
     ];
     for (fig, workload) in [
-        ("Figure 7a (RW-U)", Workload::RwUniform { reads: 2, writes: 2 }),
-        ("Figure 7b (RW-Z)", Workload::RwZipf { reads: 2, writes: 2 }),
+        (
+            "Figure 7a (RW-U)",
+            Workload::RwUniform {
+                reads: 2,
+                writes: 2,
+            },
+        ),
+        (
+            "Figure 7b (RW-Z)",
+            Workload::RwZipf {
+                reads: 2,
+                writes: 2,
+            },
+        ),
     ] {
         let mut rows = Vec::new();
         for (name, strategy) in strategies {
@@ -66,7 +78,9 @@ fn main() {
             rows.push(row);
         }
         print_table(
-            &format!("{fig}: throughput per correct client (tx/s) vs fraction of Byzantine clients"),
+            &format!(
+                "{fig}: throughput per correct client (tx/s) vs fraction of Byzantine clients"
+            ),
             &["strategy", "0%", "10%", "20%", "30%", "40%"],
             &rows,
         );

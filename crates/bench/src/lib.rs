@@ -82,13 +82,22 @@ impl Workload {
             Workload::Tpcc => Box::new(TpccGenerator::new(s, 20)),
             Workload::Smallbank => Box::new(SmallbankGenerator::new(s, 1_000_000, 1_000, 0.9)),
             Workload::Retwis => Box::new(RetwisGenerator::paper_config(s, 1_000_000)),
-            Workload::RwUniform { reads, writes } => {
-                Box::new(YcsbGenerator::rw_uniform(s, Self::YCSB_KEYS, *reads, *writes))
+            Workload::RwUniform { reads, writes } => Box::new(YcsbGenerator::rw_uniform(
+                s,
+                Self::YCSB_KEYS,
+                *reads,
+                *writes,
+            )),
+            Workload::RwZipf { reads, writes } => Box::new(YcsbGenerator::rw_zipf(
+                s,
+                Self::YCSB_KEYS,
+                *reads,
+                *writes,
+                0.9,
+            )),
+            Workload::ReadOnly { ops } => {
+                Box::new(YcsbGenerator::read_only(s, Self::YCSB_KEYS, *ops))
             }
-            Workload::RwZipf { reads, writes } => {
-                Box::new(YcsbGenerator::rw_zipf(s, Self::YCSB_KEYS, *reads, *writes, 0.9))
-            }
-            Workload::ReadOnly { ops } => Box::new(YcsbGenerator::read_only(s, Self::YCSB_KEYS, *ops)),
         }
     }
 }
@@ -159,7 +168,12 @@ pub fn run_basil_with_faults(
 }
 
 /// Runs one of the baseline systems on a workload.
-pub fn run_baseline(kind: SystemKind, shards: u32, workload: Workload, params: &RunParams) -> RunReport {
+pub fn run_baseline(
+    kind: SystemKind,
+    shards: u32,
+    workload: Workload,
+    params: &RunParams,
+) -> RunReport {
     let batch = match (kind, workload) {
         // The paper's best batch sizes per system and application class.
         (SystemKind::TxHotstuff, Workload::Tpcc) => 4,
@@ -169,7 +183,9 @@ pub fn run_baseline(kind: SystemKind, shards: u32, workload: Workload, params: &
         (SystemKind::Tapir, _) => 1,
     };
     let config = BaselineClusterConfig::new(
-        BaselineConfig::new(kind).with_shards(shards).with_batch_size(batch),
+        BaselineConfig::new(kind)
+            .with_shards(shards)
+            .with_batch_size(batch),
         params.clients,
     )
     .with_seed(params.seed);
@@ -257,7 +273,10 @@ mod tests {
     fn quick_basil_run_produces_throughput() {
         let report = run_basil(
             basil_default(1),
-            Workload::RwUniform { reads: 2, writes: 2 },
+            Workload::RwUniform {
+                reads: 2,
+                writes: 2,
+            },
             &RunParams::quick(),
         );
         assert!(report.committed > 0);
@@ -269,7 +288,10 @@ mod tests {
         let report = run_baseline(
             SystemKind::Tapir,
             1,
-            Workload::RwUniform { reads: 2, writes: 2 },
+            Workload::RwUniform {
+                reads: 2,
+                writes: 2,
+            },
             &RunParams::quick(),
         );
         assert!(report.committed > 0);
@@ -302,8 +324,14 @@ mod tests {
             Workload::Tpcc,
             Workload::Smallbank,
             Workload::Retwis,
-            Workload::RwUniform { reads: 2, writes: 2 },
-            Workload::RwZipf { reads: 2, writes: 2 },
+            Workload::RwUniform {
+                reads: 2,
+                writes: 2,
+            },
+            Workload::RwZipf {
+                reads: 2,
+                writes: 2,
+            },
             Workload::ReadOnly { ops: 24 },
         ] {
             assert!(!w.name().is_empty());

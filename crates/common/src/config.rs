@@ -246,7 +246,8 @@ mod tests {
             assert!(overlap > f as i64, "f={f}: CQ/CQ overlap too small");
             // A fast-commit certificate and a fast-abort certificate must
             // also intersect in a correct replica.
-            let overlap_fast = (c.fast_commit_quorum() + c.fast_abort_quorum()) as i64 - c.n() as i64;
+            let overlap_fast =
+                (c.fast_commit_quorum() + c.fast_abort_quorum()) as i64 - c.n() as i64;
             assert!(overlap_fast > f as i64);
             // Any client stepping in for a fast-path commit sees at least a CQ.
             assert!(c.fast_commit_quorum() - 2 * f >= c.commit_quorum());

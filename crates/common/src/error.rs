@@ -98,7 +98,9 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("aborted"));
         assert!(s.contains("conflict"));
-        assert!(BasilError::Timeout("prepare".into()).to_string().contains("prepare"));
+        assert!(BasilError::Timeout("prepare".into())
+            .to_string()
+            .contains("prepare"));
     }
 
     #[test]
@@ -120,8 +122,7 @@ mod tests {
             Fallback,
             Misbehavior,
         ];
-        let texts: std::collections::HashSet<String> =
-            all.iter().map(|r| r.to_string()).collect();
+        let texts: std::collections::HashSet<String> = all.iter().map(|r| r.to_string()).collect();
         assert_eq!(texts.len(), all.len());
     }
 }

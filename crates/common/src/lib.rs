@@ -21,6 +21,7 @@ pub mod error;
 pub mod ids;
 pub mod kv;
 pub mod ops;
+pub mod prng;
 pub mod time;
 pub mod timestamp;
 
@@ -29,5 +30,6 @@ pub use error::{BasilError, Result};
 pub use ids::{ClientId, NodeId, ReplicaId, ShardId, TxId};
 pub use kv::{Key, Value};
 pub use ops::{Op, ScriptedGenerator, TxGenerator, TxProfile};
+pub use prng::SmallPrng;
 pub use time::{Duration, SimTime};
 pub use timestamp::Timestamp;

@@ -159,10 +159,8 @@ mod tests {
 
     #[test]
     fn scripted_generator_replays_in_order() {
-        let mut g = ScriptedGenerator::new([
-            TxProfile::new("one", vec![]),
-            TxProfile::new("two", vec![]),
-        ]);
+        let mut g =
+            ScriptedGenerator::new([TxProfile::new("one", vec![]), TxProfile::new("two", vec![])]);
         assert_eq!(g.remaining(), 2);
         assert_eq!(g.next_tx().expect("first").label, "one");
         assert_eq!(g.next_tx().expect("second").label, "two");

@@ -194,7 +194,11 @@ fn count_valid_st2_replies(
 /// Validates a slow-path logging certificate: `n - f` matching, correctly
 /// signed `ST2R` acknowledgements from distinct replicas of the logging
 /// shard.
-pub fn validate_vote_cert(cert: &VoteCert, cfg: &ShardConfig, engine: &mut SigEngine) -> Validation {
+pub fn validate_vote_cert(
+    cert: &VoteCert,
+    cfg: &ShardConfig,
+    engine: &mut SigEngine,
+) -> Validation {
     let (count, cost) = count_valid_st2_replies(
         cert.txid,
         cert.shard,
@@ -403,7 +407,11 @@ pub fn validate_commit_cert(
 }
 
 /// Validates an abort certificate.
-pub fn validate_abort_cert(cert: &AbortCert, cfg: &ShardConfig, engine: &mut SigEngine) -> Validation {
+pub fn validate_abort_cert(
+    cert: &AbortCert,
+    cfg: &ShardConfig,
+    engine: &mut SigEngine,
+) -> Validation {
     if let Some(slow) = &cert.slow {
         if slow.txid != cert.txid || slow.decision.is_commit() {
             return Validation::invalid(Duration::ZERO);
@@ -477,7 +485,12 @@ mod tests {
         }
     }
 
-    fn signed_st2(replica_index: u32, decision: ProtoDecision, id: TxId, view: View) -> SignedSt2Reply {
+    fn signed_st2(
+        replica_index: u32,
+        decision: ProtoDecision,
+        id: TxId,
+        view: View,
+    ) -> SignedSt2Reply {
         let replica = ReplicaId::new(ShardId(0), replica_index);
         let body = St2ReplyBody {
             txid: id,
@@ -492,11 +505,15 @@ mod tests {
     }
 
     fn commit_votes(n: u32) -> Vec<SignedSt1Reply> {
-        (0..n).map(|i| signed_vote(i, ProtoVote::Commit, txid())).collect()
+        (0..n)
+            .map(|i| signed_vote(i, ProtoVote::Commit, txid()))
+            .collect()
     }
 
     fn abort_votes(n: u32) -> Vec<SignedSt1Reply> {
-        (0..n).map(|i| signed_vote(i, ProtoVote::Abort, txid())).collect()
+        (0..n)
+            .map(|i| signed_vote(i, ProtoVote::Abort, txid()))
+            .collect()
     }
 
     fn shard_votes(decision: ProtoDecision, votes: Vec<SignedSt1Reply>) -> ShardVotes {
@@ -526,7 +543,10 @@ mod tests {
         let mut engine = client_engine();
         let mut votes = commit_votes(3);
         // Replica 0's vote repeated three more times.
-        votes.extend(std::iter::repeat_n(signed_vote(0, ProtoVote::Commit, txid()), 3));
+        votes.extend(std::iter::repeat_n(
+            signed_vote(0, ProtoVote::Commit, txid()),
+            3,
+        ));
         let sv = shard_votes(ProtoDecision::Commit, votes);
         assert!(!validate_fast_shard_votes(&sv, &shard_cfg, &mut engine).valid);
     }
@@ -559,14 +579,46 @@ mod tests {
         let shard_cfg = cfg().system.shard;
         let mut engine = client_engine();
         let commit_tally = shard_votes(ProtoDecision::Commit, commit_votes(4));
-        assert!(validate_tally_for_decision(&commit_tally, ProtoDecision::Commit, &shard_cfg, &mut engine).valid);
+        assert!(
+            validate_tally_for_decision(
+                &commit_tally,
+                ProtoDecision::Commit,
+                &shard_cfg,
+                &mut engine
+            )
+            .valid
+        );
         let commit_small = shard_votes(ProtoDecision::Commit, commit_votes(3));
-        assert!(!validate_tally_for_decision(&commit_small, ProtoDecision::Commit, &shard_cfg, &mut engine).valid);
+        assert!(
+            !validate_tally_for_decision(
+                &commit_small,
+                ProtoDecision::Commit,
+                &shard_cfg,
+                &mut engine
+            )
+            .valid
+        );
 
         let abort_tally = shard_votes(ProtoDecision::Abort, abort_votes(2));
-        assert!(validate_tally_for_decision(&abort_tally, ProtoDecision::Abort, &shard_cfg, &mut engine).valid);
+        assert!(
+            validate_tally_for_decision(
+                &abort_tally,
+                ProtoDecision::Abort,
+                &shard_cfg,
+                &mut engine
+            )
+            .valid
+        );
         let abort_small = shard_votes(ProtoDecision::Abort, abort_votes(1));
-        assert!(!validate_tally_for_decision(&abort_small, ProtoDecision::Abort, &shard_cfg, &mut engine).valid);
+        assert!(
+            !validate_tally_for_decision(
+                &abort_small,
+                ProtoDecision::Abort,
+                &shard_cfg,
+                &mut engine
+            )
+            .valid
+        );
     }
 
     #[test]
@@ -578,7 +630,9 @@ mod tests {
             shard: ShardId(0),
             decision: ProtoDecision::Commit,
             view: 0,
-            replies: (0..5).map(|i| signed_st2(i, ProtoDecision::Commit, txid(), 0)).collect(),
+            replies: (0..5)
+                .map(|i| signed_st2(i, ProtoDecision::Commit, txid(), 0))
+                .collect(),
         };
         assert!(validate_vote_cert(&cert, &shard_cfg, &mut engine).valid);
 
@@ -600,7 +654,7 @@ mod tests {
         let ok = validate_st2_justification(
             txid(),
             ProtoDecision::Commit,
-            &[tally.clone()],
+            std::slice::from_ref(&tally),
             Some(&[ShardId(0)]),
             &shard_cfg,
             &mut engine,
@@ -661,7 +715,9 @@ mod tests {
                 shard: ShardId(0),
                 decision: ProtoDecision::Commit,
                 view: 0,
-                replies: (0..5).map(|i| signed_st2(i, ProtoDecision::Commit, txid(), 0)).collect(),
+                replies: (0..5)
+                    .map(|i| signed_st2(i, ProtoDecision::Commit, txid(), 0))
+                    .collect(),
             }),
         };
         assert!(validate_commit_cert(&slow, Some(&[ShardId(0)]), &shard_cfg, &mut engine).valid);
@@ -675,7 +731,9 @@ mod tests {
                 shard: ShardId(0),
                 decision: ProtoDecision::Abort,
                 view: 0,
-                replies: (0..5).map(|i| signed_st2(i, ProtoDecision::Abort, txid(), 0)).collect(),
+                replies: (0..5)
+                    .map(|i| signed_st2(i, ProtoDecision::Abort, txid(), 0))
+                    .collect(),
             }),
         };
         assert!(!validate_commit_cert(&bogus, Some(&[ShardId(0)]), &shard_cfg, &mut engine).valid);

@@ -15,7 +15,6 @@
 //! methodology). Byzantine client strategies (§6.4) are implemented here as
 //! deviations at well-defined points of the normal flow.
 
-use crate::byzantine::rand_like::SmallPrng;
 use crate::byzantine::{ClientStrategy, FaultProfile};
 use crate::certs::{
     validate_decision_cert, AbortCert, CommitCert, DecisionCert, ShardVotes, VoteCert,
@@ -26,10 +25,13 @@ use crate::messages::{
     BasilMsg, ClientTimer, InvokeFb, ProtoDecision, ProtoVote, ReadReply, ReadRequest,
     SignedSt1Reply, SignedSt2Reply, St1, St2, Writeback,
 };
-use crate::quorum::{combine_outcomes, PrepareOutcome, ShardOutcome, ShardTally, St2Outcome, St2Tally};
+use crate::quorum::{
+    combine_outcomes, PrepareOutcome, ShardOutcome, ShardTally, St2Outcome, St2Tally,
+};
+use basil_common::prng::SmallPrng;
 use basil_common::{
-    ClientId, Duration, Key, NodeId, Op, ReplicaId, ShardId, SimTime, Timestamp, TxGenerator,
-    TxId, TxProfile, Value,
+    ClientId, Duration, Key, NodeId, Op, ReplicaId, ShardId, SimTime, Timestamp, TxGenerator, TxId,
+    TxProfile, Value,
 };
 use basil_simnet::{Actor, Context};
 use basil_store::{Transaction, TransactionBuilder};
@@ -560,7 +562,8 @@ impl BasilClient {
             let Phase::Executing(exec) = &mut current.phase else {
                 return;
             };
-            exec.builder.record_dependent_read(key.clone(), version, dep_txid);
+            exec.builder
+                .record_dependent_read(key.clone(), version, dep_txid);
             (version, value)
         } else {
             let (version, value) = best_committed.unwrap_or((Timestamp::ZERO, Value::empty()));
@@ -658,10 +661,8 @@ impl BasilClient {
             let Phase::Executing(exec) = &mut current.phase else {
                 return;
             };
-            let builder = std::mem::replace(
-                &mut exec.builder,
-                TransactionBuilder::new(Timestamp::ZERO),
-            );
+            let builder =
+                std::mem::replace(&mut exec.builder, TransactionBuilder::new(Timestamp::ZERO));
             (builder.build(), current.faulty, self.cfg.client_strategy)
         };
 
@@ -1076,10 +1077,7 @@ impl BasilClient {
                 ClientStrategy::StallLate | ClientStrategy::EquivReal | ClientStrategy::EquivForced
             );
         if !withhold_writeback {
-            let wb = Writeback {
-                cert,
-                tx: Some(tx),
-            };
+            let wb = Writeback { cert, tx: Some(tx) };
             for replica in self.all_replicas_of(&involved) {
                 self.send_signed(ctx, replica, BasilMsg::Writeback(wb.clone()));
             }
@@ -1133,9 +1131,7 @@ impl BasilClient {
         // Someone completed our own in-flight transaction (e.g. another
         // client recovering it): adopt the decision.
         let own = match self.current.as_ref().map(|c| &c.phase) {
-            Some(Phase::Preparing(p)) if p.txid == txid => {
-                Some((p.tx.clone(), p.involved.clone()))
-            }
+            Some(Phase::Preparing(p)) if p.txid == txid => Some((p.tx.clone(), p.involved.clone())),
             Some(Phase::Logging(l)) if l.txid == txid => Some((l.tx.clone(), l.involved.clone())),
             _ => None,
         };
@@ -1150,7 +1146,12 @@ impl BasilClient {
     // ------------------------------------------------------------------
 
     fn start_recovery(&mut self, ctx: &mut Context<BasilMsg>, dep: TxId) {
-        if self.recoveries.get(&dep).map(|r| !r.resolved).unwrap_or(false) {
+        if self
+            .recoveries
+            .get(&dep)
+            .map(|r| !r.resolved)
+            .unwrap_or(false)
+        {
             return; // already recovering
         }
         let Some(tx) = self.dep_txs.get(&dep).cloned() else {
@@ -1255,10 +1256,7 @@ impl BasilClient {
                 };
                 let tx = rec.tx.clone();
                 let involved = rec.involved.clone();
-                let wb = Writeback {
-                    cert,
-                    tx: Some(tx),
-                };
+                let wb = Writeback { cert, tx: Some(tx) };
                 for replica in self.all_replicas_of(&involved) {
                     self.send_signed(ctx, replica, BasilMsg::Writeback(wb.clone()));
                 }
@@ -1300,10 +1298,7 @@ impl BasilClient {
                 if outcome.fast {
                     rec.resolved = true;
                     let cert = build_fast_cert(txid, outcome.decision, outcome.shard_votes);
-                    let wb = Writeback {
-                        cert,
-                        tx: Some(tx),
-                    };
+                    let wb = Writeback { cert, tx: Some(tx) };
                     for replica in self.all_replicas_of(&involved) {
                         self.send_signed(ctx, replica, BasilMsg::Writeback(wb.clone()));
                     }
@@ -1399,7 +1394,11 @@ fn apply_delta(value: &Value, delta: i64) -> Value {
     Value::from_u64(new)
 }
 
-fn build_fast_cert(txid: TxId, decision: ProtoDecision, shard_votes: Vec<ShardVotes>) -> DecisionCert {
+fn build_fast_cert(
+    txid: TxId,
+    decision: ProtoDecision,
+    shard_votes: Vec<ShardVotes>,
+) -> DecisionCert {
     match decision {
         ProtoDecision::Commit => DecisionCert::Commit(CommitCert {
             txid,
@@ -1513,10 +1512,7 @@ mod tests {
 
     #[test]
     fn write_only_transaction_goes_straight_to_prepare() {
-        let profile = TxProfile::new(
-            "w",
-            vec![Op::Write(Key::new("x"), Value::from_u64(1))],
-        );
+        let profile = TxProfile::new("w", vec![Op::Write(Key::new("x"), Value::from_u64(1))]);
         let mut client = client_with(vec![profile]);
         let mut ctx = ctx_at(1);
         client.on_start(&mut ctx);

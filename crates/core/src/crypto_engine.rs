@@ -12,7 +12,9 @@ use crate::config::{BasilConfig, CryptoMode};
 use basil_common::{Duration, NodeId};
 use basil_crypto::batch::BatchVerifyOutcome;
 use basil_crypto::sig::Signature;
-use basil_crypto::{BatchProof, CostModel, Digest, KeyPair, KeyRegistry, MerkleTree, SignatureCache};
+use basil_crypto::{
+    BatchProof, CostModel, Digest, KeyPair, KeyRegistry, MerkleTree, SignatureCache,
+};
 
 /// A node's signing/verification facility.
 pub struct SigEngine {
@@ -82,7 +84,11 @@ impl SigEngine {
     }
 
     /// Verifies a client request MAC.
-    pub fn verify_request(&mut self, payload: &[u8], proof: Option<&BatchProof>) -> (bool, Duration) {
+    pub fn verify_request(
+        &mut self,
+        payload: &[u8],
+        proof: Option<&BatchProof>,
+    ) -> (bool, Duration) {
         if !self.enabled {
             return (true, Duration::ZERO);
         }
@@ -155,11 +161,14 @@ impl SigEngine {
         match self.mode {
             CryptoMode::Real => {
                 let before_hits = self.cache.hits();
-                let outcome: BatchVerifyOutcome = proof.verify(payload, &self.registry, &mut self.cache);
+                let outcome: BatchVerifyOutcome =
+                    proof.verify(payload, &self.registry, &mut self.cache);
                 let cached = self.cache.hits() > before_hits;
-                let cost =
-                    self.cost
-                        .batch_verify_cost(proof.batch_size, payload.len().max(1), cached && outcome.valid);
+                let cost = self.cost.batch_verify_cost(
+                    proof.batch_size,
+                    payload.len().max(1),
+                    cached && outcome.valid,
+                );
                 (outcome.valid, cost)
             }
             CryptoMode::Simulated => {
@@ -168,9 +177,9 @@ impl SigEngine {
                 if !cached {
                     self.cache.insert(proof.root, proof.root_signature);
                 }
-                let cost = self
-                    .cost
-                    .batch_verify_cost(proof.batch_size, payload.len().max(1), cached);
+                let cost =
+                    self.cost
+                        .batch_verify_cost(proof.batch_size, payload.len().max(1), cached);
                 (true, cost)
             }
         }

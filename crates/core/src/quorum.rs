@@ -97,7 +97,10 @@ impl ShardTally {
 
     /// Number of commit votes received so far.
     pub fn commits(&self) -> u32 {
-        self.votes.values().filter(|v| v.body.vote.is_commit()).count() as u32
+        self.votes
+            .values()
+            .filter(|v| v.body.vote.is_commit())
+            .count() as u32
     }
 
     /// Number of abort votes received so far.
@@ -131,7 +134,11 @@ impl ShardTally {
 
         // Fast paths can be recognized as soon as their thresholds are met.
         if let Some(conflict_vote) = self.conflict_vote() {
-            return Some(self.outcome(ShardPath::FastAbortConflict, ProtoDecision::Abort, Some(conflict_vote.clone())));
+            return Some(self.outcome(
+                ShardPath::FastAbortConflict,
+                ProtoDecision::Abort,
+                Some(conflict_vote.clone()),
+            ));
         }
         if commits >= self.cfg.fast_commit_quorum() {
             return Some(self.outcome(ShardPath::FastCommit, ProtoDecision::Commit, None));
@@ -539,8 +546,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let combined =
-            combine_outcomes(&outcomes, &[ShardId(0), ShardId(1)]).expect("classified");
+        let combined = combine_outcomes(&outcomes, &[ShardId(0), ShardId(1)]).expect("classified");
         assert_eq!(combined.decision, ProtoDecision::Commit);
         assert!(!combined.fast);
     }

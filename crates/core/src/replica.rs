@@ -222,14 +222,19 @@ impl BasilReplica {
             self.stats.byzantine_drops += 1;
             return;
         }
-        let (ok, cost) = self.engine.verify_request(&req.signed_bytes(), req.auth.as_ref());
+        let (ok, cost) = self
+            .engine
+            .verify_request(&req.signed_bytes(), req.auth.as_ref());
         ctx.charge(cost);
         if !ok {
             return;
         }
         // Timestamp acceptance window (Section 4.1): ignore reads too far in
         // the future.
-        if req.ts.exceeds_bound(ctx.local_clock(), self.cfg.system.delta) {
+        if req
+            .ts
+            .exceeds_bound(ctx.local_clock(), self.cfg.system.delta)
+        {
             return;
         }
         let result = self.store.read(&req.key, req.ts);
@@ -258,7 +263,9 @@ impl BasilReplica {
     // ------------------------------------------------------------------
 
     fn handle_st1(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, st1: St1) {
-        let (ok, cost) = self.engine.verify_request(&st1.signed_bytes(), st1.auth.as_ref());
+        let (ok, cost) = self
+            .engine
+            .verify_request(&st1.signed_bytes(), st1.auth.as_ref());
         ctx.charge(cost);
         if !ok {
             return;
@@ -409,7 +416,9 @@ impl BasilReplica {
     // ------------------------------------------------------------------
 
     fn handle_st2(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, st2: St2) {
-        let (ok, cost) = self.engine.verify_request(&st2.signed_bytes(), st2.auth.as_ref());
+        let (ok, cost) = self
+            .engine
+            .verify_request(&st2.signed_bytes(), st2.auth.as_ref());
         ctx.charge(cost);
         if !ok {
             return;
@@ -561,7 +570,9 @@ impl BasilReplica {
     // ------------------------------------------------------------------
 
     fn handle_invoke_fb(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, ifb: InvokeFb) {
-        let (ok, cost) = self.engine.verify_request(&ifb.signed_bytes(), ifb.auth.as_ref());
+        let (ok, cost) = self
+            .engine
+            .verify_request(&ifb.signed_bytes(), ifb.auth.as_ref());
         ctx.charge(cost);
         if !ok {
             return;
@@ -617,8 +628,7 @@ impl BasilReplica {
             record.current_view = new_view.max(record.current_view);
             (record.current_view, record.logged.map(|(d, _)| d))
         };
-        let leader_index =
-            fallback_leader_index(view, txid, self.cfg.system.shard.n());
+        let leader_index = fallback_leader_index(view, txid, self.cfg.system.shard.n());
         let leader = NodeId::Replica(ReplicaId::new(self.id.shard, leader_index));
         let body = ElectFbBody {
             txid,
@@ -648,7 +658,9 @@ impl BasilReplica {
                 .as_ref()
                 .map(|p| p.signer() == NodeId::Replica(efb.body.replica))
                 .unwrap_or(false);
-            let (ok, cost) = self.engine.verify(&efb.body.signed_bytes(), efb.proof.as_ref());
+            let (ok, cost) = self
+                .engine
+                .verify(&efb.body.signed_bytes(), efb.proof.as_ref());
             ctx.charge(cost);
             if !ok || !signer_ok {
                 return;
@@ -705,10 +717,7 @@ impl BasilReplica {
             let signer_ok = dfb
                 .auth
                 .as_ref()
-                .map(|p| {
-                    p.signer()
-                        == NodeId::Replica(ReplicaId::new(self.id.shard, leader_index))
-                })
+                .map(|p| p.signer() == NodeId::Replica(ReplicaId::new(self.id.shard, leader_index)))
                 .unwrap_or(false);
             let (ok, cost) = self.engine.verify(&dfb.signed_bytes(), dfb.auth.as_ref());
             ctx.charge(cost);
@@ -829,7 +838,10 @@ mod tests {
             cfg(),
             registry(),
             ReplicaBehavior::Correct,
-            [(Key::new("x"), Value::from_u64(0)), (Key::new("y"), Value::from_u64(0))],
+            [
+                (Key::new("x"), Value::from_u64(0)),
+                (Key::new("y"), Value::from_u64(0)),
+            ],
         )
     }
 
@@ -1057,7 +1069,10 @@ mod tests {
             BasilMsg::ReadReply(reply) => {
                 let committed = reply.body.committed.as_ref().expect("committed");
                 assert_eq!(committed.value, Value::from_u64(42));
-                assert!(committed.cert.is_some(), "cert attached for committed reads");
+                assert!(
+                    committed.cert.is_some(),
+                    "cert attached for committed reads"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1311,7 +1326,10 @@ mod tests {
         );
         let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
         r.handle_read(&mut ctx, client_node(), signed_read(1, "x", 1_000_000));
-        assert!(sent_to(&ctx, client_node()).is_empty(), "batch not full yet");
+        assert!(
+            sent_to(&ctx, client_node()).is_empty(),
+            "batch not full yet"
+        );
         // The batch flush timer was armed.
         assert!(ctx
             .outputs()
@@ -1423,10 +1441,12 @@ mod tests {
             let mut ctx = ctx_at(NodeId::Replica(r.id()), 3);
             r.handle_invoke_fb(&mut ctx, client, ifb.clone());
             for out in ctx.outputs() {
-                if let basil_simnet::actor::Output::Send { to, msg } = out {
-                    if let BasilMsg::ElectFb(e) = msg {
-                        elect_msgs.push((*to, e.clone()));
-                    }
+                if let basil_simnet::actor::Output::Send {
+                    to,
+                    msg: BasilMsg::ElectFb(e),
+                } = out
+                {
+                    elect_msgs.push((*to, e.clone()));
                 }
             }
         }
@@ -1446,15 +1466,20 @@ mod tests {
                 let mut ctx = ctx_at(NodeId::Replica(leader.id()), 4);
                 leader.handle_elect_fb(&mut ctx, e.clone());
                 for out in ctx.outputs() {
-                    if let basil_simnet::actor::Output::Send { msg, .. } = out {
-                        if let BasilMsg::DecFb(d) = msg {
-                            dec_msgs.push(d.clone());
-                        }
+                    if let basil_simnet::actor::Output::Send {
+                        msg: BasilMsg::DecFb(d),
+                        ..
+                    } = out
+                    {
+                        dec_msgs.push(d.clone());
                     }
                 }
             }
         }
-        assert!(!dec_msgs.is_empty(), "leader proposes a reconciled decision");
+        assert!(
+            !dec_msgs.is_empty(),
+            "leader proposes a reconciled decision"
+        );
         let dec = dec_msgs[0].clone();
         assert_eq!(dec.view, 1);
 
@@ -1471,6 +1496,8 @@ mod tests {
             }
         }
         assert!(st2r_decisions.len() >= 5);
-        assert!(st2r_decisions.iter().all(|(d, v)| *d == dec.decision && *v == 1));
+        assert!(st2r_decisions
+            .iter()
+            .all(|(d, v)| *d == dec.decision && *v == 1));
     }
 }

@@ -115,7 +115,10 @@ mod tests {
         let mut bytes = [0u8; 32];
         bytes[7] = 3;
         let t2 = TxId::from_bytes(bytes);
-        assert_ne!(fallback_leader_index(1, t1, n), fallback_leader_index(1, t2, n));
+        assert_ne!(
+            fallback_leader_index(1, t1, n),
+            fallback_leader_index(1, t2, n)
+        );
         // Every view has a leader within range.
         for v in 0..20 {
             assert!(fallback_leader_index(v, t2, n) < n);

@@ -125,7 +125,11 @@ impl BatchSigner {
 
     /// Queues a reply for `recipient`. Returns the signed batch if this
     /// addition filled the batch, `None` otherwise.
-    pub fn push(&mut self, recipient: NodeId, payload: Vec<u8>) -> Option<Vec<(NodeId, BatchProof)>> {
+    pub fn push(
+        &mut self,
+        recipient: NodeId,
+        payload: Vec<u8>,
+    ) -> Option<Vec<(NodeId, BatchProof)>> {
         self.pending.push((recipient, payload));
         if self.pending.len() >= self.batch_size {
             Some(self.flush())
@@ -284,7 +288,9 @@ mod tests {
         assert!(signer.push(client(1), b"r1".to_vec()).is_none());
         assert!(signer.push(client(2), b"r2".to_vec()).is_none());
         assert!(signer.push(client(3), b"r3".to_vec()).is_none());
-        let out = signer.push(client(4), b"r4".to_vec()).expect("4th fills batch");
+        let out = signer
+            .push(client(4), b"r4".to_vec())
+            .expect("4th fills batch");
         assert_eq!(out.len(), 4);
         assert_eq!(signer.signatures_produced(), 1);
         assert_eq!(signer.replies_signed(), 4);
@@ -308,7 +314,10 @@ mod tests {
         let first = out[0].1.verify(b"a", &reg, &mut cache);
         assert!(first.valid && first.signature_checked);
         let second = out[1].1.verify(b"b", &reg, &mut cache);
-        assert!(second.valid && !second.signature_checked, "should hit cache");
+        assert!(
+            second.valid && !second.signature_checked,
+            "should hit cache"
+        );
         let third = out[2].1.verify(b"c", &reg, &mut cache);
         assert!(third.valid && !third.signature_checked);
         assert_eq!(cache.hits(), 2);

@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn defaults_are_sensible() {
         let c = CostModel::ed25519_default();
-        assert!(c.verify > c.sign, "verification is costlier than signing for ed25519");
+        assert!(
+            c.verify > c.sign,
+            "verification is costlier than signing for ed25519"
+        );
         assert!(c.sign > Duration::from_micros(10));
         assert!(c.enabled);
     }

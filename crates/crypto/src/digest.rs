@@ -44,7 +44,10 @@ impl fmt::Debug for Digest {
         write!(
             f,
             "digest:{}",
-            self.0[..4].iter().map(|b| format!("{b:02x}")).collect::<String>()
+            self.0[..4]
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<String>()
         )
     }
 }

@@ -60,7 +60,10 @@ impl MerkleTree {
 
     /// Builds a tree from already-hashed leaves.
     pub fn from_leaf_hashes(leaf_level: Vec<Digest>) -> Self {
-        assert!(!leaf_level.is_empty(), "Merkle tree needs at least one leaf");
+        assert!(
+            !leaf_level.is_empty(),
+            "Merkle tree needs at least one leaf"
+        );
         let mut levels = vec![leaf_level];
         while levels.last().expect("non-empty").len() > 1 {
             let prev = levels.last().expect("non-empty");
@@ -96,7 +99,11 @@ impl MerkleTree {
         let mut siblings = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling_idx = if idx.is_multiple_of(2) {
+                idx + 1
+            } else {
+                idx - 1
+            };
             siblings.push(level.get(sibling_idx).copied());
             idx /= 2;
         }
@@ -120,7 +127,7 @@ impl MerkleProof {
         let mut idx = self.leaf_index;
         for sibling in &self.siblings {
             current = match sibling {
-                Some(s) if idx % 2 == 0 => node_hash(&current, s),
+                Some(s) if idx.is_multiple_of(2) => node_hash(&current, s),
                 Some(s) => node_hash(s, &current),
                 // Odd tail: node promoted unchanged.
                 None => current,

@@ -234,7 +234,10 @@ ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
     fn digest_parts_equals_concatenation() {
         let a = b"hello ".as_slice();
         let b = b"world".as_slice();
-        assert_eq!(Sha256::digest_parts(&[a, b]), Sha256::digest(b"hello world"));
+        assert_eq!(
+            Sha256::digest_parts(&[a, b]),
+            Sha256::digest(b"hello world")
+        );
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this workspace-local shim
+//! implements the API subset the `basil-bench` crate uses:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups with [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::throughput`], and [`Bencher::iter`] /
+//! [`Bencher::iter_batched`].
+//!
+//! It is a plain wall-clock harness: each benchmark is warmed up briefly,
+//! then timed over enough iterations to fill the configured measurement
+//! time, and mean ns/iter is printed. There is no statistical analysis or
+//! HTML report — the goal is that `cargo bench` builds, runs, and produces
+//! comparable numbers offline.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the shim
+/// re-runs the setup closure per batch regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark (printed next to the timing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration, filled in by the timing loop.
+    elapsed_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the measurement window
+    /// is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup and per-iteration estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < self.measurement_time / 10 || warmup_iters < 1 {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let target_iters = ((self.measurement_time.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns_per_iter = start.elapsed().as_secs_f64() * 1e9 / target_iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        // One warmup pass.
+        std::hint::black_box(routine(setup()));
+        while measured < self.measurement_time && iters < 10_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed_ns_per_iter = measured.as_secs_f64() * 1e9 / iters.max(1) as f64;
+    }
+}
+
+fn run_one(
+    label: &str,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        measurement_time,
+        elapsed_ns_per_iter: 0.0,
+    };
+    f(&mut bencher);
+    let ns = bencher.elapsed_ns_per_iter;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                bytes as f64 / (ns / 1e9) / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / (ns / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!("{label:<50} time: {:>12.1} ns/iter{rate}", ns);
+}
+
+/// The benchmark driver (shim of `criterion::Criterion`).
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // The real default is 5 s per benchmark; the shim keeps runs
+            // short so `cargo bench` over the whole workspace stays quick.
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (accepted for API compatibility; the
+    /// shim times one aggregate sample).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.measurement_time, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            measurement_time,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.measurement_time, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.measurement_time, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_work() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &vec![1u8; 64], |b, data| {
+            b.iter(|| data.iter().map(|x| *x as u64).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(Vec::<u64>::new, |mut v| v.push(1), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -217,6 +217,8 @@ mod tests {
         let mut ctx: Context<TestMsg> = Context::new(me, SimTime::ZERO, SimTime::ZERO);
         ctx.schedule_self(Duration::from_millis(5), TestMsg::Ping);
         let (outputs, _) = ctx.finish();
-        assert!(matches!(outputs[0], Output::Timer { delay, .. } if delay == Duration::from_millis(5)));
+        assert!(
+            matches!(outputs[0], Output::Timer { delay, .. } if delay == Duration::from_millis(5))
+        );
     }
 }

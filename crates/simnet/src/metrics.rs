@@ -97,6 +97,9 @@ mod tests {
         metrics.node_mut(b).cpu_busy = Duration::from_millis(20);
         assert_eq!(metrics.total_cpu([a, b]), Duration::from_millis(30));
         assert_eq!(metrics.total_cpu([a]), Duration::from_millis(10));
-        assert_eq!(metrics.total_cpu([NodeId::Client(ClientId(9))]), Duration::ZERO);
+        assert_eq!(
+            metrics.total_cpu([NodeId::Client(ClientId(9))]),
+            Duration::ZERO
+        );
     }
 }

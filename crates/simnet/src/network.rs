@@ -146,7 +146,10 @@ mod tests {
     fn loopback_uses_loopback_latency() {
         let cfg = NetworkConfig::lan();
         let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(cfg.sample_latency(c(1), c(1), &mut rng), cfg.loopback_latency);
+        assert_eq!(
+            cfg.sample_latency(c(1), c(1), &mut rng),
+            cfg.loopback_latency
+        );
     }
 
     #[test]
@@ -171,8 +174,14 @@ mod tests {
         p.activate();
         assert!(p.blocks(r(0), r(5)));
         assert!(p.blocks(r(5), r(1)), "blocking is symmetric");
-        assert!(!p.blocks(r(0), r(1)), "within the isolated side traffic flows");
-        assert!(!p.blocks(r(4), r(5)), "outside the isolated side traffic flows");
+        assert!(
+            !p.blocks(r(0), r(1)),
+            "within the isolated side traffic flows"
+        );
+        assert!(
+            !p.blocks(r(4), r(5)),
+            "outside the isolated side traffic flows"
+        );
         p.heal();
         assert!(!p.blocks(r(0), r(5)));
     }

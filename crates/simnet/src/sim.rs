@@ -493,8 +493,13 @@ mod tests {
     fn single_core_serializes_processing() {
         // 10 pings arrive nearly simultaneously; with one core and 100us per
         // ping, the last pong must come back at least ~1ms after the first.
-        let mut sim =
-            build_ping_pong(1, NetworkConfig::instant(), 10, 1, Duration::from_micros(100));
+        let mut sim = build_ping_pong(
+            1,
+            NetworkConfig::instant(),
+            10,
+            1,
+            Duration::from_micros(100),
+        );
         sim.run_until(SimTime::from_millis(50));
         let pinger: &Pinger = sim.actor(client(1)).expect("pinger");
         assert_eq!(pinger.pongs_received.len(), 10);
@@ -526,19 +531,27 @@ mod tests {
         };
         let serial = run(1);
         let parallel = run(8);
-        assert!(parallel < serial, "8 cores {parallel:?} !< 1 core {serial:?}");
+        assert!(
+            parallel < serial,
+            "8 cores {parallel:?} !< 1 core {serial:?}"
+        );
     }
 
     #[test]
     fn deterministic_under_same_seed() {
         let trace = |seed| {
-            let mut sim = build_ping_pong(seed, NetworkConfig::lan(), 20, 2, Duration::from_micros(30));
+            let mut sim =
+                build_ping_pong(seed, NetworkConfig::lan(), 20, 2, Duration::from_micros(30));
             sim.run_until(SimTime::from_millis(20));
             let pinger: &Pinger = sim.actor(client(1)).expect("pinger");
             pinger.completion_times.clone()
         };
         assert_eq!(trace(7), trace(7));
-        assert_ne!(trace(7), trace(8), "different seeds should differ in jitter");
+        assert_ne!(
+            trace(7),
+            trace(8),
+            "different seeds should differ in jitter"
+        );
     }
 
     #[test]
@@ -640,11 +653,19 @@ mod tests {
     fn run_until_stops_at_deadline_and_resumes() {
         let mut sim = build_ping_pong(1, NetworkConfig::lan(), 3, 1, Duration::ZERO);
         sim.run_until(SimTime::from_micros(10)); // too early for round trips
-        let before = sim.actor::<Pinger>(client(1)).expect("pinger").pongs_received.len();
+        let before = sim
+            .actor::<Pinger>(client(1))
+            .expect("pinger")
+            .pongs_received
+            .len();
         assert_eq!(before, 0);
         assert_eq!(sim.now(), SimTime::from_micros(10));
         sim.run_until(SimTime::from_millis(5));
-        let after = sim.actor::<Pinger>(client(1)).expect("pinger").pongs_received.len();
+        let after = sim
+            .actor::<Pinger>(client(1))
+            .expect("pinger")
+            .pongs_received
+            .len();
         assert_eq!(after, 3);
     }
 

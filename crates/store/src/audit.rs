@@ -166,10 +166,8 @@ pub fn audit_serializability(committed: &[Transaction]) -> Result<(), AuditError
                     Colour::Grey => {
                         // Found a back edge: everything grey on the stack from
                         // `next` onward is part of a cycle.
-                        let members: Vec<TxId> = stack
-                            .iter()
-                            .map(|(i, _, _)| committed[*i].id())
-                            .collect();
+                        let members: Vec<TxId> =
+                            stack.iter().map(|(i, _, _)| committed[*i].id()).collect();
                         return Err(AuditError::Cycle { members });
                     }
                     Colour::Black => {}
@@ -295,7 +293,9 @@ mod tests {
 
     #[test]
     fn independent_transactions_are_serializable() {
-        let txs: Vec<Transaction> = (1..50u64).map(|i| write_tx(i * 10, i, &format!("k{i}"))).collect();
+        let txs: Vec<Transaction> = (1..50u64)
+            .map(|i| write_tx(i * 10, i, &format!("k{i}")))
+            .collect();
         assert!(audit_serializability(&txs).is_ok());
     }
 

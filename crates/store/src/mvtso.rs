@@ -188,19 +188,22 @@ impl MvtsoStore {
                 })
         });
         let prepared = self.prepared_writes.get(key).and_then(|versions| {
-            versions.range(..ts).next_back().and_then(|(version, txid)| {
-                self.prepared_txs.get(txid).map(|tx| PreparedVersion {
-                    version: *version,
-                    value: tx
-                        .written_value(key)
-                        .cloned()
-                        .unwrap_or_else(Value::empty),
-                    txid: *txid,
-                    deps: tx.deps.clone(),
+            versions
+                .range(..ts)
+                .next_back()
+                .and_then(|(version, txid)| {
+                    self.prepared_txs.get(txid).map(|tx| PreparedVersion {
+                        version: *version,
+                        value: tx.written_value(key).cloned().unwrap_or_else(Value::empty),
+                        txid: *txid,
+                        deps: tx.deps.clone(),
+                    })
                 })
-            })
         });
-        ReadResult { committed, prepared }
+        ReadResult {
+            committed,
+            prepared,
+        }
     }
 
     /// Removes a read timestamp previously registered by [`MvtsoStore::read`]
@@ -234,7 +237,12 @@ impl MvtsoStore {
     /// `local_clock` and `delta` implement the timestamp acceptance window of
     /// lines 1-2. On success the transaction is added to the prepared set and
     /// becomes visible to subsequent reads.
-    pub fn prepare(&mut self, tx: &Transaction, local_clock: SimTime, delta: Duration) -> CheckOutcome {
+    pub fn prepare(
+        &mut self,
+        tx: &Transaction,
+        local_clock: SimTime,
+        delta: Duration,
+    ) -> CheckOutcome {
         let txid = tx.id();
 
         // A transaction we already know the fate of keeps that fate.
@@ -390,11 +398,11 @@ impl MvtsoStore {
                 ))
                 .any(|(_, version_read)| *version_read < write_ts)
         };
-        let committed_hit = self.committed_reads.get(key).map(|r| check(r)).unwrap_or(false);
+        let committed_hit = self.committed_reads.get(key).map(&check).unwrap_or(false);
         if committed_hit {
             return true;
         }
-        self.prepared_reads.get(key).map(|r| check(r)).unwrap_or(false)
+        self.prepared_reads.get(key).map(&check).unwrap_or(false)
     }
 
     fn index_prepared(&mut self, txid: TxId, tx: &Transaction) {
@@ -817,7 +825,10 @@ mod tests {
             other => panic!("expected pending, got {other:?}"),
         }
         assert!(store.is_pending(&t2.id()));
-        assert!(store.is_prepared(&t2.id()), "pending transactions are visible");
+        assert!(
+            store.is_prepared(&t2.id()),
+            "pending transactions are visible"
+        );
 
         // Committing the dependency releases T2 with a commit vote.
         let woken = store.commit(&w);
@@ -873,7 +884,10 @@ mod tests {
         let mut b = TransactionBuilder::new(ts(200, 2));
         b.record_dependent_read(k("x"), ts(100, 1), w.id());
         let t2 = b.build();
-        expect_abort(store.prepare(&t2, CLOCK, DELTA), AbortReason::DependencyAborted);
+        expect_abort(
+            store.prepare(&t2, CLOCK, DELTA),
+            AbortReason::DependencyAborted,
+        );
     }
 
     #[test]
@@ -886,13 +900,19 @@ mod tests {
         let mut b = TransactionBuilder::new(ts(200, 2));
         b.record_dependent_read(k("y"), ts(100, 1), w.id());
         let t2 = b.build();
-        expect_abort(store.prepare(&t2, CLOCK, DELTA), AbortReason::InvalidDependency);
+        expect_abort(
+            store.prepare(&t2, CLOCK, DELTA),
+            AbortReason::InvalidDependency,
+        );
 
         // Claim a dependency with the wrong version timestamp.
         let mut b = TransactionBuilder::new(ts(200, 3));
         b.record_dependent_read(k("x"), ts(101, 1), w.id());
         let t3 = b.build();
-        expect_abort(store.prepare(&t3, CLOCK, DELTA), AbortReason::InvalidDependency);
+        expect_abort(
+            store.prepare(&t3, CLOCK, DELTA),
+            AbortReason::InvalidDependency,
+        );
     }
 
     #[test]
@@ -924,7 +944,10 @@ mod tests {
         b.record_dependent_read(k("x"), ts(100, 1), w1.id());
         b.record_dependent_read(k("y"), ts(110, 2), w2.id());
         let t = b.build();
-        assert!(matches!(store.prepare(&t, CLOCK, DELTA), CheckOutcome::Pending { .. }));
+        assert!(matches!(
+            store.prepare(&t, CLOCK, DELTA),
+            CheckOutcome::Pending { .. }
+        ));
 
         assert!(store.commit(&w1).is_empty(), "still waiting on w2");
         let woken = store.commit(&w2);
@@ -1004,7 +1027,10 @@ mod tests {
         b.record_dependent_read(k("x"), ts(100, 1), w1.id());
         b.record_write(k("y"), v(2));
         let t2 = b.build();
-        assert!(matches!(store.prepare(&t2, CLOCK, DELTA), CheckOutcome::Pending { .. }));
+        assert!(matches!(
+            store.prepare(&t2, CLOCK, DELTA),
+            CheckOutcome::Pending { .. }
+        ));
 
         // A reader of y at ts 300 sees t2's prepared write, including t2's
         // dependency on w1, so it can later help finish the whole chain.

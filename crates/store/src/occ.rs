@@ -10,6 +10,7 @@
 //! between a shard's prepare and the coordinator's final decision, and
 //! commit/abort application.
 
+use crate::mvtso::Decision;
 use crate::tx::Transaction;
 use basil_common::error::AbortReason;
 use basil_common::{Key, Timestamp, TxId, Value};
@@ -50,6 +51,12 @@ pub struct OccStore {
     prepared: HashMap<TxId, Transaction>,
     committed: u64,
     aborted: u64,
+    /// Transactions committed through this store, retained for the
+    /// harness-level serializability audit.
+    committed_log: Vec<Transaction>,
+    /// Final decision applied per transaction (only transactions that were
+    /// actually prepared here are recorded).
+    decisions: HashMap<TxId, Decision>,
 }
 
 impl OccStore {
@@ -146,6 +153,8 @@ impl OccStore {
             entry.locked_by = None;
         }
         self.committed += 1;
+        self.decisions.insert(*txid, Decision::Commit);
+        self.committed_log.push(tx);
     }
 
     /// Applies an abort decision: releases the transaction's locks.
@@ -161,6 +170,7 @@ impl OccStore {
             }
         }
         self.aborted += 1;
+        self.decisions.insert(*txid, Decision::Abort);
     }
 
     /// Whether `txid` is currently prepared (locked, awaiting decision).
@@ -181,6 +191,18 @@ impl OccStore {
     /// The committed value of a key (test/inspection helper).
     pub fn committed_value(&self, key: &Key) -> Option<Value> {
         self.data.get(key).map(|e| e.value.clone())
+    }
+
+    /// All transactions committed through this store, in commit order (for
+    /// the harness-level serializability audit).
+    pub fn committed_snapshot(&self) -> Vec<Transaction> {
+        self.committed_log.clone()
+    }
+
+    /// The decision applied for `txid`, if this store prepared and then
+    /// decided it.
+    pub fn decision(&self, txid: &TxId) -> Option<Decision> {
+        self.decisions.get(txid).copied()
     }
 }
 

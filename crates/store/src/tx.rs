@@ -103,12 +103,18 @@ impl Transaction {
 
     /// The value this transaction writes to `key`, if any.
     pub fn written_value(&self, key: &Key) -> Option<&Value> {
-        self.write_set.iter().find(|w| &w.key == key).map(|w| &w.value)
+        self.write_set
+            .iter()
+            .find(|w| &w.key == key)
+            .map(|w| &w.value)
     }
 
     /// The version this transaction read for `key`, if any.
     pub fn read_version(&self, key: &Key) -> Option<Timestamp> {
-        self.read_set.iter().find(|r| &r.key == key).map(|r| r.version)
+        self.read_set
+            .iter()
+            .find(|r| &r.key == key)
+            .map(|r| r.version)
     }
 
     /// The shards touched by this transaction under `cfg`'s key placement,
@@ -177,7 +183,12 @@ impl TransactionBuilder {
 
     /// Records a read of a prepared (uncommitted) version, adding the
     /// corresponding dependency.
-    pub fn record_dependent_read(&mut self, key: Key, version: Timestamp, dep_txid: TxId) -> &mut Self {
+    pub fn record_dependent_read(
+        &mut self,
+        key: Key,
+        version: Timestamp,
+        dep_txid: TxId,
+    ) -> &mut Self {
         self.read_set.push(ReadOp {
             key: key.clone(),
             version,
@@ -205,7 +216,10 @@ impl TransactionBuilder {
     /// keys the transaction itself wrote must return the buffered value
     /// (read-your-writes).
     pub fn buffered_value(&self, key: &Key) -> Option<&Value> {
-        self.write_set.iter().find(|w| &w.key == key).map(|w| &w.value)
+        self.write_set
+            .iter()
+            .find(|w| &w.key == key)
+            .map(|w| &w.value)
     }
 
     /// Whether the builder has already recorded a read of `key`.
@@ -315,7 +329,10 @@ mod tests {
         }
         let t = b.build();
         let shards = t.involved_shards(&cfg);
-        assert!(shards.len() >= 2, "expected multiple shards, got {shards:?}");
+        assert!(
+            shards.len() >= 2,
+            "expected multiple shards, got {shards:?}"
+        );
         assert!(shards.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
         for s in &shards {
             assert!(s.0 < 3);

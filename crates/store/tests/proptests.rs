@@ -4,7 +4,9 @@
 
 use basil_common::error::AbortReason;
 use basil_common::{ClientId, Duration, Key, SimTime, Timestamp, Value};
-use basil_store::{audit_serializability, CheckOutcome, MvtsoStore, Transaction, TransactionBuilder, Vote};
+use basil_store::{
+    audit_serializability, CheckOutcome, MvtsoStore, Transaction, TransactionBuilder, Vote,
+};
 use proptest::prelude::*;
 
 const DELTA: Duration = Duration::from_millis(100);

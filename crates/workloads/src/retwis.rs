@@ -144,7 +144,11 @@ mod tests {
             *counts.entry(g.next_tx().expect("tx").label).or_insert(0) += 1;
         }
         let frac = |label: &str| counts.get(label).copied().unwrap_or(0) as f64 / total as f64;
-        assert!((frac("add_user") - 0.05).abs() < 0.02, "add_user {}", frac("add_user"));
+        assert!(
+            (frac("add_user") - 0.05).abs() < 0.02,
+            "add_user {}",
+            frac("add_user")
+        );
         assert!((frac("follow") - 0.15).abs() < 0.03);
         assert!((frac("post_tweet") - 0.30).abs() < 0.04);
         assert!((frac("get_timeline") - 0.50).abs() < 0.04);
@@ -198,6 +202,9 @@ mod tests {
             }
         }
         let frac = hot as f64 / total as f64;
-        assert!(frac > 0.2, "Zipf 0.75 should concentrate accesses, got {frac}");
+        assert!(
+            frac > 0.2,
+            "Zipf 0.75 should concentrate accesses, got {frac}"
+        );
     }
 }

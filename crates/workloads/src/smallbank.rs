@@ -225,7 +225,10 @@ mod tests {
             }
         }
         let frac = hot as f64 / total as f64;
-        assert!(frac > 0.8, "hot accounts should receive ~90% of accesses, got {frac}");
+        assert!(
+            frac > 0.8,
+            "hot accounts should receive ~90% of accesses, got {frac}"
+        );
     }
 
     #[test]

@@ -173,7 +173,10 @@ impl TpccGenerator {
         }
         ops.push(Op::Write(Self::order_key(w, d, o), Value::from_u64(c)));
         ops.push(Op::Write(Self::new_order_key(w, d, o), Value::from_u64(1)));
-        ops.push(Op::Write(Self::latest_order_key(w, d, c), Value::from_u64(o)));
+        ops.push(Op::Write(
+            Self::latest_order_key(w, d, c),
+            Value::from_u64(o),
+        ));
         TxProfile::new("new_order", ops)
     }
 
@@ -218,12 +221,7 @@ impl TpccGenerator {
         ops.push(Op::Read(Self::customer_key(w, d, c)));
         // Locate the customer's latest order through the auxiliary table.
         ops.push(Op::Read(Self::latest_order_key(w, d, c)));
-        let o = self
-            .next_order_id
-            .get(&(w, d))
-            .copied()
-            .unwrap_or(1)
-            .max(1);
+        let o = self.next_order_id.get(&(w, d)).copied().unwrap_or(1).max(1);
         ops.push(Op::Read(Self::order_key(w, d, o)));
         for line in 0..5 {
             ops.push(Op::Read(Self::order_line_key(w, d, o, line)));
@@ -235,12 +233,7 @@ impl TpccGenerator {
         let w = self.pick_warehouse();
         let d = self.pick_district();
         let c = self.pick_customer();
-        let o = self
-            .next_order_id
-            .get(&(w, d))
-            .copied()
-            .unwrap_or(1)
-            .max(1);
+        let o = self.next_order_id.get(&(w, d)).copied().unwrap_or(1).max(1);
         TxProfile::new(
             "delivery",
             vec![
@@ -316,9 +309,18 @@ mod tests {
             })
             .next()
             .expect("a new_order in 100 draws");
-        assert!(tx.ops.iter().any(|o| o.key().as_str().starts_with("district:")));
-        assert!(tx.ops.iter().any(|o| o.key().as_str().starts_with("stock:")));
-        assert!(tx.ops.iter().any(|o| o.key().as_str().starts_with("order_line:")));
+        assert!(tx
+            .ops
+            .iter()
+            .any(|o| o.key().as_str().starts_with("district:")));
+        assert!(tx
+            .ops
+            .iter()
+            .any(|o| o.key().as_str().starts_with("stock:")));
+        assert!(tx
+            .ops
+            .iter()
+            .any(|o| o.key().as_str().starts_with("order_line:")));
         // 5-15 items => between ~13 and ~36 operations.
         assert!(tx.ops.len() >= 13);
     }

@@ -178,7 +178,12 @@ mod tests {
         for _ in 0..2000 {
             let tx = g.next_tx().expect("tx");
             for op in &tx.ops {
-                let idx: u64 = op.key().as_str().trim_start_matches("user").parse().expect("numeric");
+                let idx: u64 = op
+                    .key()
+                    .as_str()
+                    .trim_start_matches("user")
+                    .parse()
+                    .expect("numeric");
                 if idx < 100 {
                     hot += 1;
                 }
@@ -193,7 +198,8 @@ mod tests {
         let mut g = YcsbGenerator::rw_uniform(1, 1_000_000, 3, 3);
         for _ in 0..100 {
             let tx = g.next_tx().expect("tx");
-            let keys: std::collections::HashSet<_> = tx.ops.iter().map(|o| o.key().clone()).collect();
+            let keys: std::collections::HashSet<_> =
+                tx.ops.iter().map(|o| o.key().clone()).collect();
             assert_eq!(keys.len(), tx.ops.len(), "keys should not repeat");
         }
     }

@@ -101,7 +101,10 @@ mod tests {
         let samples: Vec<u64> = (0..50_000).map(|_| z.sample(&mut rng)).collect();
         let top10 = samples.iter().filter(|&&s| s < 10).count() as f64 / samples.len() as f64;
         let tail = samples.iter().filter(|&&s| s >= 5_000).count() as f64 / samples.len() as f64;
-        assert!(top10 > 0.15, "top-10 ranks should absorb a large share, got {top10}");
+        assert!(
+            top10 > 0.15,
+            "top-10 ranks should absorb a large share, got {top10}"
+        );
         assert!(tail < 0.2, "the tail should be rare, got {tail}");
     }
 
@@ -116,7 +119,10 @@ mod tests {
         };
         let s = frac_top(&skewed, &mut rng);
         let f = frac_top(&flat, &mut rng);
-        assert!(s > f, "theta=0.95 ({s}) should be more skewed than 0.5 ({f})");
+        assert!(
+            s > f,
+            "theta=0.95 ({s}) should be more skewed than 0.5 ({f})"
+        );
     }
 
     #[test]

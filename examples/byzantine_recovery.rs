@@ -57,7 +57,9 @@ fn main() {
     println!("  fallback elections    : {}", stats.fallback_elections);
     println!(
         "hot key final value     : {:?}",
-        cluster.latest_value(&Key::new("hot")).and_then(|v| v.as_u64())
+        cluster
+            .latest_value(&Key::new("hot"))
+            .and_then(|v| v.as_u64())
     );
     println!(
         "observations counter    : {:?}",

@@ -53,11 +53,15 @@ fn main() {
     println!("committed transactions : {}", cluster.total_committed());
     println!(
         "alice                  : {:?}",
-        cluster.latest_value(&Key::new("alice")).and_then(|v| v.as_u64())
+        cluster
+            .latest_value(&Key::new("alice"))
+            .and_then(|v| v.as_u64())
     );
     println!(
         "bob                    : {:?}",
-        cluster.latest_value(&Key::new("bob")).and_then(|v| v.as_u64())
+        cluster
+            .latest_value(&Key::new("bob"))
+            .and_then(|v| v.as_u64())
     );
     for (client, stats) in cluster.client_stats() {
         println!(

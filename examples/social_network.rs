@@ -25,7 +25,8 @@ fn main() {
     basil_cluster.audit().expect("serializable");
 
     // TAPIR-style baseline on the identical workload.
-    let baseline_config = BaselineClusterConfig::new(BaselineConfig::new(SystemKind::Tapir), clients);
+    let baseline_config =
+        BaselineClusterConfig::new(BaselineConfig::new(SystemKind::Tapir), clients);
     let mut tapir_cluster = BaselineCluster::build(baseline_config, |client| {
         Box::new(RetwisGenerator::paper_config(client.0, users))
     });
@@ -36,7 +37,12 @@ fn main() {
         "  Basil : {:>7.0} tx/s, {:>6.2} ms mean latency, {:.0}% timeline reads",
         basil_report.throughput_tps,
         basil_report.mean_latency_ms,
-        100.0 * basil_report.per_label.get("get_timeline").copied().unwrap_or(0) as f64
+        100.0
+            * basil_report
+                .per_label
+                .get("get_timeline")
+                .copied()
+                .unwrap_or(0) as f64
             / basil_report.committed.max(1) as f64
     );
     println!(

@@ -22,7 +22,9 @@ fn counter_profiles(count: usize) -> Vec<TxProfile> {
 fn run_counter_workload(kind: SystemKind) -> (u64, u64) {
     let config = BaselineClusterConfig::new(BaselineConfig::new(kind).with_batch_size(1), 3)
         .with_initial_data(vec![(Key::new("counter"), Value::from_u64(0))]);
-    let mut cluster = BaselineCluster::build(config, |_| Box::new(ScriptedGenerator::new(counter_profiles(8))));
+    let mut cluster = BaselineCluster::build(config, |_| {
+        Box::new(ScriptedGenerator::new(counter_profiles(8)))
+    });
     cluster.run_for(Duration::from_secs(3));
     let committed = cluster.total_committed();
     let value = cluster
@@ -58,7 +60,11 @@ fn bftsmart_counter_is_exact() {
 /// All three baselines sustain an uncontended YCSB workload.
 #[test]
 fn baselines_sustain_ycsb_uniform() {
-    for kind in [SystemKind::Tapir, SystemKind::TxHotstuff, SystemKind::TxBftSmart] {
+    for kind in [
+        SystemKind::Tapir,
+        SystemKind::TxHotstuff,
+        SystemKind::TxBftSmart,
+    ] {
         let config = BaselineClusterConfig::new(BaselineConfig::new(kind), 4).with_seed(5);
         let mut cluster = BaselineCluster::build(config, |client| {
             Box::new(YcsbGenerator::rw_uniform(client.0, 100_000, 2, 2))

@@ -10,7 +10,8 @@ use basil::{BasilConfig, Duration, Key, Op, ScriptedGenerator, SystemConfig, TxP
 /// resulting history is serializable.
 #[test]
 fn ycsb_uniform_commits_on_the_fast_path() {
-    let config = ClusterConfig::basil_default(4).with_basil(BasilConfig::bench(SystemConfig::single_shard_f1()));
+    let config = ClusterConfig::basil_default(4)
+        .with_basil(BasilConfig::bench(SystemConfig::single_shard_f1()));
     let mut cluster = BasilCluster::build(config, |client| {
         Box::new(YcsbGenerator::rw_uniform(client.0, 100_000, 2, 2))
     });
@@ -174,7 +175,8 @@ fn batched_replies_preserve_correctness() {
 /// system: f = 1 of 6 replicas may fail.
 #[test]
 fn one_crashed_replica_does_not_block_progress() {
-    let config = ClusterConfig::basil_default(3).with_basil(BasilConfig::bench(SystemConfig::single_shard_f1()));
+    let config = ClusterConfig::basil_default(3)
+        .with_basil(BasilConfig::bench(SystemConfig::single_shard_f1()));
     let mut cluster = BasilCluster::build(config, |client| {
         Box::new(YcsbGenerator::rw_uniform(client.0, 10_000, 2, 2))
     });

@@ -4,11 +4,11 @@
 
 use basil::harness::{BasilCluster, ClusterConfig};
 use basil::workloads::ycsb::YcsbGenerator;
-use basil_core::byzantine::{ClientStrategy, FaultProfile};
 use basil::{
     BasilConfig, ClientId, Duration, Key, NodeId, Op, ReplicaBehavior, ScriptedGenerator,
     SystemConfig, TxProfile, Value,
 };
+use basil_core::byzantine::{ClientStrategy, FaultProfile};
 use basil_core::BasilClient;
 
 fn contended_generator(client: u64, keys: u64) -> YcsbGenerator {
@@ -86,8 +86,9 @@ fn stalled_dependency_is_recovered_by_interested_client() {
 #[test]
 fn correct_clients_progress_with_stall_early_byzantine_clients() {
     let config = byz_config(ClientStrategy::StallEarly, 6, 2);
-    let mut cluster =
-        BasilCluster::build(config, |client| Box::new(contended_generator(client.0, 200)));
+    let mut cluster = BasilCluster::build(config, |client| {
+        Box::new(contended_generator(client.0, 200))
+    });
     let report = cluster.run_measured(Duration::from_millis(200), Duration::from_millis(600));
     assert!(
         report.committed > 30,
@@ -101,8 +102,9 @@ fn correct_clients_progress_with_stall_early_byzantine_clients() {
 #[test]
 fn correct_clients_progress_with_stall_late_byzantine_clients() {
     let config = byz_config(ClientStrategy::StallLate, 6, 2);
-    let mut cluster =
-        BasilCluster::build(config, |client| Box::new(contended_generator(client.0, 200)));
+    let mut cluster = BasilCluster::build(config, |client| {
+        Box::new(contended_generator(client.0, 200))
+    });
     let report = cluster.run_measured(Duration::from_millis(200), Duration::from_millis(600));
     assert!(
         report.committed > 30,
@@ -118,8 +120,9 @@ fn correct_clients_progress_with_stall_late_byzantine_clients() {
 #[test]
 fn forced_equivocation_is_reconciled_by_fallback() {
     let config = byz_config(ClientStrategy::EquivForced, 6, 2);
-    let mut cluster =
-        BasilCluster::build(config, |client| Box::new(contended_generator(client.0, 100)));
+    let mut cluster = BasilCluster::build(config, |client| {
+        Box::new(contended_generator(client.0, 100))
+    });
     let report = cluster.run_measured(Duration::from_millis(200), Duration::from_millis(800));
     assert!(
         report.committed > 20,

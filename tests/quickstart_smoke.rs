@@ -1,0 +1,78 @@
+//! Smoke test for the `quickstart` example path: the same tiny deployment,
+//! scripted transactions, and checks the example performs, asserted end to
+//! end so the examples cannot silently rot.
+
+use basil::harness::{BasilCluster, ClusterConfig};
+use basil::{Duration, Key, Op, ScriptedGenerator, TxProfile, Value};
+
+/// Mirrors `examples/quickstart.rs`: two clients, a transfer and an audit
+/// transaction, 100 ms of simulated time.
+#[test]
+fn quickstart_path_commits_and_audits() {
+    let config = ClusterConfig::basil_default(2).with_initial_data(vec![
+        (Key::new("alice"), Value::from_u64(100)),
+        (Key::new("bob"), Value::from_u64(100)),
+    ]);
+
+    let mut cluster = BasilCluster::build(config, |client| {
+        let script = if client.0 == 0 {
+            vec![TxProfile::new(
+                "transfer",
+                vec![
+                    Op::RmwAdd {
+                        key: Key::new("alice"),
+                        delta: -30,
+                    },
+                    Op::RmwAdd {
+                        key: Key::new("bob"),
+                        delta: 30,
+                    },
+                ],
+            )]
+        } else {
+            vec![TxProfile::new(
+                "audit",
+                vec![
+                    Op::Read(Key::new("alice")),
+                    Op::Read(Key::new("bob")),
+                    Op::Write(Key::new("audit:last-run"), Value::from_str_value("done")),
+                ],
+            )]
+        };
+        Box::new(ScriptedGenerator::new(script))
+    });
+
+    cluster.run_for(Duration::from_millis(100));
+
+    // Both scripted transactions commit.
+    assert_eq!(cluster.total_committed(), 2);
+
+    // The transfer moved exactly 30 from alice to bob.
+    assert_eq!(
+        cluster
+            .latest_value(&Key::new("alice"))
+            .and_then(|v| v.as_u64()),
+        Some(70)
+    );
+    assert_eq!(
+        cluster
+            .latest_value(&Key::new("bob"))
+            .and_then(|v| v.as_u64()),
+        Some(130)
+    );
+
+    // The audit transaction's write landed.
+    assert!(cluster.latest_value(&Key::new("audit:last-run")).is_some());
+
+    // Per-client stats are populated the way the example prints them.
+    let stats = cluster.client_stats();
+    assert_eq!(stats.len(), 2);
+    for (_, s) in &stats {
+        assert_eq!(s.committed, 1);
+    }
+
+    // The committed history is serializable.
+    cluster
+        .audit()
+        .expect("quickstart history must be serializable");
+}

@@ -19,7 +19,9 @@ fn extreme_contention_stays_serializable() {
     });
     cluster.run_for(Duration::from_millis(400));
     assert!(cluster.total_committed() > 20);
-    cluster.audit().expect("serializable under extreme contention");
+    cluster
+        .audit()
+        .expect("serializable under extreme contention");
 }
 
 /// Counter increments: with `k` committed increments of +1 each, the final
@@ -193,6 +195,9 @@ fn sharded_counters_are_exact() {
                 .unwrap_or(0)
         })
         .sum();
-    assert_eq!(total, committed, "sum of counters equals committed increments");
+    assert_eq!(
+        total, committed,
+        "sum of counters equals committed increments"
+    );
     cluster.audit().expect("serializable");
 }

@@ -41,7 +41,11 @@ fn smallbank_runs_on_basil() {
     });
     let report = cluster.run_measured(Duration::from_millis(200), Duration::from_millis(600));
     assert!(report.committed > 30, "got {} commits", report.committed);
-    assert!(report.commit_rate > 0.5, "commit rate {}", report.commit_rate);
+    assert!(
+        report.commit_rate > 0.5,
+        "commit rate {}",
+        report.commit_rate
+    );
     cluster.audit().expect("Smallbank history serializable");
 }
 
