@@ -12,8 +12,8 @@
 use crate::messages::{BaselineClientTimer, BaselineMsg, ShardRequest};
 use crate::profile::BaselineConfig;
 use basil_common::{
-    ClientId, Duration, Key, NodeId, Op, ReplicaId, ShardId, SimTime, Timestamp, TxGenerator, TxId,
-    TxProfile, Value,
+    ClientId, Duration, Key, LatencyHistogram, NodeId, Op, ReplicaId, ShardId, SimTime, Timestamp,
+    TxGenerator, TxId, TxProfile, Value,
 };
 use basil_simnet::{Actor, Context};
 use basil_store::occ::OccVote;
@@ -30,8 +30,9 @@ pub struct BaselineClientStats {
     pub committed: u64,
     /// Aborted (retried) attempts.
     pub aborted_attempts: u64,
-    /// Commit latencies in nanoseconds (first attempt to completion).
-    pub latencies_ns: Vec<u64>,
+    /// Streaming histogram of commit latencies in nanoseconds (first
+    /// attempt to completion); updated in O(1) per commit.
+    pub latency: LatencyHistogram,
     /// Committed per workload label.
     pub per_label: HashMap<&'static str, u64>,
     /// Read operations issued.
@@ -39,14 +40,10 @@ pub struct BaselineClientStats {
 }
 
 impl BaselineClientStats {
-    /// Mean commit latency in milliseconds.
+    /// Mean commit latency in milliseconds (exact: the histogram carries
+    /// the exact sum of samples).
     pub fn mean_latency_ms(&self) -> f64 {
-        if self.latencies_ns.is_empty() {
-            return 0.0;
-        }
-        self.latencies_ns.iter().map(|l| *l as f64).sum::<f64>()
-            / self.latencies_ns.len() as f64
-            / 1e6
+        self.latency.mean_ms()
     }
 
     /// committed / (committed + aborted attempts).
@@ -187,10 +184,14 @@ impl BaselineClient {
 
     fn involved_shards(&self, tx: &Transaction) -> Vec<ShardId> {
         let mut shards: Vec<ShardId> = tx
-            .read_set
+            .read_set()
             .iter()
             .map(|r| self.cfg.shard_for_key(&r.key))
-            .chain(tx.write_set.iter().map(|w| self.cfg.shard_for_key(&w.key)))
+            .chain(
+                tx.write_set()
+                    .iter()
+                    .map(|w| self.cfg.shard_for_key(&w.key)),
+            )
             .collect();
         shards.sort();
         shards.dedup();
@@ -581,7 +582,7 @@ impl BaselineClient {
         if committed {
             self.stats.committed += 1;
             let latency = ctx.now() - current.first_started;
-            self.stats.latencies_ns.push(latency.as_nanos());
+            self.stats.latency.record(latency.as_nanos());
             *self
                 .stats
                 .per_label

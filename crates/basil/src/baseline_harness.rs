@@ -1,8 +1,7 @@
 //! The baseline-systems adapter (TAPIR-style, TxHotstuff, TxBFT-SMaRt) for
 //! the generic cluster runtime.
 //!
-//! [`BaselineCluster`] is the same
-//! [`ProtocolCluster`](crate::cluster::ProtocolCluster) engine that runs
+//! [`BaselineCluster`] is the same [`ProtocolCluster`] engine that runs
 //! Basil, instantiated with [`BaselineProtocol`]; the whole cluster
 //! lifecycle — spawning, genesis data, measurement windows, the
 //! serializability audit — is shared code, which is what makes the
@@ -95,15 +94,15 @@ impl ClusterProtocol for BaselineProtocol {
         for (label, count) in &stats.per_label {
             *snap.per_label.entry(label).or_insert(0) += count;
         }
-        snap.latencies_ns.extend(&stats.latencies_ns);
+        snap.latency.merge(&stats.latency);
     }
 
     fn latest_value(replica: &BaselineReplica, key: &Key) -> Option<Value> {
         replica.store().committed_value(key)
     }
 
-    fn committed_transactions(replica: &BaselineReplica) -> Vec<Transaction> {
-        replica.store().committed_snapshot()
+    fn committed_transactions(replica: &BaselineReplica) -> Vec<&Transaction> {
+        replica.store().committed_iter().collect()
     }
 
     fn decision(replica: &BaselineReplica, txid: &TxId) -> Option<Decision> {

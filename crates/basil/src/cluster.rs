@@ -100,9 +100,9 @@ pub trait ClusterProtocol {
     /// The latest committed value of `key` on a replica (inspection).
     fn latest_value(replica: &Self::Replica, key: &Key) -> Option<Value>;
 
-    /// The transactions committed on a replica, for the serializability
-    /// audit.
-    fn committed_transactions(replica: &Self::Replica) -> Vec<Transaction>;
+    /// The transactions committed on a replica, borrowed from its store,
+    /// for the serializability audit (no clone of the history).
+    fn committed_transactions(replica: &Self::Replica) -> Vec<&Transaction>;
 
     /// The decision a replica recorded for `txid`, if any (for the
     /// decision-agreement audit).
@@ -355,14 +355,13 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
                 );
             }
         }
-        snap.latency_samples = snap.latencies_ns.len();
         snap
     }
 
-    /// The union of transactions committed on any replica, deduplicated
-    /// by transaction id.
-    pub fn committed_transactions(&self) -> Vec<Transaction> {
-        let mut seen: HashMap<TxId, Transaction> = HashMap::new();
+    /// The union of transactions committed on any replica, deduplicated by
+    /// transaction id and borrowed from the replica stores.
+    fn committed_dedup(&self) -> Vec<&Transaction> {
+        let mut seen: HashMap<TxId, &Transaction> = HashMap::new();
         for rid in &self.replicas {
             if let Some(replica) = self.sim.actor::<P::Replica>(NodeId::Replica(*rid)) {
                 for tx in P::committed_transactions(replica) {
@@ -373,13 +372,19 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
         seen.into_values().collect()
     }
 
+    /// The union of transactions committed on any replica, deduplicated
+    /// by transaction id (owned copies, for inspection).
+    pub fn committed_transactions(&self) -> Vec<Transaction> {
+        self.committed_dedup().into_iter().cloned().collect()
+    }
+
     /// Audits the committed history: serializability of the union of
     /// committed transactions, and agreement of per-transaction decisions
     /// across replicas (no transaction may be committed on one correct
     /// replica and aborted on another — Lemma 2: no C-CERT and A-CERT
     /// can coexist).
     pub fn audit(&self) -> Result<(), ClusterAuditError> {
-        let committed = self.committed_transactions();
+        let committed = self.committed_dedup();
         for tx in &committed {
             let txid = tx.id();
             for rid in &self.replicas {

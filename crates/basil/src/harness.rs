@@ -5,7 +5,7 @@
 //! closed-loop clients (some of which may follow a Byzantine strategy), the
 //! key registry, and the network. All of the cluster lifecycle — spawning,
 //! measurement windows, fault injection, the serializability audit — is the
-//! shared [`ProtocolCluster`](crate::cluster::ProtocolCluster) engine;
+//! shared [`ProtocolCluster`] engine;
 //! this module contributes only [`BasilProtocol`], the adapter describing
 //! how Basil clients and replicas are constructed and observed.
 
@@ -132,15 +132,15 @@ impl ClusterProtocol for BasilProtocol {
         for (label, count) in &stats.per_label {
             *snap.per_label.entry(label).or_insert(0) += count;
         }
-        snap.latencies_ns.extend(&stats.latencies_ns);
+        snap.latency.merge(&stats.latency);
     }
 
     fn latest_value(replica: &BasilReplica, key: &Key) -> Option<Value> {
         replica.store().latest_committed(key).map(|(_, v)| v)
     }
 
-    fn committed_transactions(replica: &BasilReplica) -> Vec<Transaction> {
-        replica.store().committed_snapshot()
+    fn committed_transactions(replica: &BasilReplica) -> Vec<&Transaction> {
+        replica.store().committed_iter().collect()
     }
 
     fn decision(replica: &BasilReplica, txid: &TxId) -> Option<Decision> {

@@ -21,6 +21,27 @@
 //! println!("throughput: {:.0} tx/s", report.throughput_tps);
 //! # }
 //! ```
+//!
+//! ## Key types
+//!
+//! * [`cluster::ProtocolCluster`] — the one generic cluster runtime;
+//!   [`cluster::ClusterProtocol`] is the seam a protocol implements to run
+//!   on it (see `docs/ARCHITECTURE.md` at the repository root).
+//! * [`harness::BasilCluster`] / [`baseline_harness::BaselineCluster`] —
+//!   the two shipped adapters.
+//! * [`report::Snapshot`] / [`report::RunReport`] — measurement: snapshots
+//!   merge per-client streaming latency histograms
+//!   ([`basil_common::LatencyHistogram`]); a window report is the
+//!   difference of two snapshots, so its cost is independent of how many
+//!   samples a long run has accumulated.
+//!
+//! ## Determinism
+//!
+//! A cluster's entire behaviour is a function of its
+//! [`cluster::ClusterConfig`] (including the seed) and the workload
+//! generators: the underlying simulator delivers events in a reproducible
+//! order for a fixed seed, so every experiment, test, and figure in this
+//! repository can be re-run exactly.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,6 +1,14 @@
 //! Aggregated run reports: throughput, latency, commit rate.
+//!
+//! A [`Snapshot`] is cheap: it folds each client's counters and its
+//! streaming latency histogram (`basil_common::LatencyHistogram`) into one
+//! aggregate — no latency vector is ever cloned. A measurement window is
+//! the difference of two snapshots; window latencies are the bucket-wise
+//! histogram difference (valid because per-client histograms only grow), so
+//! warmup exclusion costs O(buckets) instead of the multiset diff over all
+//! samples the harness used to perform.
 
-use basil_common::Duration;
+use basil_common::{Duration, LatencyHistogram};
 use std::collections::HashMap;
 
 /// A snapshot of aggregate client counters at one point in simulated time.
@@ -16,11 +24,8 @@ pub struct Snapshot {
     pub slow_path: u64,
     /// Fallback recoveries started.
     pub fallbacks: u64,
-    /// Number of latency samples recorded so far (informational; window
-    /// reports diff the latency multisets directly).
-    pub latency_samples: usize,
-    /// All latencies recorded so far, in nanoseconds.
-    pub latencies_ns: Vec<u64>,
+    /// Merged streaming histogram of correct clients' commit latencies.
+    pub latency: LatencyHistogram,
     /// Committed per workload label.
     pub per_label: HashMap<&'static str, u64>,
     /// Number of correct (non-Byzantine) clients contributing.
@@ -30,6 +35,13 @@ pub struct Snapshot {
     pub byz_committed: u64,
     /// Transactions issued under a Byzantine strategy.
     pub faulty_issued: u64,
+}
+
+impl Snapshot {
+    /// Number of latency samples recorded so far.
+    pub fn latency_samples(&self) -> usize {
+        self.latency.count() as usize
+    }
 }
 
 /// Throughput/latency report over a measurement window.
@@ -45,11 +57,14 @@ pub struct RunReport {
     pub throughput_tps: f64,
     /// Throughput per correct client (the metric of Figure 7).
     pub throughput_per_correct_client: f64,
-    /// Mean commit latency in milliseconds.
+    /// Mean commit latency in milliseconds (exact: computed from the
+    /// histograms' exact sums).
     pub mean_latency_ms: f64,
-    /// Median commit latency in milliseconds.
+    /// Median commit latency in milliseconds (histogram estimate, within
+    /// one log₂ sub-bucket — ≤3.1% — of the exact order statistic).
     pub p50_latency_ms: f64,
-    /// 99th percentile commit latency in milliseconds.
+    /// 99th percentile commit latency in milliseconds (same resolution as
+    /// the median).
     pub p99_latency_ms: f64,
     /// committed / (committed + aborted attempts).
     pub commit_rate: f64,
@@ -69,36 +84,10 @@ impl RunReport {
         let committed = end.committed.saturating_sub(start.committed);
         let aborted = end.aborted_attempts.saturating_sub(start.aborted_attempts);
         let secs = window.as_secs_f64().max(1e-9);
-        // Window latencies = multiset difference end − start. The snapshots
-        // concatenate per-client latency vectors, so the warmup samples are
-        // not a prefix of the end vector when there is more than one client;
-        // a sorted two-pointer sweep removes exactly one instance of every
-        // warmup sample wherever it sits.
-        let mut start_sorted = start.latencies_ns.clone();
-        start_sorted.sort_unstable();
-        let mut end_sorted = end.latencies_ns.clone();
-        end_sorted.sort_unstable();
-        let mut latencies = Vec::with_capacity(end_sorted.len().saturating_sub(start_sorted.len()));
-        let mut consumed = 0;
-        for v in end_sorted {
-            if consumed < start_sorted.len() && start_sorted[consumed] == v {
-                consumed += 1;
-            } else {
-                latencies.push(v);
-            }
-        }
-        let pct = |p: f64| -> f64 {
-            if latencies.is_empty() {
-                return 0.0;
-            }
-            let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
-            latencies[idx] as f64 / 1e6
-        };
-        let mean = if latencies.is_empty() {
-            0.0
-        } else {
-            latencies.iter().map(|l| *l as f64).sum::<f64>() / latencies.len() as f64 / 1e6
-        };
+        // Window latencies: each client's histogram only ever grows, so the
+        // merged end histogram minus the merged start histogram is exactly
+        // the multiset of samples recorded inside the window.
+        let latencies = end.latency.diff(&start.latency);
         let fast = end.fast_path.saturating_sub(start.fast_path);
         let slow = end.slow_path.saturating_sub(start.slow_path);
         let decisions = fast + slow;
@@ -120,9 +109,9 @@ impl RunReport {
             } else {
                 committed as f64 / secs / end.correct_clients as f64
             },
-            mean_latency_ms: mean,
-            p50_latency_ms: pct(0.50),
-            p99_latency_ms: pct(0.99),
+            mean_latency_ms: latencies.mean_ms(),
+            p50_latency_ms: latencies.percentile_ms(0.50),
+            p99_latency_ms: latencies.percentile_ms(0.99),
             commit_rate: if correct_total == 0 {
                 1.0
             } else {
@@ -148,6 +137,19 @@ impl RunReport {
 mod tests {
     use super::*;
 
+    fn hist(samples: &[u64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for s in samples {
+            h.record(*s);
+        }
+        h
+    }
+
+    /// Tolerance of a percentile estimate near `value_ns`, in ms.
+    fn tol_ms(value_ns: u64) -> f64 {
+        LatencyHistogram::bucket_width_at(value_ns) as f64 / 1e6
+    }
+
     #[test]
     fn report_between_snapshots() {
         let start = Snapshot {
@@ -155,8 +157,7 @@ mod tests {
             aborted_attempts: 10,
             fast_path: 90,
             slow_path: 20,
-            latency_samples: 2,
-            latencies_ns: vec![1_000_000, 2_000_000],
+            latency: hist(&[1_000_000, 2_000_000]),
             correct_clients: 4,
             ..Default::default()
         };
@@ -165,10 +166,9 @@ mod tests {
             aborted_attempts: 30,
             fast_path: 270,
             slow_path: 40,
-            latency_samples: 6,
-            latencies_ns: vec![
+            latency: hist(&[
                 1_000_000, 2_000_000, 3_000_000, 5_000_000, 7_000_000, 9_000_000,
-            ],
+            ]),
             correct_clients: 4,
             ..Default::default()
         };
@@ -177,10 +177,13 @@ mod tests {
         assert_eq!(r.aborted_attempts, 20);
         assert!((r.throughput_tps - 100.0).abs() < 1e-9);
         assert!((r.throughput_per_correct_client - 25.0).abs() < 1e-9);
-        // Window latencies are the last four samples: 3, 5, 7, 9 ms.
+        // Window latencies are the last four samples: 3, 5, 7, 9 ms. The
+        // mean is exact (histograms carry exact sums); the percentiles are
+        // histogram estimates, exact to within one bucket width.
         assert!((r.mean_latency_ms - 6.0).abs() < 1e-9);
-        assert!(r.p50_latency_ms >= 3.0 && r.p50_latency_ms <= 7.0);
-        assert!((r.p99_latency_ms - 9.0).abs() < 1e-9);
+        assert!(r.p50_latency_ms >= 3.0 - tol_ms(3_000_000));
+        assert!(r.p50_latency_ms <= 7.0 + tol_ms(7_000_000));
+        assert!((r.p99_latency_ms - 9.0).abs() <= tol_ms(9_000_000));
         assert!((r.commit_rate - 200.0 / 220.0).abs() < 1e-9);
         // 180 fast vs 20 slow decisions in the window.
         assert!((r.fast_path_fraction - 0.9).abs() < 1e-9);
@@ -188,33 +191,29 @@ mod tests {
 
     #[test]
     fn window_latencies_diff_correctly_across_interleaved_clients() {
-        // Snapshots concatenate per-client latency vectors, so with two
-        // clients the end vector interleaves each client's warmup and
-        // window samples; the report must keep exactly the window samples.
+        // With two clients the warmup samples are not a prefix of any
+        // per-client vector ordering; histogram subtraction removes exactly
+        // one instance of every warmup sample regardless of interleaving.
         let start = Snapshot {
-            latency_samples: 2,
             // c0 warmup = 1 ms, c1 warmup = 2 ms.
-            latencies_ns: vec![1_000_000, 2_000_000],
+            latency: hist(&[1_000_000, 2_000_000]),
             correct_clients: 2,
             ..Default::default()
         };
         let end = Snapshot {
-            latency_samples: 4,
             // [c0 warmup, c0 window, c1 warmup, c1 window].
-            latencies_ns: vec![1_000_000, 3_000_000, 2_000_000, 5_000_000],
+            latency: hist(&[1_000_000, 3_000_000, 2_000_000, 5_000_000]),
             correct_clients: 2,
             ..Default::default()
         };
         let r = RunReport::between(&start, &end, Duration::from_secs(1));
-        // Window samples are 3 ms and 5 ms: mean 4 ms, p99 5 ms. A prefix
-        // slice would instead report [2 ms, 5 ms] (c1's warmup kept, c0's
-        // window sample dropped).
+        // Window samples are 3 ms and 5 ms: mean 4 ms (exact), p99 ~5 ms.
         assert!(
             (r.mean_latency_ms - 4.0).abs() < 1e-9,
             "mean {}",
             r.mean_latency_ms
         );
-        assert!((r.p99_latency_ms - 5.0).abs() < 1e-9);
+        assert!((r.p99_latency_ms - 5.0).abs() <= tol_ms(5_000_000));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Criterion micro-benchmarks for protocol-level building blocks: vote
-//! tallying/classification, certificate validation, and the fallback view
-//! rules.
+//! tallying/classification, certificate validation, the fallback view
+//! rules, the raw event scheduler, and a high-client-count cluster run.
 
-use basil_common::{ClientId, NodeId, ReplicaId, ShardConfig, ShardId, TxId};
+use basil_bench::{basil_default, run_basil, RunParams, Workload};
+use basil_common::{ClientId, Duration, NodeId, ReplicaId, ShardConfig, ShardId, SimTime, TxId};
 use basil_core::certs::{validate_commit_cert, CommitCert, ShardVotes};
 use basil_core::config::BasilConfig;
 use basil_core::crypto_engine::SigEngine;
@@ -84,6 +85,122 @@ fn bench_cert_validation(c: &mut Criterion) {
     });
 }
 
+/// Raw event-scheduler churn: many concurrent ping-pong pairs on a jittery
+/// LAN, no protocol logic, so the measured cost is queue push/pop plus actor
+/// dispatch. This is the micro-benchmark behind the ROADMAP item on the
+/// simulator's event queue dominating at high client counts.
+mod sched {
+    use super::*;
+    use basil_simnet::{Actor, Context, NetworkConfig, NodeProps, Simulation};
+    use std::any::Any;
+
+    #[derive(Clone, Debug)]
+    pub enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    pub struct Pinger {
+        pub peer: NodeId,
+        pub remaining: u32,
+        pub window: u32,
+    }
+
+    impl Actor<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            for i in 0..self.window {
+                ctx.send(self.peer, Msg::Ping(i));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+            if let Msg::Pong(i) = msg {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.send(self.peer, Msg::Ping(i));
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    pub struct Echoer;
+
+    impl Actor<Msg> for Echoer {
+        fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+            if let Msg::Ping(i) = msg {
+                ctx.send(from, Msg::Pong(i));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Builds `pairs` pinger/echoer pairs and runs them to completion,
+    /// returning the number of events processed.
+    pub fn run(pairs: u64, round_trips: u32) -> u64 {
+        let mut sim: Simulation<Msg> = Simulation::new(7, NetworkConfig::lan());
+        for p in 0..pairs {
+            let pinger = NodeId::Client(ClientId(2 * p));
+            let echoer = NodeId::Client(ClientId(2 * p + 1));
+            sim.add_node(
+                pinger,
+                NodeProps::default(),
+                Box::new(Pinger {
+                    peer: echoer,
+                    remaining: round_trips,
+                    window: 4,
+                }),
+            );
+            sim.add_node(echoer, NodeProps::default(), Box::new(Echoer));
+        }
+        sim.run_until(SimTime::from_secs(10));
+        sim.metrics().events_processed
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scheduler");
+    group.sample_size(10);
+    for pairs in [16u64, 256] {
+        group.bench_function(&format!("ping_pong_{pairs}pairs"), |b| {
+            b.iter(|| sched::run(pairs, 200))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_high_clients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_cluster");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    // The high-client-count case the fig5c scale-up depends on: a full Basil
+    // deployment at 4x the default experiment's client count.
+    let params = RunParams {
+        clients: 96,
+        warmup: Duration::from_millis(50),
+        window: Duration::from_millis(150),
+        seed: 42,
+    };
+    let workload = Workload::RwUniform {
+        reads: 2,
+        writes: 2,
+    };
+    group.bench_function("basil_rwu_96clients", |b| {
+        b.iter(|| run_basil(basil_default(1), workload, &params))
+    });
+    group.finish();
+}
+
 fn bench_views(c: &mut Criterion) {
     let cfg = ShardConfig::new(1);
     let reported = [3u64, 3, 2, 2, 1, 0];
@@ -95,6 +212,7 @@ fn bench_views(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_tally, bench_cert_validation, bench_views
+    targets = bench_tally, bench_cert_validation, bench_views, bench_scheduler,
+        bench_cluster_high_clients
 }
 criterion_main!(benches);

@@ -12,6 +12,27 @@
 //! exact peak; the *relative* ordering between systems and configurations —
 //! which is what the paper's claims are about — is insensitive to the exact
 //! client count, and `sweep_peak` is available where a sweep is wanted.
+//!
+//! ## Figure binaries
+//!
+//! | binary                | paper figure | experiment                          |
+//! |-----------------------|--------------|-------------------------------------|
+//! | `fig4_applications`   | Fig. 4       | Basil vs baselines per workload     |
+//! | `fig5a_signatures`    | Fig. 5a      | signature-cost ablation             |
+//! | `fig5b_read_quorums`  | Fig. 5b      | read-quorum sizing                  |
+//! | `fig5c_shards`        | Fig. 5c      | shard scaling                       |
+//! | `fig6a_fastpath`      | Fig. 6a      | fast-path ablation                  |
+//! | `fig6b_batching`      | Fig. 6b      | reply-batch sizing                  |
+//! | `fig7_failures`       | Fig. 7       | Byzantine-client degradation        |
+//!
+//! ## Micro-benchmarks (`benches/`)
+//!
+//! `crypto_bench` and `store_bench` cover the substrates; `protocol_bench`
+//! covers vote tallying, certificate validation, the fallback view rules,
+//! the raw event scheduler (`sim_scheduler/*`), and a full Basil deployment
+//! at a high client count (`protocol_cluster/basil_rwu_96clients`);
+//! `figures_bench` runs scaled-down figure points. All runs are seeded and
+//! deterministic in *simulated* behaviour; only wall-clock timing varies.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

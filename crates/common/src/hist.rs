@@ -1,0 +1,290 @@
+//! Streaming log₂ latency histograms.
+//!
+//! The measurement pipeline used to keep every commit latency in a
+//! per-client `Vec<u64>` and clone/concatenate all of them on every
+//! harness `snapshot()`, then compute measurement-window latencies by
+//! multiset-diffing the warmup snapshot out of the end snapshot — linear
+//! work per sample per snapshot, quadratic-ish over long runs. A
+//! [`LatencyHistogram`] replaces that: recording is O(1), snapshots merge
+//! fixed-size bucket arrays, and a window is the bucket-wise difference of
+//! two snapshots (valid because per-client histograms only ever grow).
+//!
+//! ## Bucket scheme
+//!
+//! Buckets are logarithmic base 2 with [`SUB_BUCKETS`] linear sub-buckets
+//! per octave (the HdrHistogram construction): values below `SUB_BUCKETS`
+//! get exact unit-width buckets, and a value with highest set bit `h ≥
+//! SUB_BITS` lands in the sub-bucket of width `2^(h - SUB_BITS)` containing
+//! it. Relative bucket width is therefore at most `1 / SUB_BUCKETS`
+//! (~3.1%), which bounds the error of every percentile estimate; the exact
+//! sum is carried separately so means are exact.
+
+use std::fmt;
+
+/// log₂ of the number of linear sub-buckets per octave.
+pub const SUB_BITS: u32 = 5;
+/// Number of linear sub-buckets per octave (32 → ≤3.1% relative error).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// A streaming histogram of nanosecond latencies with log₂ buckets.
+///
+/// Supports O(1) [`record`](LatencyHistogram::record), cheap
+/// [`merge`](LatencyHistogram::merge) across clients, and
+/// [`diff`](LatencyHistogram::diff) between two points in time of the same
+/// monotonically-growing source (the measurement-window computation).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts, grown on demand to the highest seen bucket.
+    counts: Vec<u64>,
+    /// Total samples recorded.
+    count: u64,
+    /// Exact sum of all recorded values (for exact means).
+    sum: u128,
+}
+
+/// Index of the bucket containing `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let h = 63 - value.leading_zeros(); // highest set bit, h >= SUB_BITS
+    let e = h - SUB_BITS; // sub-bucket width is 2^e
+    let sub = ((value >> e) - SUB_BUCKETS) as usize;
+    (e as usize + 1) * SUB_BUCKETS as usize + sub
+}
+
+/// Lower bound (inclusive) and width of bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    let sub_buckets = SUB_BUCKETS as usize;
+    if index < sub_buckets {
+        return (index as u64, 1);
+    }
+    let e = (index / sub_buckets - 1) as u32;
+    let sub = (index % sub_buckets) as u64;
+    ((SUB_BUCKETS + sub) << e, 1u64 << e)
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample, in nanoseconds. O(1).
+    pub fn record(&mut self, value_ns: u64) {
+        let idx = bucket_index(value_ns);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(value_ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all recorded samples, in nanoseconds.
+    pub fn total_ns(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact mean of the recorded samples in milliseconds (0.0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64 / 1e6
+    }
+
+    /// Folds another histogram into this one (aggregation across clients).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The samples recorded between `earlier` and `self`, where `earlier` is
+    /// a previous snapshot of the same monotonically-growing histogram —
+    /// bucket-wise subtraction, the replacement for multiset-diffing raw
+    /// latency vectors.
+    pub fn diff(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut counts = self.counts.clone();
+        for (mine, old) in counts.iter_mut().zip(&earlier.counts) {
+            *mine = mine.saturating_sub(*old);
+        }
+        LatencyHistogram {
+            counts,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
+    /// Estimate of the `p`-quantile (`p` in `[0, 1]`) in nanoseconds.
+    ///
+    /// Picks the bucket containing the sample of rank `round((count-1)·p)` —
+    /// the same rank the exact sorted-vector percentile uses — and returns
+    /// that bucket's midpoint, so the estimate is always within one bucket
+    /// width (≤ `1/SUB_BUCKETS` relative error) of the exact percentile.
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count - 1) as f64 * p.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                let (lower, width) = bucket_bounds(idx);
+                return if width == 1 {
+                    lower as f64
+                } else {
+                    lower as f64 + width as f64 / 2.0
+                };
+            }
+        }
+        // Unreachable when count > 0, but stay total.
+        0.0
+    }
+
+    /// Estimate of the `p`-quantile in milliseconds.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        self.percentile_ns(p) / 1e6
+    }
+
+    /// Width in nanoseconds of the bucket containing `value_ns` — the
+    /// resolution of any percentile estimate near that value.
+    pub fn bucket_width_at(value_ns: u64) -> u64 {
+        bucket_bounds(bucket_index(value_ns)).1
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} samples, mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
+            self.count,
+            self.mean_ms(),
+            self.percentile_ms(0.50),
+            self.percentile_ms(0.99)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        // Bucket indices are monotone in the value and bounds tile exactly.
+        let mut prev = 0;
+        for idx in 0..1000 {
+            let (lower, width) = bucket_bounds(idx);
+            if idx > 0 {
+                assert_eq!(lower, prev, "bucket {idx} not contiguous");
+            }
+            assert_eq!(bucket_index(lower), idx);
+            assert_eq!(bucket_index(lower + width - 1), idx);
+            prev = lower + width;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert!(bucket_index(u64::MAX) < 60 * SUB_BUCKETS as usize);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 5, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.percentile_ns(0.0), 0.0);
+        assert_eq!(h.percentile_ns(1.0), 31.0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000);
+        h.record(3_000_000);
+        assert!((h.mean_ms() - 2.0).abs() < 1e-12);
+        assert_eq!(h.total_ns(), 4_000_000);
+    }
+
+    #[test]
+    fn percentiles_are_within_one_bucket_width() {
+        let mut h = LatencyHistogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..5000 {
+            // xorshift values spread over ~3 decades.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = 10_000 + x % 10_000_000;
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((exact.len() - 1) as f64 * p).round() as usize;
+            let truth = exact[rank];
+            let est = h.percentile_ns(p);
+            let tol = LatencyHistogram::bucket_width_at(truth) as f64;
+            assert!(
+                (est - truth as f64).abs() <= tol,
+                "p{p}: est {est} vs exact {truth}, tol {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_sums_counts_and_diff_recovers_the_window() {
+        let mut a = LatencyHistogram::new();
+        a.record(100);
+        a.record(2_000_000);
+        let warmup = a.clone();
+        a.record(5_000_000);
+        a.record(7_000_000);
+
+        let mut b = LatencyHistogram::new();
+        b.record(3_000_000);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+
+        let window = a.diff(&warmup);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.total_ns(), 12_000_000);
+        let p100 = window.percentile_ns(1.0);
+        let tol = LatencyHistogram::bucket_width_at(7_000_000) as f64;
+        assert!((p100 - 7_000_000.0).abs() <= tol);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.percentile_ns(0.5), 0.0);
+        assert_eq!(
+            format!("{h}"),
+            "0 samples, mean 0.000 ms, p50 0.000 ms, p99 0.000 ms"
+        );
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod config;
 pub mod error;
+pub mod hist;
 pub mod ids;
 pub mod kv;
 pub mod ops;
@@ -27,6 +28,7 @@ pub mod timestamp;
 
 pub use config::{ReadQuorum, ShardConfig, SystemConfig};
 pub use error::{BasilError, Result};
+pub use hist::LatencyHistogram;
 pub use ids::{ClientId, NodeId, ReplicaId, ShardId, TxId};
 pub use kv::{Key, Value};
 pub use ops::{Op, ScriptedGenerator, TxGenerator, TxProfile};

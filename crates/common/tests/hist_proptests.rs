@@ -1,0 +1,102 @@
+//! Property-based tests for the streaming latency histogram: its percentile
+//! estimates must track the exact sorted-vector order statistics within one
+//! bucket width, for arbitrary sample distributions, merges, and
+//! warmup/window splits.
+
+use basil_common::LatencyHistogram;
+use proptest::prelude::*;
+
+/// The exact order statistic the histogram approximates: the sample of rank
+/// `round((len - 1) * p)`, the same rank `RunReport` used when it sorted
+/// raw latency vectors.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn assert_within_one_bucket(est: f64, truth: u64, context: &str) -> Result<(), TestCaseError> {
+    let tol = LatencyHistogram::bucket_width_at(truth) as f64;
+    prop_assert!(
+        (est - truth as f64).abs() <= tol,
+        "{context}: estimate {est} vs exact {truth}, tolerance {tol}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram percentiles match exact sorted-vector percentiles within
+    /// one bucket width, across the value range latencies actually span
+    /// (nanoseconds to seconds).
+    #[test]
+    fn percentiles_match_exact_within_one_bucket(
+        samples in proptest::collection::vec(1u64..10_000_000_000, 1..500),
+        pn in 0u64..=100,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let p = pn as f64 / 100.0;
+        let truth = exact_percentile(&sorted, p);
+        assert_within_one_bucket(h.percentile_ns(p), truth, "single histogram")?;
+        // The exact mean is carried, not estimated.
+        let mean = sorted.iter().map(|s| *s as f64).sum::<f64>() / sorted.len() as f64;
+        prop_assert!((h.mean_ms() - mean / 1e6).abs() < 1e-6);
+    }
+
+    /// Merging per-client histograms is equivalent to pooling the samples:
+    /// the merged percentiles still match the pooled exact percentiles.
+    #[test]
+    fn merged_histograms_match_pooled_samples(
+        a in proptest::collection::vec(1u64..1_000_000_000, 1..200),
+        b in proptest::collection::vec(1u64..1_000_000_000, 1..200),
+        pn in 0u64..=100,
+    ) {
+        let mut ha = LatencyHistogram::new();
+        for s in &a {
+            ha.record(*s);
+        }
+        let mut hb = LatencyHistogram::new();
+        for s in &b {
+            hb.record(*s);
+        }
+        ha.merge(&hb);
+        let mut pooled: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        pooled.sort_unstable();
+        prop_assert_eq!(ha.count(), pooled.len() as u64);
+        let p = pn as f64 / 100.0;
+        let truth = exact_percentile(&pooled, p);
+        assert_within_one_bucket(ha.percentile_ns(p), truth, "merged histogram")?;
+    }
+
+    /// Subtracting a warmup snapshot from an end snapshot yields the window
+    /// samples exactly (count and sum) and percentile-accurately — the
+    /// replacement for the old multiset diff over raw vectors.
+    #[test]
+    fn snapshot_diff_recovers_window_samples(
+        warmup in proptest::collection::vec(1u64..1_000_000_000, 0..200),
+        window in proptest::collection::vec(1u64..1_000_000_000, 1..200),
+        pn in 0u64..=100,
+    ) {
+        let mut start = LatencyHistogram::new();
+        for s in &warmup {
+            start.record(*s);
+        }
+        let mut end = start.clone();
+        for s in &window {
+            end.record(*s);
+        }
+        let diff = end.diff(&start);
+        prop_assert_eq!(diff.count(), window.len() as u64);
+        prop_assert_eq!(diff.total_ns(), window.iter().map(|s| u128::from(*s)).sum::<u128>());
+        let mut sorted = window.clone();
+        sorted.sort_unstable();
+        let p = pn as f64 / 100.0;
+        let truth = exact_percentile(&sorted, p);
+        assert_within_one_bucket(diff.percentile_ns(p), truth, "window diff")?;
+    }
+}

@@ -30,8 +30,8 @@ use crate::quorum::{
 };
 use basil_common::prng::SmallPrng;
 use basil_common::{
-    ClientId, Duration, Key, NodeId, Op, ReplicaId, ShardId, SimTime, Timestamp, TxGenerator, TxId,
-    TxProfile, Value,
+    ClientId, Duration, Key, LatencyHistogram, NodeId, Op, ReplicaId, ShardId, SimTime, Timestamp,
+    TxGenerator, TxId, TxProfile, Value,
 };
 use basil_simnet::{Actor, Context};
 use basil_store::{Transaction, TransactionBuilder};
@@ -57,9 +57,10 @@ pub struct ClientStats {
     pub fallback_elections: u64,
     /// Successful equivocations performed (Byzantine clients only).
     pub equivocations: u64,
-    /// Commit latency (first attempt start to durable decision), per
-    /// committed transaction, in nanoseconds.
-    pub latencies_ns: Vec<u64>,
+    /// Streaming histogram of commit latencies (first attempt start to
+    /// durable decision) in nanoseconds. Updated in O(1) per commit; the
+    /// harness merges and diffs these instead of cloning sample vectors.
+    pub latency: LatencyHistogram,
     /// Committed transactions per workload label.
     pub per_label: HashMap<&'static str, u64>,
     /// Remote read operations issued.
@@ -70,13 +71,10 @@ pub struct ClientStats {
 }
 
 impl ClientStats {
-    /// Mean commit latency in milliseconds.
+    /// Mean commit latency in milliseconds (exact: the histogram carries
+    /// the exact sum of samples).
     pub fn mean_latency_ms(&self) -> f64 {
-        if self.latencies_ns.is_empty() {
-            return 0.0;
-        }
-        let sum: u128 = self.latencies_ns.iter().map(|l| *l as u128).sum();
-        sum as f64 / self.latencies_ns.len() as f64 / 1e6
+        self.latency.mean_ms()
     }
 
     /// Commit rate: committed / (committed + aborted attempts).
@@ -538,10 +536,10 @@ impl BasilClient {
             };
             if best_prepared
                 .as_ref()
-                .map(|(v, ..)| tx.timestamp > *v)
+                .map(|(v, ..)| tx.timestamp() > *v)
                 .unwrap_or(true)
             {
-                best_prepared = Some((tx.timestamp, value, txid, tx));
+                best_prepared = Some((tx.timestamp(), value, txid, tx));
             }
         }
 
@@ -921,7 +919,7 @@ impl BasilClient {
             if prep.txid != txid {
                 return;
             }
-            prep.tx.deps.iter().map(|d| d.txid).collect()
+            prep.tx.deps().iter().map(|d| d.txid).collect()
         };
         // First, try to classify with what we have.
         self.try_classify(ctx, true);
@@ -1035,7 +1033,7 @@ impl BasilClient {
         self.stats.committed += 1;
         if let Some(current) = self.current.as_ref() {
             let latency = ctx.now() - current.first_started;
-            self.stats.latencies_ns.push(latency.as_nanos());
+            self.stats.latency.record(latency.as_nanos());
             let label = label.unwrap_or(current.profile.label);
             *self.stats.per_label.entry(label).or_insert(0) += 1;
         }
@@ -1628,7 +1626,8 @@ mod tests {
         let mut stats = ClientStats::default();
         assert_eq!(stats.mean_latency_ms(), 0.0);
         assert_eq!(stats.commit_rate(), 1.0);
-        stats.latencies_ns = vec![2_000_000, 4_000_000];
+        stats.latency.record(2_000_000);
+        stats.latency.record(4_000_000);
         stats.committed = 2;
         stats.aborted_attempts = 2;
         assert!((stats.mean_latency_ms() - 3.0).abs() < 1e-9);

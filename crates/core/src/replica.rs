@@ -522,23 +522,24 @@ impl BasilReplica {
             return;
         }
 
-        let tx = {
+        {
             let record = self.record(txid);
             if record.tx.is_none() {
-                record.tx = wb.tx.clone();
+                record.tx = wb.tx;
             }
-            record.tx.clone()
-        };
+        }
         let decision = wb.cert.decision();
         let released = match decision {
             ProtoDecision::Commit => {
-                let Some(tx) = tx else {
+                // Borrow the body straight out of the record (records and
+                // store are disjoint fields) instead of cloning it.
+                let Some(tx) = self.records.get(&txid).and_then(|r| r.tx.as_ref()) else {
                     // Cannot apply writes without the transaction body; wait
                     // for a writeback that carries it.
                     return;
                 };
                 self.stats.commits_applied += 1;
-                self.store.commit(&tx)
+                self.store.commit(tx)
             }
             ProtoDecision::Abort => {
                 self.stats.aborts_applied += 1;
@@ -1162,7 +1163,7 @@ mod tests {
 
         // T2 reads T1's prepared write and declares the dependency.
         let mut b = TransactionBuilder::new(Timestamp::from_nanos(2_000_000, ClientId(3)));
-        b.record_dependent_read(Key::new("x"), t1.timestamp, t1.id());
+        b.record_dependent_read(Key::new("x"), t1.timestamp(), t1.id());
         b.record_write(Key::new("y"), Value::from_u64(6));
         let t2 = b.build();
         let dependent_client = NodeId::Client(ClientId(3));

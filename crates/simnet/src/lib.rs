@@ -16,7 +16,7 @@
 //! shapes requires faithfully modelling the two bottlenecks the paper
 //! identifies — CPU time spent on cryptography and contention amplified by
 //! latency — which the simulator does by charging signature/verification
-//! costs to node CPUs ([`basil_crypto::CostModel`]) and by delivering
+//! costs to node CPUs (the `basil-crypto` cost model) and by delivering
 //! messages with CloudLab-like latencies. Determinism (a seeded RNG drives
 //! all jitter and loss) makes every experiment and test reproducible.
 //!
@@ -31,6 +31,29 @@
 //!   timers ([`Context::schedule_self`]); they never share memory.
 //! * The harness can inject messages from the outside and inspect actors
 //!   through [`Simulation::actor`] / [`Simulation::actor_mut`].
+//!
+//! ## Key types
+//!
+//! * [`Simulation`] — the event loop: dense actor slots, the calendar
+//!   event queue, the network model, and the seeded RNG.
+//! * [`Actor`] / [`Context`] — the sans-io state-machine interface.
+//! * [`NodeProps`] — per-node cores and clock skew.
+//! * [`NetworkConfig`] / [`Partition`] — latency, jitter, loss, and
+//!   fault-injection partitions.
+//! * [`Metrics`] / [`NodeMetrics`] — counters assembled on demand from the
+//!   per-slot records.
+//!
+//! ## Seed and determinism contract
+//!
+//! A `Simulation` constructed with the same seed, the same actors (added in
+//! the same order), and driven by the same `run_until`/`step` calls
+//! delivers the *identical* event sequence: events pop in strict
+//! `(time, sequence-number)` order, sequence numbers are assigned in
+//! deterministic send order, and all jitter/loss randomness comes from the
+//! one seeded RNG. The scheduler implementation is free to change (it has:
+//! global heap → indexed calendar queue, see [`sim`]) but must preserve
+//! this order bit-for-bit; `tests/golden_trace.rs` pins it with a trace
+//! hash captured before the rewrite.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

@@ -68,19 +68,24 @@ impl std::error::Error for AuditError {}
 ///   `Tj` wrote.
 ///
 /// Returns `Ok(())` when the graph is acyclic and every read is accounted
-/// for.
-pub fn audit_serializability(committed: &[Transaction]) -> Result<(), AuditError> {
+/// for. Accepts any borrow of [`Transaction`] — owned histories in tests,
+/// `&Transaction` borrows straight out of the replica stores in the
+/// harness audit (which no longer clones the committed history).
+pub fn audit_serializability<T: std::borrow::Borrow<Transaction>>(
+    committed: &[T],
+) -> Result<(), AuditError> {
     // Index committed writers per key, ordered by timestamp.
     let mut writers: HashMap<&Key, BTreeMap<Timestamp, usize>> = HashMap::new();
     let mut seen_ts: HashMap<Timestamp, usize> = HashMap::new();
     for (i, tx) in committed.iter().enumerate() {
-        if let Some(_prev) = seen_ts.insert(tx.timestamp, i) {
+        let tx = tx.borrow();
+        if let Some(_prev) = seen_ts.insert(tx.timestamp(), i) {
             return Err(AuditError::DuplicateTimestamp {
-                timestamp: tx.timestamp,
+                timestamp: tx.timestamp(),
             });
         }
-        for w in &tx.write_set {
-            writers.entry(&w.key).or_default().insert(tx.timestamp, i);
+        for w in tx.write_set() {
+            writers.entry(&w.key).or_default().insert(tx.timestamp(), i);
         }
     }
 
@@ -104,7 +109,8 @@ pub fn audit_serializability(committed: &[Transaction]) -> Result<(), AuditError
 
     // wr and rw edges, plus read accountability.
     for (j, tx) in committed.iter().enumerate() {
-        for read in &tx.read_set {
+        let tx = tx.borrow();
+        for read in tx.read_set() {
             let key_writers = writers.get(&read.key);
             if read.version != Timestamp::ZERO {
                 match key_writers.and_then(|w| w.get(&read.version)) {
@@ -166,8 +172,10 @@ pub fn audit_serializability(committed: &[Transaction]) -> Result<(), AuditError
                     Colour::Grey => {
                         // Found a back edge: everything grey on the stack from
                         // `next` onward is part of a cycle.
-                        let members: Vec<TxId> =
-                            stack.iter().map(|(i, _, _)| committed[*i].id()).collect();
+                        let members: Vec<TxId> = stack
+                            .iter()
+                            .map(|(i, _, _)| committed[*i].borrow().id())
+                            .collect();
                         return Err(AuditError::Cycle { members });
                     }
                     Colour::Black => {}
@@ -203,7 +211,7 @@ mod tests {
 
     #[test]
     fn empty_and_single_histories_are_serializable() {
-        assert!(audit_serializability(&[]).is_ok());
+        assert!(audit_serializability::<Transaction>(&[]).is_ok());
         assert!(audit_serializability(&[write_tx(1, 1, "x")]).is_ok());
     }
 

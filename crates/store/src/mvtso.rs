@@ -27,6 +27,7 @@ use crate::tx::{Dependency, Transaction};
 use basil_common::error::AbortReason;
 use basil_common::{Duration, Key, SimTime, Timestamp, TxId, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// A replica's vote on whether committing a transaction preserves
 /// serializability.
@@ -109,13 +110,15 @@ pub struct MvtsoStore {
     /// Committed versions per key, ordered by writer timestamp.
     committed_versions: HashMap<Key, BTreeMap<Timestamp, (TxId, Value)>>,
     /// Metadata of committed transactions (needed for the read-write checks
-    /// and for the serializability audit).
-    committed_txs: HashMap<TxId, Transaction>,
+    /// and for the serializability audit). `Arc`-shared so the prepared
+    /// entry is promoted on commit without copying, and so audits can
+    /// borrow instead of cloning the whole history.
+    committed_txs: HashMap<TxId, Arc<Transaction>>,
     /// Reads performed by committed transactions, per key, indexed by the
     /// reader's timestamp; the value is the version that was read.
     committed_reads: HashMap<Key, BTreeMap<Timestamp, Timestamp>>,
     /// Metadata of prepared (visible, uncommitted) transactions.
-    prepared_txs: HashMap<TxId, Transaction>,
+    prepared_txs: HashMap<TxId, Arc<Transaction>>,
     /// Prepared writes per key, ordered by writer timestamp.
     prepared_writes: HashMap<Key, BTreeMap<Timestamp, TxId>>,
     /// Reads performed by prepared transactions, per key, indexed by reader
@@ -196,7 +199,7 @@ impl MvtsoStore {
                         version: *version,
                         value: tx.written_value(key).cloned().unwrap_or_else(Value::empty),
                         txid: *txid,
-                        deps: tx.deps.clone(),
+                        deps: tx.deps().to_vec(),
                     })
                 })
         });
@@ -264,19 +267,19 @@ impl MvtsoStore {
         }
 
         // (1) Timestamp bound: ts_T <= localClock + delta.
-        if tx.timestamp.exceeds_bound(local_clock, delta) {
+        if tx.timestamp().exceeds_bound(local_clock, delta) {
             return CheckOutcome::Decided(Vote::Abort(AbortReason::TimestampOutOfBounds));
         }
 
         // (2) Dependency validity: every dependency this replica knows about
         // must actually have produced the claimed version.
-        for dep in &tx.deps {
+        for dep in tx.deps() {
             let known = self
                 .prepared_txs
                 .get(&dep.txid)
                 .or_else(|| self.committed_txs.get(&dep.txid));
             if let Some(dep_tx) = known {
-                let produced = dep_tx.writes(&dep.key) && dep_tx.timestamp == dep.version;
+                let produced = dep_tx.writes(&dep.key) && dep_tx.timestamp() == dep.version;
                 if !produced {
                     return CheckOutcome::Decided(Vote::Abort(AbortReason::InvalidDependency));
                 }
@@ -290,16 +293,16 @@ impl MvtsoStore {
 
         // (3) Reads must not claim versions from the future; that would prove
         // client misbehaviour.
-        for read in &tx.read_set {
-            if read.version > tx.timestamp {
+        for read in tx.read_set() {
+            if read.version > tx.timestamp() {
                 return CheckOutcome::Decided(Vote::Abort(AbortReason::Misbehavior));
             }
         }
 
         // (4) Reads in T did not miss any committed or prepared write:
         // no write W to `key` with version_read < ts_W < ts_T may exist.
-        for read in &tx.read_set {
-            if self.has_write_in_range(&read.key, read.version, tx.timestamp) {
+        for read in tx.read_set() {
+            if self.has_write_in_range(&read.key, read.version, tx.timestamp()) {
                 return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
             }
         }
@@ -307,18 +310,18 @@ impl MvtsoStore {
         // (5) Writes in T must not invalidate reads of prepared or committed
         // transactions: no reader T' with ts_T' > ts_T may have read a
         // version older than ts_T for a key T writes.
-        for write in &tx.write_set {
-            if self.write_invalidates_reader(&write.key, tx.timestamp) {
+        for write in tx.write_set() {
+            if self.write_invalidates_reader(&write.key, tx.timestamp()) {
                 return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
             }
         }
 
         // (6) Writes must not invalidate ongoing reads (RTS check).
-        for write in &tx.write_set {
+        for write in tx.write_set() {
             if let Some(set) = self.rts.get(&write.key) {
                 if set
                     .range((
-                        std::ops::Bound::Excluded(tx.timestamp),
+                        std::ops::Bound::Excluded(tx.timestamp()),
                         std::ops::Bound::Unbounded,
                     ))
                     .next()
@@ -334,7 +337,7 @@ impl MvtsoStore {
 
         // (8) Wait for all pending dependencies.
         let mut missing: HashSet<TxId> = HashSet::new();
-        for dep in &tx.deps {
+        for dep in tx.deps() {
             match self.decisions.get(&dep.txid) {
                 Some(Decision::Commit) => {}
                 Some(Decision::Abort) => {
@@ -406,39 +409,45 @@ impl MvtsoStore {
     }
 
     fn index_prepared(&mut self, txid: TxId, tx: &Transaction) {
-        for write in &tx.write_set {
+        for write in tx.write_set() {
             self.prepared_writes
                 .entry(write.key.clone())
                 .or_default()
-                .insert(tx.timestamp, txid);
+                .insert(tx.timestamp(), txid);
         }
-        for read in &tx.read_set {
+        for read in tx.read_set() {
             self.prepared_reads
                 .entry(read.key.clone())
                 .or_default()
-                .insert(tx.timestamp, read.version);
+                .insert(tx.timestamp(), read.version);
         }
-        self.prepared_txs.insert(txid, tx.clone());
+        self.prepared_txs.insert(txid, Arc::new(tx.clone()));
     }
 
-    fn unindex_prepared(&mut self, txid: &TxId) {
+    /// Removes a prepared transaction from the visibility indexes,
+    /// returning its shared metadata so a commit can promote it without
+    /// copying.
+    fn unindex_prepared(&mut self, txid: &TxId) -> Option<Arc<Transaction>> {
         if let Some(tx) = self.prepared_txs.remove(txid) {
-            for write in &tx.write_set {
+            for write in tx.write_set() {
                 if let Some(map) = self.prepared_writes.get_mut(&write.key) {
-                    map.remove(&tx.timestamp);
+                    map.remove(&tx.timestamp());
                     if map.is_empty() {
                         self.prepared_writes.remove(&write.key);
                     }
                 }
             }
-            for read in &tx.read_set {
+            for read in tx.read_set() {
                 if let Some(map) = self.prepared_reads.get_mut(&read.key) {
-                    map.remove(&tx.timestamp);
+                    map.remove(&tx.timestamp());
                     if map.is_empty() {
                         self.prepared_reads.remove(&read.key);
                     }
                 }
             }
+            Some(tx)
+        } else {
+            None
         }
     }
 
@@ -455,23 +464,28 @@ impl MvtsoStore {
         if matches!(self.decisions.get(&txid), Some(Decision::Commit)) {
             return Vec::new();
         }
-        self.unindex_prepared(&txid);
+        // Promote the prepared entry when there is one: the transaction id
+        // is a content hash, so the prepared metadata under this id is the
+        // same transaction and no copy is needed.
+        let shared = self
+            .unindex_prepared(&txid)
+            .unwrap_or_else(|| Arc::new(tx.clone()));
         self.pending.remove(&txid);
         self.decisions.insert(txid, Decision::Commit);
 
-        for write in &tx.write_set {
+        for write in tx.write_set() {
             self.committed_versions
                 .entry(write.key.clone())
                 .or_default()
-                .insert(tx.timestamp, (txid, write.value.clone()));
+                .insert(tx.timestamp(), (txid, write.value.clone()));
         }
-        for read in &tx.read_set {
+        for read in tx.read_set() {
             self.committed_reads
                 .entry(read.key.clone())
                 .or_default()
-                .insert(tx.timestamp, read.version);
+                .insert(tx.timestamp(), read.version);
         }
-        self.committed_txs.insert(txid, tx.clone());
+        self.committed_txs.insert(txid, shared);
 
         self.wake_waiters(txid, Decision::Commit)
     }
@@ -535,12 +549,12 @@ impl MvtsoStore {
 
     /// The prepared transaction's metadata, if present.
     pub fn prepared_tx(&self, txid: &TxId) -> Option<&Transaction> {
-        self.prepared_txs.get(txid)
+        self.prepared_txs.get(txid).map(|tx| tx.as_ref())
     }
 
     /// The committed transaction's metadata, if present.
     pub fn committed_tx(&self, txid: &TxId) -> Option<&Transaction> {
-        self.committed_txs.get(txid)
+        self.committed_txs.get(txid).map(|tx| tx.as_ref())
     }
 
     /// Whether the transaction's vote is currently withheld waiting on
@@ -549,9 +563,11 @@ impl MvtsoStore {
         self.pending.contains_key(txid)
     }
 
-    /// All committed transactions (used by the serializability audit).
-    pub fn committed_snapshot(&self) -> Vec<Transaction> {
-        self.committed_txs.values().cloned().collect()
+    /// Iterates over all committed transactions without cloning them (the
+    /// serializability audit used to clone the entire history per replica
+    /// per audit; it now borrows).
+    pub fn committed_iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.committed_txs.values().map(|tx| tx.as_ref())
     }
 
     /// Number of committed transactions.

@@ -103,7 +103,7 @@ impl OccStore {
         }
         // Validation: every read must still be the installed version, and no
         // read key may be locked by a concurrent prepared transaction.
-        for read in &tx.read_set {
+        for read in tx.read_set() {
             let (current, _) = self.read(&read.key);
             if current != read.version {
                 return OccVote::Abort(AbortReason::Conflict);
@@ -115,14 +115,14 @@ impl OccStore {
             }
         }
         // Lock acquisition for writes.
-        for write in &tx.write_set {
+        for write in tx.write_set() {
             if let Some(entry) = self.data.get(&write.key) {
                 if entry.locked_by.is_some() && entry.locked_by != Some(txid) {
                     return OccVote::Abort(AbortReason::Conflict);
                 }
             }
         }
-        for write in &tx.write_set {
+        for write in tx.write_set() {
             self.data
                 .entry(write.key.clone())
                 .or_insert_with(|| Entry {
@@ -142,13 +142,13 @@ impl OccStore {
         let Some(tx) = self.prepared.remove(txid) else {
             return;
         };
-        for write in &tx.write_set {
+        for write in tx.write_set() {
             let entry = self.data.entry(write.key.clone()).or_insert_with(|| Entry {
                 version: Timestamp::ZERO,
                 value: Value::empty(),
                 locked_by: None,
             });
-            entry.version = tx.timestamp;
+            entry.version = tx.timestamp();
             entry.value = write.value.clone();
             entry.locked_by = None;
         }
@@ -162,7 +162,7 @@ impl OccStore {
         let Some(tx) = self.prepared.remove(txid) else {
             return;
         };
-        for write in &tx.write_set {
+        for write in tx.write_set() {
             if let Some(entry) = self.data.get_mut(&write.key) {
                 if entry.locked_by == Some(*txid) {
                     entry.locked_by = None;
@@ -193,10 +193,11 @@ impl OccStore {
         self.data.get(key).map(|e| e.value.clone())
     }
 
-    /// All transactions committed through this store, in commit order (for
-    /// the harness-level serializability audit).
-    pub fn committed_snapshot(&self) -> Vec<Transaction> {
-        self.committed_log.clone()
+    /// Iterates over the transactions committed through this store, in
+    /// commit order, without cloning them (for the harness-level
+    /// serializability audit).
+    pub fn committed_iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.committed_log.iter()
     }
 
     /// The decision applied for `txid`, if this store prepared and then

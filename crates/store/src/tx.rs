@@ -47,23 +47,87 @@ pub struct Dependency {
 }
 
 /// A transaction's metadata, as shipped in `ST1` (prepare) messages.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Transactions are frozen by [`TransactionBuilder::build`]: the fields are
+/// private and only readable, which is what makes the identifier digest
+/// safely memoizable — the first [`Transaction::id`] call hashes the
+/// canonical encoding, every later call (the replica and store hot paths
+/// ask for the id on every message) is a copy. Cloning a transaction —
+/// e.g. fanning an `ST1` out to a shard — carries the memo along.
 pub struct Transaction {
     /// The client-chosen timestamp defining the serialization order.
-    pub timestamp: Timestamp,
+    timestamp: Timestamp,
     /// Keys read, with the versions observed.
-    pub read_set: Vec<ReadOp>,
+    read_set: Vec<ReadOp>,
     /// Buffered writes.
-    pub write_set: Vec<WriteOp>,
+    write_set: Vec<WriteOp>,
     /// Write-read dependencies on prepared, uncommitted transactions.
-    pub deps: Vec<Dependency>,
+    deps: Vec<Dependency>,
+    /// Memoized identifier digest.
+    cached_id: std::sync::OnceLock<TxId>,
+}
+
+impl Clone for Transaction {
+    fn clone(&self) -> Self {
+        Transaction {
+            timestamp: self.timestamp,
+            read_set: self.read_set.clone(),
+            write_set: self.write_set.clone(),
+            deps: self.deps.clone(),
+            cached_id: self.cached_id.clone(),
+        }
+    }
+}
+
+impl PartialEq for Transaction {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo is derived state and excluded from equality.
+        self.timestamp == other.timestamp
+            && self.read_set == other.read_set
+            && self.write_set == other.write_set
+            && self.deps == other.deps
+    }
+}
+impl Eq for Transaction {}
+
+impl std::fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("timestamp", &self.timestamp)
+            .field("read_set", &self.read_set)
+            .field("write_set", &self.write_set)
+            .field("deps", &self.deps)
+            .finish()
+    }
 }
 
 impl Transaction {
-    /// Computes the transaction identifier: a SHA-256 digest over the
-    /// canonical encoding of the metadata.
+    /// The transaction identifier: a SHA-256 digest over the canonical
+    /// encoding of the metadata, computed once and memoized.
     pub fn id(&self) -> TxId {
-        TxId::from_bytes(*Sha256::digest(&self.encode()).as_bytes())
+        *self
+            .cached_id
+            .get_or_init(|| TxId::from_bytes(*Sha256::digest(&self.encode()).as_bytes()))
+    }
+
+    /// The client-chosen timestamp defining the serialization order.
+    pub fn timestamp(&self) -> Timestamp {
+        self.timestamp
+    }
+
+    /// Keys read, with the versions observed.
+    pub fn read_set(&self) -> &[ReadOp] {
+        &self.read_set
+    }
+
+    /// Buffered writes.
+    pub fn write_set(&self) -> &[WriteOp] {
+        &self.write_set
+    }
+
+    /// Write-read dependencies on prepared, uncommitted transactions.
+    pub fn deps(&self) -> &[Dependency] {
+        &self.deps
     }
 
     /// Canonical byte encoding used for hashing and for signing.
@@ -244,6 +308,7 @@ impl TransactionBuilder {
             read_set: self.read_set,
             write_set: self.write_set,
             deps: self.deps,
+            cached_id: std::sync::OnceLock::new(),
         }
     }
 }
@@ -270,13 +335,28 @@ mod tests {
         let b = sample_tx();
         assert_eq!(a.id(), b.id());
 
-        let mut c = sample_tx();
-        c.write_set[0].value = Value::from_u64(8);
+        // A different written value changes the digest.
+        let mut cb = TransactionBuilder::new(ts(100, 1));
+        cb.record_read(Key::new("x"), ts(50, 2));
+        cb.record_write(Key::new("y"), Value::from_u64(8));
+        let c = cb.build();
         assert_ne!(a.id(), c.id());
 
-        let mut d = sample_tx();
-        d.timestamp = ts(101, 1);
+        // A different timestamp changes the digest.
+        let mut db = TransactionBuilder::new(ts(101, 1));
+        db.record_read(Key::new("x"), ts(50, 2));
+        db.record_write(Key::new("y"), Value::from_u64(7));
+        let d = db.build();
         assert_ne!(a.id(), d.id());
+    }
+
+    #[test]
+    fn id_is_memoized_and_carried_by_clone() {
+        let a = sample_tx();
+        let first = a.id();
+        assert_eq!(a.id(), first, "repeated calls return the memo");
+        let b = a.clone();
+        assert_eq!(b.id(), first, "clones carry the memo");
     }
 
     #[test]

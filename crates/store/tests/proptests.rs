@@ -139,7 +139,7 @@ proptest! {
             if tx.is_empty() {
                 continue;
             }
-            for w in &tx.write_set {
+            for w in tx.write_set() {
                 latest.insert(w.key.clone(), ts);
             }
             txs.push(tx);
@@ -163,7 +163,7 @@ proptest! {
                 builder.record_write(key(*w), Value::from_u64(7));
             }
             let tx = builder.build();
-            let meta = format!("{:?}|{:?}|{:?}", tx.timestamp, tx.read_set, tx.write_set);
+            let meta = format!("{:?}|{:?}|{:?}", tx.timestamp(), tx.read_set(), tx.write_set());
             if metas.insert(meta) {
                 prop_assert!(ids.insert(tx.id()), "distinct transactions must have distinct ids");
             }
