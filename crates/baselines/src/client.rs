@@ -22,6 +22,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Statistics collected by a baseline client.
 #[derive(Clone, Debug, Default)]
@@ -75,7 +76,7 @@ struct Executing {
 
 #[derive(Debug)]
 struct Preparing {
-    tx: Transaction,
+    tx: Arc<Transaction>,
     txid: TxId,
     involved: Vec<ShardId>,
     /// Per shard: votes by replica index.
@@ -395,7 +396,8 @@ impl BaselineClient {
             let Phase::Executing(exec) = &mut current.phase else {
                 return;
             };
-            std::mem::replace(&mut exec.builder, TransactionBuilder::new(Timestamp::ZERO)).build()
+            std::mem::replace(&mut exec.builder, TransactionBuilder::new(Timestamp::ZERO))
+                .build_shared()
         };
         if tx.is_empty() {
             self.finish(ctx, true);
@@ -412,7 +414,9 @@ impl BaselineClient {
                 ctx.send(
                     target,
                     BaselineMsg::Submit {
-                        request: ShardRequest::Prepare { tx: tx.clone() },
+                        request: ShardRequest::Prepare {
+                            tx: Arc::clone(&tx),
+                        },
                     },
                 );
             }
@@ -661,7 +665,9 @@ impl BaselineClient {
                             ctx.send(
                                 target,
                                 BaselineMsg::Submit {
-                                    request: ShardRequest::Prepare { tx: tx.clone() },
+                                    request: ShardRequest::Prepare {
+                                        tx: Arc::clone(&tx),
+                                    },
                                 },
                             );
                         }

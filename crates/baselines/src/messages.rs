@@ -3,6 +3,7 @@
 use basil_common::{Key, Timestamp, TxId, Value};
 use basil_store::occ::OccVote;
 use basil_store::Transaction;
+use std::sync::Arc;
 
 /// A request that must be ordered (BFT baselines) or executed directly
 /// (TAPIR) by a shard.
@@ -10,8 +11,9 @@ use basil_store::Transaction;
 pub enum ShardRequest {
     /// 2PC prepare: validate the transaction's reads and lock its writes.
     Prepare {
-        /// The transaction.
-        tx: Transaction,
+        /// The transaction, shared across the per-replica fan-out and the
+        /// consensus batches that carry it.
+        tx: Arc<Transaction>,
     },
     /// 2PC decision: commit or abort a previously prepared transaction.
     Decide {
@@ -131,7 +133,7 @@ mod tests {
     fn shard_request_txid_is_consistent() {
         let mut b = TransactionBuilder::new(Timestamp::from_nanos(5, ClientId(1)));
         b.record_write(Key::new("k"), Value::from_u64(1));
-        let tx = b.build();
+        let tx = b.build_shared();
         let id = tx.id();
         assert_eq!(ShardRequest::Prepare { tx }.txid(), id);
         assert_eq!(

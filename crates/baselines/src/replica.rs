@@ -400,10 +400,10 @@ mod tests {
         )
     }
 
-    fn write_tx(t: u64) -> basil_store::Transaction {
+    fn write_tx(t: u64) -> std::sync::Arc<basil_store::Transaction> {
         let mut b = TransactionBuilder::new(Timestamp::from_nanos(t, ClientId(7)));
         b.record_write(Key::new("x"), Value::from_u64(t));
-        b.build()
+        b.build_shared()
     }
 
     fn sent(ctx: &Context<BaselineMsg>) -> Vec<(NodeId, BaselineMsg)> {

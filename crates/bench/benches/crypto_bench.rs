@@ -62,17 +62,21 @@ fn bench_signatures(c: &mut Criterion) {
             proof.verify(b"a reply payload", &registry, &mut cache)
         })
     });
-    c.bench_function("batch_sign_16", |b| {
-        b.iter(|| {
-            let mut signer = BatchSigner::new(registry.keypair(node), 16);
-            for i in 0..16u64 {
-                signer.push(
-                    NodeId::Client(ClientId(i)),
-                    format!("reply {i}").into_bytes(),
-                );
-            }
-        })
-    });
+    // ROADMAP: batching > 16 was untested; sweep through 64 so the
+    // amortization curve of Figure 6b has micro-benchmark backing.
+    for batch in [16usize, 32, 64] {
+        c.bench_function(&format!("batch_sign_{batch}"), |b| {
+            b.iter(|| {
+                let mut signer = BatchSigner::new(registry.keypair(node), batch);
+                for i in 0..batch as u64 {
+                    signer.push(
+                        NodeId::Client(ClientId(i)),
+                        format!("reply {i}").into_bytes(),
+                    );
+                }
+            })
+        });
+    }
 }
 
 criterion_group! {

@@ -201,6 +201,68 @@ fn bench_cluster_high_clients(c: &mut Criterion) {
     group.finish();
 }
 
+/// The zero-copy message plane: what a prepare/writeback fan-out costs in
+/// message construction alone. Before the Arc refactor each `St1`/`Writeback`
+/// clone deep-copied the transaction (read/write sets, keys, values) or the
+/// certificate (signed vote sets); now each is a reference-count bump.
+/// `signed_bytes` additionally hits the memoized transaction encoding.
+fn bench_message_plane(c: &mut Criterion) {
+    use basil_core::messages::{St1, Writeback};
+    use basil_store::TransactionBuilder;
+    use std::sync::Arc;
+
+    let mut b =
+        TransactionBuilder::new(basil_common::Timestamp::from_nanos(1_000_000, ClientId(1)));
+    for i in 0..4 {
+        b.record_read(
+            basil_common::Key::new(format!("read-key-{i}")),
+            basil_common::Timestamp::ZERO,
+        );
+        b.record_write(
+            basil_common::Key::new(format!("write-key-{i}")),
+            basil_common::Value::from_u64(i),
+        );
+    }
+    let tx = b.build_shared();
+    let st1 = St1 {
+        tx: Arc::clone(&tx),
+        auth: None,
+        recovery: false,
+    };
+    // 3 shards x 6 replicas: the paper's sharded deployment fan-out.
+    c.bench_function("message_plane/st1_fanout_18", |b| {
+        b.iter(|| {
+            let clones: Vec<St1> = (0..18).map(|_| st1.clone()).collect();
+            clones.len()
+        })
+    });
+    c.bench_function("message_plane/st1_signed_bytes_memoized", |b| {
+        b.iter(|| st1.signed_bytes().len())
+    });
+
+    let registry = KeyRegistry::from_seed(1);
+    let basil_cfg = BasilConfig::test_single_shard();
+    let votes = signed_votes(&registry, &basil_cfg, tx.id(), 6);
+    let cert = Arc::new(basil_core::certs::DecisionCert::Commit(CommitCert {
+        txid: tx.id(),
+        fast_votes: vec![ShardVotes {
+            txid: tx.id(),
+            shard: ShardId(0),
+            decision: ProtoDecision::Commit,
+            votes,
+            conflict: None,
+        }],
+        slow: None,
+    }));
+    let wb = Writeback { cert, tx: Some(tx) };
+    c.bench_function("message_plane/writeback_fanout_18", |b| {
+        b.iter(|| {
+            let clones: Vec<Writeback> = (0..18).map(|_| wb.clone()).collect();
+            clones.len()
+        })
+    });
+}
+
 fn bench_views(c: &mut Criterion) {
     let cfg = ShardConfig::new(1);
     let reported = [3u64, 3, 2, 2, 1, 0];
@@ -212,7 +274,7 @@ fn bench_views(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_tally, bench_cert_validation, bench_views, bench_scheduler,
-        bench_cluster_high_clients
+    targets = bench_tally, bench_cert_validation, bench_message_plane, bench_views,
+        bench_scheduler, bench_cluster_high_clients
 }
 criterion_main!(benches);

@@ -5,12 +5,13 @@ use basil_common::{ClientId, Duration, Key, SimTime, Timestamp, Value};
 use basil_store::occ::OccStore;
 use basil_store::{MvtsoStore, Transaction, TransactionBuilder};
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
 
-fn tx(i: u64) -> Transaction {
+fn tx(i: u64) -> Arc<Transaction> {
     let mut b = TransactionBuilder::new(Timestamp::from_nanos(1_000 + i * 10, ClientId(i % 16)));
     b.record_read(Key::new(format!("r{}", i % 256)), Timestamp::ZERO);
     b.record_write(Key::new(format!("w{}", i % 256)), Value::from_u64(i));
-    b.build()
+    b.build_shared()
 }
 
 fn bench_mvtso(c: &mut Criterion) {
@@ -49,7 +50,7 @@ fn bench_occ(c: &mut Criterion) {
                     let mut builder =
                         TransactionBuilder::new(Timestamp::from_nanos(1_000 + i, ClientId(1)));
                     builder.record_write(Key::new(format!("k{}", i % 64)), Value::from_u64(i));
-                    let t = builder.build();
+                    let t = builder.build_shared();
                     store.prepare(&t);
                     store.commit(&t.id());
                 }

@@ -10,7 +10,7 @@ fn main() {
     } else {
         RunParams::default()
     };
-    let batches = [1u32, 2, 4, 8, 16, 32];
+    let batches = [1u32, 2, 4, 8, 16, 32, 64];
     let workloads = [
         (
             "RW-U",
@@ -46,7 +46,9 @@ fn main() {
     }
     print_table(
         "Figure 6b: throughput (tx/s) vs reply batch size",
-        &["workload", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32"],
+        &[
+            "workload", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32", "b=64",
+        ],
         &rows,
     );
     println!("\nPaper shape: RW-U rises ~4x and peaks at b=16; RW-Z peaks around b=4 (~1.4x) then degrades.");

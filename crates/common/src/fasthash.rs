@@ -1,0 +1,160 @@
+//! A fast, non-cryptographic hasher for hot-path maps.
+//!
+//! The standard library's `HashMap` defaults to SipHash-1-3, a keyed hash
+//! designed to resist collision-flooding from untrusted input. Almost every
+//! map on the Basil hot path is keyed by data that is *already* uniformly
+//! distributed and attacker-independent — transaction ids and batch roots are
+//! SHA-256 digests, keys are short workload-generated strings hashed millions
+//! of times per run — so SipHash's per-lookup cost buys nothing. This module
+//! provides an FxHash-style multiply-xor hasher (the scheme rustc itself uses
+//! for its interned-symbol tables): bytes are folded eight at a time into a
+//! single 64-bit state with a rotate, xor, and odd-constant multiply.
+//!
+//! Use [`FastHashMap`] / [`FastHashSet`] for digest-, id-, or key-keyed
+//! protocol state. Do **not** use them for maps whose keys are chosen freely
+//! by an untrusted network peer *and* whose size is unbounded; the bounded
+//! `SignatureCache` and the per-transaction record maps (capped by protocol
+//! quorums and client counts) are fine.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from Fx-style hashing: an odd constant close to
+/// `2^64 / golden_ratio`, so multiplication mixes low bits into high bits.
+const MULTIPLIER: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The hasher state: one 64-bit word folded with rotate-xor-multiply.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(MULTIPLIER);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.fold(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Fold the tail length in with the tail bytes so "ab" + "\0"
+            // and "ab\0" + "" cannot collide trivially.
+            word[7] = rest.len() as u8;
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.fold(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.fold(i as u64);
+        self.fold((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.fold(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, zero-sized).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the fast multiply-xor hasher. Construct with
+/// `FastHashMap::default()`.
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the fast multiply-xor hasher.
+pub type FastHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let a = hash_of(&[7u8; 32]);
+        let b = hash_of(&[7u8; 32]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_nearby_inputs() {
+        let mut digest_a = [0u8; 32];
+        let mut digest_b = [0u8; 32];
+        digest_b[31] = 1;
+        assert_ne!(hash_of(&digest_a), hash_of(&digest_b));
+        digest_a[0] = 1;
+        digest_b[31] = 0;
+        digest_b[0] = 2;
+        assert_ne!(hash_of(&digest_a), hash_of(&digest_b));
+    }
+
+    #[test]
+    fn tail_length_is_folded_in() {
+        // Same bytes, different split between content and implicit padding.
+        assert_ne!(hash_of(&b"ab".as_slice()), hash_of(&b"ab\0".as_slice()));
+        assert_ne!(hash_of(&b"".as_slice()), hash_of(&b"\0".as_slice()));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FastHashMap<String, u32> = FastHashMap::default();
+        map.insert("x".into(), 1);
+        map.insert("y".into(), 2);
+        assert_eq!(map.get("x"), Some(&1));
+
+        let mut set: FastHashSet<u64> = FastHashSet::default();
+        assert!(set.insert(42));
+        assert!(!set.insert(42));
+    }
+
+    #[test]
+    fn spreads_sequential_integers() {
+        // Sequential ids must not collapse into the same buckets: check that
+        // the low bits (what HashMap actually indexes with) vary.
+        let mut low_bits: FastHashSet<u64> = FastHashSet::default();
+        for i in 0u64..256 {
+            low_bits.insert(hash_of(&i) & 0xff);
+        }
+        assert!(low_bits.len() > 128, "only {} distinct", low_bits.len());
+    }
+}

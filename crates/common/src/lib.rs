@@ -18,6 +18,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fasthash;
 pub mod hist;
 pub mod ids;
 pub mod kv;
@@ -28,6 +29,7 @@ pub mod timestamp;
 
 pub use config::{ReadQuorum, ShardConfig, SystemConfig};
 pub use error::{BasilError, Result};
+pub use fasthash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};
 pub use hist::LatencyHistogram;
 pub use ids::{ClientId, NodeId, ReplicaId, ShardId, TxId};
 pub use kv::{Key, Value};

@@ -13,6 +13,7 @@ use crate::crypto_engine::SigEngine;
 use crate::messages::{ProtoDecision, SignedSt1Reply, SignedSt2Reply, View};
 use basil_common::{Duration, NodeId, ShardConfig, ShardId, TxId};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The votes a client gathered from one shard in stage ST1: either a durable
 /// fast-path certificate or a slow-path tally that still needs logging.
@@ -28,7 +29,9 @@ pub struct ShardVotes {
     pub votes: Vec<SignedSt1Reply>,
     /// For the conflict-abort fast path: a commit certificate of a
     /// conflicting transaction, in which case a single abort vote suffices.
-    pub conflict: Option<Box<DecisionCert>>,
+    /// Shared (`Arc`) so tallies and certificates carrying the same conflict
+    /// evidence do not deep-copy it.
+    pub conflict: Option<Arc<DecisionCert>>,
 }
 
 /// The logging-shard certificate produced by stage ST2: `n - f` matching
@@ -767,7 +770,7 @@ mod tests {
                 shard: ShardId(0),
                 decision: ProtoDecision::Abort,
                 votes: abort_votes(1),
-                conflict: Some(Box::new(conflicting_cert)),
+                conflict: Some(Arc::new(conflicting_cert)),
             }),
             slow: None,
         };

@@ -29,6 +29,7 @@ use crate::quorum::{
     combine_outcomes, PrepareOutcome, ShardOutcome, ShardTally, St2Outcome, St2Tally,
 };
 use basil_common::prng::SmallPrng;
+use basil_common::FastHashMap;
 use basil_common::{
     ClientId, Duration, Key, LatencyHistogram, NodeId, Op, ReplicaId, ShardId, SimTime, Timestamp,
     TxGenerator, TxId, TxProfile, Value,
@@ -37,6 +38,7 @@ use basil_simnet::{Actor, Context};
 use basil_store::{Transaction, TransactionBuilder};
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Statistics collected by one client, aggregated by the harness.
 #[derive(Clone, Debug, Default)]
@@ -94,7 +96,7 @@ struct PendingRead {
     key: Key,
     /// Delta to apply if this read is part of a read-modify-write op.
     rmw_delta: Option<i64>,
-    replies: HashMap<ReplicaId, ReadReply>,
+    replies: FastHashMap<ReplicaId, ReadReply>,
     wait_for: u32,
 }
 
@@ -110,7 +112,7 @@ struct Executing {
 /// Prepare-phase (ST1) state.
 #[derive(Debug)]
 struct Preparing {
-    tx: Transaction,
+    tx: Arc<Transaction>,
     txid: TxId,
     involved: Vec<ShardId>,
     tallies: HashMap<ShardId, ShardTally>,
@@ -120,7 +122,7 @@ struct Preparing {
 /// Decision-logging (ST2) state.
 #[derive(Debug)]
 struct Logging {
-    tx: Transaction,
+    tx: Arc<Transaction>,
     txid: TxId,
     decision: ProtoDecision,
     shard_votes: Vec<ShardVotes>,
@@ -152,7 +154,7 @@ struct InFlight {
 /// Recovery state for a stalled dependency the client is trying to finish.
 #[derive(Debug)]
 struct Recovery {
-    tx: Transaction,
+    tx: Arc<Transaction>,
     involved: Vec<ShardId>,
     slog: ShardId,
     tallies: HashMap<ShardId, ShardTally>,
@@ -174,10 +176,11 @@ pub struct BasilClient {
     next_req_id: u64,
     last_ts: u64,
     current: Option<InFlight>,
-    recoveries: HashMap<TxId, Recovery>,
-    /// Dependency transactions learned from prepared reads, kept so the
-    /// client can finish them if they stall.
-    dep_txs: HashMap<TxId, Transaction>,
+    recoveries: FastHashMap<TxId, Recovery>,
+    /// Dependency transactions learned from prepared reads, shared with the
+    /// read replies that delivered them, kept so the client can finish them
+    /// if they stall.
+    dep_txs: FastHashMap<TxId, Arc<Transaction>>,
     backoff: Duration,
     stats: ClientStats,
     stopped: bool,
@@ -205,8 +208,8 @@ impl BasilClient {
             next_req_id: 0,
             last_ts: 0,
             current: None,
-            recoveries: HashMap::new(),
-            dep_txs: HashMap::new(),
+            recoveries: FastHashMap::default(),
+            dep_txs: FastHashMap::default(),
             backoff,
             stats: ClientStats::default(),
             stopped: false,
@@ -389,7 +392,7 @@ impl BasilClient {
                 req_id,
                 key: key.clone(),
                 rmw_delta,
-                replies: HashMap::new(),
+                replies: FastHashMap::default(),
                 wait_for,
             });
             exec.builder.timestamp()
@@ -516,17 +519,18 @@ impl BasilClient {
         }
 
         // Prepared candidate: a version vouched for by at least f+1 replicas.
-        let mut prepared_counts: HashMap<TxId, (u32, Transaction)> = HashMap::new();
+        let mut prepared_counts: FastHashMap<TxId, (u32, Arc<Transaction>)> =
+            FastHashMap::default();
         for reply in replies.values() {
             if let Some(p) = &reply.body.prepared {
                 let entry = prepared_counts
                     .entry(p.tx.id())
-                    .or_insert_with(|| (0, p.tx.clone()));
+                    .or_insert_with(|| (0, Arc::clone(&p.tx)));
                 entry.0 += 1;
             }
         }
         let vouch = self.cfg.system.shard.prepared_vouch_quorum();
-        let mut best_prepared: Option<(Timestamp, Value, TxId, Transaction)> = None;
+        let mut best_prepared: Option<(Timestamp, Value, TxId, Arc<Transaction>)> = None;
         for (txid, (count, tx)) in prepared_counts {
             if count < vouch {
                 continue;
@@ -661,7 +665,11 @@ impl BasilClient {
             };
             let builder =
                 std::mem::replace(&mut exec.builder, TransactionBuilder::new(Timestamp::ZERO));
-            (builder.build(), current.faulty, self.cfg.client_strategy)
+            (
+                builder.build_shared(),
+                current.faulty,
+                self.cfg.client_strategy,
+            )
         };
 
         // Transactions that touch nothing commit trivially.
@@ -671,10 +679,14 @@ impl BasilClient {
             return;
         }
 
+        // Prime the encoding memo before the id: this transaction is about
+        // to be signed, and `id()` alone deliberately serializes transiently
+        // without caching (see `Transaction::id`).
+        tx.encoded();
         let txid = tx.id();
         let involved = tx.involved_shards(&self.cfg.system);
         let st1 = St1 {
-            tx: tx.clone(),
+            tx: Arc::clone(&tx),
             auth: None,
             recovery: false,
         };
@@ -793,8 +805,10 @@ impl BasilClient {
             let Phase::Preparing(prep) = &current.phase else {
                 return false;
             };
-            // Use the first shard's tally as the equivocation target.
-            let Some((_, tally)) = prep.tallies.iter().next() else {
+            // Use the first involved shard's tally as the equivocation
+            // target (stable across runs; map-iteration order would pick a
+            // different shard per process).
+            let Some(tally) = prep.involved.first().and_then(|s| prep.tallies.get(s)) else {
                 return false;
             };
             (
@@ -870,7 +884,7 @@ impl BasilClient {
 
         if outcome.fast && self.cfg.system.fast_path {
             self.stats.fast_path_decisions += 1;
-            let cert = build_fast_cert(txid, outcome.decision, outcome.shard_votes);
+            let cert = Arc::new(build_fast_cert(txid, outcome.decision, outcome.shard_votes));
             self.complete_own_transaction(ctx, tx, txid, involved, outcome.decision, cert);
             return;
         }
@@ -987,7 +1001,7 @@ impl BasilClient {
                 };
                 // The certified decision is what the replicas logged; a
                 // correct client logged its own decision so they agree.
-                let cert = build_slow_cert(txid, vote_cert);
+                let cert = Arc::new(build_slow_cert(txid, vote_cert));
                 self.complete_own_transaction(ctx, tx, txid, involved, decision, cert);
             }
             Some(St2Outcome::Divergent { .. }) | None => {}
@@ -1047,11 +1061,11 @@ impl BasilClient {
     fn complete_own_transaction(
         &mut self,
         ctx: &mut Context<BasilMsg>,
-        tx: Transaction,
+        tx: Arc<Transaction>,
         txid: TxId,
         involved: Vec<ShardId>,
         decision: ProtoDecision,
-        cert: DecisionCert,
+        cert: Arc<DecisionCert>,
     ) {
         let (faulty, strategy, label) = match self.current.as_ref() {
             Some(c) => (c.faulty, self.cfg.client_strategy, c.profile.label),
@@ -1117,7 +1131,7 @@ impl BasilClient {
                 let involved = rec.involved.clone();
                 let tx = rec.tx.clone();
                 let wb_out = Writeback {
-                    cert: wb.cert.clone(),
+                    cert: Arc::clone(&wb.cert),
                     tx: Some(tx),
                 };
                 for replica in self.all_replicas_of(&involved) {
@@ -1240,7 +1254,7 @@ impl BasilClient {
                 };
                 rec.resolved = true;
                 let decision = vote_cert.decision;
-                let cert = match decision {
+                let cert = Arc::new(match decision {
                     ProtoDecision::Commit => DecisionCert::Commit(CommitCert {
                         txid,
                         fast_votes: vec![],
@@ -1251,7 +1265,7 @@ impl BasilClient {
                         fast_votes: None,
                         slow: Some(vote_cert),
                     }),
-                };
+                });
                 let tx = rec.tx.clone();
                 let involved = rec.involved.clone();
                 let wb = Writeback { cert, tx: Some(tx) };
@@ -1295,7 +1309,8 @@ impl BasilClient {
                 let slog = rec.slog;
                 if outcome.fast {
                     rec.resolved = true;
-                    let cert = build_fast_cert(txid, outcome.decision, outcome.shard_votes);
+                    let cert =
+                        Arc::new(build_fast_cert(txid, outcome.decision, outcome.shard_votes));
                     let wb = Writeback { cert, tx: Some(tx) };
                     for replica in self.all_replicas_of(&involved) {
                         self.send_signed(ctx, replica, BasilMsg::Writeback(wb.clone()));

@@ -16,6 +16,7 @@ use crate::certs::DecisionCert;
 use basil_common::{Key, ReplicaId, Timestamp, TxId, Value};
 use basil_crypto::BatchProof;
 use basil_store::Transaction;
+use std::sync::Arc;
 
 /// A fallback view number (per transaction).
 pub type View = u64;
@@ -108,9 +109,11 @@ pub struct CommittedRead {
     pub value: Value,
     /// The writing transaction.
     pub txid: TxId,
-    /// Commit certificate for the writing transaction. `None` only for the
-    /// initial (genesis) versions loaded at deployment time.
-    pub cert: Option<Box<DecisionCert>>,
+    /// Commit certificate for the writing transaction, shared with the
+    /// replica's certificate table (a reference-count bump per reply, not a
+    /// deep copy). `None` only for the initial (genesis) versions loaded at
+    /// deployment time.
+    pub cert: Option<Arc<DecisionCert>>,
 }
 
 /// The prepared half of a read reply: the newest prepared-but-uncommitted
@@ -119,8 +122,9 @@ pub struct CommittedRead {
 /// (Section 5: "ST1 messages contain all of T's planned writes").
 #[derive(Clone, Debug)]
 pub struct PreparedRead {
-    /// The preparing transaction (its timestamp is the version).
-    pub tx: Transaction,
+    /// The preparing transaction (its timestamp is the version), shared with
+    /// the replica's prepared set.
+    pub tx: Arc<Transaction>,
 }
 
 /// Reply to a [`ReadRequest`].
@@ -180,8 +184,10 @@ pub struct ReadReply {
 /// Stage ST1: the prepare request carrying the full transaction.
 #[derive(Clone, Debug)]
 pub struct St1 {
-    /// The transaction to prepare.
-    pub tx: Transaction,
+    /// The transaction to prepare. Shared: the fan-out to every replica of
+    /// every involved shard clones the `Arc`, not the read/write sets, and
+    /// the replica indexes the same allocation into its store.
+    pub tx: Arc<Transaction>,
     /// Client authentication over the transaction encoding.
     pub auth: Option<BatchProof>,
     /// True when this ST1 is a recovery prepare (`RP`) sent by a client
@@ -192,9 +198,13 @@ pub struct St1 {
 }
 
 impl St1 {
-    /// Canonical bytes covered by the client's signature.
+    /// Canonical bytes covered by the client's signature. The transaction
+    /// part is the memoized canonical encoding, so only the first call per
+    /// transaction serializes; the rest are copies.
     pub fn signed_bytes(&self) -> Vec<u8> {
-        let mut out = self.tx.encode();
+        let encoded = self.tx.encoded();
+        let mut out = Vec::with_capacity(encoded.len() + 3);
+        out.extend_from_slice(encoded);
         out.extend_from_slice(b"ST1");
         out
     }
@@ -232,8 +242,9 @@ pub struct SignedSt1Reply {
     /// Replica signature (batched).
     pub proof: Option<BatchProof>,
     /// Optional evidence for an abort vote: a commit certificate of a
-    /// conflicting transaction (fast-abort case 5 of Section 4.2).
-    pub conflict: Option<Box<DecisionCert>>,
+    /// conflicting transaction (fast-abort case 5 of Section 4.2), shared
+    /// with the replica's certificate table.
+    pub conflict: Option<Arc<DecisionCert>>,
 }
 
 /// Stage ST2: the client logs its tentative 2PC decision on the logging
@@ -311,12 +322,14 @@ pub struct SignedSt2Reply {
 /// every participating shard.
 #[derive(Clone, Debug)]
 pub struct Writeback {
-    /// The decision certificate (`C-CERT` or `A-CERT`).
-    pub cert: DecisionCert,
+    /// The decision certificate (`C-CERT` or `A-CERT`). Shared: the
+    /// per-shard fan-out, the replica's certificate table, and forwards to
+    /// interested clients all hold the same allocation.
+    pub cert: Arc<DecisionCert>,
     /// The transaction body, included so that replicas that never received
     /// the `ST1` (e.g. they were partitioned during prepare) can still apply
     /// the writes.
-    pub tx: Option<Transaction>,
+    pub tx: Option<Arc<Transaction>>,
 }
 
 // ---------------------------------------------------------------------------
@@ -610,14 +623,14 @@ mod tests {
         let mut b = TransactionBuilder::new(ts(10, 1));
         b.record_write(Key::new("k"), Value::from_u64(1));
         let st1 = St1 {
-            tx: b.build(),
+            tx: b.build_shared(),
             auth: None,
             recovery: false,
         };
         let mut b2 = TransactionBuilder::new(ts(10, 1));
         b2.record_write(Key::new("k"), Value::from_u64(2));
         let st1_other = St1 {
-            tx: b2.build(),
+            tx: b2.build_shared(),
             auth: None,
             recovery: false,
         };

@@ -4,7 +4,7 @@
 
 use crate::certs::{ShardVotes, VoteCert};
 use crate::messages::{ProtoDecision, ProtoVote, SignedSt1Reply, SignedSt2Reply, View};
-use basil_common::{ShardConfig, ShardId, TxId};
+use basil_common::{FastHashMap, ShardConfig, ShardId, TxId};
 use std::collections::HashMap;
 
 /// How a shard's stage-1 votes were classified.
@@ -59,7 +59,7 @@ pub struct ShardTally {
     shard: ShardId,
     cfg: ShardConfig,
     /// Deduplicated votes by replica index.
-    votes: HashMap<u32, SignedSt1Reply>,
+    votes: FastHashMap<u32, SignedSt1Reply>,
 }
 
 impl ShardTally {
@@ -69,7 +69,7 @@ impl ShardTally {
             txid,
             shard,
             cfg,
-            votes: HashMap::new(),
+            votes: FastHashMap::default(),
         }
     }
 
@@ -221,9 +221,14 @@ pub fn combine_outcomes(
     outcomes: &HashMap<ShardId, ShardOutcome>,
     involved: &[ShardId],
 ) -> Option<PrepareOutcome> {
-    // A fast abort from any shard is final on its own.
-    if let Some(outcome) = outcomes
-        .values()
+    // A fast abort from any shard is final on its own. Scan in `involved`
+    // order (not map-iteration order) so the shard whose votes end up in the
+    // A-CERT is the same on every run — map iteration order would make the
+    // certificate contents, and hence downstream validation cost,
+    // nondeterministic.
+    if let Some(outcome) = involved
+        .iter()
+        .filter_map(|s| outcomes.get(s))
         .find(|o| o.path.is_fast() && o.path.decision() == ProtoDecision::Abort)
     {
         return Some(PrepareOutcome {
@@ -257,7 +262,7 @@ pub struct St2Tally {
     txid: TxId,
     shard: ShardId,
     cfg: ShardConfig,
-    replies: HashMap<u32, SignedSt2Reply>,
+    replies: FastHashMap<u32, SignedSt2Reply>,
 }
 
 /// What the collected `ST2R` acknowledgements amount to.
@@ -280,7 +285,7 @@ impl St2Tally {
             txid,
             shard,
             cfg,
-            replies: HashMap::new(),
+            replies: FastHashMap::default(),
         }
     }
 
@@ -430,11 +435,13 @@ mod tests {
     #[test]
     fn conflict_certified_abort_is_fast_with_single_vote() {
         let mut conflicted = vote(3, ProtoVote::Abort);
-        conflicted.conflict = Some(Box::new(DecisionCert::Commit(crate::certs::CommitCert {
-            txid: TxId::from_bytes([9; 32]),
-            fast_votes: vec![],
-            slow: None,
-        })));
+        conflicted.conflict = Some(std::sync::Arc::new(DecisionCert::Commit(
+            crate::certs::CommitCert {
+                txid: TxId::from_bytes([9; 32]),
+                fast_votes: vec![],
+                slow: None,
+            },
+        )));
         let t = tally_with([vote(0, ProtoVote::Commit), conflicted]);
         let o = t.classify(false).expect("classified");
         assert_eq!(o.path, ShardPath::FastAbortConflict);

@@ -17,11 +17,12 @@ use crate::messages::{
     SignedSt2Reply, St1, St1ReplyBody, St2, St2ReplyBody, View, Writeback,
 };
 use crate::views::{fallback_leader_index, next_view};
-use basil_common::{Key, NodeId, ReplicaId, ShardId, TxId, Value};
+use basil_common::{FastHashMap, FastHashSet, Key, NodeId, ReplicaId, ShardId, TxId, Value};
 use basil_simnet::{Actor, Context};
 use basil_store::{CheckOutcome, MvtsoStore, Transaction, Vote};
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Counters exposed for tests, experiments, and the harness.
 #[derive(Clone, Debug, Default)]
@@ -53,8 +54,10 @@ pub struct ReplicaStats {
 /// Per-transaction protocol state kept by a replica.
 #[derive(Debug, Default)]
 struct TxRecord {
-    /// The transaction metadata (from ST1 or a writeback).
-    tx: Option<Transaction>,
+    /// The transaction metadata (from ST1 or a writeback), shared with the
+    /// message that delivered it and with the store's prepared/committed
+    /// indexes.
+    tx: Option<Arc<Transaction>>,
     /// The ST1 vote this replica cast, if any.
     own_vote: Option<ProtoVote>,
     /// Whether the vote is withheld waiting for dependencies.
@@ -67,8 +70,12 @@ struct TxRecord {
     current_view: View,
     /// The final applied decision, if any.
     decided: Option<ProtoDecision>,
-    /// Clients interested in this transaction's outcome (recovery).
-    interested: HashSet<NodeId>,
+    /// Clients interested in this transaction's outcome (recovery), in
+    /// registration order. A `Vec` with membership checks (always a handful
+    /// of clients) keeps the forwarding order deterministic — iterating a
+    /// RandomState-seeded set here would reorder sends run to run and break
+    /// the bit-identical determinism contract.
+    interested: Vec<NodeId>,
     /// ST2 messages that arrived before the transaction body.
     buffered_st2: Vec<(NodeId, St2)>,
 }
@@ -77,7 +84,7 @@ struct TxRecord {
 #[derive(Debug)]
 enum PendingReply {
     Read(ReadReplyBody),
-    St1(St1ReplyBody, Option<Box<DecisionCert>>),
+    St1(St1ReplyBody, Option<Arc<DecisionCert>>),
     St2(St2ReplyBody),
 }
 
@@ -98,18 +105,29 @@ pub struct BasilReplica {
     engine: SigEngine,
     store: MvtsoStore,
     behavior: ReplicaBehavior,
-    records: HashMap<TxId, TxRecord>,
-    /// Commit/abort certificates by transaction (commit certificates are also
-    /// attached to committed versions in read replies).
-    certs: HashMap<TxId, DecisionCert>,
+    records: FastHashMap<TxId, TxRecord>,
+    /// Commit/abort certificates by transaction, shared (`Arc`) with the
+    /// writeback that delivered them, with committed-version read replies,
+    /// and with forwards to interested clients.
+    certs: FastHashMap<TxId, Arc<DecisionCert>>,
     /// Replies awaiting batch signing.
     out_batch: Vec<(NodeId, PendingReply)>,
     batch_timer_armed: bool,
     /// ElectFB messages collected while acting as fallback leader.
-    elections: HashMap<(TxId, View), HashMap<u32, SignedElectFb>>,
+    elections: FastHashMap<(TxId, View), FastHashMap<u32, SignedElectFb>>,
     /// Elections already concluded (avoid double DecFB).
-    elections_done: HashSet<(TxId, View)>,
+    elections_done: FastHashSet<(TxId, View)>,
     stats: ReplicaStats,
+}
+
+impl TxRecord {
+    /// Registers a client as interested in the transaction's outcome,
+    /// preserving first-registration order.
+    fn register_interested(&mut self, client: NodeId) {
+        if !self.interested.contains(&client) {
+            self.interested.push(client);
+        }
+    }
 }
 
 impl BasilReplica {
@@ -128,12 +146,12 @@ impl BasilReplica {
             engine,
             store: MvtsoStore::with_initial_data(initial_data),
             behavior,
-            records: HashMap::new(),
-            certs: HashMap::new(),
+            records: FastHashMap::default(),
+            certs: FastHashMap::default(),
             out_batch: Vec::new(),
             batch_timer_armed: false,
-            elections: HashMap::new(),
-            elections_done: HashSet::new(),
+            elections: FastHashMap::default(),
+            elections_done: FastHashSet::default(),
             stats: ReplicaStats::default(),
         }
     }
@@ -241,12 +259,12 @@ impl BasilReplica {
         let committed = result.committed.map(|c| CommittedRead {
             version: c.version,
             value: c.value,
-            cert: self.certs.get(&c.txid).cloned().map(Box::new),
+            cert: self.certs.get(&c.txid).cloned(),
             txid: c.txid,
         });
         let prepared = result
             .prepared
-            .and_then(|p| self.store.prepared_tx(&p.txid).cloned())
+            .and_then(|p| self.store.prepared_tx_shared(&p.txid))
             .map(|tx| PreparedRead { tx });
         let body = ReadReplyBody {
             req_id: req.req_id,
@@ -272,7 +290,7 @@ impl BasilReplica {
         }
         let txid = st1.tx.id();
         if st1.recovery {
-            self.record(txid).interested.insert(from);
+            self.record(txid).register_interested(from);
         } else if self.behavior == ReplicaBehavior::WithholdVotes {
             self.stats.byzantine_drops += 1;
             return;
@@ -281,11 +299,12 @@ impl BasilReplica {
         // A known certificate answers the request immediately (recovery fast
         // path: the client can jump straight to writeback).
         if let Some(cert) = self.certs.get(&txid) {
+            let cert = Arc::clone(cert);
             ctx.charge(self.engine.message_cost());
             ctx.send(
                 from,
                 BasilMsg::Writeback(Writeback {
-                    cert: cert.clone(),
+                    cert,
                     tx: self.record(txid).tx.clone(),
                 }),
             );
@@ -294,7 +313,7 @@ impl BasilReplica {
 
         let record = self.records.entry(txid).or_default();
         if record.tx.is_none() {
-            record.tx = Some(st1.tx.clone());
+            record.tx = Some(Arc::clone(&st1.tx));
         }
 
         // If we logged an ST2 decision already, a recovering client is better
@@ -390,7 +409,7 @@ impl BasilReplica {
                 record.vote_pending = false;
                 (
                     std::mem::take(&mut record.waiting_clients),
-                    record.interested.iter().copied().collect::<Vec<_>>(),
+                    record.interested.clone(),
                 )
             };
             self.stats.st1_voted += 1;
@@ -469,7 +488,7 @@ impl BasilReplica {
         let replica_id = self.id;
         let (decision, view_decision, view_current, newly_logged) = {
             let record = self.record(txid);
-            record.interested.insert(from);
+            record.register_interested(from);
             let newly_logged = record.logged.is_none();
             if newly_logged {
                 record.logged = Some((st2.decision, st2.view));
@@ -506,7 +525,7 @@ impl BasilReplica {
             .and_then(|r| r.tx.as_ref())
             .or(wb.tx.as_ref())
             .map(|tx| tx.involved_shards(&self.cfg.system));
-        let validation = match &wb.cert {
+        let validation = match wb.cert.as_ref() {
             DecisionCert::Commit(c) => crate::certs::validate_commit_cert(
                 c,
                 expected_shards.as_deref(),
@@ -546,19 +565,20 @@ impl BasilReplica {
                 self.store.abort(txid)
             }
         };
-        self.certs.insert(txid, wb.cert.clone());
+        self.certs.insert(txid, Arc::clone(&wb.cert));
         let interested: Vec<NodeId> = {
             let record = self.record(txid);
             record.decided = Some(decision);
-            record.interested.drain().collect()
+            std::mem::take(&mut record.interested)
         };
-        // Forward the outcome to clients waiting on this transaction.
+        // Forward the outcome to clients waiting on this transaction (a
+        // reference-count bump per recipient, not a certificate copy).
         for client in interested {
             ctx.charge(self.engine.message_cost());
             ctx.send(
                 client,
                 BasilMsg::Writeback(Writeback {
-                    cert: wb.cert.clone(),
+                    cert: Arc::clone(&wb.cert),
                     tx: None,
                 }),
             );
@@ -616,7 +636,7 @@ impl BasilReplica {
         let shard_cfg = self.cfg.system.shard;
         let (view, decision) = {
             let record = self.record(txid);
-            record.interested.insert(from);
+            record.register_interested(from);
             let proposed = next_view(record.current_view, &reported, &shard_cfg);
             let new_view = if record.current_view == 0 {
                 proposed.max(1)
@@ -760,7 +780,7 @@ impl BasilReplica {
             }
             record.current_view = view;
             record.logged = Some((dfb.decision, view));
-            record.interested.iter().copied().collect()
+            record.interested.clone()
         };
         self.stats.fallback_decisions_adopted += 1;
         let body = St2ReplyBody {
@@ -858,16 +878,16 @@ mod tests {
         Context::new(node, SimTime::from_millis(ms), SimTime::from_millis(ms))
     }
 
-    fn write_tx(t: u64, key: &str, val: u64) -> Transaction {
+    fn write_tx(t: u64, key: &str, val: u64) -> Arc<Transaction> {
         let mut b = TransactionBuilder::new(Timestamp::from_nanos(t, ClientId(9)));
         b.record_write(Key::new(key), Value::from_u64(val));
-        b.build()
+        b.build_shared()
     }
 
-    fn signed_st1(tx: &Transaction, recovery: bool) -> St1 {
+    fn signed_st1(tx: &Arc<Transaction>, recovery: bool) -> St1 {
         let mut engine = client_engine();
         let st1 = St1 {
-            tx: tx.clone(),
+            tx: Arc::clone(tx),
             auth: None,
             recovery,
         };
@@ -970,7 +990,7 @@ mod tests {
         let mut b = TransactionBuilder::new(Timestamp::from_nanos(3_000_000, ClientId(1)));
         b.record_read(Key::new("x"), Timestamp::ZERO);
         b.record_write(Key::new("y"), Value::from_u64(1));
-        let reader = b.build();
+        let reader = b.build_shared();
         r.handle_st1(&mut ctx, client_node(), signed_st1(&reader, false));
 
         // A writer of x at ts 2ms would invalidate that read: abort vote.
@@ -1009,7 +1029,7 @@ mod tests {
 
     /// Builds a valid fast-path commit certificate for `tx` signed by all six
     /// replicas of shard 0.
-    fn fast_commit_cert(tx: &Transaction) -> DecisionCert {
+    fn fast_commit_cert(tx: &Transaction) -> Arc<DecisionCert> {
         let votes: Vec<SignedSt1Reply> = (0..6)
             .map(|i| {
                 let rid = ReplicaId::new(ShardId(0), i);
@@ -1027,7 +1047,7 @@ mod tests {
                 }
             })
             .collect();
-        DecisionCert::Commit(crate::certs::CommitCert {
+        Arc::new(DecisionCert::Commit(crate::certs::CommitCert {
             txid: tx.id(),
             fast_votes: vec![ShardVotes {
                 txid: tx.id(),
@@ -1037,7 +1057,7 @@ mod tests {
                 conflict: None,
             }],
             slow: None,
-        })
+        }))
     }
 
     #[test]
@@ -1101,7 +1121,7 @@ mod tests {
                 }
             })
             .collect();
-        let cert = DecisionCert::Commit(crate::certs::CommitCert {
+        let cert = Arc::new(DecisionCert::Commit(crate::certs::CommitCert {
             txid: tx.id(),
             fast_votes: vec![ShardVotes {
                 txid: tx.id(),
@@ -1111,7 +1131,7 @@ mod tests {
                 conflict: None,
             }],
             slow: None,
-        });
+        }));
         let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
         r.handle_writeback(
             &mut ctx,
@@ -1165,7 +1185,7 @@ mod tests {
         let mut b = TransactionBuilder::new(Timestamp::from_nanos(2_000_000, ClientId(3)));
         b.record_dependent_read(Key::new("x"), t1.timestamp(), t1.id());
         b.record_write(Key::new("y"), Value::from_u64(6));
-        let t2 = b.build();
+        let t2 = b.build_shared();
         let dependent_client = NodeId::Client(ClientId(3));
         let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
         r.handle_st1(&mut ctx2, dependent_client, signed_st1(&t2, false));

@@ -11,8 +11,8 @@
 use crate::digest::Digest;
 use crate::merkle::{MerkleProof, MerkleTree};
 use crate::sig::{KeyPair, KeyRegistry, Signature};
-use basil_common::NodeId;
-use std::collections::HashMap;
+use basil_common::{FastHashMap, NodeId};
+use std::collections::VecDeque;
 
 /// Everything a recipient needs to authenticate one reply out of a batch.
 #[derive(Clone, Debug)]
@@ -195,17 +195,52 @@ impl BatchSigner {
 /// When a replica later receives another message carrying the same root and
 /// signature (i.e. another reply from the same batch), it can skip the
 /// signature verification after checking the root recomputation.
-#[derive(Debug, Default)]
+///
+/// The cache is **bounded**: batch roots only ever pay off while their batch
+/// is in flight, so entries are evicted in insertion (FIFO) order once
+/// [`SignatureCache::capacity`] is reached. Without the bound the map grows
+/// by one root per batch for the lifetime of a node. Roots are SHA-256
+/// digests, so the map uses `basil_common::fasthash` instead of SipHash.
+#[derive(Debug)]
 pub struct SignatureCache {
-    verified: HashMap<Digest, Signature>,
+    verified: FastHashMap<Digest, Signature>,
+    /// Insertion order of the cached roots, for FIFO eviction.
+    order: VecDeque<Digest>,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for SignatureCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
 }
 
 impl SignatureCache {
-    /// Creates an empty cache.
+    /// Default bound on cached roots. A batch's proofs arrive within one
+    /// round trip of each other, so the working set at any moment is roughly
+    /// (in-flight batches x peers); 8192 roots (~0.75 MiB) is far above that
+    /// for every deployment in the evaluation while keeping a long-running
+    /// node's memory flat.
+    pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache bounded to `capacity` roots (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SignatureCache {
+            verified: FastHashMap::default(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
     /// Returns true if `(root, sig)` was verified before. Updates hit/miss
@@ -223,9 +258,20 @@ impl SignatureCache {
         }
     }
 
-    /// Records a successfully verified root signature.
+    /// Records a successfully verified root signature, evicting the oldest
+    /// entry if the cache is full.
     pub fn insert(&mut self, root: Digest, sig: Signature) {
-        self.verified.insert(root, sig);
+        if self.verified.insert(root, sig).is_some() {
+            return; // Refreshed an existing root; order is unchanged.
+        }
+        self.order.push_back(root);
+        while self.verified.len() > self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.verified.remove(&oldest);
+            self.evictions += 1;
+        }
     }
 
     /// Number of cache hits observed.
@@ -236,6 +282,16 @@ impl SignatureCache {
     /// Number of cache misses observed.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of entries evicted to keep the cache within its capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The configured bound on cached roots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of distinct roots cached.
@@ -362,6 +418,66 @@ mod tests {
         assert!(out[0].1.verify(b"x", &reg, &mut cache).valid);
         assert!(out[1].1.verify(b"y", &reg, &mut cache).valid);
         assert!(signer.flush().is_empty(), "nothing left to flush");
+    }
+
+    #[test]
+    fn cache_is_bounded_with_fifo_eviction() {
+        let reg = KeyRegistry::from_seed(3);
+        let kp = reg.keypair(replica_node());
+        let mut cache = SignatureCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let proofs: Vec<BatchProof> = (0..3u8)
+            .map(|i| BatchProof::sign_single(&kp, &[i]))
+            .collect();
+        for p in &proofs {
+            cache.insert(p.root, p.root_signature);
+        }
+        // Capacity 2: the oldest root (proofs[0]) was evicted.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(!cache.contains(&proofs[0].root, &proofs[0].root_signature));
+        assert!(cache.contains(&proofs[1].root, &proofs[1].root_signature));
+        assert!(cache.contains(&proofs[2].root, &proofs[2].root_signature));
+        // Stats survived the eviction: 1 miss (evicted probe) + 2 hits.
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        // An evicted root re-verifies and re-enters the cache.
+        assert!(proofs[0].verify(&[0u8], &reg, &mut cache).signature_checked);
+        assert!(cache.contains(&proofs[0].root, &proofs[0].root_signature));
+    }
+
+    #[test]
+    fn reinserting_a_cached_root_does_not_evict() {
+        let reg = KeyRegistry::from_seed(4);
+        let kp = reg.keypair(replica_node());
+        let mut cache = SignatureCache::with_capacity(2);
+        let a = BatchProof::sign_single(&kp, b"a");
+        let b = BatchProof::sign_single(&kp, b"b");
+        cache.insert(a.root, a.root_signature);
+        cache.insert(b.root, b.root_signature);
+        cache.insert(a.root, a.root_signature); // refresh, not a new entry
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.contains(&b.root, &b.root_signature));
+    }
+
+    #[test]
+    fn default_capacity_absorbs_a_full_run_without_evictions() {
+        let mut cache = SignatureCache::new();
+        assert_eq!(cache.capacity(), SignatureCache::DEFAULT_CAPACITY);
+        assert!(cache.is_empty());
+        // The 96-client bench run produces ~1k-2k distinct batch roots per
+        // replica per window; insert double that and require zero evictions,
+        // and require that an early root still hits afterwards.
+        let reg = KeyRegistry::from_seed(6);
+        let kp = reg.keypair(replica_node());
+        let first = BatchProof::sign_single(&kp, &0u32.to_be_bytes());
+        for i in 0u32..4096 {
+            let p = BatchProof::sign_single(&kp, &i.to_be_bytes());
+            cache.insert(p.root, p.root_signature);
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.contains(&first.root, &first.root_signature));
     }
 
     #[test]

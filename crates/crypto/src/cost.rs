@@ -196,6 +196,28 @@ mod tests {
     }
 
     #[test]
+    fn amortization_keeps_improving_through_batch_64() {
+        // ROADMAP flagged batching > 16 as untested: per-reply signing cost
+        // must keep strictly improving through batches of 32 and 64, and the
+        // amortization ratio (unbatched / per-reply) must keep growing.
+        let c = CostModel::ed25519_default();
+        let per_reply = |b: usize| c.batch_sign_cost(b, 128).as_nanos() as f64 / b as f64;
+        let unbatched = per_reply(1);
+        let mut prev_ratio = 1.0;
+        for b in [2usize, 4, 8, 16, 32, 64] {
+            let ratio = unbatched / per_reply(b);
+            assert!(
+                ratio > prev_ratio,
+                "batch {b}: ratio {ratio:.2} did not improve on {prev_ratio:.2}"
+            );
+            prev_ratio = ratio;
+        }
+        // At 64 the signature is almost fully amortized: the residual cost is
+        // dominated by the two hashes per reply.
+        assert!(prev_ratio > 10.0, "ratio at 64 only {prev_ratio:.2}");
+    }
+
+    #[test]
     fn cached_verification_is_cheaper() {
         let c = CostModel::ed25519_default();
         let cold = c.batch_verify_cost(16, 128, false);

@@ -311,15 +311,19 @@ mod tests {
     fn large_valid_rmw_history_is_serializable() {
         // A long chain of read-modify-writes on a handful of keys, each
         // reading the immediately preceding version: always serializable.
+        // Keys are interned once (`Key` is `Arc<str>`) and shared between
+        // the map and the transactions instead of allocating fresh `String`s
+        // per committed write.
+        let keys: Vec<Key> = (0..5).map(|i| k(&format!("k{i}"))).collect();
         let mut txs = Vec::new();
-        let mut latest: HashMap<String, Timestamp> = HashMap::new();
+        let mut latest: HashMap<Key, Timestamp> = HashMap::new();
         for i in 1..200u64 {
-            let key = format!("k{}", i % 5);
+            let key = keys[(i % 5) as usize].clone();
             let prev = latest.get(&key).copied().unwrap_or(Timestamp::ZERO);
             let now = ts(i * 10, i % 7);
             let mut b = TransactionBuilder::new(now);
-            b.record_read(k(&key), prev);
-            b.record_write(k(&key), Value::from_u64(i));
+            b.record_read(key.clone(), prev);
+            b.record_write(key.clone(), Value::from_u64(i));
             txs.push(b.build());
             latest.insert(key, now);
         }

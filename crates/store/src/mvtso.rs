@@ -25,8 +25,8 @@
 
 use crate::tx::{Dependency, Transaction};
 use basil_common::error::AbortReason;
-use basil_common::{Duration, Key, SimTime, Timestamp, TxId, Value};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use basil_common::{Duration, FastHashMap, FastHashSet, Key, SimTime, Timestamp, TxId, Value};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// A replica's vote on whether committing a transaction preserves
@@ -105,36 +105,41 @@ pub struct ReadResult {
 }
 
 /// The multiversioned store of a single replica.
+///
+/// Every map is keyed by a [`Key`] (short workload strings) or a [`TxId`]
+/// (a SHA-256 digest): both are uniform and attacker-independent, so the
+/// maps use `basil_common::fasthash` instead of SipHash (see that module
+/// for the threat-model note).
 #[derive(Debug, Default)]
 pub struct MvtsoStore {
     /// Committed versions per key, ordered by writer timestamp.
-    committed_versions: HashMap<Key, BTreeMap<Timestamp, (TxId, Value)>>,
+    committed_versions: FastHashMap<Key, BTreeMap<Timestamp, (TxId, Value)>>,
     /// Metadata of committed transactions (needed for the read-write checks
     /// and for the serializability audit). `Arc`-shared so the prepared
     /// entry is promoted on commit without copying, and so audits can
     /// borrow instead of cloning the whole history.
-    committed_txs: HashMap<TxId, Arc<Transaction>>,
+    committed_txs: FastHashMap<TxId, Arc<Transaction>>,
     /// Reads performed by committed transactions, per key, indexed by the
     /// reader's timestamp; the value is the version that was read.
-    committed_reads: HashMap<Key, BTreeMap<Timestamp, Timestamp>>,
+    committed_reads: FastHashMap<Key, BTreeMap<Timestamp, Timestamp>>,
     /// Metadata of prepared (visible, uncommitted) transactions.
-    prepared_txs: HashMap<TxId, Arc<Transaction>>,
+    prepared_txs: FastHashMap<TxId, Arc<Transaction>>,
     /// Prepared writes per key, ordered by writer timestamp.
-    prepared_writes: HashMap<Key, BTreeMap<Timestamp, TxId>>,
+    prepared_writes: FastHashMap<Key, BTreeMap<Timestamp, TxId>>,
     /// Reads performed by prepared transactions, per key, indexed by reader
     /// timestamp; value is the version read.
-    prepared_reads: HashMap<Key, BTreeMap<Timestamp, Timestamp>>,
+    prepared_reads: FastHashMap<Key, BTreeMap<Timestamp, Timestamp>>,
     /// Read timestamps left by execution-phase reads.
-    rts: HashMap<Key, BTreeSet<Timestamp>>,
+    rts: FastHashMap<Key, BTreeSet<Timestamp>>,
     /// Final decisions known to this replica.
-    decisions: HashMap<TxId, Decision>,
+    decisions: FastHashMap<TxId, Decision>,
     /// Aborted transactions (subset view of `decisions`, kept for fast checks).
-    aborted: HashSet<TxId>,
+    aborted: FastHashSet<TxId>,
     /// Transactions whose vote is withheld, with the dependencies still
     /// missing a decision.
-    pending: HashMap<TxId, HashSet<TxId>>,
+    pending: FastHashMap<TxId, FastHashSet<TxId>>,
     /// Reverse index: dependency -> transactions waiting on it.
-    waiters: HashMap<TxId, Vec<TxId>>,
+    waiters: FastHashMap<TxId, Vec<TxId>>,
 }
 
 impl MvtsoStore {
@@ -239,10 +244,12 @@ impl MvtsoStore {
     ///
     /// `local_clock` and `delta` implement the timestamp acceptance window of
     /// lines 1-2. On success the transaction is added to the prepared set and
-    /// becomes visible to subsequent reads.
+    /// becomes visible to subsequent reads. The transaction arrives as the
+    /// `Arc` the `ST1` message carries, so indexing it shares the allocation
+    /// instead of deep-copying the read/write sets per prepare.
     pub fn prepare(
         &mut self,
-        tx: &Transaction,
+        tx: &Arc<Transaction>,
         local_clock: SimTime,
         delta: Duration,
     ) -> CheckOutcome {
@@ -336,7 +343,7 @@ impl MvtsoStore {
         self.index_prepared(txid, tx);
 
         // (8) Wait for all pending dependencies.
-        let mut missing: HashSet<TxId> = HashSet::new();
+        let mut missing: FastHashSet<TxId> = FastHashSet::default();
         for dep in tx.deps() {
             match self.decisions.get(&dep.txid) {
                 Some(Decision::Commit) => {}
@@ -408,7 +415,7 @@ impl MvtsoStore {
         self.prepared_reads.get(key).map(&check).unwrap_or(false)
     }
 
-    fn index_prepared(&mut self, txid: TxId, tx: &Transaction) {
+    fn index_prepared(&mut self, txid: TxId, tx: &Arc<Transaction>) {
         for write in tx.write_set() {
             self.prepared_writes
                 .entry(write.key.clone())
@@ -421,7 +428,7 @@ impl MvtsoStore {
                 .or_default()
                 .insert(tx.timestamp(), read.version);
         }
-        self.prepared_txs.insert(txid, Arc::new(tx.clone()));
+        self.prepared_txs.insert(txid, Arc::clone(tx));
     }
 
     /// Removes a prepared transaction from the visibility indexes,
@@ -459,17 +466,19 @@ impl MvtsoStore {
     /// versions and its reads are recorded for future checks. Returns the
     /// votes of transactions whose deferred check was waiting on this
     /// decision.
-    pub fn commit(&mut self, tx: &Transaction) -> Vec<(TxId, Vote)> {
+    pub fn commit(&mut self, tx: &Arc<Transaction>) -> Vec<(TxId, Vote)> {
         let txid = tx.id();
         if matches!(self.decisions.get(&txid), Some(Decision::Commit)) {
             return Vec::new();
         }
         // Promote the prepared entry when there is one: the transaction id
         // is a content hash, so the prepared metadata under this id is the
-        // same transaction and no copy is needed.
+        // same transaction and no copy is needed. A commit that skipped the
+        // prepare (writeback to a replica that missed ST1) shares the Arc
+        // the writeback carries.
         let shared = self
             .unindex_prepared(&txid)
-            .unwrap_or_else(|| Arc::new(tx.clone()));
+            .unwrap_or_else(|| Arc::clone(tx));
         self.pending.remove(&txid);
         self.decisions.insert(txid, Decision::Commit);
 
@@ -552,6 +561,13 @@ impl MvtsoStore {
         self.prepared_txs.get(txid).map(|tx| tx.as_ref())
     }
 
+    /// The prepared transaction's shared metadata, if present (a reference
+    /// count bump, not a copy — used to embed the transaction in read
+    /// replies).
+    pub fn prepared_tx_shared(&self, txid: &TxId) -> Option<Arc<Transaction>> {
+        self.prepared_txs.get(txid).cloned()
+    }
+
     /// The committed transaction's metadata, if present.
     pub fn committed_tx(&self, txid: &TxId) -> Option<&Transaction> {
         self.committed_txs.get(txid).map(|tx| tx.as_ref())
@@ -629,18 +645,18 @@ mod tests {
     }
 
     /// A transaction reading nothing and writing `key := val` at `t`.
-    fn blind_write(t: u64, c: u64, key: &str, val: u64) -> Transaction {
+    fn blind_write(t: u64, c: u64, key: &str, val: u64) -> Arc<Transaction> {
         let mut b = TransactionBuilder::new(ts(t, c));
         b.record_write(k(key), v(val));
-        b.build()
+        b.build_shared()
     }
 
     /// A read-modify-write transaction on one key.
-    fn rmw(t: u64, c: u64, key: &str, read_version: Timestamp, val: u64) -> Transaction {
+    fn rmw(t: u64, c: u64, key: &str, read_version: Timestamp, val: u64) -> Arc<Transaction> {
         let mut b = TransactionBuilder::new(ts(t, c));
         b.record_read(k(key), read_version);
         b.record_write(k(key), v(val));
-        b.build()
+        b.build_shared()
     }
 
     fn expect_commit(out: CheckOutcome) {
@@ -714,7 +730,7 @@ mod tests {
         let mut store = store_with_xy();
         let mut b = TransactionBuilder::new(ts(100, 1));
         b.record_read(k("x"), ts(500, 2)); // claims to have read the future
-        let t = b.build();
+        let t = b.build_shared();
         expect_abort(store.prepare(&t, CLOCK, DELTA), AbortReason::Misbehavior);
     }
 
@@ -760,7 +776,7 @@ mod tests {
         let mut b = TransactionBuilder::new(ts(300, 1));
         b.record_read(k("x"), Timestamp::ZERO);
         b.record_write(k("dummy"), v(1));
-        let reader = b.build();
+        let reader = b.build_shared();
         expect_commit(store.prepare(&reader, CLOCK, DELTA));
         store.commit(&reader);
 
@@ -779,7 +795,7 @@ mod tests {
         let mut store = store_with_xy();
         let mut b = TransactionBuilder::new(ts(300, 1));
         b.record_read(k("x"), Timestamp::ZERO);
-        let reader = b.build();
+        let reader = b.build_shared();
         expect_commit(store.prepare(&reader, CLOCK, DELTA)); // prepared only
 
         let w = blind_write(200, 2, "x", 9);
@@ -834,7 +850,7 @@ mod tests {
         let mut b = TransactionBuilder::new(ts(200, 2));
         b.record_dependent_read(k("x"), ts(100, 1), w.id());
         b.record_write(k("y"), v(6));
-        let t2 = b.build();
+        let t2 = b.build_shared();
 
         match store.prepare(&t2, CLOCK, DELTA) {
             CheckOutcome::Pending { waiting_on } => assert_eq!(waiting_on, vec![w.id()]),
@@ -860,7 +876,7 @@ mod tests {
 
         let mut b = TransactionBuilder::new(ts(200, 2));
         b.record_dependent_read(k("x"), ts(100, 1), w.id());
-        let t2 = b.build();
+        let t2 = b.build_shared();
         assert!(matches!(
             store.prepare(&t2, CLOCK, DELTA),
             CheckOutcome::Pending { .. }
@@ -886,7 +902,7 @@ mod tests {
 
         let mut b = TransactionBuilder::new(ts(200, 2));
         b.record_dependent_read(k("x"), ts(100, 1), w.id());
-        let t2 = b.build();
+        let t2 = b.build_shared();
         expect_commit(store.prepare(&t2, CLOCK, DELTA));
     }
 
@@ -899,7 +915,7 @@ mod tests {
 
         let mut b = TransactionBuilder::new(ts(200, 2));
         b.record_dependent_read(k("x"), ts(100, 1), w.id());
-        let t2 = b.build();
+        let t2 = b.build_shared();
         expect_abort(
             store.prepare(&t2, CLOCK, DELTA),
             AbortReason::DependencyAborted,
@@ -915,7 +931,7 @@ mod tests {
         // Claim a dependency on w for key "y", which w never wrote.
         let mut b = TransactionBuilder::new(ts(200, 2));
         b.record_dependent_read(k("y"), ts(100, 1), w.id());
-        let t2 = b.build();
+        let t2 = b.build_shared();
         expect_abort(
             store.prepare(&t2, CLOCK, DELTA),
             AbortReason::InvalidDependency,
@@ -924,7 +940,7 @@ mod tests {
         // Claim a dependency with the wrong version timestamp.
         let mut b = TransactionBuilder::new(ts(200, 3));
         b.record_dependent_read(k("x"), ts(101, 1), w.id());
-        let t3 = b.build();
+        let t3 = b.build_shared();
         expect_abort(
             store.prepare(&t3, CLOCK, DELTA),
             AbortReason::InvalidDependency,
@@ -937,7 +953,7 @@ mod tests {
         let unseen = blind_write(100, 1, "x", 5); // never sent to this store
         let mut b = TransactionBuilder::new(ts(200, 2));
         b.record_dependent_read(k("x"), ts(100, 1), unseen.id());
-        let t2 = b.build();
+        let t2 = b.build_shared();
         match store.prepare(&t2, CLOCK, DELTA) {
             CheckOutcome::Pending { waiting_on } => assert_eq!(waiting_on, vec![unseen.id()]),
             other => panic!("expected pending, got {other:?}"),
@@ -959,7 +975,7 @@ mod tests {
         let mut b = TransactionBuilder::new(ts(200, 3));
         b.record_dependent_read(k("x"), ts(100, 1), w1.id());
         b.record_dependent_read(k("y"), ts(110, 2), w2.id());
-        let t = b.build();
+        let t = b.build_shared();
         assert!(matches!(
             store.prepare(&t, CLOCK, DELTA),
             CheckOutcome::Pending { .. }
@@ -1042,7 +1058,7 @@ mod tests {
         let mut b = TransactionBuilder::new(ts(200, 2));
         b.record_dependent_read(k("x"), ts(100, 1), w1.id());
         b.record_write(k("y"), v(2));
-        let t2 = b.build();
+        let t2 = b.build_shared();
         assert!(matches!(
             store.prepare(&t2, CLOCK, DELTA),
             CheckOutcome::Pending { .. }

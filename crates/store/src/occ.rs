@@ -13,8 +13,8 @@
 use crate::mvtso::Decision;
 use crate::tx::Transaction;
 use basil_common::error::AbortReason;
-use basil_common::{Key, Timestamp, TxId, Value};
-use std::collections::HashMap;
+use basil_common::{FastHashMap, Key, Timestamp, TxId, Value};
+use std::sync::Arc;
 
 /// Result of an OCC prepare.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,17 +46,18 @@ struct Entry {
 /// The OCC execution store of one baseline shard replica.
 #[derive(Clone, Debug, Default)]
 pub struct OccStore {
-    data: HashMap<Key, Entry>,
-    /// Prepared transactions whose decision has not arrived yet.
-    prepared: HashMap<TxId, Transaction>,
+    data: FastHashMap<Key, Entry>,
+    /// Prepared transactions whose decision has not arrived yet, shared with
+    /// the consensus batches that carried them.
+    prepared: FastHashMap<TxId, Arc<Transaction>>,
     committed: u64,
     aborted: u64,
     /// Transactions committed through this store, retained for the
     /// harness-level serializability audit.
-    committed_log: Vec<Transaction>,
+    committed_log: Vec<Arc<Transaction>>,
     /// Final decision applied per transaction (only transactions that were
     /// actually prepared here are recorded).
-    decisions: HashMap<TxId, Decision>,
+    decisions: FastHashMap<TxId, Decision>,
 }
 
 impl OccStore {
@@ -96,7 +97,7 @@ impl OccStore {
     /// currently installed versions and acquires write locks. Must be called
     /// in the shard's serialization order (the baselines order prepares
     /// through consensus before executing them).
-    pub fn prepare(&mut self, tx: &Transaction) -> OccVote {
+    pub fn prepare(&mut self, tx: &Arc<Transaction>) -> OccVote {
         let txid = tx.id();
         if self.prepared.contains_key(&txid) {
             return OccVote::Commit; // duplicate delivery
@@ -132,7 +133,7 @@ impl OccStore {
                 })
                 .locked_by = Some(txid);
         }
-        self.prepared.insert(txid, tx.clone());
+        self.prepared.insert(txid, Arc::clone(tx));
         OccVote::Commit
     }
 
@@ -197,7 +198,7 @@ impl OccStore {
     /// commit order, without cloning them (for the harness-level
     /// serializability audit).
     pub fn committed_iter(&self) -> impl Iterator<Item = &Transaction> {
-        self.committed_log.iter()
+        self.committed_log.iter().map(|tx| tx.as_ref())
     }
 
     /// The decision applied for `txid`, if this store prepared and then
@@ -225,11 +226,11 @@ mod tests {
         OccStore::with_initial_data([(k("x"), Value::from_u64(0)), (k("y"), Value::from_u64(0))])
     }
 
-    fn rmw(t: u64, key: &str, read_version: Timestamp, val: u64) -> Transaction {
+    fn rmw(t: u64, key: &str, read_version: Timestamp, val: u64) -> Arc<Transaction> {
         let mut b = TransactionBuilder::new(ts(t, t));
         b.record_read(k(key), read_version);
         b.record_write(k(key), Value::from_u64(val));
-        b.build()
+        b.build_shared()
     }
 
     #[test]
@@ -286,7 +287,7 @@ mod tests {
         let mut b = TransactionBuilder::new(ts(200, 2));
         b.record_read(k("x"), Timestamp::ZERO);
         b.record_write(k("y"), Value::from_u64(1));
-        let t2 = b.build();
+        let t2 = b.build_shared();
         assert_eq!(s.prepare(&t2), OccVote::Abort(AbortReason::Conflict));
     }
 
@@ -307,7 +308,7 @@ mod tests {
         let mut s = store();
         let mut b = TransactionBuilder::new(ts(50, 1));
         b.record_write(k("fresh"), Value::from_u64(1));
-        let t = b.build();
+        let t = b.build_shared();
         assert!(s.prepare(&t).is_commit());
         s.commit(&t.id());
         assert_eq!(s.committed_value(&k("fresh")), Some(Value::from_u64(1)));

@@ -49,11 +49,14 @@ pub struct Dependency {
 /// A transaction's metadata, as shipped in `ST1` (prepare) messages.
 ///
 /// Transactions are frozen by [`TransactionBuilder::build`]: the fields are
-/// private and only readable, which is what makes the identifier digest
-/// safely memoizable — the first [`Transaction::id`] call hashes the
-/// canonical encoding, every later call (the replica and store hot paths
-/// ask for the id on every message) is a copy. Cloning a transaction —
-/// e.g. fanning an `ST1` out to a shard — carries the memo along.
+/// private and only readable, which is what makes the identifier digest and
+/// the canonical encoding safely memoizable — the first [`Transaction::id`]
+/// or [`Transaction::encoded`] call serializes (and hashes) the metadata,
+/// every later call (the replica and store hot paths ask for both on every
+/// message) is a copy or a borrow. Cloning a transaction carries both memos
+/// along; the protocol itself shares transactions behind `Arc` instead of
+/// cloning (see the "Message plane & ownership" section of
+/// `docs/ARCHITECTURE.md`).
 pub struct Transaction {
     /// The client-chosen timestamp defining the serialization order.
     timestamp: Timestamp,
@@ -65,6 +68,9 @@ pub struct Transaction {
     deps: Vec<Dependency>,
     /// Memoized identifier digest.
     cached_id: std::sync::OnceLock<TxId>,
+    /// Memoized canonical encoding (the signing payload of `ST1`); computed
+    /// once instead of once per recipient and per verification.
+    cached_encoding: std::sync::OnceLock<Vec<u8>>,
 }
 
 impl Clone for Transaction {
@@ -75,6 +81,7 @@ impl Clone for Transaction {
             write_set: self.write_set.clone(),
             deps: self.deps.clone(),
             cached_id: self.cached_id.clone(),
+            cached_encoding: self.cached_encoding.clone(),
         }
     }
 }
@@ -104,10 +111,21 @@ impl std::fmt::Debug for Transaction {
 impl Transaction {
     /// The transaction identifier: a SHA-256 digest over the canonical
     /// encoding of the metadata, computed once and memoized.
+    ///
+    /// Deliberately does *not* populate the encoding memo: committed
+    /// transactions are retained for the whole run (store indexes, audit
+    /// log), and pinning the encoding bytes for every transaction that only
+    /// ever needed its id — e.g. the baselines, which never sign `ST1` —
+    /// would roughly double their resident size. Signing paths call
+    /// [`Transaction::encoded`], which does cache.
     pub fn id(&self) -> TxId {
-        *self
-            .cached_id
-            .get_or_init(|| TxId::from_bytes(*Sha256::digest(&self.encode()).as_bytes()))
+        *self.cached_id.get_or_init(|| {
+            let digest = match self.cached_encoding.get() {
+                Some(encoded) => Sha256::digest(encoded),
+                None => Sha256::digest(&self.compute_encoding()),
+            };
+            TxId::from_bytes(*digest.as_bytes())
+        })
     }
 
     /// The client-chosen timestamp defining the serialization order.
@@ -130,8 +148,23 @@ impl Transaction {
         &self.deps
     }
 
-    /// Canonical byte encoding used for hashing and for signing.
+    /// The memoized canonical byte encoding used for hashing and signing.
+    ///
+    /// The first call serializes the metadata; every later call borrows the
+    /// cached bytes. `St1::signed_bytes` is recomputed once per recipient
+    /// and once per verifying replica, so memoizing here turns ~12 encodings
+    /// per prepare fan-out into one encoding plus cheap copies.
+    pub fn encoded(&self) -> &[u8] {
+        self.cached_encoding.get_or_init(|| self.compute_encoding())
+    }
+
+    /// Canonical byte encoding used for hashing and for signing (owned copy;
+    /// prefer [`Transaction::encoded`] on hot paths).
     pub fn encode(&self) -> Vec<u8> {
+        self.encoded().to_vec()
+    }
+
+    fn compute_encoding(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + 32 * (self.read_set.len() + self.write_set.len()));
         out.extend_from_slice(&self.timestamp.time.to_be_bytes());
         out.extend_from_slice(&self.timestamp.client.0.to_be_bytes());
@@ -309,7 +342,15 @@ impl TransactionBuilder {
             write_set: self.write_set,
             deps: self.deps,
             cached_id: std::sync::OnceLock::new(),
+            cached_encoding: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Freezes the metadata into a reference-counted [`Transaction`], the
+    /// form the message plane ships (prepare fan-out, record state, and the
+    /// store share one allocation instead of deep-copying per hop).
+    pub fn build_shared(self) -> std::sync::Arc<Transaction> {
+        std::sync::Arc::new(self.build())
     }
 }
 
@@ -357,6 +398,24 @@ mod tests {
         assert_eq!(a.id(), first, "repeated calls return the memo");
         let b = a.clone();
         assert_eq!(b.id(), first, "clones carry the memo");
+    }
+
+    #[test]
+    fn encoding_is_memoized_and_carried_by_clone() {
+        let t = sample_tx();
+        let first = t.encoded().as_ptr();
+        assert_eq!(t.encoded().as_ptr(), first, "repeat calls borrow the memo");
+        assert_eq!(t.encode(), t.encoded().to_vec(), "encode() matches");
+        let c = t.clone();
+        assert_eq!(c.encoded(), t.encoded(), "clones agree on the encoding");
+        let shared = {
+            let mut b = TransactionBuilder::new(ts(100, 1));
+            b.record_read(Key::new("x"), ts(50, 2));
+            b.record_write(Key::new("y"), Value::from_u64(7));
+            b.build_shared()
+        };
+        assert_eq!(shared.encoded(), t.encoded());
+        assert_eq!(shared.id(), t.id());
     }
 
     #[test]

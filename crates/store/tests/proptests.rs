@@ -8,6 +8,7 @@ use basil_store::{
     audit_serializability, CheckOutcome, MvtsoStore, Transaction, TransactionBuilder, Vote,
 };
 use proptest::prelude::*;
+use std::sync::Arc;
 
 const DELTA: Duration = Duration::from_millis(100);
 const CLOCK: SimTime = SimTime::from_secs(10);
@@ -50,7 +51,7 @@ proptest! {
     #[test]
     fn mvtso_committed_histories_are_serializable(specs in proptest::collection::vec(tx_spec(), 1..40)) {
         let mut store = MvtsoStore::with_initial_data((0..12).map(|i| (key(i), Value::from_u64(0))));
-        let mut committed: Vec<Transaction> = Vec::new();
+        let mut committed: Vec<Arc<Transaction>> = Vec::new();
 
         for spec in &specs {
             let ts = Timestamp::from_nanos(spec.time, ClientId(spec.client));
@@ -68,7 +69,7 @@ proptest! {
             for w in &spec.writes {
                 builder.record_write(key(*w), Value::from_u64(spec.time));
             }
-            let tx = builder.build();
+            let tx = builder.build_shared();
             if tx.is_empty() {
                 continue;
             }
@@ -101,7 +102,7 @@ proptest! {
         let ts = Timestamp::from_nanos(bound + extra_ns, ClientId(spec.client));
         let mut builder = TransactionBuilder::new(ts);
         builder.record_write(key(0), Value::from_u64(1));
-        let tx = builder.build();
+        let tx = builder.build_shared();
         let outcome = store.prepare(&tx, CLOCK, DELTA);
         prop_assert_eq!(
             outcome,
