@@ -11,12 +11,12 @@
 
 use crate::cluster::{self, ClusterProtocol, ProtocolCluster};
 use crate::report::Snapshot;
-use basil_common::{ClientId, Key, ReplicaId, ShardId, TxGenerator, TxId, Value};
+use basil_common::{ClientId, Key, NodeId, ReplicaId, ShardId, TxGenerator, TxId, Value};
 use basil_core::byzantine::FaultProfile;
 use basil_core::{BasilClient, BasilConfig, BasilMsg, BasilReplica, ClientStats, ReplicaBehavior};
 use basil_crypto::KeyRegistry;
 use basil_store::mvtso::Decision;
-use basil_store::Transaction;
+use basil_store::{StoreStats, Transaction};
 
 pub use crate::cluster::ClusterAuditError;
 
@@ -159,6 +159,31 @@ pub type ClusterConfig = cluster::ClusterConfig<BasilProtocol>;
 /// with the Basil adapter.
 pub type BasilCluster = ProtocolCluster<BasilProtocol>;
 
+impl BasilCluster {
+    /// Store-level counters summed over every replica: how often the MVTSO
+    /// prepare answered a per-key conflict check from the generation-stamped
+    /// watermarks (fast path) versus falling through to the ordered scan.
+    pub fn store_stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for rid in self.replica_ids() {
+            if let Some(replica) = self.sim().actor::<BasilReplica>(NodeId::Replica(*rid)) {
+                total.merge(&replica.store().stats());
+            }
+        }
+        total
+    }
+
+    /// Sum of periodic GC sweeps run across replicas (0 unless
+    /// `BasilConfig::with_gc` enabled them).
+    pub fn gc_sweeps(&self) -> u64 {
+        self.replica_ids()
+            .iter()
+            .filter_map(|rid| self.sim().actor::<BasilReplica>(NodeId::Replica(*rid)))
+            .map(|r| r.stats().gc_sweeps)
+            .sum()
+    }
+}
+
 impl ClusterConfig {
     /// A single-shard, `f = 1` deployment with `num_clients` honest
     /// clients — the starting point of most tests and experiments.
@@ -206,6 +231,62 @@ mod tests {
             Some(Value::from_u64(7))
         );
         cluster.audit().expect("history serializable");
+    }
+
+    #[test]
+    fn store_fast_path_stats_are_exposed() {
+        let config = ClusterConfig::basil_default(4)
+            .with_initial_data(vec![(Key::new("x"), Value::from_u64(0))]);
+        let profile = TxProfile::new(
+            "bump",
+            vec![Op::RmwAdd {
+                key: Key::new("x"),
+                delta: 1,
+            }],
+        );
+        let mut cluster = BasilCluster::build(config, move |_| {
+            Box::new(ScriptedGenerator::new(vec![profile.clone(); 4]))
+        });
+        cluster.run_for(Duration::from_millis(300));
+        let stats = cluster.store_stats();
+        assert!(stats.prepares > 0, "prepares ran: {stats:?}");
+        assert!(
+            stats.fast_path_checks + stats.slow_path_checks > 0,
+            "per-key checks counted: {stats:?}"
+        );
+        let rate = stats.fast_path_hit_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        assert_eq!(cluster.gc_sweeps(), 0, "GC is off by default");
+    }
+
+    #[test]
+    fn periodic_gc_preserves_results_and_serializability() {
+        let basil = BasilConfig::test_single_shard()
+            .with_gc(Duration::from_millis(10), Duration::from_millis(40));
+        let config = ClusterConfig::basil_default(3)
+            .with_basil(basil)
+            .with_initial_data(vec![(Key::new("counter"), Value::from_u64(0))]);
+        let profiles = vec![
+            TxProfile::new(
+                "incr",
+                vec![Op::RmwAdd {
+                    key: Key::new("counter"),
+                    delta: 1,
+                }],
+            );
+            5
+        ];
+        let mut cluster = BasilCluster::build(config, move |_| {
+            Box::new(ScriptedGenerator::new(profiles.clone()))
+        });
+        cluster.run_for(Duration::from_millis(400));
+        assert!(cluster.gc_sweeps() > 0, "sweeps ran");
+        assert_eq!(cluster.total_committed(), 15);
+        assert_eq!(
+            cluster.latest_value(&Key::new("counter")),
+            Some(Value::from_u64(15))
+        );
+        cluster.audit().expect("GC'd history still serializable");
     }
 
     #[test]

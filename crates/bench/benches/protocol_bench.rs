@@ -198,6 +198,16 @@ fn bench_cluster_high_clients(c: &mut Criterion) {
     group.bench_function("basil_rwu_96clients", |b| {
         b.iter(|| run_basil(basil_default(1), workload, &params))
     });
+    // The contended counterpart (YCSB-T Zipf 0.9): hot keys concentrate the
+    // per-key version arrays and exercise the store's slow-path scans, so a
+    // regression in the conflict-window checks shows up here first.
+    let zipf_workload = Workload::RwZipf {
+        reads: 2,
+        writes: 2,
+    };
+    group.bench_function("basil_rwz_96clients", |b| {
+        b.iter(|| run_basil(basil_default(1), zipf_workload, &params))
+    });
     group.finish();
 }
 

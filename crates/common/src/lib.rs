@@ -16,6 +16,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bounded;
 pub mod config;
 pub mod error;
 pub mod fasthash;
@@ -27,6 +28,7 @@ pub mod prng;
 pub mod time;
 pub mod timestamp;
 
+pub use bounded::BoundedFifoMap;
 pub use config::{ReadQuorum, ShardConfig, SystemConfig};
 pub use error::{BasilError, Result};
 pub use fasthash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};

@@ -70,6 +70,13 @@ pub struct ClientStats {
     /// Reads that adopted a prepared (uncommitted) version, acquiring a
     /// dependency.
     pub dependent_reads: u64,
+    /// Writeback-forwarded certificates accepted straight from the
+    /// validated-cert cache (no re-verification; ~19 µs of signature
+    /// checking saved per hit with a cold signature cache).
+    pub cert_cache_hits: u64,
+    /// Writeback-forwarded certificates that had to be verified because the
+    /// cache had no matching entry.
+    pub cert_cache_misses: u64,
 }
 
 impl ClientStats {
@@ -165,6 +172,51 @@ struct Recovery {
     resolved: bool,
 }
 
+/// A bounded FIFO cache of decision certificates this client has already
+/// verified, keyed by transaction id.
+///
+/// Certificates reach a client twice in the common recovery flows: once
+/// attached to a committed read (verified in `conclude_read`) and again when
+/// a `Writeback` forwards the decision (previously re-verified from scratch,
+/// ~19 µs cold per certificate). A hit requires the *same shared allocation*
+/// (`Arc::ptr_eq`), which cannot be spoofed: a Byzantine node replaying the
+/// transaction id with different certificate bytes arrives as a different
+/// allocation and takes the full verification path. Bounded via the shared
+/// `basil_common::BoundedFifoMap` (the same primitive behind
+/// `basil_crypto::SignatureCache`).
+#[derive(Debug)]
+struct ValidatedCertCache {
+    certs: basil_common::BoundedFifoMap<TxId, Arc<DecisionCert>>,
+}
+
+impl ValidatedCertCache {
+    const DEFAULT_CAPACITY: usize = 4096;
+
+    fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
+        ValidatedCertCache {
+            certs: basil_common::BoundedFifoMap::with_capacity(capacity),
+        }
+    }
+
+    /// Records a certificate that passed full verification.
+    fn insert(&mut self, txid: TxId, cert: Arc<DecisionCert>) {
+        self.certs.insert(txid, cert);
+    }
+
+    /// Whether `cert` is the exact (same-allocation) certificate previously
+    /// verified for `txid`.
+    fn contains(&self, txid: &TxId, cert: &Arc<DecisionCert>) -> bool {
+        self.certs
+            .get(txid)
+            .map(|known| Arc::ptr_eq(known, cert))
+            .unwrap_or(false)
+    }
+}
+
 /// The Basil client actor.
 pub struct BasilClient {
     id: ClientId,
@@ -181,6 +233,9 @@ pub struct BasilClient {
     /// read replies that delivered them, kept so the client can finish them
     /// if they stall.
     dep_txs: FastHashMap<TxId, Arc<Transaction>>,
+    /// Certificates already verified by this client (read path), consulted
+    /// before re-verifying a `Writeback`-forwarded certificate.
+    validated_certs: ValidatedCertCache,
     backoff: Duration,
     stats: ClientStats,
     stopped: bool,
@@ -210,6 +265,7 @@ impl BasilClient {
             current: None,
             recoveries: FastHashMap::default(),
             dep_txs: FastHashMap::default(),
+            validated_certs: ValidatedCertCache::new(),
             backoff,
             stats: ClientStats::default(),
             stopped: false,
@@ -499,7 +555,14 @@ impl BasilClient {
                 if self.engine.enabled() {
                     let v = validate_decision_cert(cert, &self.cfg.system.shard, &mut self.engine);
                     ctx.charge(v.cost);
-                    v.valid && cert.txid() == c.txid && cert.decision().is_commit()
+                    let ok = v.valid && cert.txid() == c.txid && cert.decision().is_commit();
+                    if ok {
+                        // Remember the verified certificate: a Writeback
+                        // forwarding the same allocation later skips the
+                        // re-verification (see ValidatedCertCache).
+                        self.validated_certs.insert(c.txid, Arc::clone(cert));
+                    }
+                    ok
                 } else {
                     true
                 }
@@ -1117,10 +1180,18 @@ impl BasilClient {
     fn handle_incoming_cert(&mut self, ctx: &mut Context<BasilMsg>, wb: Writeback) {
         let txid = wb.cert.txid();
         if self.engine.enabled() {
-            let v = validate_decision_cert(&wb.cert, &self.cfg.system.shard, &mut self.engine);
-            ctx.charge(v.cost);
-            if !v.valid {
-                return;
+            if self.validated_certs.contains(&txid, &wb.cert) {
+                // Already verified on the read path: the cache hit is a map
+                // lookup plus a pointer comparison, so nothing is charged.
+                self.stats.cert_cache_hits += 1;
+            } else {
+                self.stats.cert_cache_misses += 1;
+                let v = validate_decision_cert(&wb.cert, &self.cfg.system.shard, &mut self.engine);
+                ctx.charge(v.cost);
+                if !v.valid {
+                    return;
+                }
+                self.validated_certs.insert(txid, Arc::clone(&wb.cert));
             }
         }
         // Recovery resolution: broadcast the certificate so every replica
@@ -1634,6 +1705,120 @@ mod tests {
         let b = BasilClient::logging_shard(txid, &involved);
         assert_eq!(a, b);
         assert!(involved.contains(&a));
+    }
+
+    /// A fast-path commit certificate for `tx` signed by all six replicas of
+    /// shard 0 under the test registry.
+    fn valid_commit_cert(tx: &Transaction, votes_n: u32) -> Arc<DecisionCert> {
+        let votes: Vec<SignedSt1Reply> = (0..votes_n)
+            .map(|i| {
+                let rid = ReplicaId::new(ShardId(0), i);
+                let body = crate::messages::St1ReplyBody {
+                    txid: tx.id(),
+                    replica: rid,
+                    vote: ProtoVote::Commit,
+                };
+                let mut engine = SigEngine::new(NodeId::Replica(rid), registry(), &cfg());
+                let (proof, _) = engine.sign(&body.signed_bytes());
+                SignedSt1Reply {
+                    body,
+                    proof,
+                    conflict: None,
+                }
+            })
+            .collect();
+        Arc::new(DecisionCert::Commit(CommitCert {
+            txid: tx.id(),
+            fast_votes: vec![ShardVotes {
+                txid: tx.id(),
+                shard: ShardId(0),
+                decision: ProtoDecision::Commit,
+                votes,
+                conflict: None,
+            }],
+            slow: None,
+        }))
+    }
+
+    #[test]
+    fn writeback_cert_skips_reverification_only_for_the_cached_allocation() {
+        let mut client = client_with(vec![]);
+        let mut b = TransactionBuilder::new(Timestamp::from_nanos(1_000, ClientId(7)));
+        b.record_write(Key::new("x"), Value::from_u64(1));
+        let tx = b.build_shared();
+        let cert = valid_commit_cert(&tx, 6);
+
+        // First arrival: full verification (cache miss), then cached.
+        let mut ctx = ctx_at(1);
+        client.handle_incoming_cert(
+            &mut ctx,
+            Writeback {
+                cert: Arc::clone(&cert),
+                tx: Some(Arc::clone(&tx)),
+            },
+        );
+        assert_eq!(client.stats().cert_cache_misses, 1);
+        assert_eq!(client.stats().cert_cache_hits, 0);
+
+        // Same shared allocation again: accepted from the cache, free.
+        let mut ctx2 = ctx_at(2);
+        client.handle_incoming_cert(
+            &mut ctx2,
+            Writeback {
+                cert: Arc::clone(&cert),
+                tx: Some(Arc::clone(&tx)),
+            },
+        );
+        assert_eq!(client.stats().cert_cache_hits, 1);
+        assert!(
+            ctx2.outputs().is_empty(),
+            "cache hit charges no verification cost"
+        );
+
+        // Equal content in a different allocation does not hit: ptr identity
+        // is the spoof-proof condition.
+        let clone_alloc = valid_commit_cert(&tx, 6);
+        let mut ctx3 = ctx_at(3);
+        client.handle_incoming_cert(
+            &mut ctx3,
+            Writeback {
+                cert: clone_alloc,
+                tx: Some(Arc::clone(&tx)),
+            },
+        );
+        assert_eq!(client.stats().cert_cache_misses, 2);
+
+        // A bogus certificate reusing a cached txid is still rejected: it is
+        // a different allocation, so it takes (and fails) full verification.
+        let bogus = valid_commit_cert(&tx, 2);
+        let mut ctx4 = ctx_at(4);
+        client.handle_incoming_cert(
+            &mut ctx4,
+            Writeback {
+                cert: bogus,
+                tx: Some(Arc::clone(&tx)),
+            },
+        );
+        assert_eq!(client.stats().cert_cache_misses, 3);
+        assert_eq!(client.stats().cert_cache_hits, 1, "no spoofed hit");
+    }
+
+    #[test]
+    fn validated_cert_cache_evicts_fifo() {
+        let mut cache = ValidatedCertCache::with_capacity(2);
+        let mut b = TransactionBuilder::new(Timestamp::from_nanos(1, ClientId(1)));
+        b.record_write(Key::new("x"), Value::from_u64(1));
+        let cert = valid_commit_cert(&b.build(), 6);
+        let ids: Vec<TxId> = (0u8..3).map(|i| TxId::from_bytes([i; 32])).collect();
+        for id in &ids {
+            cache.insert(*id, Arc::clone(&cert));
+        }
+        assert!(!cache.contains(&ids[0], &cert), "oldest entry evicted");
+        assert!(cache.contains(&ids[1], &cert));
+        assert!(cache.contains(&ids[2], &cert));
+        // Re-inserting an existing key refreshes the value without growing.
+        cache.insert(ids[1], Arc::clone(&cert));
+        assert_eq!(cache.certs.len(), 2);
     }
 
     #[test]

@@ -52,6 +52,18 @@ pub struct BasilConfig {
     /// replicas accept ST2 decisions without checking that the attached vote
     /// tallies justify them, so Byzantine clients can always equivocate.
     pub relax_st2_validation: bool,
+    /// When set, replicas run a store garbage-collection sweep at this
+    /// period, trimming committed versions, committed read records, and RTS
+    /// entries older than `local_clock - gc_horizon`. Off by default: GC
+    /// trades liveness for memory (the store refuses to prepare anything
+    /// timestamped at or below the collected region — possible for an honest
+    /// client only under clock skew beyond the horizon — where the full
+    /// history might have let it commit), so runs opt in explicitly.
+    pub gc_interval: Option<Duration>,
+    /// How far behind the local clock the GC watermark trails. Must comfortably
+    /// exceed `system.delta` plus the maximum client retry backoff so that
+    /// fault-free timestamps never land below the watermark.
+    pub gc_horizon: Duration,
 }
 
 impl BasilConfig {
@@ -71,6 +83,8 @@ impl BasilConfig {
             client_strategy: ClientStrategy::Correct,
             replica_behavior: ReplicaBehavior::Correct,
             relax_st2_validation: false,
+            gc_interval: None,
+            gc_horizon: Duration::from_millis(500),
         }
     }
 
@@ -104,6 +118,16 @@ impl BasilConfig {
         self
     }
 
+    /// Returns a copy with periodic store garbage collection enabled: every
+    /// `interval`, replicas trim bookkeeping older than
+    /// `local_clock - horizon` (see the `gc_interval` field docs for the
+    /// liveness caveat).
+    pub fn with_gc(mut self, interval: Duration, horizon: Duration) -> Self {
+        self.gc_interval = Some(interval);
+        self.gc_horizon = horizon;
+        self
+    }
+
     /// Whether signatures are generated/validated at all.
     pub fn signatures_enabled(&self) -> bool {
         self.system.signatures
@@ -130,6 +154,15 @@ mod tests {
         let batched = cfg.with_batch_size(16);
         assert_eq!(batched.system.batch_size, 16);
         assert_eq!(batched.clone().with_batch_size(0).system.batch_size, 1);
+    }
+
+    #[test]
+    fn gc_is_off_by_default_and_opt_in() {
+        let cfg = BasilConfig::test_single_shard();
+        assert_eq!(cfg.gc_interval, None);
+        let on = cfg.with_gc(Duration::from_millis(50), Duration::from_millis(200));
+        assert_eq!(on.gc_interval, Some(Duration::from_millis(50)));
+        assert_eq!(on.gc_horizon, Duration::from_millis(200));
     }
 
     #[test]

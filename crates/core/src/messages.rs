@@ -464,6 +464,10 @@ pub enum ClientTimer {
 pub enum ReplicaTimer {
     /// Flush a partially filled reply batch (Section 4.4).
     BatchFlush,
+    /// Run a periodic store garbage-collection sweep (enabled by
+    /// `BasilConfig::gc_interval`; see `BasilReplica` for the watermark
+    /// rule).
+    GcSweep,
 }
 
 // ---------------------------------------------------------------------------

@@ -17,7 +17,9 @@ use crate::messages::{
     SignedSt2Reply, St1, St1ReplyBody, St2, St2ReplyBody, View, Writeback,
 };
 use crate::views::{fallback_leader_index, next_view};
-use basil_common::{FastHashMap, FastHashSet, Key, NodeId, ReplicaId, ShardId, TxId, Value};
+use basil_common::{
+    ClientId, FastHashMap, FastHashSet, Key, NodeId, ReplicaId, ShardId, Timestamp, TxId, Value,
+};
 use basil_simnet::{Actor, Context};
 use basil_store::{CheckOutcome, MvtsoStore, Transaction, Vote};
 use std::any::Any;
@@ -49,6 +51,8 @@ pub struct ReplicaStats {
     pub replies_batched: u64,
     /// Batches signed.
     pub batches_signed: u64,
+    /// Periodic store garbage-collection sweeps run.
+    pub gc_sweeps: u64,
 }
 
 /// Per-transaction protocol state kept by a replica.
@@ -228,6 +232,43 @@ impl BasilReplica {
             };
             ctx.charge(self.engine.message_cost());
             ctx.send(to, msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Store garbage collection
+    // ------------------------------------------------------------------
+
+    /// Runs one periodic GC sweep and re-arms the timer.
+    ///
+    /// The watermark trails the local clock by `gc_horizon`: every committed
+    /// version superseded below it, committed read record below it, and RTS
+    /// entry below it is dropped (an in-place prefix drain per key in the
+    /// flattened store — no allocation). Timestamps of honest transactions
+    /// track client clocks, so with a horizon comfortably above
+    /// `system.delta` plus the retry backoff no fault-free timestamp lands
+    /// below the watermark. Safety does not rest on that assumption: the
+    /// store refuses to prepare any transaction timestamped at or below its
+    /// highest GC watermark (the conflict evidence there is gone), so a
+    /// Byzantine or badly skewed backdated transaction aborts — the standard
+    /// MVTSO GC liveness trade, never a serializability hole.
+    fn gc_sweep(&mut self, ctx: &mut Context<BasilMsg>) {
+        // Reached only for self-scheduled timers (see the dispatch arm), but
+        // a sweep still requires the operator's opt-in (it trades liveness).
+        if self.cfg.gc_interval.is_none() {
+            return;
+        }
+        let horizon = self.cfg.gc_horizon.as_nanos();
+        let now = ctx.local_clock().as_nanos();
+        if now > horizon {
+            // (time, ClientId(0)) sorts at-or-below every timestamp with the
+            // same wall-clock component, making the cut-off exact.
+            let watermark = Timestamp::from_nanos(now - horizon, ClientId(0));
+            self.store.gc_before(watermark);
+            self.stats.gc_sweeps += 1;
+        }
+        if let Some(interval) = self.cfg.gc_interval {
+            ctx.schedule_self(interval, BasilMsg::ReplicaTimer(ReplicaTimer::GcSweep));
         }
     }
 
@@ -797,6 +838,12 @@ impl BasilReplica {
 }
 
 impl Actor<BasilMsg> for BasilReplica {
+    fn on_start(&mut self, ctx: &mut Context<BasilMsg>) {
+        if let Some(interval) = self.cfg.gc_interval {
+            ctx.schedule_self(interval, BasilMsg::ReplicaTimer(ReplicaTimer::GcSweep));
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, msg: BasilMsg) {
         if self.behavior == ReplicaBehavior::Silent {
             self.stats.byzantine_drops += 1;
@@ -813,10 +860,18 @@ impl Actor<BasilMsg> for BasilReplica {
             BasilMsg::InvokeFb(ifb) => self.handle_invoke_fb(ctx, from, ifb),
             BasilMsg::ElectFb(efb) => self.handle_elect_fb(ctx, efb),
             BasilMsg::DecFb(dfb) => self.handle_dec_fb(ctx, dfb),
-            BasilMsg::ReplicaTimer(ReplicaTimer::BatchFlush) => {
-                self.batch_timer_armed = false;
-                self.flush_batch(ctx);
-            }
+            // Timers travel on the ordinary message plane; only our own
+            // self-scheduled ones may fire (a forged BatchFlush would defeat
+            // reply-batch amortization, a forged GcSweep would force sweeps
+            // and multiply re-armed timer chains).
+            BasilMsg::ReplicaTimer(timer) if from == NodeId::Replica(self.id) => match timer {
+                ReplicaTimer::BatchFlush => {
+                    self.batch_timer_armed = false;
+                    self.flush_batch(ctx);
+                }
+                ReplicaTimer::GcSweep => self.gc_sweep(ctx),
+            },
+            BasilMsg::ReplicaTimer(_) => {}
             // Messages addressed to clients are ignored if misrouted.
             BasilMsg::ReadReply(_)
             | BasilMsg::St1Reply(_)
@@ -1097,6 +1152,162 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn gc_sweep_trims_superseded_versions_and_rearms() {
+        let mut gc_cfg = cfg();
+        gc_cfg = gc_cfg.with_gc(
+            basil_common::Duration::from_millis(5),
+            basil_common::Duration::from_millis(1),
+        );
+        let mut r = BasilReplica::new(
+            ReplicaId::new(ShardId(0), 0),
+            gc_cfg,
+            registry(),
+            ReplicaBehavior::Correct,
+            [(Key::new("x"), Value::from_u64(0))],
+        );
+
+        // Commit two versions of x (1 ms and 2 ms).
+        for (t, val) in [(1_000_000u64, 1u64), (2_000_000, 2)] {
+            let tx = write_tx(t, "x", val);
+            let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+            r.handle_st1(&mut ctx, client_node(), signed_st1(&tx, false));
+            let cert = fast_commit_cert(&tx);
+            let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+            r.handle_writeback(&mut ctx2, Writeback { cert, tx: Some(tx) });
+        }
+        let mid = Timestamp::from_nanos(1_500_000, ClientId(0));
+        assert!(
+            r.store()
+                .read_without_rts(&Key::new("x"), mid)
+                .committed
+                .is_some(),
+            "pre-GC: the 1 ms version is visible to a 1.5 ms reader"
+        );
+
+        // Sweep at local clock 10 ms with a 1 ms horizon: watermark 9 ms,
+        // so only the newest version (2 ms) is retained.
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 10);
+        r.on_message(
+            &mut ctx,
+            NodeId::Replica(r.id()),
+            BasilMsg::ReplicaTimer(ReplicaTimer::GcSweep),
+        );
+        assert_eq!(r.stats().gc_sweeps, 1);
+        assert!(
+            r.store()
+                .read_without_rts(&Key::new("x"), mid)
+                .committed
+                .is_none(),
+            "post-GC: superseded versions below the watermark are gone"
+        );
+        let late = Timestamp::from_nanos(20_000_000, ClientId(0));
+        assert_eq!(
+            r.store()
+                .read_without_rts(&Key::new("x"), late)
+                .committed
+                .expect("newest retained")
+                .value,
+            Value::from_u64(2)
+        );
+    }
+
+    #[test]
+    fn forged_gc_sweep_is_ignored_when_gc_is_disabled() {
+        let mut r = replica(0); // default config: gc_interval = None
+        let tx = write_tx(1_000_000, "x", 1);
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_st1(&mut ctx, client_node(), signed_st1(&tx, false));
+        let cert = fast_commit_cert(&tx);
+        let mut ctx2 = ctx_at(NodeId::Replica(r.id()), 2);
+        r.handle_writeback(&mut ctx2, Writeback { cert, tx: Some(tx) });
+
+        // A GcSweep delivered from another node must be a no-op, and even a
+        // self-delivered one is refused while GC is not opted in.
+        let mut ctx3 = ctx_at(NodeId::Replica(r.id()), 1_000);
+        r.on_message(
+            &mut ctx3,
+            client_node(),
+            BasilMsg::ReplicaTimer(ReplicaTimer::GcSweep),
+        );
+        let mut ctx4 = ctx_at(NodeId::Replica(r.id()), 1_000);
+        r.on_message(
+            &mut ctx4,
+            NodeId::Replica(r.id()),
+            BasilMsg::ReplicaTimer(ReplicaTimer::GcSweep),
+        );
+        assert_eq!(r.stats().gc_sweeps, 0, "sweep refused: GC not opted in");
+        let genesis_reader = Timestamp::from_nanos(500, ClientId(0));
+        assert!(
+            r.store()
+                .read_without_rts(&Key::new("x"), genesis_reader)
+                .committed
+                .is_some(),
+            "genesis version still present"
+        );
+    }
+
+    #[test]
+    fn forged_batch_flush_is_ignored() {
+        let mut r = BasilReplica::new(
+            ReplicaId::new(ShardId(0), 0),
+            cfg().with_batch_size(4),
+            registry(),
+            ReplicaBehavior::Correct,
+            [(Key::new("x"), Value::from_u64(0))],
+        );
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 1);
+        r.handle_read(&mut ctx, client_node(), signed_read(1, "x", 1_000_000));
+        assert!(sent_to(&ctx, client_node()).is_empty(), "reply queued");
+
+        // A BatchFlush from another node must not force the flush (that
+        // would defeat batch-signing amortization).
+        let mut forged = ctx_at(NodeId::Replica(r.id()), 2);
+        r.on_message(
+            &mut forged,
+            client_node(),
+            BasilMsg::ReplicaTimer(ReplicaTimer::BatchFlush),
+        );
+        assert!(sent_to(&forged, client_node()).is_empty());
+
+        // The replica's own timer still flushes.
+        let mut own = ctx_at(NodeId::Replica(r.id()), 3);
+        r.on_message(
+            &mut own,
+            NodeId::Replica(r.id()),
+            BasilMsg::ReplicaTimer(ReplicaTimer::BatchFlush),
+        );
+        assert_eq!(sent_to(&own, client_node()).len(), 1);
+    }
+
+    #[test]
+    fn forged_gc_sweep_is_ignored_even_when_gc_is_enabled() {
+        let gc_cfg = cfg().with_gc(
+            basil_common::Duration::from_millis(5),
+            basil_common::Duration::from_millis(1),
+        );
+        let mut r = BasilReplica::new(
+            ReplicaId::new(ShardId(0), 0),
+            gc_cfg,
+            registry(),
+            ReplicaBehavior::Correct,
+            [(Key::new("x"), Value::from_u64(0))],
+        );
+        // A GcSweep claiming to be a timer but arriving from another node
+        // must neither sweep nor re-arm a new timer chain.
+        let mut ctx = ctx_at(NodeId::Replica(r.id()), 100);
+        r.on_message(
+            &mut ctx,
+            client_node(),
+            BasilMsg::ReplicaTimer(ReplicaTimer::GcSweep),
+        );
+        assert_eq!(r.stats().gc_sweeps, 0, "foreign GcSweep ignored");
+        assert!(
+            ctx.outputs().is_empty(),
+            "no sweep ran and no timer chain was re-armed"
+        );
     }
 
     #[test]

@@ -11,8 +11,7 @@
 use crate::digest::Digest;
 use crate::merkle::{MerkleProof, MerkleTree};
 use crate::sig::{KeyPair, KeyRegistry, Signature};
-use basil_common::{FastHashMap, NodeId};
-use std::collections::VecDeque;
+use basil_common::{BoundedFifoMap, NodeId};
 
 /// Everything a recipient needs to authenticate one reply out of a batch.
 #[derive(Clone, Debug)]
@@ -203,13 +202,12 @@ impl BatchSigner {
 /// digests, so the map uses `basil_common::fasthash` instead of SipHash.
 #[derive(Debug)]
 pub struct SignatureCache {
-    verified: FastHashMap<Digest, Signature>,
-    /// Insertion order of the cached roots, for FIFO eviction.
-    order: VecDeque<Digest>,
-    capacity: usize,
+    /// The verified `(root, signature)` pairs, FIFO-bounded. The map
+    /// structure is the shared [`BoundedFifoMap`] primitive (also behind the
+    /// client-side validated-certificate cache).
+    verified: BoundedFifoMap<Digest, Signature>,
     hits: u64,
     misses: u64,
-    evictions: u64,
 }
 
 impl Default for SignatureCache {
@@ -234,12 +232,9 @@ impl SignatureCache {
     /// Creates an empty cache bounded to `capacity` roots (minimum 1).
     pub fn with_capacity(capacity: usize) -> Self {
         SignatureCache {
-            verified: FastHashMap::default(),
-            order: VecDeque::new(),
-            capacity: capacity.max(1),
+            verified: BoundedFifoMap::with_capacity(capacity),
             hits: 0,
             misses: 0,
-            evictions: 0,
         }
     }
 
@@ -261,17 +256,7 @@ impl SignatureCache {
     /// Records a successfully verified root signature, evicting the oldest
     /// entry if the cache is full.
     pub fn insert(&mut self, root: Digest, sig: Signature) {
-        if self.verified.insert(root, sig).is_some() {
-            return; // Refreshed an existing root; order is unchanged.
-        }
-        self.order.push_back(root);
-        while self.verified.len() > self.capacity {
-            let Some(oldest) = self.order.pop_front() else {
-                break;
-            };
-            self.verified.remove(&oldest);
-            self.evictions += 1;
-        }
+        self.verified.insert(root, sig);
     }
 
     /// Number of cache hits observed.
@@ -286,12 +271,12 @@ impl SignatureCache {
 
     /// Number of entries evicted to keep the cache within its capacity.
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.verified.evictions()
     }
 
     /// The configured bound on cached roots.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.verified.capacity()
     }
 
     /// Number of distinct roots cached.

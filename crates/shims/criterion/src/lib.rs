@@ -13,12 +13,100 @@
 //! time, and mean ns/iter is printed. There is no statistical analysis or
 //! HTML report — the goal is that `cargo bench` builds, runs, and produces
 //! comparable numbers offline.
+//!
+//! Like real criterion, the generated `main` understands a subset of the
+//! CLI: positional arguments are substring filters on benchmark labels, and
+//! `--test` runs each selected benchmark exactly once without timing (the
+//! mode CI smoke steps use: `cargo bench --bench foo -- --test zipf`).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Runtime options parsed from the benchmark binary's CLI arguments.
+#[derive(Clone, Debug, Default)]
+pub struct CliOptions {
+    /// Run each benchmark once, untimed (criterion's `--test` smoke mode).
+    pub test_mode: bool,
+    /// Substring filters; a benchmark runs when any filter matches its
+    /// label (all run when empty).
+    pub filters: Vec<String>,
+}
+
+static CLI_OPTIONS: OnceLock<CliOptions> = OnceLock::new();
+static BENCHES_RUN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Criterion flags that consume the next argument; their values must not be
+/// mistaken for label filters.
+fn takes_value(flag: &str) -> bool {
+    matches!(
+        flag,
+        "--profile-time"
+            | "--sample-size"
+            | "--measurement-time"
+            | "--warm-up-time"
+            | "--save-baseline"
+            | "--baseline"
+            | "--load-baseline"
+            | "--color"
+    )
+}
+
+/// Parses `std::env::args` into the global [`CliOptions`]. Called by the
+/// `main` that [`criterion_main!`] generates; calling it again is a no-op.
+pub fn init_cli_from_args() {
+    let mut options = CliOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--test" => options.test_mode = true,
+            // Flags real criterion accepts but the shim times its own way.
+            "--bench" | "--noplot" | "--quiet" | "--verbose" => {}
+            flag if takes_value(flag) => {
+                let _ = args.next();
+            }
+            other => {
+                if !other.starts_with('-') {
+                    options.filters.push(other.to_string());
+                }
+            }
+        }
+    }
+    let _ = CLI_OPTIONS.set(options);
+}
+
+/// Called by the generated `main` after all groups ran: a filter that
+/// selected nothing is an error, not a silent success — otherwise a renamed
+/// benchmark would turn a CI smoke gate into a no-op that still passes.
+pub fn finish_cli() {
+    let options = cli_options();
+    let ran = BENCHES_RUN.load(std::sync::atomic::Ordering::Relaxed);
+    if no_selection(options, ran) {
+        eprintln!(
+            "error: filter(s) {:?} matched no benchmark — nothing was run",
+            options.filters
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Whether a run with `options` that executed `ran` benchmarks constitutes
+/// a zero-match filter error.
+fn no_selection(options: &CliOptions, ran: usize) -> bool {
+    !options.filters.is_empty() && ran == 0
+}
+
+fn cli_options() -> &'static CliOptions {
+    CLI_OPTIONS.get_or_init(CliOptions::default)
+}
+
+fn label_selected(label: &str) -> bool {
+    let filters = &cli_options().filters;
+    filters.is_empty() || filters.iter().any(|f| label.contains(f.as_str()))
+}
 
 /// How batched inputs are sized (accepted for API compatibility; the shim
 /// re-runs the setup closure per batch regardless).
@@ -72,6 +160,8 @@ impl Display for BenchmarkId {
 /// The timing loop handed to each benchmark closure.
 pub struct Bencher {
     measurement_time: Duration,
+    /// Run the routine once, untimed (`--test` smoke mode).
+    test_mode: bool,
     /// Mean nanoseconds per iteration, filled in by the timing loop.
     elapsed_ns_per_iter: f64,
 }
@@ -80,6 +170,10 @@ impl Bencher {
     /// Times `routine`, running it repeatedly until the measurement window
     /// is filled.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
         // Warmup and per-iteration estimate.
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;
@@ -107,6 +201,10 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
         let mut measured = Duration::ZERO;
         let mut iters = 0u64;
         // One warmup pass.
@@ -128,11 +226,21 @@ fn run_one(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    if !label_selected(label) {
+        return;
+    }
+    BENCHES_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let test_mode = cli_options().test_mode;
     let mut bencher = Bencher {
         measurement_time,
+        test_mode,
         elapsed_ns_per_iter: 0.0,
     };
     f(&mut bencher);
+    if test_mode {
+        println!("{label:<50} test: ok (one untimed pass)");
+        return;
+    }
     let ns = bencher.elapsed_ns_per_iter;
     let rate = match throughput {
         Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
@@ -274,7 +382,9 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::init_cli_from_args();
             $( $group(); )+
+            $crate::finish_cli();
         }
     };
 }
@@ -310,5 +420,63 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
         assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn test_mode_runs_routine_exactly_once() {
+        let mut bencher = Bencher {
+            measurement_time: Duration::from_secs(60),
+            test_mode: true,
+            elapsed_ns_per_iter: 0.0,
+        };
+        let mut runs = 0u32;
+        bencher.iter(|| runs += 1);
+        assert_eq!(runs, 1, "untimed single pass");
+
+        let mut batched_runs = 0u32;
+        bencher.iter_batched(|| 1u32, |x| batched_runs += x, BatchSize::SmallInput);
+        assert_eq!(batched_runs, 1);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        // The global options default to "run everything" when main never
+        // parsed arguments (e.g. under `cargo test`).
+        assert!(label_selected("anything/at-all"));
+        let opts = CliOptions {
+            test_mode: false,
+            filters: vec!["zipf".into()],
+        };
+        assert!(opts
+            .filters
+            .iter()
+            .any(|f| "store/prepare_zipf_hot".contains(f.as_str())));
+        assert!(!opts
+            .filters
+            .iter()
+            .any(|f| "store/gc_sweep".contains(f.as_str())));
+    }
+
+    #[test]
+    fn zero_match_filters_are_an_error_not_a_silent_pass() {
+        let filtered = CliOptions {
+            test_mode: true,
+            filters: vec!["zipf".into()],
+        };
+        assert!(no_selection(&filtered, 0), "filter matched nothing: error");
+        assert!(!no_selection(&filtered, 2), "filter matched: fine");
+        let unfiltered = CliOptions::default();
+        assert!(
+            !no_selection(&unfiltered, 0),
+            "no filters given: an empty bench binary is not an error"
+        );
+    }
+
+    #[test]
+    fn value_taking_flags_do_not_become_filters() {
+        assert!(takes_value("--sample-size"));
+        assert!(takes_value("--profile-time"));
+        assert!(!takes_value("--test"));
+        assert!(!takes_value("--bench"));
     }
 }

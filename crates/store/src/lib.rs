@@ -13,6 +13,10 @@
 //!   prepared (visible but uncommitted) writes, read timestamps (RTS),
 //!   the concurrency-control check of **Algorithm 1**, and dependency
 //!   tracking with deferred votes ("wait for all pending dependencies").
+//! * [`varray`] — the flattened, timestamp-sorted version arrays backing the
+//!   per-key records of both stores (append-mostly `Vec`s with binary-search
+//!   range queries; the watermark/generation fast path of
+//!   [`mvtso::MvtsoStore::prepare`] is built on their `O(1)` tails).
 //! * [`occ`] — a classic backward-validation OCC check used by the baseline
 //!   systems (TxHotstuff / TxBFT-SMaRt / TAPIR-style) in the evaluation.
 //! * [`audit`] — a serialization-graph auditor used by tests to verify that
@@ -24,8 +28,12 @@
 pub mod audit;
 pub mod mvtso;
 pub mod occ;
+#[cfg(test)]
+mod reference;
 pub mod tx;
+pub mod varray;
 
 pub use audit::{audit_serializability, AuditError};
-pub use mvtso::{CheckOutcome, MvtsoStore, ReadResult, Vote};
+pub use mvtso::{CheckOutcome, MvtsoStore, ReadResult, StoreStats, Vote};
 pub use tx::{Dependency, ReadOp, Transaction, TransactionBuilder, WriteOp};
+pub use varray::VersionArray;

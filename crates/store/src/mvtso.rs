@@ -2,13 +2,24 @@
 //! Algorithm 1.
 //!
 //! Each Basil replica holds one [`MvtsoStore`] for its shard's key range. The
-//! store tracks, per key:
+//! store tracks, per key, one flat `KeyRecord`:
 //!
 //! * the chain of **committed** versions,
 //! * the **prepared** (visible but uncommitted) writes of transactions that
 //!   passed the concurrency-control check,
 //! * the read timestamps (**RTS**) left behind by execution-phase reads, and
 //! * the reads performed by prepared and committed transactions.
+//!
+//! All four indexes are timestamp-sorted [`VersionArray`]s (flat `Vec`s,
+//! append-mostly) rather than per-key `BTreeMap`s, and every record carries a
+//! **generation stamp** plus two watermarks — the largest write timestamp and
+//! the largest read timestamp currently present. The watermarks let
+//! [`MvtsoStore::prepare`] answer the common no-conflict case with two integer
+//! comparisons per key and no scan at all; the generation stamp counts record
+//! mutations and pins the watermarks' freshness (every mutation bumps it, and
+//! any removal that could lower a watermark recomputes the watermark from the
+//! array tails in `O(1)`). [`MvtsoStore::stats`] reports the fast-path hit
+//! rate. See `docs/ARCHITECTURE.md` ("Store layout & conflict windows").
 //!
 //! [`MvtsoStore::prepare`] implements Algorithm 1 of the paper. Step 7 of the
 //! algorithm ("wait for all pending dependencies") is realised without
@@ -24,9 +35,9 @@
 //! safety (the vote is still withheld until the dependency's fate is known).
 
 use crate::tx::{Dependency, Transaction};
+use crate::varray::VersionArray;
 use basil_common::error::AbortReason;
 use basil_common::{Duration, FastHashMap, FastHashSet, Key, SimTime, Timestamp, TxId, Value};
-use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// A replica's vote on whether committing a transaction preserves
@@ -104,33 +115,133 @@ pub struct ReadResult {
     pub prepared: Option<PreparedVersion>,
 }
 
+/// Counters for the scan-free prepare fast path (see module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Prepare calls that ran the full concurrency-control pipeline (i.e.
+    /// were not answered from the duplicate-delivery memo).
+    pub prepares: u64,
+    /// Per-key conflict checks answered by the watermark comparison alone.
+    pub fast_path_checks: u64,
+    /// Per-key conflict checks that fell through to the ordered scan.
+    pub slow_path_checks: u64,
+}
+
+impl StoreStats {
+    /// Fraction of per-key checks answered without a scan (1.0 when no
+    /// checks ran yet).
+    pub fn fast_path_hit_rate(&self) -> f64 {
+        let total = self.fast_path_checks + self.slow_path_checks;
+        if total == 0 {
+            return 1.0;
+        }
+        self.fast_path_checks as f64 / total as f64
+    }
+
+    /// Adds another store's counters into this one (harness aggregation).
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.prepares += other.prepares;
+        self.fast_path_checks += other.fast_path_checks;
+        self.slow_path_checks += other.slow_path_checks;
+    }
+}
+
+/// All concurrency-control state of one key, flattened into a single record
+/// (one cache-friendly map lookup per key per check instead of five).
+#[derive(Debug, Default)]
+struct KeyRecord {
+    /// Committed versions, sorted by writer timestamp.
+    committed: VersionArray<(TxId, Value)>,
+    /// Prepared (visible, uncommitted) writes, sorted by writer timestamp.
+    prepared: VersionArray<TxId>,
+    /// Reads of committed transactions: reader timestamp -> version read.
+    committed_reads: VersionArray<Timestamp>,
+    /// Reads of prepared transactions: reader timestamp -> version read.
+    prepared_reads: VersionArray<Timestamp>,
+    /// Read timestamps left by execution-phase reads (set semantics).
+    rts: VersionArray<()>,
+    /// Mutation counter: bumped on every insert/remove touching this record.
+    /// The watermarks below are exact as of this generation.
+    generation: u64,
+    /// Largest committed-or-prepared write timestamp present.
+    max_write: Timestamp,
+    /// Largest read timestamp present across committed reads, prepared
+    /// reads, and RTS entries.
+    max_read: Timestamp,
+}
+
+impl KeyRecord {
+    /// Records a write at `ts` into the watermarks.
+    fn note_write(&mut self, ts: Timestamp) {
+        self.generation += 1;
+        if ts > self.max_write {
+            self.max_write = ts;
+        }
+    }
+
+    /// Records a read at `ts` into the watermarks.
+    fn note_read(&mut self, ts: Timestamp) {
+        self.generation += 1;
+        if ts > self.max_read {
+            self.max_read = ts;
+        }
+    }
+
+    /// Recomputes the write watermark from the array tails (`O(1)`), after a
+    /// removal that may have lowered it.
+    fn refresh_write_watermark(&mut self) {
+        self.max_write = self
+            .committed
+            .max_ts()
+            .into_iter()
+            .chain(self.prepared.max_ts())
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+    }
+
+    /// True when every index is empty: the record carries no state a fresh
+    /// `KeyRecord::default()` would not, so it can be dropped from the map.
+    fn is_unused(&self) -> bool {
+        self.committed.is_empty()
+            && self.prepared.is_empty()
+            && self.committed_reads.is_empty()
+            && self.prepared_reads.is_empty()
+            && self.rts.is_empty()
+    }
+
+    /// Recomputes the read watermark from the array tails (`O(1)`), after a
+    /// removal that may have lowered it.
+    fn refresh_read_watermark(&mut self) {
+        self.max_read = self
+            .committed_reads
+            .max_ts()
+            .into_iter()
+            .chain(self.prepared_reads.max_ts())
+            .chain(self.rts.max_ts())
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+    }
+}
+
 /// The multiversioned store of a single replica.
 ///
-/// Every map is keyed by a [`Key`] (short workload strings) or a [`TxId`]
-/// (a SHA-256 digest): both are uniform and attacker-independent, so the
-/// maps use `basil_common::fasthash` instead of SipHash (see that module
-/// for the threat-model note).
+/// Per-key state lives in one `Key -> KeyRecord` map; per-transaction state
+/// (metadata, decisions, dependency wait graph) in `TxId`-keyed maps. Both
+/// key kinds are uniform and attacker-independent ([`Key`]s are short
+/// workload strings, [`TxId`]s SHA-256 digests), so the maps use
+/// `basil_common::fasthash` instead of SipHash (see that module for the
+/// threat-model note).
 #[derive(Debug, Default)]
 pub struct MvtsoStore {
-    /// Committed versions per key, ordered by writer timestamp.
-    committed_versions: FastHashMap<Key, BTreeMap<Timestamp, (TxId, Value)>>,
+    /// Flattened per-key concurrency-control records.
+    keys: FastHashMap<Key, KeyRecord>,
     /// Metadata of committed transactions (needed for the read-write checks
     /// and for the serializability audit). `Arc`-shared so the prepared
     /// entry is promoted on commit without copying, and so audits can
     /// borrow instead of cloning the whole history.
     committed_txs: FastHashMap<TxId, Arc<Transaction>>,
-    /// Reads performed by committed transactions, per key, indexed by the
-    /// reader's timestamp; the value is the version that was read.
-    committed_reads: FastHashMap<Key, BTreeMap<Timestamp, Timestamp>>,
     /// Metadata of prepared (visible, uncommitted) transactions.
     prepared_txs: FastHashMap<TxId, Arc<Transaction>>,
-    /// Prepared writes per key, ordered by writer timestamp.
-    prepared_writes: FastHashMap<Key, BTreeMap<Timestamp, TxId>>,
-    /// Reads performed by prepared transactions, per key, indexed by reader
-    /// timestamp; value is the version read.
-    prepared_reads: FastHashMap<Key, BTreeMap<Timestamp, Timestamp>>,
-    /// Read timestamps left by execution-phase reads.
-    rts: FastHashMap<Key, BTreeSet<Timestamp>>,
     /// Final decisions known to this replica.
     decisions: FastHashMap<TxId, Decision>,
     /// Aborted transactions (subset view of `decisions`, kept for fast checks).
@@ -140,6 +251,12 @@ pub struct MvtsoStore {
     pending: FastHashMap<TxId, FastHashSet<TxId>>,
     /// Reverse index: dependency -> transactions waiting on it.
     waiters: FastHashMap<TxId, Vec<TxId>>,
+    /// Highest watermark any [`MvtsoStore::gc_before`] sweep has used.
+    /// Conflict evidence at or below it is gone, so prepares timestamped
+    /// there must be refused (see the GC floor in `prepare`).
+    gc_watermark: Timestamp,
+    /// Fast-path counters.
+    stats: StoreStats,
 }
 
 impl MvtsoStore {
@@ -153,11 +270,7 @@ impl MvtsoStore {
     pub fn with_initial_data(data: impl IntoIterator<Item = (Key, Value)>) -> Self {
         let mut store = Self::new();
         for (key, value) in data {
-            store
-                .committed_versions
-                .entry(key)
-                .or_default()
-                .insert(Timestamp::ZERO, (TxId::default(), value));
+            store.load_initial(key, value);
         }
         store
     }
@@ -165,10 +278,10 @@ impl MvtsoStore {
     /// Loads one more initial key (same semantics as
     /// [`MvtsoStore::with_initial_data`]).
     pub fn load_initial(&mut self, key: Key, value: Value) {
-        self.committed_versions
-            .entry(key)
-            .or_default()
+        let rec = self.keys.entry(key).or_default();
+        rec.committed
             .insert(Timestamp::ZERO, (TxId::default(), value));
+        rec.note_write(Timestamp::ZERO);
     }
 
     // ------------------------------------------------------------------
@@ -178,35 +291,33 @@ impl MvtsoStore {
     /// Serves a versioned read at timestamp `ts` and records `ts` in the
     /// key's RTS set (Section 4.1, replica read logic step 2).
     pub fn read(&mut self, key: &Key, ts: Timestamp) -> ReadResult {
-        self.rts.entry(key.clone()).or_default().insert(ts);
+        let rec = self.keys.entry(key.clone()).or_default();
+        rec.rts.insert(ts, ());
+        rec.note_read(ts);
         self.read_without_rts(key, ts)
     }
 
     /// Serves a versioned read without registering an RTS (used when
     /// re-serving a retried read that already registered one).
     pub fn read_without_rts(&self, key: &Key, ts: Timestamp) -> ReadResult {
-        let committed = self.committed_versions.get(key).and_then(|versions| {
-            versions
-                .range(..ts)
-                .next_back()
-                .map(|(version, (txid, value))| CommittedVersion {
-                    version: *version,
-                    value: value.clone(),
-                    txid: *txid,
-                })
-        });
-        let prepared = self.prepared_writes.get(key).and_then(|versions| {
-            versions
-                .range(..ts)
-                .next_back()
-                .and_then(|(version, txid)| {
-                    self.prepared_txs.get(txid).map(|tx| PreparedVersion {
-                        version: *version,
-                        value: tx.written_value(key).cloned().unwrap_or_else(Value::empty),
-                        txid: *txid,
-                        deps: tx.deps().to_vec(),
-                    })
-                })
+        let Some(rec) = self.keys.get(key) else {
+            return ReadResult::default();
+        };
+        let committed = rec
+            .committed
+            .latest_before(ts)
+            .map(|(version, (txid, value))| CommittedVersion {
+                version: *version,
+                value: value.clone(),
+                txid: *txid,
+            });
+        let prepared = rec.prepared.latest_before(ts).and_then(|(version, txid)| {
+            self.prepared_txs.get(txid).map(|tx| PreparedVersion {
+                version: *version,
+                value: tx.written_value(key).cloned().unwrap_or_else(Value::empty),
+                txid: *txid,
+                deps: tx.deps().to_vec(),
+            })
         });
         ReadResult {
             committed,
@@ -217,23 +328,30 @@ impl MvtsoStore {
     /// Removes a read timestamp previously registered by [`MvtsoStore::read`]
     /// (client-initiated `Abort()` during the execution phase).
     pub fn remove_rts(&mut self, key: &Key, ts: Timestamp) {
-        if let Some(set) = self.rts.get_mut(key) {
-            set.remove(&ts);
-            if set.is_empty() {
-                self.rts.remove(key);
+        let mut unused = false;
+        if let Some(rec) = self.keys.get_mut(key) {
+            if rec.rts.remove(ts).is_some() {
+                rec.generation += 1;
+                if ts == rec.max_read {
+                    rec.refresh_read_watermark();
+                }
+                unused = rec.is_unused();
             }
+        }
+        // Reads of never-written keys create a record only to hold the RTS;
+        // releasing the last piece of state releases the record too.
+        if unused {
+            self.keys.remove(key);
         }
     }
 
     /// The newest committed value of a key (used by examples and tests to
     /// inspect final state).
     pub fn latest_committed(&self, key: &Key) -> Option<(Timestamp, Value)> {
-        self.committed_versions.get(key).and_then(|versions| {
-            versions
-                .iter()
-                .next_back()
-                .map(|(ts, (_, value))| (*ts, value.clone()))
-        })
+        self.keys
+            .get(key)
+            .and_then(|rec| rec.committed.last())
+            .map(|(ts, (_, value))| (*ts, value.clone()))
     }
 
     // ------------------------------------------------------------------
@@ -247,6 +365,14 @@ impl MvtsoStore {
     /// becomes visible to subsequent reads. The transaction arrives as the
     /// `Arc` the `ST1` message carries, so indexing it shares the allocation
     /// instead of deep-copying the read/write sets per prepare.
+    ///
+    /// The per-key conflict checks first consult the record watermarks (see
+    /// module docs): a read that observed the key's newest write and a write
+    /// above the key's newest read pass with two integer comparisons. Only
+    /// keys whose conflict window is non-trivially populated fall through to
+    /// the ordered binary-search scans, whose verdicts are bit-identical to
+    /// the original nested-`BTreeMap` implementation (property-tested in
+    /// `reference.rs`).
     pub fn prepare(
         &mut self,
         tx: &Arc<Transaction>,
@@ -273,8 +399,20 @@ impl MvtsoStore {
             return CheckOutcome::Decided(Vote::Commit);
         }
 
+        self.stats.prepares += 1;
+
         // (1) Timestamp bound: ts_T <= localClock + delta.
         if tx.timestamp().exceeds_bound(local_clock, delta) {
+            return CheckOutcome::Decided(Vote::Abort(AbortReason::TimestampOutOfBounds));
+        }
+
+        // (1b) GC floor: read records and superseded versions at or below the
+        // GC watermark have been discarded, so the checks below could no
+        // longer see a conflict there. A transaction backdated into that
+        // region must abort — otherwise a Byzantine (or badly skewed) client
+        // could commit a write under a collected reader, a serializability
+        // violation rather than the liveness trade GC is allowed to make.
+        if self.gc_watermark > Timestamp::ZERO && tx.timestamp() <= self.gc_watermark {
             return CheckOutcome::Decided(Vote::Abort(AbortReason::TimestampOutOfBounds));
         }
 
@@ -298,44 +436,54 @@ impl MvtsoStore {
             // Unknown dependency: treated as pending (see module docs).
         }
 
+        let ts = tx.timestamp();
+
         // (3) Reads must not claim versions from the future; that would prove
-        // client misbehaviour.
-        for read in tx.read_set() {
-            if read.version > tx.timestamp() {
-                return CheckOutcome::Decided(Vote::Abort(AbortReason::Misbehavior));
-            }
+        // client misbehaviour. The builder froze the maximum claimed version,
+        // so this is one comparison instead of a read-set walk.
+        if tx.max_read_version() > ts {
+            return CheckOutcome::Decided(Vote::Abort(AbortReason::Misbehavior));
         }
 
         // (4) Reads in T did not miss any committed or prepared write:
         // no write W to `key` with version_read < ts_W < ts_T may exist.
+        // Fast path: the version read is the key's newest write overall.
         for read in tx.read_set() {
-            if self.has_write_in_range(&read.key, read.version, tx.timestamp()) {
-                return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
+            match self.keys.get(&read.key) {
+                Some(rec) if rec.max_write > read.version => {
+                    self.stats.slow_path_checks += 1;
+                    if rec.committed.any_in_open_range(read.version, ts)
+                        || rec.prepared.any_in_open_range(read.version, ts)
+                    {
+                        return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
+                    }
+                }
+                _ => self.stats.fast_path_checks += 1,
             }
         }
 
         // (5) Writes in T must not invalidate reads of prepared or committed
         // transactions: no reader T' with ts_T' > ts_T may have read a
         // version older than ts_T for a key T writes.
-        for write in tx.write_set() {
-            if self.write_invalidates_reader(&write.key, tx.timestamp()) {
-                return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
-            }
-        }
-
         // (6) Writes must not invalidate ongoing reads (RTS check).
+        // Fast path for both: the write lands above the key's newest read.
         for write in tx.write_set() {
-            if let Some(set) = self.rts.get(&write.key) {
-                if set
-                    .range((
-                        std::ops::Bound::Excluded(tx.timestamp()),
-                        std::ops::Bound::Unbounded,
-                    ))
-                    .next()
-                    .is_some()
-                {
-                    return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
+            match self.keys.get(&write.key) {
+                Some(rec) if rec.max_read > ts => {
+                    self.stats.slow_path_checks += 1;
+                    let invalidates = |reads: &VersionArray<Timestamp>| {
+                        reads
+                            .iter_above(ts)
+                            .any(|(_, version_read)| *version_read < ts)
+                    };
+                    if invalidates(&rec.committed_reads) || invalidates(&rec.prepared_reads) {
+                        return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
+                    }
+                    if rec.rts.max_ts().map(|m| m > ts).unwrap_or(false) {
+                        return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
+                    }
                 }
+                _ => self.stats.fast_path_checks += 1,
             }
         }
 
@@ -368,94 +516,50 @@ impl MvtsoStore {
         CheckOutcome::Pending { waiting_on }
     }
 
-    fn has_write_in_range(&self, key: &Key, lower: Timestamp, upper: Timestamp) -> bool {
-        let in_committed = self
-            .committed_versions
-            .get(key)
-            .map(|versions| {
-                versions
-                    .range((
-                        std::ops::Bound::Excluded(lower),
-                        std::ops::Bound::Excluded(upper),
-                    ))
-                    .next()
-                    .is_some()
-            })
-            .unwrap_or(false);
-        if in_committed {
-            return true;
-        }
-        self.prepared_writes
-            .get(key)
-            .map(|versions| {
-                versions
-                    .range((
-                        std::ops::Bound::Excluded(lower),
-                        std::ops::Bound::Excluded(upper),
-                    ))
-                    .next()
-                    .is_some()
-            })
-            .unwrap_or(false)
-    }
-
-    fn write_invalidates_reader(&self, key: &Key, write_ts: Timestamp) -> bool {
-        let check = |reads: &BTreeMap<Timestamp, Timestamp>| {
-            reads
-                .range((
-                    std::ops::Bound::Excluded(write_ts),
-                    std::ops::Bound::Unbounded,
-                ))
-                .any(|(_, version_read)| *version_read < write_ts)
-        };
-        let committed_hit = self.committed_reads.get(key).map(&check).unwrap_or(false);
-        if committed_hit {
-            return true;
-        }
-        self.prepared_reads.get(key).map(&check).unwrap_or(false)
-    }
-
     fn index_prepared(&mut self, txid: TxId, tx: &Arc<Transaction>) {
+        let ts = tx.timestamp();
         for write in tx.write_set() {
-            self.prepared_writes
-                .entry(write.key.clone())
-                .or_default()
-                .insert(tx.timestamp(), txid);
+            let rec = self.keys.entry(write.key.clone()).or_default();
+            rec.prepared.insert(ts, txid);
+            rec.note_write(ts);
         }
         for read in tx.read_set() {
-            self.prepared_reads
-                .entry(read.key.clone())
-                .or_default()
-                .insert(tx.timestamp(), read.version);
+            let rec = self.keys.entry(read.key.clone()).or_default();
+            rec.prepared_reads.insert(ts, read.version);
+            rec.note_read(ts);
         }
         self.prepared_txs.insert(txid, Arc::clone(tx));
     }
 
     /// Removes a prepared transaction from the visibility indexes,
     /// returning its shared metadata so a commit can promote it without
-    /// copying.
+    /// copying. Watermarks are recomputed (`O(1)` from the array tails)
+    /// whenever the removed entry was the watermark, so the fast path stays
+    /// exact rather than decaying conservatively.
     fn unindex_prepared(&mut self, txid: &TxId) -> Option<Arc<Transaction>> {
-        if let Some(tx) = self.prepared_txs.remove(txid) {
-            for write in tx.write_set() {
-                if let Some(map) = self.prepared_writes.get_mut(&write.key) {
-                    map.remove(&tx.timestamp());
-                    if map.is_empty() {
-                        self.prepared_writes.remove(&write.key);
+        let tx = self.prepared_txs.remove(txid)?;
+        let ts = tx.timestamp();
+        for write in tx.write_set() {
+            if let Some(rec) = self.keys.get_mut(&write.key) {
+                if rec.prepared.remove(ts).is_some() {
+                    rec.generation += 1;
+                    if ts == rec.max_write {
+                        rec.refresh_write_watermark();
                     }
                 }
             }
-            for read in tx.read_set() {
-                if let Some(map) = self.prepared_reads.get_mut(&read.key) {
-                    map.remove(&tx.timestamp());
-                    if map.is_empty() {
-                        self.prepared_reads.remove(&read.key);
-                    }
-                }
-            }
-            Some(tx)
-        } else {
-            None
         }
+        for read in tx.read_set() {
+            if let Some(rec) = self.keys.get_mut(&read.key) {
+                if rec.prepared_reads.remove(ts).is_some() {
+                    rec.generation += 1;
+                    if ts == rec.max_read {
+                        rec.refresh_read_watermark();
+                    }
+                }
+            }
+        }
+        Some(tx)
     }
 
     // ------------------------------------------------------------------
@@ -482,17 +586,16 @@ impl MvtsoStore {
         self.pending.remove(&txid);
         self.decisions.insert(txid, Decision::Commit);
 
+        let ts = tx.timestamp();
         for write in tx.write_set() {
-            self.committed_versions
-                .entry(write.key.clone())
-                .or_default()
-                .insert(tx.timestamp(), (txid, write.value.clone()));
+            let rec = self.keys.entry(write.key.clone()).or_default();
+            rec.committed.insert(ts, (txid, write.value.clone()));
+            rec.note_write(ts);
         }
         for read in tx.read_set() {
-            self.committed_reads
-                .entry(read.key.clone())
-                .or_default()
-                .insert(tx.timestamp(), read.version);
+            let rec = self.keys.entry(read.key.clone()).or_default();
+            rec.committed_reads.insert(ts, read.version);
+            rec.note_read(ts);
         }
         self.committed_txs.insert(txid, shared);
 
@@ -596,24 +699,54 @@ impl MvtsoStore {
         self.prepared_txs.len()
     }
 
+    /// The scan-free fast-path counters (see [`StoreStats`]).
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The generation stamp of a key's record: how many times its
+    /// concurrency-control state has mutated (tests and diagnostics).
+    pub fn key_generation(&self, key: &Key) -> Option<u64> {
+        self.keys.get(key).map(|rec| rec.generation)
+    }
+
+    /// The `(max_write, max_read)` watermarks of a key's record (tests and
+    /// diagnostics).
+    pub fn key_watermarks(&self, key: &Key) -> Option<(Timestamp, Timestamp)> {
+        self.keys.get(key).map(|rec| (rec.max_write, rec.max_read))
+    }
+
     /// Garbage-collects bookkeeping that can no longer affect any future
     /// check: committed versions strictly older than the newest one at or
     /// below `watermark` (the newest such version must be retained because
     /// future readers may still need it), committed read records below the
     /// watermark, and RTS entries below the watermark.
+    ///
+    /// In the flattened layout each trim is an in-place prefix drain of a
+    /// sorted `Vec` — no allocation, unlike the `BTreeMap::split_off` tail
+    /// copies this replaces.
     pub fn gc_before(&mut self, watermark: Timestamp) {
-        for versions in self.committed_versions.values_mut() {
-            if let Some(keep_from) = versions.range(..=watermark).next_back().map(|(ts, _)| *ts) {
-                *versions = versions.split_off(&keep_from);
+        self.gc_watermark = self.gc_watermark.max(watermark);
+        for rec in self.keys.values_mut() {
+            let mut dropped = 0;
+            if let Some(keep_from) = rec.committed.latest_at_or_below(watermark).map(|(t, _)| *t) {
+                dropped += rec.committed.drop_below(keep_from);
+            }
+            dropped += rec.committed_reads.drop_below(watermark);
+            dropped += rec.rts.drop_below(watermark);
+            if dropped > 0 {
+                rec.generation += 1;
+                // Prefix drains cannot raise the tails, but they can empty
+                // an array entirely; recompute both watermarks exactly.
+                rec.refresh_read_watermark();
+                rec.refresh_write_watermark();
             }
         }
-        for reads in self.committed_reads.values_mut() {
-            *reads = reads.split_off(&watermark);
-        }
-        for set in self.rts.values_mut() {
-            *set = set.split_off(&watermark);
-        }
-        self.rts.retain(|_, set| !set.is_empty());
+        // A fully drained record is semantically identical to an absent one;
+        // dropping it keeps the key map bounded by the keys that still carry
+        // state (reads of never-written keys would otherwise pin a record
+        // forever).
+        self.keys.retain(|_, rec| !rec.is_unused());
     }
 }
 
@@ -993,6 +1126,11 @@ mod tests {
         expect_commit(store.prepare(&t, CLOCK, DELTA));
         expect_commit(store.prepare(&t, CLOCK, DELTA));
         assert_eq!(store.prepared_count(), 1);
+        assert_eq!(
+            store.stats().prepares,
+            1,
+            "duplicate deliveries answer from the memo without a check"
+        );
 
         store.commit(&t);
         // After commit, a re-delivered prepare reports commit.
@@ -1071,5 +1209,173 @@ mod tests {
         assert_eq!(prepared.txid, t2.id());
         assert_eq!(prepared.deps.len(), 1);
         assert_eq!(prepared.deps[0].txid, w1.id());
+    }
+
+    // ------------------------------------------------------------------
+    // Flattened-layout specifics: watermarks, generations, fast path
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn timestamp_ordered_appends_stay_on_the_fast_path() {
+        let mut store = store_with_xy();
+        // Monotone blind writes to one key: every check is answered by the
+        // watermark comparison (no reader above, version read is newest).
+        for i in 1..=50u64 {
+            let t = rmw(
+                i * 10,
+                1,
+                "x",
+                if i == 1 {
+                    Timestamp::ZERO
+                } else {
+                    ts((i - 1) * 10, 1)
+                },
+                i,
+            );
+            expect_commit(store.prepare(&t, CLOCK, DELTA));
+            store.commit(&t);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.prepares, 50);
+        assert_eq!(stats.slow_path_checks, 0, "no conflict window ever opened");
+        assert_eq!(
+            stats.fast_path_checks, 100,
+            "one read + one write check per tx"
+        );
+        assert_eq!(stats.fast_path_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn stale_reads_and_late_writes_take_the_slow_path() {
+        let mut store = store_with_xy();
+        let w = blind_write(100, 1, "x", 5);
+        expect_commit(store.prepare(&w, CLOCK, DELTA));
+        store.commit(&w);
+
+        // Stale read: max_write (100) > version read (0) forces the scan.
+        let stale = rmw(200, 2, "x", Timestamp::ZERO, 7);
+        expect_abort(store.prepare(&stale, CLOCK, DELTA), AbortReason::Conflict);
+        assert!(store.stats().slow_path_checks >= 1);
+
+        // Late write under an RTS: max_read (500) > write ts (300).
+        store.read(&k("y"), ts(500, 3));
+        let before = store.stats().slow_path_checks;
+        let late = blind_write(300, 4, "y", 1);
+        expect_abort(store.prepare(&late, CLOCK, DELTA), AbortReason::Conflict);
+        assert_eq!(store.stats().slow_path_checks, before + 1);
+    }
+
+    #[test]
+    fn generation_stamp_counts_record_mutations() {
+        let mut store = store_with_xy();
+        let g0 = store.key_generation(&k("x")).expect("genesis record");
+        store.read(&k("x"), ts(10, 1));
+        let g1 = store.key_generation(&k("x")).unwrap();
+        assert!(g1 > g0, "RTS registration bumps the generation");
+        store.remove_rts(&k("x"), ts(10, 1));
+        let g2 = store.key_generation(&k("x")).unwrap();
+        assert!(g2 > g1, "RTS removal bumps the generation");
+        assert_eq!(store.key_generation(&k("never-touched")), None);
+    }
+
+    #[test]
+    fn watermarks_track_inserts_and_removals_exactly() {
+        let mut store = store_with_xy();
+        let w = blind_write(100, 1, "x", 5);
+        expect_commit(store.prepare(&w, CLOCK, DELTA));
+        assert_eq!(store.key_watermarks(&k("x")).unwrap().0, ts(100, 1));
+
+        // Aborting the newest prepared write lowers max_write back to the
+        // genesis version, restoring the fast path for future readers of
+        // version ZERO.
+        store.abort(w.id());
+        assert_eq!(store.key_watermarks(&k("x")).unwrap().0, Timestamp::ZERO);
+        let before = store.stats().fast_path_checks;
+        let t = rmw(200, 2, "x", Timestamp::ZERO, 7);
+        expect_commit(store.prepare(&t, CLOCK, DELTA));
+        assert!(
+            store.stats().fast_path_checks > before,
+            "read check answered by the refreshed watermark"
+        );
+
+        // Read watermarks follow RTS removal the same way.
+        store.read(&k("y"), ts(900, 3));
+        assert_eq!(store.key_watermarks(&k("y")).unwrap().1, ts(900, 3));
+        store.remove_rts(&k("y"), ts(900, 3));
+        assert_eq!(store.key_watermarks(&k("y")).unwrap().1, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn prepare_below_gc_watermark_aborts() {
+        let mut store = store_with_xy();
+        // Reader at 300 read x@0 and committed; GC then collects its read
+        // record. A write backdated under the collected reader must abort —
+        // the evidence that would have caught it is gone.
+        let mut b = TransactionBuilder::new(ts(300, 1));
+        b.record_read(k("x"), Timestamp::ZERO);
+        b.record_write(k("dummy"), v(1));
+        let reader = b.build_shared();
+        expect_commit(store.prepare(&reader, CLOCK, DELTA));
+        store.commit(&reader);
+        store.gc_before(ts(400, 0));
+
+        let w = blind_write(200, 2, "x", 9);
+        expect_abort(
+            store.prepare(&w, CLOCK, DELTA),
+            AbortReason::TimestampOutOfBounds,
+        );
+        // Exactly at the watermark is refused too; strictly above proceeds.
+        let at = blind_write(400, 0, "x", 9);
+        expect_abort(
+            store.prepare(&at, CLOCK, DELTA),
+            AbortReason::TimestampOutOfBounds,
+        );
+        let above = blind_write(500, 3, "x", 9);
+        expect_commit(store.prepare(&above, CLOCK, DELTA));
+    }
+
+    #[test]
+    fn unused_key_records_are_pruned() {
+        let mut store = store_with_xy();
+        // A read of a never-written key holds a record only for its RTS.
+        store.read(&k("ghost"), ts(100, 1));
+        assert!(store.key_generation(&k("ghost")).is_some());
+        store.remove_rts(&k("ghost"), ts(100, 1));
+        assert_eq!(
+            store.key_generation(&k("ghost")),
+            None,
+            "record released with its last RTS"
+        );
+
+        // GC drops records drained to nothing but keeps live ones.
+        store.read(&k("phantom"), ts(100, 2));
+        store.gc_before(ts(200, 0));
+        assert_eq!(store.key_generation(&k("phantom")), None);
+        assert!(
+            store.key_generation(&k("x")).is_some(),
+            "keys with retained versions keep their record"
+        );
+    }
+
+    #[test]
+    fn gc_refreshes_watermarks_and_generation() {
+        let mut store = store_with_xy();
+        for i in 1..=5u64 {
+            let t = blind_write(i * 100, 1, "x", i);
+            store.prepare(&t, CLOCK, DELTA);
+            store.commit(&t);
+        }
+        store.read(&k("x"), ts(120, 7));
+        let gen_before = store.key_generation(&k("x")).unwrap();
+        store.gc_before(ts(450, 0));
+        assert!(store.key_generation(&k("x")).unwrap() > gen_before);
+        // The RTS at 120 was collected; the newest write (500) is retained.
+        let (max_write, max_read) = store.key_watermarks(&k("x")).unwrap();
+        assert_eq!(max_write, ts(500, 1));
+        assert_eq!(
+            max_read,
+            Timestamp::ZERO,
+            "the only read record (the RTS) was below the GC watermark"
+        );
     }
 }

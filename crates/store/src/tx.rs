@@ -66,6 +66,10 @@ pub struct Transaction {
     write_set: Vec<WriteOp>,
     /// Write-read dependencies on prepared, uncommitted transactions.
     deps: Vec<Dependency>,
+    /// Largest version claimed by any read, frozen at build time. The MVTSO
+    /// prepare compares it against the transaction timestamp once instead of
+    /// walking the read set (the read-from-the-future misbehaviour check).
+    max_read_version: Timestamp,
     /// Memoized identifier digest.
     cached_id: std::sync::OnceLock<TxId>,
     /// Memoized canonical encoding (the signing payload of `ST1`); computed
@@ -80,6 +84,7 @@ impl Clone for Transaction {
             read_set: self.read_set.clone(),
             write_set: self.write_set.clone(),
             deps: self.deps.clone(),
+            max_read_version: self.max_read_version,
             cached_id: self.cached_id.clone(),
             cached_encoding: self.cached_encoding.clone(),
         }
@@ -146,6 +151,14 @@ impl Transaction {
     /// Write-read dependencies on prepared, uncommitted transactions.
     pub fn deps(&self) -> &[Dependency] {
         &self.deps
+    }
+
+    /// The largest version claimed by any read (or [`Timestamp::ZERO`] for a
+    /// read-free transaction), precomputed when the builder froze the
+    /// metadata. `max_read_version() > timestamp()` proves the client claimed
+    /// a read from the future.
+    pub fn max_read_version(&self) -> Timestamp {
+        self.max_read_version
     }
 
     /// The memoized canonical byte encoding used for hashing and signing.
@@ -336,11 +349,18 @@ impl TransactionBuilder {
 
     /// Freezes the metadata into an immutable [`Transaction`].
     pub fn build(self) -> Transaction {
+        let max_read_version = self
+            .read_set
+            .iter()
+            .map(|r| r.version)
+            .max()
+            .unwrap_or(Timestamp::ZERO);
         Transaction {
             timestamp: self.timestamp,
             read_set: self.read_set,
             write_set: self.write_set,
             deps: self.deps,
+            max_read_version,
             cached_id: std::sync::OnceLock::new(),
             cached_encoding: std::sync::OnceLock::new(),
         }
@@ -442,6 +462,19 @@ mod tests {
         let t = b.build();
         assert_eq!(t.write_set.len(), 1);
         assert_eq!(t.written_value(&Key::new("k")), Some(&Value::from_u64(2)));
+    }
+
+    #[test]
+    fn max_read_version_is_frozen_at_build() {
+        let mut b = TransactionBuilder::new(ts(100, 1));
+        b.record_read(Key::new("x"), ts(50, 2));
+        b.record_read(Key::new("y"), ts(70, 3));
+        b.record_read(Key::new("z"), ts(10, 1));
+        let t = b.build();
+        assert_eq!(t.max_read_version(), ts(70, 3));
+
+        let empty = TransactionBuilder::new(ts(1, 1)).build();
+        assert_eq!(empty.max_read_version(), Timestamp::ZERO);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Flattened, timestamp-sorted version arrays.
+//!
+//! The MVTSO concurrency-control check is dominated by per-key ordered
+//! lookups: "newest version below `ts`", "any write strictly inside
+//! `(lower, upper)`", "any reader above `ts`". The original store kept one
+//! `BTreeMap` per key per index, which answers those queries in `O(log n)`
+//! but with pointer-chasing node traversals and one allocation per entry.
+//!
+//! [`VersionArray`] stores the same ordered mapping as a single flat `Vec`
+//! of `(Timestamp, V)` pairs sorted by timestamp. Workload timestamps are
+//! issued by loosely synchronized client clocks, so inserts arrive in
+//! almost-sorted order: the common case is a bounds check plus a `push`,
+//! and the rare out-of-order insert is a binary search plus `Vec::insert`.
+//! Range queries become `partition_point` binary searches over contiguous
+//! memory, and the max element — the watermark the scan-free prepare fast
+//! path compares against — is just the last slot.
+//!
+//! Semantics match the `BTreeMap` it replaces: timestamps are unique keys
+//! and inserting an existing timestamp replaces the value.
+
+use basil_common::Timestamp;
+
+/// An ordered `Timestamp -> V` map stored as a flat sorted `Vec`.
+///
+/// Optimized for append-mostly insertion and read-heavy range queries; see
+/// the module docs for the rationale.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionArray<V> {
+    entries: Vec<(Timestamp, V)>,
+}
+
+impl<V> Default for VersionArray<V> {
+    fn default() -> Self {
+        VersionArray::new()
+    }
+}
+
+impl<V> VersionArray<V> {
+    /// Creates an empty array.
+    pub fn new() -> Self {
+        VersionArray {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the array holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The largest timestamp present, if any — the write/read watermark the
+    /// scan-free prepare fast path compares against.
+    pub fn max_ts(&self) -> Option<Timestamp> {
+        self.entries.last().map(|(ts, _)| *ts)
+    }
+
+    /// The entry with the largest timestamp, if any.
+    pub fn last(&self) -> Option<&(Timestamp, V)> {
+        self.entries.last()
+    }
+
+    /// First index whose timestamp is `>= ts`.
+    fn lower_bound(&self, ts: Timestamp) -> usize {
+        self.entries.partition_point(|(t, _)| *t < ts)
+    }
+
+    /// First index whose timestamp is `> ts`.
+    fn upper_bound(&self, ts: Timestamp) -> usize {
+        self.entries.partition_point(|(t, _)| *t <= ts)
+    }
+
+    /// Inserts `value` at `ts`, replacing any existing entry with the same
+    /// timestamp (`BTreeMap::insert` semantics). Appends without searching
+    /// when `ts` is newer than everything present — the common case under
+    /// timestamp-ordered workloads.
+    pub fn insert(&mut self, ts: Timestamp, value: V) {
+        match self.entries.last() {
+            Some((last, _)) if *last < ts => self.entries.push((ts, value)),
+            None => self.entries.push((ts, value)),
+            _ => {
+                let idx = self.lower_bound(ts);
+                if self
+                    .entries
+                    .get(idx)
+                    .map(|(t, _)| *t == ts)
+                    .unwrap_or(false)
+                {
+                    self.entries[idx].1 = value;
+                } else {
+                    self.entries.insert(idx, (ts, value));
+                }
+            }
+        }
+    }
+
+    /// Removes the entry at exactly `ts`, returning its value.
+    pub fn remove(&mut self, ts: Timestamp) -> Option<V> {
+        let idx = self.lower_bound(ts);
+        if self
+            .entries
+            .get(idx)
+            .map(|(t, _)| *t == ts)
+            .unwrap_or(false)
+        {
+            Some(self.entries.remove(idx).1)
+        } else {
+            None
+        }
+    }
+
+    /// The value stored at exactly `ts`.
+    pub fn get(&self, ts: Timestamp) -> Option<&V> {
+        let idx = self.lower_bound(ts);
+        match self.entries.get(idx) {
+            Some((t, v)) if *t == ts => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The newest entry with timestamp strictly below `ts` (versioned-read
+    /// visibility: readers see versions strictly older than themselves).
+    pub fn latest_before(&self, ts: Timestamp) -> Option<&(Timestamp, V)> {
+        let idx = self.lower_bound(ts);
+        if idx == 0 {
+            None
+        } else {
+            self.entries.get(idx - 1)
+        }
+    }
+
+    /// The newest entry with timestamp at or below `ts` (the GC keep-point:
+    /// the newest version a reader at the watermark could still observe).
+    pub fn latest_at_or_below(&self, ts: Timestamp) -> Option<&(Timestamp, V)> {
+        let idx = self.upper_bound(ts);
+        if idx == 0 {
+            None
+        } else {
+            self.entries.get(idx - 1)
+        }
+    }
+
+    /// Whether any entry lies strictly inside the open window
+    /// `(lower, upper)` — the missed-write check of Algorithm 1.
+    pub fn any_in_open_range(&self, lower: Timestamp, upper: Timestamp) -> bool {
+        let idx = self.upper_bound(lower);
+        self.entries
+            .get(idx)
+            .map(|(t, _)| *t < upper)
+            .unwrap_or(false)
+    }
+
+    /// Iterates over entries with timestamp strictly above `ts`, in
+    /// ascending order (the invalidated-reader scan of Algorithm 1).
+    pub fn iter_above(&self, ts: Timestamp) -> impl Iterator<Item = &(Timestamp, V)> {
+        self.entries[self.upper_bound(ts)..].iter()
+    }
+
+    /// Iterates over all entries in ascending timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Timestamp, V)> {
+        self.entries.iter()
+    }
+
+    /// Drops every entry with timestamp strictly below `keep_from`, shifting
+    /// the retained suffix down in place. Unlike `BTreeMap::split_off` this
+    /// allocates nothing; it returns how many entries were dropped.
+    pub fn drop_below(&mut self, keep_from: Timestamp) -> usize {
+        let idx = self.lower_bound(keep_from);
+        if idx > 0 {
+            self.entries.drain(..idx);
+        }
+        idx
+    }
+
+    /// Keeps only the `n` newest entries, draining the older prefix in
+    /// place; returns how many entries were dropped. Used to bound
+    /// retained-history arrays whose consumers only need a recent window.
+    pub fn keep_newest(&mut self, n: usize) -> usize {
+        let dropped = self.entries.len().saturating_sub(n);
+        if dropped > 0 {
+            self.entries.drain(..dropped);
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basil_common::ClientId;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_nanos(t, ClientId(t % 4))
+    }
+
+    fn filled(times: &[u64]) -> VersionArray<u64> {
+        let mut a = VersionArray::new();
+        for &t in times {
+            a.insert(ts(t), t);
+        }
+        a
+    }
+
+    #[test]
+    fn append_and_out_of_order_insert_stay_sorted() {
+        let a = filled(&[10, 30, 20, 40, 5]);
+        let order: Vec<u64> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(order, vec![5, 10, 20, 30, 40]);
+        assert_eq!(a.max_ts(), Some(ts(40)));
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn insert_replaces_on_equal_timestamp() {
+        let mut a = filled(&[10, 20]);
+        a.insert(ts(10), 99);
+        assert_eq!(a.get(ts(10)), Some(&99));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_get() {
+        let mut a = filled(&[10, 20, 30]);
+        assert_eq!(a.remove(ts(20)), Some(20));
+        assert_eq!(a.remove(ts(20)), None);
+        assert_eq!(a.get(ts(20)), None);
+        assert_eq!(a.get(ts(30)), Some(&30));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn visibility_lookups() {
+        let a = filled(&[10, 20, 30]);
+        assert_eq!(a.latest_before(ts(25)).map(|(_, v)| *v), Some(20));
+        assert_eq!(a.latest_before(ts(10)).map(|(_, v)| *v), None);
+        assert_eq!(a.latest_before(ts(5)), None);
+        assert_eq!(a.latest_at_or_below(ts(20)).map(|(_, v)| *v), Some(20));
+        assert_eq!(a.latest_at_or_below(ts(9)), None);
+    }
+
+    #[test]
+    fn open_range_matches_exclusive_bounds() {
+        let a = filled(&[10, 20, 30]);
+        assert!(a.any_in_open_range(ts(10), ts(30)));
+        assert!(
+            !a.any_in_open_range(ts(20), ts(30)),
+            "both bounds exclusive"
+        );
+        assert!(!a.any_in_open_range(ts(30), ts(100)));
+        assert!(a.any_in_open_range(ts(0), ts(11)));
+        assert!(VersionArray::<u64>::new().is_empty());
+        assert!(!VersionArray::<u64>::new().any_in_open_range(ts(0), ts(100)));
+    }
+
+    #[test]
+    fn iter_above_is_strict() {
+        let a = filled(&[10, 20, 30]);
+        let above: Vec<u64> = a.iter_above(ts(20)).map(|(_, v)| *v).collect();
+        assert_eq!(above, vec![30]);
+        assert_eq!(a.iter_above(ts(30)).count(), 0);
+        assert_eq!(a.iter_above(ts(0)).count(), 3);
+    }
+
+    #[test]
+    fn keep_newest_bounds_the_array() {
+        let mut a = filled(&[10, 20, 30, 40]);
+        assert_eq!(a.keep_newest(10), 0, "already within bound");
+        assert_eq!(a.keep_newest(2), 2);
+        let left: Vec<u64> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(left, vec![30, 40]);
+        assert_eq!(a.keep_newest(0), 2);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn drop_below_retains_suffix_in_place() {
+        let mut a = filled(&[10, 20, 30, 40]);
+        assert_eq!(a.drop_below(ts(30)), 2);
+        let left: Vec<u64> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(left, vec![30, 40]);
+        assert_eq!(a.drop_below(ts(0)), 0);
+        assert_eq!(a.drop_below(ts(100)), 2);
+        assert!(a.is_empty());
+        assert_eq!(a.max_ts(), None);
+    }
+}
