@@ -25,7 +25,7 @@ use basil_common::{
 };
 use basil_core::byzantine::FaultProfile;
 use basil_core::ReplicaBehavior;
-use basil_simnet::{Actor, NetworkConfig, NodeProps, Simulation};
+use basil_simnet::{Actor, NetworkConfig, NodeProps, ParallelSimulation, Simulation};
 use basil_store::mvtso::Decision;
 use basil_store::{audit_serializability, AuditError, Transaction};
 use std::collections::HashMap;
@@ -38,8 +38,10 @@ use std::collections::HashMap;
 /// scheduling, measurement, fault injection, auditing — lives in
 /// [`ProtocolCluster`] and is shared.
 pub trait ClusterProtocol {
-    /// The wire message type exchanged by this protocol's actors.
-    type Msg: Clone + 'static;
+    /// The wire message type exchanged by this protocol's actors. `Send` is
+    /// part of the contract: the parallel runtime carries in-flight
+    /// messages across worker threads.
+    type Msg: Clone + Send + 'static;
     /// The client actor type (downcast target for stats collection).
     type Client: Actor<Self::Msg>;
     /// The replica actor type (downcast target for store inspection).
@@ -49,8 +51,9 @@ pub trait ClusterProtocol {
 
     /// Called once at the start of [`ProtocolCluster::build`], before any
     /// actor is constructed (e.g. to derive deployment-wide key material
-    /// from the simulation seed).
-    fn prepare_build(&mut self, _seed: u64) {}
+    /// from the simulation seed). `num_clients` lets the adapter
+    /// precompute per-node verification keys for the whole deployment.
+    fn prepare_build(&mut self, _seed: u64, _num_clients: u32) {}
 
     /// The shards of this deployment.
     fn shards(&self) -> Vec<ShardId>;
@@ -113,6 +116,99 @@ pub trait ClusterProtocol {
     fn set_behavior(replica: &mut Self::Replica, behavior: ReplicaBehavior);
 }
 
+/// How a cluster's event loop executes.
+///
+/// Both modes produce **bit-for-bit identical** simulated results — same
+/// event trace, same jitter draws, same commit/abort decisions — for any
+/// worker count; only host wall-clock time differs. `Serial` is the
+/// single-threaded oracle; `Parallel` shards actor execution across worker
+/// threads in lookahead-bounded epochs (see `basil_simnet::parallel`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RuntimeMode {
+    /// The single-threaded discrete-event loop (the determinism oracle).
+    #[default]
+    Serial,
+    /// Thread-sharded epoch execution with the given number of workers.
+    Parallel(usize),
+}
+
+impl RuntimeMode {
+    /// Number of worker threads this mode runs with (1 for serial).
+    pub fn workers(&self) -> usize {
+        match self {
+            RuntimeMode::Serial => 1,
+            RuntimeMode::Parallel(n) => (*n).max(1),
+        }
+    }
+
+    /// Short display label (`serial`, `parallel:4`).
+    pub fn label(&self) -> String {
+        match self {
+            RuntimeMode::Serial => "serial".to_string(),
+            RuntimeMode::Parallel(n) => format!("parallel:{n}"),
+        }
+    }
+}
+
+/// The cluster's event-loop driver: the serial engine or the thread-sharded
+/// parallel runtime wrapped around it. Inspection always goes through the
+/// inner [`Simulation`] (valid between runs); only `run_for` differs.
+enum SimDriver<M> {
+    Serial(Simulation<M>),
+    Parallel(ParallelSimulation<M>),
+}
+
+impl<M: Clone + Send + 'static> SimDriver<M> {
+    fn new(
+        sim: Simulation<M>,
+        mode: RuntimeMode,
+        lookahead: Option<Duration>,
+        inline_threshold: Option<usize>,
+    ) -> Self {
+        match mode {
+            RuntimeMode::Serial => SimDriver::Serial(sim),
+            RuntimeMode::Parallel(n) => {
+                let mut par = ParallelSimulation::from_serial(sim, n);
+                if let Some(l) = lookahead {
+                    par = par.with_lookahead(l);
+                }
+                if let Some(t) = inline_threshold {
+                    par = par.with_inline_threshold(t);
+                }
+                SimDriver::Parallel(par)
+            }
+        }
+    }
+
+    fn mode(&self) -> RuntimeMode {
+        match self {
+            SimDriver::Serial(_) => RuntimeMode::Serial,
+            SimDriver::Parallel(p) => RuntimeMode::Parallel(p.workers()),
+        }
+    }
+
+    fn sim(&self) -> &Simulation<M> {
+        match self {
+            SimDriver::Serial(s) => s,
+            SimDriver::Parallel(p) => p.inner(),
+        }
+    }
+
+    fn sim_mut(&mut self) -> &mut Simulation<M> {
+        match self {
+            SimDriver::Serial(s) => s,
+            SimDriver::Parallel(p) => p.inner_mut(),
+        }
+    }
+
+    fn run_for(&mut self, d: Duration) {
+        match self {
+            SimDriver::Serial(s) => s.run_for(d),
+            SimDriver::Parallel(p) => p.run_for(d),
+        }
+    }
+}
+
 /// Configuration of a simulated deployment, generic over the protocol
 /// adapter `P` supplying the protocol-specific configuration.
 #[derive(Clone, Debug)]
@@ -138,6 +234,18 @@ pub struct ClusterConfig<P> {
     pub replica_cores: u32,
     /// CPU cores per client process.
     pub client_cores: u32,
+    /// How the event loop executes (serial oracle or thread-sharded
+    /// parallel). Simulated results are identical either way.
+    pub runtime: RuntimeMode,
+    /// Override for the parallel runtime's epoch lookahead (`None` derives
+    /// it from the network's minimum delivery delay). Ignored in serial
+    /// mode.
+    pub parallel_lookahead: Option<Duration>,
+    /// Override for the epoch size below which the parallel driver executes
+    /// inline instead of fanning out to the workers (`None` uses the
+    /// runtime default; `Some(0)` forces every epoch through the workers —
+    /// what the determinism golden tests do). Ignored in serial mode.
+    pub parallel_inline_threshold: Option<usize>,
 }
 
 impl<P> ClusterConfig<P> {
@@ -155,6 +263,9 @@ impl<P> ClusterConfig<P> {
             initial_data: Vec::new(),
             replica_cores: 8,
             client_cores: 8,
+            runtime: RuntimeMode::Serial,
+            parallel_lookahead: None,
+            parallel_inline_threshold: None,
         }
     }
 
@@ -182,6 +293,26 @@ impl<P> ClusterConfig<P> {
         self.network = network;
         self
     }
+
+    /// Selects the event-loop runtime (serial by default).
+    pub fn with_runtime(mut self, runtime: RuntimeMode) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Tunes the parallel runtime: an explicit epoch lookahead and/or the
+    /// inline-execution threshold. No effect in serial mode; results are
+    /// identical for every setting — these only trade synchronization
+    /// overhead against epoch density.
+    pub fn with_parallel_tuning(
+        mut self,
+        lookahead: Option<Duration>,
+        inline_threshold: Option<usize>,
+    ) -> Self {
+        self.parallel_lookahead = lookahead;
+        self.parallel_inline_threshold = inline_threshold;
+        self
+    }
 }
 
 /// A running simulated deployment of protocol `P`.
@@ -191,7 +322,7 @@ impl<P> ClusterConfig<P> {
 /// throughput/latency measurements over a window, inject replica faults
 /// and partitions, and audit the committed history for serializability.
 pub struct ProtocolCluster<P: ClusterProtocol> {
-    sim: Simulation<P::Msg>,
+    sim: SimDriver<P::Msg>,
     config: ClusterConfig<P>,
     clients: Vec<ClientId>,
     replicas: Vec<ReplicaId>,
@@ -204,7 +335,9 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
         mut config: ClusterConfig<P>,
         mut make_generator: impl FnMut(ClientId) -> Box<dyn TxGenerator>,
     ) -> Self {
-        config.protocol.prepare_build(config.seed);
+        config
+            .protocol
+            .prepare_build(config.seed, config.num_clients);
         let mut sim = Simulation::new(config.seed, config.network.clone());
 
         // Replicas, one group per shard, each holding its shard's slice of
@@ -262,6 +395,12 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
             clients.push(cid);
         }
 
+        let sim = SimDriver::new(
+            sim,
+            config.runtime,
+            config.parallel_lookahead,
+            config.parallel_inline_threshold,
+        );
         ProtocolCluster {
             sim,
             config,
@@ -270,14 +409,19 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
         }
     }
 
-    /// Advances the simulation by `d`.
+    /// Advances the simulation by `d` (on the configured runtime).
     pub fn run_for(&mut self, d: Duration) {
         self.sim.run_for(d);
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        self.sim.sim().now()
+    }
+
+    /// The event-loop runtime this cluster executes on.
+    pub fn runtime_mode(&self) -> RuntimeMode {
+        self.sim.mode()
     }
 
     /// Runs a warmup period, then a measurement window, and reports
@@ -288,18 +432,19 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
         let start = self.snapshot();
         self.run_for(window);
         let end = self.snapshot();
-        RunReport::between(&start, &end, window)
+        RunReport::between(&start, &end, window).with_runtime(self.runtime_mode())
     }
 
     /// Direct access to the underlying simulator (fault injection,
-    /// partitions, metrics).
+    /// partitions, metrics). Regardless of the runtime mode this is the
+    /// serial engine's state, valid between runs.
     pub fn sim_mut(&mut self) -> &mut Simulation<P::Msg> {
-        &mut self.sim
+        self.sim.sim_mut()
     }
 
     /// The simulator's metrics and actors.
     pub fn sim(&self) -> &Simulation<P::Msg> {
-        &self.sim
+        self.sim.sim()
     }
 
     /// Identifiers of all clients.
@@ -324,6 +469,7 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
             .iter()
             .filter_map(|cid| {
                 self.sim
+                    .sim()
                     .actor::<P::Client>(NodeId::Client(*cid))
                     .map(|c| (*cid, P::client_stats(c).clone()))
             })
@@ -332,14 +478,18 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
 
     /// Changes a replica's behaviour mid-run (fault injection).
     pub fn set_replica_behavior(&mut self, rid: ReplicaId, behavior: ReplicaBehavior) {
-        if let Some(replica) = self.sim.actor_mut::<P::Replica>(NodeId::Replica(rid)) {
+        if let Some(replica) = self
+            .sim
+            .sim_mut()
+            .actor_mut::<P::Replica>(NodeId::Replica(rid))
+        {
             P::set_behavior(replica, behavior);
         }
     }
 
     /// Crashes a replica (all messages to it are dropped).
     pub fn crash_replica(&mut self, rid: ReplicaId) {
-        self.sim.crash(NodeId::Replica(rid));
+        self.sim.sim_mut().crash(NodeId::Replica(rid));
     }
 
     /// Aggregates client counters into a snapshot (correct clients only
@@ -347,7 +497,7 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
         for cid in &self.clients {
-            if let Some(client) = self.sim.actor::<P::Client>(NodeId::Client(*cid)) {
+            if let Some(client) = self.sim.sim().actor::<P::Client>(NodeId::Client(*cid)) {
                 P::accumulate(
                     P::client_stats(client),
                     self.is_byzantine_client(*cid),
@@ -363,7 +513,7 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
     fn committed_dedup(&self) -> Vec<&Transaction> {
         let mut seen: HashMap<TxId, &Transaction> = HashMap::new();
         for rid in &self.replicas {
-            if let Some(replica) = self.sim.actor::<P::Replica>(NodeId::Replica(*rid)) {
+            if let Some(replica) = self.sim.sim().actor::<P::Replica>(NodeId::Replica(*rid)) {
                 for tx in P::committed_transactions(replica) {
                     seen.entry(tx.id()).or_insert(tx);
                 }
@@ -378,6 +528,30 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
         self.committed_dedup().into_iter().cloned().collect()
     }
 
+    /// SHA-256 hex digest over the sorted committed transaction ids: pins
+    /// the exact set of transactions that committed (and therefore every
+    /// decision), independent of replica iteration order. The golden
+    /// determinism tests compare this digest across runtimes and against
+    /// captured values.
+    pub fn committed_history_digest(&self) -> String {
+        let mut ids: Vec<[u8; 32]> = self
+            .committed_dedup()
+            .iter()
+            .map(|tx| *tx.id().as_bytes())
+            .collect();
+        ids.sort_unstable();
+        let mut hasher = basil_crypto::Sha256::new();
+        for id in &ids {
+            hasher.update(id);
+        }
+        hasher
+            .finalize()
+            .as_bytes()
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect()
+    }
+
     /// Audits the committed history: serializability of the union of
     /// committed transactions, and agreement of per-transaction decisions
     /// across replicas (no transaction may be committed on one correct
@@ -388,7 +562,8 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
         for tx in &committed {
             let txid = tx.id();
             for rid in &self.replicas {
-                let Some(replica) = self.sim.actor::<P::Replica>(NodeId::Replica(*rid)) else {
+                let Some(replica) = self.sim.sim().actor::<P::Replica>(NodeId::Replica(*rid))
+                else {
                     continue;
                 };
                 if P::decision(replica, &txid) == Some(Decision::Abort) {
@@ -411,6 +586,7 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
         let shard = self.config.protocol.shard_for_key(key);
         let rid = ReplicaId::new(shard, 0);
         self.sim
+            .sim()
             .actor::<P::Replica>(NodeId::Replica(rid))
             .and_then(|r| P::latest_value(r, key))
     }

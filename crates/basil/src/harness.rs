@@ -60,8 +60,18 @@ impl ClusterProtocol for BasilProtocol {
     type Replica = BasilReplica;
     type Stats = ClientStats;
 
-    fn prepare_build(&mut self, seed: u64) {
-        self.registry = Some(KeyRegistry::from_seed(seed));
+    fn prepare_build(&mut self, seed: u64, num_clients: u32) {
+        // Precompute every participant's verification key: certificate
+        // validation then derives no per-vote HMAC keys (the expensive half
+        // of a cold signature check), only the tag itself.
+        let replicas = self.shards().into_iter().flat_map(|shard| {
+            (0..self.basil.system.shard.n()).map(move |i| NodeId::Replica(ReplicaId::new(shard, i)))
+        });
+        let clients = (0..num_clients).map(|i| NodeId::Client(ClientId(i as u64)));
+        self.registry = Some(KeyRegistry::from_seed_with_nodes(
+            seed,
+            replicas.chain(clients),
+        ));
     }
 
     fn shards(&self) -> Vec<ShardId> {

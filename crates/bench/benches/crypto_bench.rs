@@ -3,7 +3,11 @@
 //! real (host) cost of the from-scratch implementations; the simulator
 //! charges the calibrated ed25519 costs instead (see `basil_crypto::cost`).
 
-use basil_common::{ClientId, NodeId};
+use basil_common::{ClientId, NodeId, ReplicaId, ShardId, TxId};
+use basil_core::certs::{validate_commit_cert, CommitCert, ShardVotes};
+use basil_core::config::BasilConfig;
+use basil_core::crypto_engine::SigEngine;
+use basil_core::messages::{ProtoDecision, ProtoVote, SignedSt1Reply, St1ReplyBody};
 use basil_crypto::hmac::hmac_sha256;
 use basil_crypto::{BatchProof, BatchSigner, KeyRegistry, MerkleTree, Sha256, SignatureCache};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -79,9 +83,83 @@ fn bench_signatures(c: &mut Criterion) {
     }
 }
 
+/// The ROADMAP slow spot: a cold `DecisionCert` validation paid a full
+/// signature check *per vote*, and each of those checks re-derived the
+/// voting replica's verification key (an extra HMAC, two SHA-256 passes).
+/// The cluster harness now precomputes every participant's key at
+/// deployment build time (`KeyRegistry::from_seed_with_nodes`), so the
+/// derivation is paid once per node per deployment instead of once per
+/// vote — this pair of benchmarks shows the per-quorum delta. (True
+/// signature aggregation is not possible with per-node MACs; the remaining
+/// per-vote work is one leaf hash and one tag check, the same floor ed25519
+/// batch verification has.)
+fn bench_cert_quorum_validation(c: &mut Criterion) {
+    let mut cfg = BasilConfig::test_single_shard();
+    cfg.crypto_mode = basil_core::config::CryptoMode::Real;
+    let txid = TxId::from_bytes([7; 32]);
+    let client = NodeId::Client(ClientId(1));
+    let replicas: Vec<NodeId> = (0..6)
+        .map(|i| NodeId::Replica(ReplicaId::new(ShardId(0), i)))
+        .collect();
+    let shard_cfg = cfg.system.shard;
+
+    let build_cert = |registry: &KeyRegistry| {
+        let votes: Vec<SignedSt1Reply> = (0..6)
+            .map(|i| {
+                let rid = ReplicaId::new(ShardId(0), i);
+                let body = St1ReplyBody {
+                    txid,
+                    replica: rid,
+                    vote: ProtoVote::Commit,
+                };
+                let mut engine = SigEngine::new(NodeId::Replica(rid), registry.clone(), &cfg);
+                let (proof, _) = engine.sign(&body.signed_bytes());
+                SignedSt1Reply {
+                    body,
+                    proof,
+                    conflict: None,
+                }
+            })
+            .collect();
+        CommitCert {
+            txid,
+            fast_votes: vec![ShardVotes {
+                txid,
+                shard: ShardId(0),
+                decision: ProtoDecision::Commit,
+                votes,
+                conflict: None,
+            }],
+            slow: None,
+        }
+    };
+
+    // Per-vote key derivation (the pre-refactor behaviour).
+    let derived = KeyRegistry::from_seed(1);
+    let cert = build_cert(&derived);
+    c.bench_function("cert_quorum6_cold_derived_keys", |b| {
+        b.iter(|| {
+            let mut engine = SigEngine::new(client, derived.clone(), &cfg);
+            validate_commit_cert(&cert, Some(&[ShardId(0)]), &shard_cfg, &mut engine)
+        })
+    });
+
+    // Keys precomputed once per deployment (what the harness now builds).
+    let precomputed =
+        KeyRegistry::from_seed_with_nodes(1, replicas.iter().copied().chain([client]));
+    let cert = build_cert(&precomputed);
+    c.bench_function("cert_quorum6_cold_precomputed_keys", |b| {
+        b.iter(|| {
+            let mut engine = SigEngine::new(client, precomputed.clone(), &cfg);
+            validate_commit_cert(&cert, Some(&[ShardId(0)]), &shard_cfg, &mut engine)
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_sha256, bench_hmac, bench_merkle, bench_signatures
+    targets = bench_sha256, bench_hmac, bench_merkle, bench_signatures,
+        bench_cert_quorum_validation
 }
 criterion_main!(benches);

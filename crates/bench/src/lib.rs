@@ -44,7 +44,7 @@ use basil::workloads::retwis::RetwisGenerator;
 use basil::workloads::smallbank::SmallbankGenerator;
 use basil::workloads::tpcc::TpccGenerator;
 use basil::workloads::ycsb::YcsbGenerator;
-use basil::{BasilConfig, ClientId, Duration, RunReport, SystemConfig, TxGenerator};
+use basil::{BasilConfig, ClientId, Duration, RunReport, RuntimeMode, SystemConfig, TxGenerator};
 use basil_core::byzantine::FaultProfile;
 
 /// The workloads used across the evaluation.
@@ -134,6 +134,9 @@ pub struct RunParams {
     pub window: Duration,
     /// Simulation seed.
     pub seed: u64,
+    /// Event-loop runtime (serial oracle or thread-sharded parallel).
+    /// Simulated results are identical either way; only wall-clock differs.
+    pub runtime: RuntimeMode,
 }
 
 impl Default for RunParams {
@@ -143,6 +146,7 @@ impl Default for RunParams {
             warmup: Duration::from_millis(150),
             window: Duration::from_millis(400),
             seed: 42,
+            runtime: runtime_from_env(),
         }
     }
 }
@@ -156,6 +160,7 @@ impl RunParams {
             warmup: Duration::from_millis(50),
             window: Duration::from_millis(150),
             seed: 42,
+            runtime: runtime_from_env(),
         }
     }
 
@@ -163,6 +168,28 @@ impl RunParams {
     pub fn with_clients(mut self, clients: u32) -> Self {
         self.clients = clients;
         self
+    }
+
+    /// Overrides the event-loop runtime.
+    pub fn with_runtime(mut self, runtime: RuntimeMode) -> Self {
+        self.runtime = runtime;
+        self
+    }
+}
+
+/// The runtime selected by the `BASIL_WORKERS` environment variable: unset,
+/// empty, `0`, or `1` mean the serial oracle; `N > 1` means
+/// `RuntimeMode::Parallel(N)`. The figure binaries and the default
+/// [`RunParams`] honour it, so any experiment can be re-run on the parallel
+/// runtime without a rebuild (results are identical by construction — see
+/// `tests/parallel_determinism.rs`).
+pub fn runtime_from_env() -> RuntimeMode {
+    match std::env::var("BASIL_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 1 => RuntimeMode::Parallel(n),
+        _ => RuntimeMode::Serial,
     }
 }
 
@@ -182,7 +209,8 @@ pub fn run_basil_with_faults(
     let config = ClusterConfig::basil_default(params.clients)
         .with_basil(basil)
         .with_byzantine_clients(byzantine_clients, fault)
-        .with_seed(params.seed);
+        .with_seed(params.seed)
+        .with_runtime(params.runtime);
     let seed = params.seed;
     let mut cluster = BasilCluster::build(config, |client| workload.generator(client, seed));
     cluster.run_measured(params.warmup, params.window)
@@ -209,7 +237,8 @@ pub fn run_baseline(
             .with_batch_size(batch),
         params.clients,
     )
-    .with_seed(params.seed);
+    .with_seed(params.seed)
+    .with_runtime(params.runtime);
     let seed = params.seed;
     let mut cluster = BaselineCluster::build(config, |client| workload.generator(client, seed));
     cluster.run_measured(params.warmup, params.window)
@@ -334,6 +363,7 @@ mod tests {
             fallbacks: 0,
             faulty_fraction: 0.0,
             per_label: Default::default(),
+            runtime: basil::RuntimeMode::Serial,
         });
         assert_eq!(clients, 3);
         assert_eq!(best.committed, 30);

@@ -59,6 +59,37 @@ impl<K: Hash + Eq + Copy, V> BoundedFifoMap<K, V> {
         self.map.get(key)
     }
 
+    /// One-lookup check-and-insert: if `key` is present and its value
+    /// satisfies `matches`, returns `true` and leaves the map untouched;
+    /// otherwise stores `value` under `key` (evicting FIFO-oldest entries
+    /// as [`BoundedFifoMap::insert`] would) and returns `false`.
+    /// Semantically identical to `get` followed by `insert`, at one hash
+    /// lookup instead of two — the signature cache runs this on every
+    /// verification.
+    pub fn check_insert(&mut self, key: K, value: V, matches: impl FnOnce(&V) -> bool) -> bool {
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if matches(e.get()) {
+                    return true;
+                }
+                e.insert(value);
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value);
+                self.order.push_back(key);
+                while self.map.len() > self.capacity {
+                    let Some(oldest) = self.order.pop_front() else {
+                        break;
+                    };
+                    self.map.remove(&oldest);
+                    self.evictions += 1;
+                }
+                false
+            }
+        }
+    }
+
     /// Number of entries currently held.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -82,8 +82,24 @@ impl From<ReplicaId> for NodeId {
 /// client can neither spoof the set of involved shards nor equivocate the
 /// transaction's contents (Section 4.2, step 1). The 32-byte digest is
 /// produced by `basil-crypto`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct TxId(pub [u8; 32]);
+
+/// A `TxId` is always a SHA-256 content hash (or the all-zero genesis id):
+/// its bytes are uniformly distributed, so hash tables keyed by `TxId` —
+/// replica records, certificate tables, decision maps, client tallies, all
+/// on the hot path — only need the first eight bytes. Consistent with
+/// `Eq`: equal ids have equal prefixes. (This is deliberately *not* done
+/// for `basil_crypto::Digest`: simulated-mode batch roots encode a
+/// per-engine counter in their leading bytes, and prefix-hashing those
+/// collides every engine's nth root with every other's.)
+impl std::hash::Hash for TxId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(u64::from_le_bytes(
+            self.0[..8].try_into().expect("8-byte prefix"),
+        ));
+    }
+}
 
 impl TxId {
     /// Builds a transaction id directly from raw digest bytes.

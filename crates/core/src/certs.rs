@@ -15,6 +15,48 @@ use basil_common::{Duration, NodeId, ShardConfig, ShardId, TxId};
 use std::collections::HashSet;
 use std::sync::Arc;
 
+/// Allocation-free set of replica indices for quorum counting. Shards have
+/// `n = 5f + 1` replicas, so a 64-bit mask covers every deployment up to
+/// `f = 12`; larger indices (only reachable with hand-built configs) spill
+/// into a heap set.
+#[derive(Default)]
+pub(crate) struct ReplicaIndexSet {
+    mask: u64,
+    spill: Option<HashSet<u32>>,
+    count: u32,
+}
+
+impl ReplicaIndexSet {
+    /// Inserts `index`; returns `false` if it was already present.
+    pub(crate) fn insert(&mut self, index: u32) -> bool {
+        if index < 64 {
+            let bit = 1u64 << index;
+            if self.mask & bit != 0 {
+                return false;
+            }
+            self.mask |= bit;
+        } else {
+            if !self.spill.get_or_insert_with(HashSet::new).insert(index) {
+                return false;
+            }
+        }
+        self.count += 1;
+        true
+    }
+
+    pub(crate) fn contains(&self, index: u32) -> bool {
+        if index < 64 {
+            self.mask & (1u64 << index) != 0
+        } else {
+            self.spill.as_ref().is_some_and(|s| s.contains(&index))
+        }
+    }
+
+    pub(crate) fn len(&self) -> u32 {
+        self.count
+    }
+}
+
 /// The votes a client gathered from one shard in stage ST1: either a durable
 /// fast-path certificate or a slow-path tally that still needs logging.
 #[derive(Clone, Debug)]
@@ -127,13 +169,13 @@ fn count_valid_st1_votes(
     votes: &[SignedSt1Reply],
     engine: &mut SigEngine,
 ) -> (u32, Duration) {
-    let mut seen: HashSet<u32> = HashSet::new();
+    let mut seen = ReplicaIndexSet::default();
     let mut cost = Duration::ZERO;
     for v in votes {
         if v.body.txid != txid || v.body.replica.shard != shard || &v.body.vote != want {
             continue;
         }
-        if seen.contains(&v.body.replica.index) {
+        if seen.contains(v.body.replica.index) {
             continue;
         }
         if engine.enabled() {
@@ -143,7 +185,7 @@ fn count_valid_st1_votes(
                 .as_ref()
                 .map(|p| p.signer() == NodeId::Replica(v.body.replica))
                 .unwrap_or(false);
-            let (ok, c) = engine.verify(&v.body.signed_bytes(), v.proof.as_ref());
+            let (ok, c) = engine.verify(&v.body, v.proof.as_ref());
             cost += c;
             if !ok || !signer_ok {
                 continue;
@@ -151,7 +193,7 @@ fn count_valid_st1_votes(
         }
         seen.insert(v.body.replica.index);
     }
-    (seen.len() as u32, cost)
+    (seen.len(), cost)
 }
 
 /// Counts the distinct replicas of `shard` among `replies` whose decision and
@@ -164,7 +206,7 @@ fn count_valid_st2_replies(
     replies: &[SignedSt2Reply],
     engine: &mut SigEngine,
 ) -> (u32, Duration) {
-    let mut seen: HashSet<u32> = HashSet::new();
+    let mut seen = ReplicaIndexSet::default();
     let mut cost = Duration::ZERO;
     for r in replies {
         if r.body.txid != txid
@@ -174,7 +216,7 @@ fn count_valid_st2_replies(
         {
             continue;
         }
-        if seen.contains(&r.body.replica.index) {
+        if seen.contains(r.body.replica.index) {
             continue;
         }
         if engine.enabled() {
@@ -183,7 +225,7 @@ fn count_valid_st2_replies(
                 .as_ref()
                 .map(|p| p.signer() == NodeId::Replica(r.body.replica))
                 .unwrap_or(false);
-            let (ok, c) = engine.verify(&r.body.signed_bytes(), r.proof.as_ref());
+            let (ok, c) = engine.verify(&r.body, r.proof.as_ref());
             cost += c;
             if !ok || !signer_ok {
                 continue;
@@ -191,7 +233,7 @@ fn count_valid_st2_replies(
         }
         seen.insert(r.body.replica.index);
     }
-    (seen.len() as u32, cost)
+    (seen.len(), cost)
 }
 
 /// Validates a slow-path logging certificate: `n - f` matching, correctly

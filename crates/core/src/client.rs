@@ -103,7 +103,10 @@ struct PendingRead {
     key: Key,
     /// Delta to apply if this read is part of a read-modify-write op.
     rmw_delta: Option<i64>,
-    replies: FastHashMap<ReplicaId, ReadReply>,
+    /// Replies gathered so far, deduplicated by replica, in arrival order
+    /// (a small `Vec` — the read quorum waits for `f + 1` ≈ 2 replies, so
+    /// a hash map per read was pure allocation overhead).
+    replies: Vec<(ReplicaId, ReadReply)>,
     wait_for: u32,
 }
 
@@ -122,8 +125,8 @@ struct Preparing {
     tx: Arc<Transaction>,
     txid: TxId,
     involved: Vec<ShardId>,
-    tallies: HashMap<ShardId, ShardTally>,
-    outcomes: HashMap<ShardId, ShardOutcome>,
+    tallies: FastHashMap<ShardId, ShardTally>,
+    outcomes: FastHashMap<ShardId, ShardOutcome>,
 }
 
 /// Decision-logging (ST2) state.
@@ -164,8 +167,8 @@ struct Recovery {
     tx: Arc<Transaction>,
     involved: Vec<ShardId>,
     slog: ShardId,
-    tallies: HashMap<ShardId, ShardTally>,
-    outcomes: HashMap<ShardId, ShardOutcome>,
+    tallies: FastHashMap<ShardId, ShardTally>,
+    outcomes: FastHashMap<ShardId, ShardOutcome>,
     st2_tally: St2Tally,
     /// Whether we have already escalated to a leader election.
     invoked_election: bool,
@@ -314,10 +317,10 @@ impl BasilClient {
         involved[(txid.as_u64() % involved.len() as u64) as usize]
     }
 
-    fn verify_replica_reply(
+    fn verify_replica_reply<P: crate::crypto_engine::SignedPayload + ?Sized>(
         &mut self,
         ctx: &mut Context<BasilMsg>,
-        bytes: &[u8],
+        bytes: &P,
         proof: Option<&basil_crypto::BatchProof>,
         claimed: ReplicaId,
     ) -> bool {
@@ -448,7 +451,7 @@ impl BasilClient {
                 req_id,
                 key: key.clone(),
                 rmw_delta,
-                replies: FastHashMap::default(),
+                replies: Vec::new(),
                 wait_for,
             });
             exec.builder.timestamp()
@@ -461,7 +464,7 @@ impl BasilClient {
             ts,
             auth: None,
         };
-        let (auth, cost) = self.engine.sign_request(&req.signed_bytes());
+        let (auth, cost) = self.engine.sign_request(&req);
         ctx.charge(cost);
         let req = ReadRequest { auth, ..req };
         for i in 0..fanout {
@@ -502,9 +505,8 @@ impl BasilClient {
             ),
         };
         // Verify the reply signature before accepting it.
-        let bytes = reply.body.signed_bytes();
         if self.engine.enabled() {
-            let (ok, cost) = self.engine.verify(&bytes, reply.proof.as_ref());
+            let (ok, cost) = self.engine.verify(&reply.body, reply.proof.as_ref());
             ctx.charge(cost);
             if !ok {
                 return;
@@ -519,7 +521,10 @@ impl BasilClient {
         let Some(pending) = exec.pending_read.as_mut() else {
             return;
         };
-        pending.replies.insert(replica, reply);
+        match pending.replies.iter_mut().find(|(r, _)| *r == replica) {
+            Some((_, existing)) => *existing = reply,
+            None => pending.replies.push((replica, reply)),
+        }
         if (pending.replies.len() as u32) < pending.wait_for {
             return;
         }
@@ -545,7 +550,7 @@ impl BasilClient {
         // Committed candidate: the highest committed version backed by a
         // valid certificate (or the genesis version).
         let mut best_committed: Option<(Timestamp, Value)> = None;
-        for reply in replies.values() {
+        for (_, reply) in &replies {
             let Some(c) = &reply.body.committed else {
                 continue;
             };
@@ -582,19 +587,19 @@ impl BasilClient {
         }
 
         // Prepared candidate: a version vouched for by at least f+1 replicas.
-        let mut prepared_counts: FastHashMap<TxId, (u32, Arc<Transaction>)> =
-            FastHashMap::default();
-        for reply in replies.values() {
+        let mut prepared_counts: Vec<(TxId, u32, Arc<Transaction>)> = Vec::new();
+        for (_, reply) in &replies {
             if let Some(p) = &reply.body.prepared {
-                let entry = prepared_counts
-                    .entry(p.tx.id())
-                    .or_insert_with(|| (0, Arc::clone(&p.tx)));
-                entry.0 += 1;
+                let txid = p.tx.id();
+                match prepared_counts.iter_mut().find(|(t, ..)| *t == txid) {
+                    Some((_, count, _)) => *count += 1,
+                    None => prepared_counts.push((txid, 1, Arc::clone(&p.tx))),
+                }
             }
         }
         let vouch = self.cfg.system.shard.prepared_vouch_quorum();
         let mut best_prepared: Option<(Timestamp, Value, TxId, Arc<Transaction>)> = None;
-        for (txid, (count, tx)) in prepared_counts {
+        for (txid, count, tx) in prepared_counts {
             if count < vouch {
                 continue;
             }
@@ -702,7 +707,7 @@ impl BasilClient {
             ts,
             auth: None,
         };
-        let (auth, cost) = self.engine.sign_request(&req.signed_bytes());
+        let (auth, cost) = self.engine.sign_request(&req);
         ctx.charge(cost);
         let req = ReadRequest { auth, ..req };
         for replica in self.replicas_of(shard) {
@@ -753,7 +758,7 @@ impl BasilClient {
             auth: None,
             recovery: false,
         };
-        let (auth, cost) = self.engine.sign_request(&st1.signed_bytes());
+        let (auth, cost) = self.engine.sign_request(&st1);
         ctx.charge(cost);
         let st1 = St1 { auth, ..st1 };
         for replica in self.all_replicas_of(&involved) {
@@ -777,7 +782,7 @@ impl BasilClient {
                 txid,
                 involved,
                 tallies,
-                outcomes: HashMap::new(),
+                outcomes: FastHashMap::default(),
             });
         }
         ctx.schedule_self(
@@ -787,8 +792,7 @@ impl BasilClient {
     }
 
     fn handle_st1_reply(&mut self, ctx: &mut Context<BasilMsg>, vote: SignedSt1Reply) {
-        let bytes = vote.body.signed_bytes();
-        if !self.verify_replica_reply(ctx, &bytes, vote.proof.as_ref(), vote.body.replica) {
+        if !self.verify_replica_reply(ctx, &vote.body, vote.proof.as_ref(), vote.body.replica) {
             return;
         }
         let txid = vote.body.txid;
@@ -917,7 +921,7 @@ impl BasilClient {
                 view: 0,
                 auth: None,
             };
-            let (auth, cost) = self.engine.sign_request(&st2.signed_bytes());
+            let (auth, cost) = self.engine.sign_request(&st2);
             ctx.charge(cost);
             self.send_signed(ctx, replica, BasilMsg::St2(St2 { auth, ..st2 }));
         }
@@ -962,7 +966,7 @@ impl BasilClient {
             view: 0,
             auth: None,
         };
-        let (auth, cost) = self.engine.sign_request(&st2.signed_bytes());
+        let (auth, cost) = self.engine.sign_request(&st2);
         ctx.charge(cost);
         let st2 = St2 { auth, ..st2 };
         for replica in self.replicas_of(slog) {
@@ -1022,8 +1026,7 @@ impl BasilClient {
     // ------------------------------------------------------------------
 
     fn handle_st2_reply(&mut self, ctx: &mut Context<BasilMsg>, reply: SignedSt2Reply) {
-        let bytes = reply.body.signed_bytes();
-        if !self.verify_replica_reply(ctx, &bytes, reply.proof.as_ref(), reply.body.replica) {
+        if !self.verify_replica_reply(ctx, &reply.body, reply.proof.as_ref(), reply.body.replica) {
             return;
         }
         let txid = reply.body.txid;
@@ -1090,7 +1093,7 @@ impl BasilClient {
             view: 0,
             auth: None,
         };
-        let (auth, cost) = self.engine.sign_request(&st2.signed_bytes());
+        let (auth, cost) = self.engine.sign_request(&st2);
         ctx.charge(cost);
         let st2 = St2 { auth, ..st2 };
         for replica in self.replicas_of(slog) {
@@ -1257,7 +1260,7 @@ impl BasilClient {
                 involved: involved.clone(),
                 slog,
                 tallies,
-                outcomes: HashMap::new(),
+                outcomes: FastHashMap::default(),
                 st2_tally: St2Tally::new(dep, slog, self.cfg.system.shard),
                 invoked_election: false,
                 resolved: false,
@@ -1269,7 +1272,7 @@ impl BasilClient {
             auth: None,
             recovery: true,
         };
-        let (auth, cost) = self.engine.sign_request(&st1.signed_bytes());
+        let (auth, cost) = self.engine.sign_request(&st1);
         ctx.charge(cost);
         let st1 = St1 { auth, ..st1 };
         for replica in self.all_replicas_of(&involved) {
@@ -1357,7 +1360,7 @@ impl BasilClient {
                     views: replies,
                     auth: None,
                 };
-                let (auth, cost) = self.engine.sign_request(&ifb.signed_bytes());
+                let (auth, cost) = self.engine.sign_request(&ifb);
                 ctx.charge(cost);
                 let ifb = InvokeFb { auth, ..ifb };
                 for replica in self.replicas_of(slog) {
@@ -1395,7 +1398,7 @@ impl BasilClient {
                         view: 0,
                         auth: None,
                     };
-                    let (auth, cost) = self.engine.sign_request(&st2.signed_bytes());
+                    let (auth, cost) = self.engine.sign_request(&st2);
                     ctx.charge(cost);
                     let st2 = St2 { auth, ..st2 };
                     for replica in self.replicas_of(slog) {
@@ -1436,7 +1439,7 @@ impl BasilClient {
                     auth: None,
                     recovery: true,
                 };
-                let (auth, cost) = self.engine.sign_request(&st1.signed_bytes());
+                let (auth, cost) = self.engine.sign_request(&st1);
                 ctx.charge(cost);
                 let st1 = St1 { auth, ..st1 };
                 for replica in self.all_replicas_of(&involved) {

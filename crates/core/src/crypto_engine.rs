@@ -11,10 +11,63 @@
 use crate::config::{BasilConfig, CryptoMode};
 use basil_common::{Duration, NodeId};
 use basil_crypto::batch::BatchVerifyOutcome;
+use basil_crypto::merkle::MerkleProof;
 use basil_crypto::sig::Signature;
 use basil_crypto::{
     BatchProof, CostModel, Digest, KeyPair, KeyRegistry, MerkleTree, SignatureCache,
 };
+
+/// A canonical signable encoding, producible lazily.
+///
+/// The engine charges CPU costs from the payload *length* and only hashes
+/// the payload bytes when the deployment runs real cryptography
+/// ([`CryptoMode::Real`]). Message bodies implement this with an exact
+/// `encoded_len` (unit-tested against `signed_bytes().len()`), so the
+/// simulated-crypto hot path — every figure experiment — never materializes
+/// an encoding at all. Costs are computed from the same lengths either
+/// way, so simulated results are bit-identical.
+pub trait SignedPayload {
+    /// Exact length of [`SignedPayload::to_bytes`]'s result.
+    fn encoded_len(&self) -> usize;
+    /// Materializes the canonical encoding.
+    fn to_bytes(&self) -> Vec<u8>;
+}
+
+impl SignedPayload for [u8] {
+    fn encoded_len(&self) -> usize {
+        self.len()
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_vec()
+    }
+}
+
+impl SignedPayload for Vec<u8> {
+    fn encoded_len(&self) -> usize {
+        self.len()
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.clone()
+    }
+}
+
+impl<const N: usize> SignedPayload for [u8; N] {
+    fn encoded_len(&self) -> usize {
+        N
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_vec()
+    }
+}
+
+impl<P: SignedPayload + ?Sized> SignedPayload for &P {
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        (**self).to_bytes()
+    }
+}
 
 /// A node's signing/verification facility.
 pub struct SigEngine {
@@ -50,14 +103,17 @@ impl SigEngine {
     }
 
     /// Signs a single payload. Returns `None` (at zero cost) when signatures
-    /// are disabled.
-    pub fn sign(&mut self, payload: &[u8]) -> (Option<BatchProof>, Duration) {
+    /// are disabled. The payload is only materialized under real crypto.
+    pub fn sign<P: SignedPayload + ?Sized>(
+        &mut self,
+        payload: &P,
+    ) -> (Option<BatchProof>, Duration) {
         if !self.enabled {
             return (None, Duration::ZERO);
         }
-        let cost = self.cost.sign_cost() + self.cost.hash_cost(payload.len());
+        let cost = self.cost.sign_cost() + self.cost.hash_cost(payload.encoded_len());
         let proof = match self.mode {
-            CryptoMode::Real => BatchProof::sign_single(&self.keypair, payload),
+            CryptoMode::Real => BatchProof::sign_single(&self.keypair, &payload.to_bytes()),
             CryptoMode::Simulated => {
                 self.dummy_counter += 1;
                 dummy_proof(self.keypair.node(), self.dummy_counter, 1)
@@ -69,12 +125,15 @@ impl SigEngine {
     /// Authenticates a client request. Requests only need point-to-point
     /// authentication (a MAC), not transferability, so the CPU cost charged
     /// is the MAC cost rather than a full signature.
-    pub fn sign_request(&mut self, payload: &[u8]) -> (Option<BatchProof>, Duration) {
+    pub fn sign_request<P: SignedPayload + ?Sized>(
+        &mut self,
+        payload: &P,
+    ) -> (Option<BatchProof>, Duration) {
         if !self.enabled {
             return (None, Duration::ZERO);
         }
         let proof = match self.mode {
-            CryptoMode::Real => BatchProof::sign_single(&self.keypair, payload),
+            CryptoMode::Real => BatchProof::sign_single(&self.keypair, &payload.to_bytes()),
             CryptoMode::Simulated => {
                 self.dummy_counter += 1;
                 dummy_proof(self.keypair.node(), self.dummy_counter, 1)
@@ -83,10 +142,11 @@ impl SigEngine {
         (Some(proof), self.cost.mac_cost())
     }
 
-    /// Verifies a client request MAC.
-    pub fn verify_request(
+    /// Verifies a client request MAC. The payload is only materialized
+    /// under real crypto.
+    pub fn verify_request<P: SignedPayload + ?Sized>(
         &mut self,
-        payload: &[u8],
+        payload: &P,
         proof: Option<&BatchProof>,
     ) -> (bool, Duration) {
         if !self.enabled {
@@ -97,7 +157,7 @@ impl SigEngine {
         };
         match self.mode {
             CryptoMode::Real => {
-                let outcome = proof.verify(payload, &self.registry, &mut self.cache);
+                let outcome = proof.verify(&payload.to_bytes(), &self.registry, &mut self.cache);
                 (outcome.valid, self.cost.mac_cost())
             }
             CryptoMode::Simulated => (true, self.cost.mac_cost()),
@@ -105,19 +165,24 @@ impl SigEngine {
     }
 
     /// Signs a batch of payloads (replica reply batching). Returns one proof
-    /// per payload plus the total CPU cost of building and signing the batch.
-    pub fn sign_batch(&mut self, payloads: &[Vec<u8>]) -> (Vec<Option<BatchProof>>, Duration) {
+    /// per payload plus the total CPU cost of building and signing the
+    /// batch. Payloads are only materialized under real crypto.
+    pub fn sign_batch<P: SignedPayload>(
+        &mut self,
+        payloads: &[P],
+    ) -> (Vec<Option<BatchProof>>, Duration) {
         if payloads.is_empty() {
             return (Vec::new(), Duration::ZERO);
         }
         if !self.enabled {
             return (vec![None; payloads.len()], Duration::ZERO);
         }
-        let avg_len = payloads.iter().map(Vec::len).sum::<usize>() / payloads.len();
+        let avg_len = payloads.iter().map(P::encoded_len).sum::<usize>() / payloads.len();
         let cost = self.cost.batch_sign_cost(payloads.len(), avg_len.max(1));
         match self.mode {
             CryptoMode::Real => {
-                let tree = MerkleTree::build(payloads);
+                let bytes: Vec<Vec<u8>> = payloads.iter().map(P::to_bytes).collect();
+                let tree = MerkleTree::build(&bytes);
                 let root = tree.root();
                 let root_signature = self.keypair.sign(root.as_bytes());
                 let proofs = (0..payloads.len())
@@ -150,8 +215,14 @@ impl SigEngine {
     }
 
     /// Verifies a signed payload. When `proof` is `None` the message is
-    /// accepted only if signatures are disabled deployment-wide.
-    pub fn verify(&mut self, payload: &[u8], proof: Option<&BatchProof>) -> (bool, Duration) {
+    /// accepted only if signatures are disabled deployment-wide. The
+    /// payload is only materialized under real crypto; the charged cost is
+    /// computed from the same exact length either way.
+    pub fn verify<P: SignedPayload + ?Sized>(
+        &mut self,
+        payload: &P,
+        proof: Option<&BatchProof>,
+    ) -> (bool, Duration) {
         if !self.enabled {
             return (true, Duration::ZERO);
         }
@@ -162,24 +233,24 @@ impl SigEngine {
             CryptoMode::Real => {
                 let before_hits = self.cache.hits();
                 let outcome: BatchVerifyOutcome =
-                    proof.verify(payload, &self.registry, &mut self.cache);
+                    proof.verify(&payload.to_bytes(), &self.registry, &mut self.cache);
                 let cached = self.cache.hits() > before_hits;
                 let cost = self.cost.batch_verify_cost(
                     proof.batch_size,
-                    payload.len().max(1),
+                    payload.encoded_len().max(1),
                     cached && outcome.valid,
                 );
                 (outcome.valid, cost)
             }
             CryptoMode::Simulated => {
-                // Structural acceptance; model the cache by root identity.
-                let cached = self.cache.contains(&proof.root, &proof.root_signature);
-                if !cached {
-                    self.cache.insert(proof.root, proof.root_signature);
-                }
-                let cost =
-                    self.cost
-                        .batch_verify_cost(proof.batch_size, payload.len().max(1), cached);
+                // Structural acceptance; model the cache by root identity
+                // (one fused lookup: hit check + miss insert).
+                let cached = self.cache.check_insert(proof.root, proof.root_signature);
+                let cost = self.cost.batch_verify_cost(
+                    proof.batch_size,
+                    payload.encoded_len().max(1),
+                    cached,
+                );
                 (true, cost)
             }
         }
@@ -187,9 +258,9 @@ impl SigEngine {
 
     /// Verifies a set of signed payloads (certificate validation); returns
     /// whether all were valid and the summed cost.
-    pub fn verify_all<'a>(
+    pub fn verify_all<'a, P: SignedPayload + ?Sized + 'a>(
         &mut self,
-        items: impl IntoIterator<Item = (&'a [u8], Option<&'a BatchProof>)>,
+        items: impl IntoIterator<Item = (&'a P, Option<&'a BatchProof>)>,
     ) -> (bool, Duration) {
         let mut all_valid = true;
         let mut total = Duration::ZERO;
@@ -230,14 +301,20 @@ fn dummy_proof(signer: NodeId, counter: u64, batch_size: usize) -> BatchProof {
             root_bytes[13..17].copy_from_slice(&r.index.to_be_bytes());
         }
     }
-    let leaf = MerkleTree::build(&[b"simulated".as_slice()]);
     BatchProof {
         root: Digest(root_bytes),
         root_signature: Signature {
             signer,
             tag: Digest::ZERO,
         },
-        inclusion: leaf.prove(0),
+        // A single-leaf inclusion proof is structurally empty (the leaf is
+        // the root); building it directly skips the per-signature SHA-256
+        // a MerkleTree construction would spend hashing a constant.
+        inclusion: MerkleProof {
+            leaf_index: 0,
+            leaf_count: 1,
+            siblings: Vec::new(),
+        },
         batch_size,
     }
 }

@@ -13,6 +13,7 @@
 //! (`Basil-NoProofs`) the proofs are absent.
 
 use crate::certs::DecisionCert;
+use crate::crypto_engine::SignedPayload;
 use basil_common::{Key, ReplicaId, Timestamp, TxId, Value};
 use basil_crypto::BatchProof;
 use basil_store::Transaction;
@@ -86,6 +87,15 @@ pub struct ReadRequest {
     pub auth: Option<BatchProof>,
 }
 
+impl SignedPayload for ReadRequest {
+    fn encoded_len(&self) -> usize {
+        4 + 8 + 8 + 8 + self.key.len()
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.signed_bytes()
+    }
+}
+
 impl ReadRequest {
     /// Canonical bytes covered by the client's signature.
     pub fn signed_bytes(&self) -> Vec<u8> {
@@ -138,6 +148,23 @@ pub struct ReadReplyBody {
     pub committed: Option<CommittedRead>,
     /// Newest prepared version below the reader's timestamp.
     pub prepared: Option<PreparedRead>,
+}
+
+impl SignedPayload for ReadReplyBody {
+    fn encoded_len(&self) -> usize {
+        let committed = match &self.committed {
+            Some(c) => 1 + 8 + 8 + 32 + c.value.len(),
+            None => 1,
+        };
+        let prepared = match &self.prepared {
+            Some(_) => 1 + 32,
+            None => 1,
+        };
+        5 + 8 + self.key.len() + committed + prepared
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.signed_bytes()
+    }
 }
 
 impl ReadReplyBody {
@@ -197,6 +224,15 @@ pub struct St1 {
     pub recovery: bool,
 }
 
+impl SignedPayload for St1 {
+    fn encoded_len(&self) -> usize {
+        self.tx.encoded().len() + 3
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.signed_bytes()
+    }
+}
+
 impl St1 {
     /// Canonical bytes covered by the client's signature. The transaction
     /// part is the memoized canonical encoding, so only the first call per
@@ -219,6 +255,15 @@ pub struct St1ReplyBody {
     pub replica: ReplicaId,
     /// The replica's vote.
     pub vote: ProtoVote,
+}
+
+impl SignedPayload for St1ReplyBody {
+    fn encoded_len(&self) -> usize {
+        4 + 32 + 4 + 4 + 1
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.signed_bytes()
+    }
 }
 
 impl St1ReplyBody {
@@ -263,6 +308,15 @@ pub struct St2 {
     pub auth: Option<BatchProof>,
 }
 
+impl SignedPayload for St2 {
+    fn encoded_len(&self) -> usize {
+        3 + 32 + 1 + 8
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.signed_bytes()
+    }
+}
+
 impl St2 {
     /// Canonical bytes covered by the client's signature.
     pub fn signed_bytes(&self) -> Vec<u8> {
@@ -288,6 +342,15 @@ pub struct St2ReplyBody {
     pub view_decision: View,
     /// The replica's current view for this transaction.
     pub view_current: View,
+}
+
+impl SignedPayload for St2ReplyBody {
+    fn encoded_len(&self) -> usize {
+        4 + 32 + 4 + 4 + 1 + 8 + 8
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.signed_bytes()
+    }
 }
 
 impl St2ReplyBody {
@@ -349,6 +412,15 @@ pub struct InvokeFb {
     pub auth: Option<BatchProof>,
 }
 
+impl SignedPayload for InvokeFb {
+    fn encoded_len(&self) -> usize {
+        3 + 32 + 4
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.signed_bytes()
+    }
+}
+
 impl InvokeFb {
     /// Canonical bytes covered by the client's signature.
     pub fn signed_bytes(&self) -> Vec<u8> {
@@ -372,6 +444,15 @@ pub struct ElectFbBody {
     pub decision: Option<ProtoDecision>,
     /// The view the replica is electing a leader for.
     pub view: View,
+}
+
+impl SignedPayload for ElectFbBody {
+    fn encoded_len(&self) -> usize {
+        7 + 32 + 4 + 4 + 1 + 8
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.signed_bytes()
+    }
 }
 
 impl ElectFbBody {
@@ -414,6 +495,15 @@ pub struct DecFb {
     pub elect_proof: Vec<SignedElectFb>,
     /// Leader signature.
     pub auth: Option<BatchProof>,
+}
+
+impl SignedPayload for DecFb {
+    fn encoded_len(&self) -> usize {
+        5 + 32 + 1 + 8
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        self.signed_bytes()
+    }
 }
 
 impl DecFb {
@@ -620,6 +710,123 @@ mod tests {
         let abort = body(Some(ProtoDecision::Abort)).signed_bytes();
         assert_ne!(none, commit);
         assert_ne!(commit, abort);
+    }
+
+    /// `encoded_len` feeds the cost model in simulated-crypto runs, so it
+    /// must equal the materialized encoding's length *exactly* — a drift
+    /// would silently change simulated results.
+    #[test]
+    fn encoded_len_matches_signed_bytes_exactly() {
+        fn check<P: SignedPayload>(p: &P, what: &str) {
+            assert_eq!(
+                p.encoded_len(),
+                p.signed_like_len(),
+                "{what}: encoded_len drifted from signed_bytes"
+            );
+        }
+        trait SignedLike: SignedPayload {
+            fn signed_like_len(&self) -> usize {
+                self.to_bytes().len()
+            }
+        }
+        impl<T: SignedPayload> SignedLike for T {}
+
+        let read = ReadRequest {
+            req_id: 9,
+            key: Key::new("some-longer-key-17"),
+            ts: ts(100, 1),
+            auth: None,
+        };
+        check(&read, "ReadRequest");
+
+        let mut b = TransactionBuilder::new(ts(10, 1));
+        b.record_write(Key::new("k"), Value::from_u64(1));
+        b.record_read(Key::new("r"), ts(3, 2));
+        let tx = b.build_shared();
+        for (committed, prepared) in [
+            (None, None),
+            (
+                Some(CommittedRead {
+                    version: ts(50, 2),
+                    value: Value::from_u64(5),
+                    txid: TxId::from_bytes([4; 32]),
+                    cert: None,
+                }),
+                Some(PreparedRead {
+                    tx: std::sync::Arc::clone(&tx),
+                }),
+            ),
+        ] {
+            let reply = ReadReplyBody {
+                req_id: 9,
+                key: Key::new("x"),
+                committed,
+                prepared,
+            };
+            check(&reply, "ReadReplyBody");
+        }
+
+        let st1 = St1 {
+            tx: std::sync::Arc::clone(&tx),
+            auth: None,
+            recovery: false,
+        };
+        check(&st1, "St1");
+        check(
+            &St1ReplyBody {
+                txid: tx.id(),
+                replica: rep(1),
+                vote: ProtoVote::Commit,
+            },
+            "St1ReplyBody",
+        );
+        check(
+            &St2 {
+                txid: tx.id(),
+                decision: ProtoDecision::Abort,
+                shard_votes: Vec::new(),
+                view: 3,
+                auth: None,
+            },
+            "St2",
+        );
+        check(
+            &St2ReplyBody {
+                txid: tx.id(),
+                replica: rep(2),
+                decision: ProtoDecision::Commit,
+                view_decision: 1,
+                view_current: 2,
+            },
+            "St2ReplyBody",
+        );
+        check(
+            &InvokeFb {
+                txid: tx.id(),
+                views: Vec::new(),
+                auth: None,
+            },
+            "InvokeFb",
+        );
+        check(
+            &ElectFbBody {
+                txid: tx.id(),
+                replica: rep(3),
+                decision: Some(ProtoDecision::Abort),
+                view: 7,
+            },
+            "ElectFbBody",
+        );
+        check(
+            &DecFb {
+                txid: tx.id(),
+                decision: ProtoDecision::Commit,
+                view: 7,
+                elect_proof: Vec::new(),
+                auth: None,
+            },
+            "DecFb",
+        );
     }
 
     #[test]

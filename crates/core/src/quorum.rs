@@ -218,7 +218,7 @@ pub struct PrepareOutcome {
 /// has been classified — except that a single *fast* abort shard decides the
 /// transaction immediately.
 pub fn combine_outcomes(
-    outcomes: &HashMap<ShardId, ShardOutcome>,
+    outcomes: &FastHashMap<ShardId, ShardOutcome>,
     involved: &[ShardId],
 ) -> Option<PrepareOutcome> {
     // A fast abort from any shard is final on its own. Scan in `involved`
@@ -490,7 +490,7 @@ mod tests {
             },
         };
         let involved = vec![ShardId(0), ShardId(1)];
-        let mut outcomes = HashMap::new();
+        let mut outcomes = FastHashMap::default();
         outcomes.insert(ShardId(0), commit_outcome(0));
         assert!(combine_outcomes(&outcomes, &involved).is_none());
 
@@ -502,7 +502,7 @@ mod tests {
 
         // A fast abort from one shard decides immediately even if the other
         // shard has not been classified.
-        let mut with_abort = HashMap::new();
+        let mut with_abort = FastHashMap::default();
         with_abort.insert(
             ShardId(1),
             ShardOutcome {
@@ -523,7 +523,7 @@ mod tests {
 
     #[test]
     fn slow_shard_makes_combined_outcome_slow() {
-        let outcomes: HashMap<ShardId, ShardOutcome> = [
+        let outcomes: FastHashMap<ShardId, ShardOutcome> = [
             (
                 ShardId(0),
                 ShardOutcome {

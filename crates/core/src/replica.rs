@@ -8,7 +8,7 @@
 //! tree per Section 4.4.
 
 use crate::byzantine::ReplicaBehavior;
-use crate::certs::{validate_st2_justification, DecisionCert};
+use crate::certs::{validate_st2_justification, DecisionCert, ReplicaIndexSet};
 use crate::config::BasilConfig;
 use crate::crypto_engine::SigEngine;
 use crate::messages::{
@@ -23,7 +23,6 @@ use basil_common::{
 use basil_simnet::{Actor, Context};
 use basil_store::{CheckOutcome, MvtsoStore, Transaction, Vote};
 use std::any::Any;
-use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Counters exposed for tests, experiments, and the harness.
@@ -92,8 +91,15 @@ enum PendingReply {
     St2(St2ReplyBody),
 }
 
-impl PendingReply {
-    fn signed_bytes(&self) -> Vec<u8> {
+impl crate::crypto_engine::SignedPayload for PendingReply {
+    fn encoded_len(&self) -> usize {
+        match self {
+            PendingReply::Read(b) => b.encoded_len(),
+            PendingReply::St1(b, _) => b.encoded_len(),
+            PendingReply::St2(b) => b.encoded_len(),
+        }
+    }
+    fn to_bytes(&self) -> Vec<u8> {
         match self {
             PendingReply::Read(b) => b.signed_bytes(),
             PendingReply::St1(b, _) => b.signed_bytes(),
@@ -109,7 +115,10 @@ pub struct BasilReplica {
     engine: SigEngine,
     store: MvtsoStore,
     behavior: ReplicaBehavior,
-    records: FastHashMap<TxId, TxRecord>,
+    /// Per-transaction protocol records, boxed for the same reason as the
+    /// store's key records: pointer-sized hash-table entries keep probes
+    /// and rehashes cache-friendly.
+    records: FastHashMap<TxId, Box<TxRecord>>,
     /// Commit/abort certificates by transaction, shared (`Arc`) with the
     /// writeback that delivered them, with committed-version read replies,
     /// and with forwards to interested clients.
@@ -216,7 +225,8 @@ impl BasilReplica {
             return;
         }
         let batch: Vec<(NodeId, PendingReply)> = std::mem::take(&mut self.out_batch);
-        let payloads: Vec<Vec<u8>> = batch.iter().map(|(_, r)| r.signed_bytes()).collect();
+        // Lazy payloads: under simulated crypto only the lengths are read.
+        let payloads: Vec<&PendingReply> = batch.iter().map(|(_, r)| r).collect();
         let (proofs, cost) = self.engine.sign_batch(&payloads);
         ctx.charge(cost);
         self.stats.batches_signed += 1;
@@ -281,9 +291,7 @@ impl BasilReplica {
             self.stats.byzantine_drops += 1;
             return;
         }
-        let (ok, cost) = self
-            .engine
-            .verify_request(&req.signed_bytes(), req.auth.as_ref());
+        let (ok, cost) = self.engine.verify_request(&req, req.auth.as_ref());
         ctx.charge(cost);
         if !ok {
             return;
@@ -322,9 +330,7 @@ impl BasilReplica {
     // ------------------------------------------------------------------
 
     fn handle_st1(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, st1: St1) {
-        let (ok, cost) = self
-            .engine
-            .verify_request(&st1.signed_bytes(), st1.auth.as_ref());
+        let (ok, cost) = self.engine.verify_request(&st1, st1.auth.as_ref());
         ctx.charge(cost);
         if !ok {
             return;
@@ -476,9 +482,7 @@ impl BasilReplica {
     // ------------------------------------------------------------------
 
     fn handle_st2(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, st2: St2) {
-        let (ok, cost) = self
-            .engine
-            .verify_request(&st2.signed_bytes(), st2.auth.as_ref());
+        let (ok, cost) = self.engine.verify_request(&st2, st2.auth.as_ref());
         ctx.charge(cost);
         if !ok {
             return;
@@ -632,9 +636,7 @@ impl BasilReplica {
     // ------------------------------------------------------------------
 
     fn handle_invoke_fb(&mut self, ctx: &mut Context<BasilMsg>, from: NodeId, ifb: InvokeFb) {
-        let (ok, cost) = self
-            .engine
-            .verify_request(&ifb.signed_bytes(), ifb.auth.as_ref());
+        let (ok, cost) = self.engine.verify_request(&ifb, ifb.auth.as_ref());
         ctx.charge(cost);
         if !ok {
             return;
@@ -644,13 +646,13 @@ impl BasilReplica {
 
         // Validate and extract the reported current views.
         let mut reported: Vec<View> = Vec::new();
-        let mut seen: HashSet<u32> = HashSet::new();
+        let mut seen = ReplicaIndexSet::default();
         let mut verify_cost = basil_common::Duration::ZERO;
         for view_reply in &ifb.views {
             if view_reply.body.txid != txid || view_reply.body.replica.shard != self.id.shard {
                 continue;
             }
-            if seen.contains(&view_reply.body.replica.index) {
+            if seen.contains(view_reply.body.replica.index) {
                 continue;
             }
             if self.engine.enabled() {
@@ -661,7 +663,7 @@ impl BasilReplica {
                     .unwrap_or(false);
                 let (ok, c) = self
                     .engine
-                    .verify(&view_reply.body.signed_bytes(), view_reply.proof.as_ref());
+                    .verify(&view_reply.body, view_reply.proof.as_ref());
                 verify_cost += c;
                 if !ok || !signer_ok {
                     continue;
@@ -698,7 +700,7 @@ impl BasilReplica {
             decision,
             view,
         };
-        let (proof, sign_cost) = self.engine.sign(&body.signed_bytes());
+        let (proof, sign_cost) = self.engine.sign(&body);
         ctx.charge(sign_cost + self.engine.message_cost());
         ctx.send(leader, BasilMsg::ElectFb(SignedElectFb { body, proof }));
     }
@@ -720,9 +722,7 @@ impl BasilReplica {
                 .as_ref()
                 .map(|p| p.signer() == NodeId::Replica(efb.body.replica))
                 .unwrap_or(false);
-            let (ok, cost) = self
-                .engine
-                .verify(&efb.body.signed_bytes(), efb.proof.as_ref());
+            let (ok, cost) = self.engine.verify(&efb.body, efb.proof.as_ref());
             ctx.charge(cost);
             if !ok || !signer_ok {
                 return;
@@ -761,7 +761,7 @@ impl BasilReplica {
             elect_proof: votes,
             auth: None,
         };
-        let (proof, cost) = self.engine.sign(&dec.signed_bytes());
+        let (proof, cost) = self.engine.sign(&dec);
         ctx.charge(cost);
         let dec = DecFb { auth: proof, ..dec };
         for replica in self.shard_replicas() {
@@ -781,20 +781,20 @@ impl BasilReplica {
                 .as_ref()
                 .map(|p| p.signer() == NodeId::Replica(ReplicaId::new(self.id.shard, leader_index)))
                 .unwrap_or(false);
-            let (ok, cost) = self.engine.verify(&dfb.signed_bytes(), dfb.auth.as_ref());
+            let (ok, cost) = self.engine.verify(&dfb, dfb.auth.as_ref());
             ctx.charge(cost);
             if !ok || !signer_ok {
                 return;
             }
             // Validate the election proof: 4f+1 distinct, correctly signed
             // ElectFB messages for this view.
-            let mut seen: HashSet<u32> = HashSet::new();
+            let mut seen = ReplicaIndexSet::default();
             let mut cost_total = basil_common::Duration::ZERO;
             for e in &dfb.elect_proof {
                 if e.body.txid != txid || e.body.view != view {
                     continue;
                 }
-                if seen.contains(&e.body.replica.index) {
+                if seen.contains(e.body.replica.index) {
                     continue;
                 }
                 let signer_ok = e
@@ -802,14 +802,14 @@ impl BasilReplica {
                     .as_ref()
                     .map(|p| p.signer() == NodeId::Replica(e.body.replica))
                     .unwrap_or(false);
-                let (ok, c) = self.engine.verify(&e.body.signed_bytes(), e.proof.as_ref());
+                let (ok, c) = self.engine.verify(&e.body, e.proof.as_ref());
                 cost_total += c;
                 if ok && signer_ok {
                     seen.insert(e.body.replica.index);
                 }
             }
             ctx.charge(cost_total);
-            if (seen.len() as u32) < self.cfg.system.shard.elect_quorum() {
+            if seen.len() < self.cfg.system.shard.elect_quorum() {
                 return;
             }
         }
@@ -897,6 +897,7 @@ mod tests {
     use basil_common::{ClientId, SimTime, Timestamp};
     use basil_crypto::KeyRegistry;
     use basil_store::TransactionBuilder;
+    use std::collections::HashSet;
 
     fn cfg() -> BasilConfig {
         let mut c = BasilConfig::test_single_shard();

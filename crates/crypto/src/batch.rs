@@ -259,6 +259,23 @@ impl SignatureCache {
         self.verified.insert(root, sig);
     }
 
+    /// Fused [`SignatureCache::contains`] + [`SignatureCache::insert`]:
+    /// returns whether `(root, sig)` was already verified, recording it if
+    /// not — identical statistics and eviction behaviour to the two-call
+    /// sequence, at one hash lookup instead of two. This is the
+    /// simulated-crypto hot path (one call per verification).
+    pub fn check_insert(&mut self, root: Digest, sig: Signature) -> bool {
+        let hit = self
+            .verified
+            .check_insert(root, sig, |cached| *cached == sig);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
     /// Number of cache hits observed.
     pub fn hits(&self) -> u64 {
         self.hits

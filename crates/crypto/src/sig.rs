@@ -15,7 +15,7 @@
 
 use crate::digest::Digest;
 use crate::hmac::hmac_sha256_parts;
-use basil_common::NodeId;
+use basil_common::{FastHashMap, NodeId};
 use std::fmt;
 use std::sync::Arc;
 
@@ -80,17 +80,46 @@ pub struct KeyRegistry {
 
 struct RegistryInner {
     master_seed: [u8; 32],
+    /// Verification keys derived once at deployment build time. Plain
+    /// immutable map after construction, so lookups are lock-free and the
+    /// registry stays `Sync` for the parallel runtime. Nodes not listed
+    /// here fall back to on-the-fly derivation (two extra SHA-256 passes
+    /// per verification — the cost the precomputation removes).
+    precomputed: FastHashMap<NodeId, [u8; 32]>,
 }
 
 impl KeyRegistry {
     /// Creates a registry from a 64-bit seed (convenient for tests and
     /// deterministic experiments).
     pub fn from_seed(seed: u64) -> Self {
+        Self::from_seed_with_nodes(seed, [])
+    }
+
+    /// Creates a registry and derives the verification keys of `nodes` up
+    /// front. The cluster harness lists every replica and client of the
+    /// deployment here, so the per-signature key derivation (an HMAC of its
+    /// own) is paid once per node instead of once per verification — the
+    /// "one pass per quorum" half of batched certificate validation.
+    pub fn from_seed_with_nodes(seed: u64, nodes: impl IntoIterator<Item = NodeId>) -> Self {
         let mut master_seed = [0u8; 32];
         master_seed[..8].copy_from_slice(&seed.to_be_bytes());
+        let mut inner = RegistryInner {
+            master_seed,
+            precomputed: FastHashMap::default(),
+        };
+        let secrets: FastHashMap<NodeId, [u8; 32]> = nodes
+            .into_iter()
+            .map(|n| (n, inner.derive_secret(n)))
+            .collect();
+        inner.precomputed = secrets;
         KeyRegistry {
-            inner: Arc::new(RegistryInner { master_seed }),
+            inner: Arc::new(inner),
         }
+    }
+
+    /// Number of nodes whose verification keys are precomputed.
+    pub fn precomputed_nodes(&self) -> usize {
+        self.inner.precomputed.len()
     }
 
     /// Derives the signing key pair for a node.
@@ -118,8 +147,17 @@ impl KeyRegistry {
     }
 
     fn node_secret(&self, node: NodeId) -> [u8; 32] {
+        if let Some(secret) = self.inner.precomputed.get(&node) {
+            return *secret;
+        }
+        self.inner.derive_secret(node)
+    }
+}
+
+impl RegistryInner {
+    fn derive_secret(&self, node: NodeId) -> [u8; 32] {
         let encoding = encode_node(node);
-        let tag = hmac_sha256_parts(&self.inner.master_seed, &[&encoding]);
+        let tag = hmac_sha256_parts(&self.master_seed, &[&encoding]);
         *tag.as_bytes()
     }
 }
@@ -165,6 +203,24 @@ mod tests {
         let kp = reg.keypair(replica(0, 3));
         let sig = kp.sign(b"prepare tx 17");
         assert!(reg.verify(b"prepare tx 17", &sig));
+    }
+
+    #[test]
+    fn precomputed_registry_is_equivalent_to_derived() {
+        let nodes = [replica(0, 0), replica(0, 1), client(7)];
+        let plain = KeyRegistry::from_seed(42);
+        let pre = KeyRegistry::from_seed_with_nodes(42, nodes);
+        assert_eq!(pre.precomputed_nodes(), 3);
+        for n in nodes {
+            let sig = plain.keypair(n).sign(b"msg");
+            assert_eq!(sig, pre.keypair(n).sign(b"msg"));
+            assert!(pre.verify(b"msg", &sig));
+        }
+        // A node outside the precomputed set still verifies (fallback
+        // derivation).
+        let other = client(99);
+        let sig = pre.keypair(other).sign(b"msg");
+        assert!(pre.verify(b"msg", &sig));
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct CliOptions {
 
 static CLI_OPTIONS: OnceLock<CliOptions> = OnceLock::new();
 static BENCHES_RUN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+/// `(label, mean ns/iter)` of every benchmark this process ran; `None` ns
+/// for untimed `--test` passes. Serialized to `BENCH_<bin>.json` when
+/// `BASIL_BENCH_JSON` names a directory (see [`finish_cli`]).
+static RESULTS: std::sync::Mutex<Vec<(String, Option<f64>)>> = std::sync::Mutex::new(Vec::new());
 
 /// Criterion flags that consume the next argument; their values must not be
 /// mistaken for label filters.
@@ -81,6 +85,9 @@ pub fn init_cli_from_args() {
 /// Called by the generated `main` after all groups ran: a filter that
 /// selected nothing is an error, not a silent success — otherwise a renamed
 /// benchmark would turn a CI smoke gate into a no-op that still passes.
+/// Additionally, when `BASIL_BENCH_JSON` names a directory, writes the
+/// machine-readable results file (`BENCH_<bin>.json`) CI archives to track
+/// the perf trajectory across PRs.
 pub fn finish_cli() {
     let options = cli_options();
     let ran = BENCHES_RUN.load(std::sync::atomic::Ordering::Relaxed);
@@ -91,6 +98,68 @@ pub fn finish_cli() {
         );
         std::process::exit(1);
     }
+    if let Ok(dir) = std::env::var("BASIL_BENCH_JSON") {
+        if let Err(e) = write_json_results(&dir) {
+            eprintln!("error: failed to write BENCH json to {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The benchmark binary's stem with cargo's trailing `-<hash>` stripped:
+/// `target/release/deps/protocol_bench-1a2b3c` -> `protocol_bench`.
+fn bench_bin_name() -> String {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Serializes the run's results as `BENCH_<bin>.json` under `dir`:
+/// `{"bin": ..., "mode": "timed"|"test", "results": {label: ns_per_iter|null}}`.
+/// Hand-rolled JSON (labels are plain ASCII benchmark ids; quotes and
+/// backslashes escaped defensively), so the offline shim needs no serde.
+fn write_json_results(dir: &str) -> std::io::Result<()> {
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let results = RESULTS.lock().expect("results poisoned");
+    let bin = bench_bin_name();
+    let mode = if cli_options().test_mode {
+        "test"
+    } else {
+        "timed"
+    };
+    let mut body = String::new();
+    body.push_str(&format!(
+        "{{\n  \"bin\": \"{}\",\n  \"mode\": \"{mode}\",\n  \"results\": {{\n",
+        escape(&bin)
+    ));
+    for (i, (label, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        match ns {
+            Some(ns) => body.push_str(&format!("    \"{}\": {ns:.1}{sep}\n", escape(label))),
+            None => body.push_str(&format!("    \"{}\": null{sep}\n", escape(label))),
+        }
+    }
+    body.push_str("  }\n}\n");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        std::path::Path::new(dir).join(format!("BENCH_{bin}.json")),
+        body,
+    )
 }
 
 /// Whether a run with `options` that executed `ran` benchmarks constitutes
@@ -238,10 +307,18 @@ fn run_one(
     };
     f(&mut bencher);
     if test_mode {
+        RESULTS
+            .lock()
+            .expect("results poisoned")
+            .push((label.to_string(), None));
         println!("{label:<50} test: ok (one untimed pass)");
         return;
     }
     let ns = bencher.elapsed_ns_per_iter;
+    RESULTS
+        .lock()
+        .expect("results poisoned")
+        .push((label.to_string(), Some(ns)));
     let rate = match throughput {
         Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
             format!(
@@ -478,5 +555,48 @@ mod tests {
         assert!(takes_value("--profile-time"));
         assert!(!takes_value("--test"));
         assert!(!takes_value("--bench"));
+    }
+
+    #[test]
+    fn bench_bin_name_strips_cargo_hash() {
+        // The parsing only strips a 16-hex-digit cargo hash suffix.
+        // (bench_bin_name itself reads argv; exercise the rule directly.)
+        let strip = |stem: &str| -> String {
+            match stem.rsplit_once('-') {
+                Some((name, hash))
+                    if !name.is_empty()
+                        && hash.len() == 16
+                        && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                {
+                    name.to_string()
+                }
+                _ => stem.to_string(),
+            }
+        };
+        assert_eq!(strip("protocol_bench-1a2b3c4d5e6f7081"), "protocol_bench");
+        assert_eq!(strip("store_bench"), "store_bench");
+        assert_eq!(strip("my-bench-notahash"), "my-bench-notahash");
+    }
+
+    #[test]
+    fn json_results_file_is_written_and_well_formed() {
+        RESULTS
+            .lock()
+            .expect("results")
+            .push(("group/case_a".to_string(), Some(123.4)));
+        RESULTS
+            .lock()
+            .expect("results")
+            .push(("group/case_b".to_string(), None));
+        let dir = std::env::temp_dir().join(format!("bench-json-{}", std::process::id()));
+        let dir_s = dir.to_str().expect("utf8 temp dir");
+        write_json_results(dir_s).expect("written");
+        let bin = bench_bin_name();
+        let body =
+            std::fs::read_to_string(dir.join(format!("BENCH_{bin}.json"))).expect("file exists");
+        assert!(body.contains("\"group/case_a\": 123.4"));
+        assert!(body.contains("\"group/case_b\": null"));
+        assert!(body.trim_end().ends_with('}'));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,7 +11,13 @@ use std::any::Any;
 /// protocol logic deterministic, directly unit-testable (construct a
 /// `Context`, feed messages, inspect the recorded outputs), and reusable by
 /// both the discrete-event simulator and the threaded runtime.
-pub trait Actor<M>: Any {
+///
+/// `Send` is part of the contract: the parallel runtime
+/// (`basil_simnet::parallel`) moves each actor's slot to a fixed worker
+/// thread for the duration of an epoch, so an actor may own no
+/// thread-affine state (`Rc`, un-`Send` interior mutability). An actor is
+/// only ever *executed* by one thread at a time — `Sync` is not required.
+pub trait Actor<M>: Any + Send {
     /// Called once when the simulation starts, before any message delivery.
     fn on_start(&mut self, _ctx: &mut Context<M>) {}
 

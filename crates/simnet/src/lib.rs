@@ -61,9 +61,11 @@
 pub mod actor;
 pub mod metrics;
 pub mod network;
+pub mod parallel;
 pub mod sim;
 
 pub use actor::{Actor, Context};
 pub use metrics::{Metrics, NodeMetrics};
 pub use network::{NetworkConfig, Partition};
+pub use parallel::ParallelSimulation;
 pub use sim::{NodeProps, Simulation};

@@ -1,0 +1,676 @@
+//! The thread-sharded parallel runtime.
+//!
+//! ## Epoch-barrier execution
+//!
+//! [`ParallelSimulation`] drives the same actors, network model, and event
+//! queue as the serial [`Simulation`], but executes *epochs* of events on
+//! worker threads. An epoch is the maximal run of queued events whose
+//! timestamps fall within the **lookahead** window of the earliest pending
+//! event (`Simulation::pop_epoch`). The lookahead defaults to the network's
+//! minimum delivery delay ([`NetworkConfig::min_delay`]), the classic
+//! conservative-PDES bound: every send leaves at least `min_delay` after
+//! the event that produced it, so nothing an epoch event does can schedule
+//! new work *inside* its own epoch, and the whole epoch may execute before
+//! any of its outputs are applied.
+//!
+//! Execution of one epoch has two phases:
+//!
+//! 1. **Sharded execute.** Events are partitioned by destination actor;
+//!    each actor's slot (state, core accounting, per-node metrics) is
+//!    checked out to a fixed worker thread (`slot index % workers` — the
+//!    per-slot design of `sim.rs` is what makes the state movable), which
+//!    runs the handlers of its slots' events in `(time, seq)` order. Slots
+//!    never appear on two workers, so no locks and no sharing.
+//! 2. **Sequential apply.** The driver merges the workers' execution
+//!    records back into global `(time, seq)` order and applies the recorded
+//!    outputs — partitions, loss, latency jitter (the only RNG draws), and
+//!    queue insertion — exactly as the serial loop would have.
+//!
+//! ## Why determinism survives sharding
+//!
+//! The serial loop interleaves three kinds of state per event: the
+//! destination actor's slot, the global RNG/queue, and the metrics
+//! counters. Handlers only touch their own slot, and within one epoch no
+//! event can causally precede another (the lookahead bound), so phase 1 is
+//! order-free *across* actors and order-preserving *within* one. Phase 2
+//! then consumes randomness in exactly the serial dispatch order. The
+//! result is not "equivalent" but **bit-for-bit identical** to
+//! [`Simulation::run_until`] — same event trace, same jitter draws, same
+//! decisions — for *any* worker count, which is what lets the serial engine
+//! act as the determinism oracle in `tests/`.
+//!
+//! Epochs smaller than [`ParallelSimulation::with_inline_threshold`] run
+//! inline on the driver thread (identical code path, no synchronization);
+//! the fan-out only pays for itself when an epoch carries enough handler
+//! work to amortize two channel hops per worker. If a protocol ever
+//! schedules a timer shorter than the lookahead, the inline path detects it
+//! and falls back to strict serial order for the remainder of that epoch;
+//! the sharded path cannot un-run a handler, so it panics with instructions
+//! rather than silently diverging — use a smaller lookahead
+//! ([`ParallelSimulation::with_lookahead`]) or the serial runtime.
+
+use crate::network::NetworkConfig;
+use crate::sim::{Event, ExecOutcome, NodeSlot, Simulation, UNKNOWN_SLOT};
+use basil_common::{Duration, SimTime};
+use std::sync::mpsc::{Receiver, Sender};
+
+/// One event's execution record: everything the driver needs to finish the
+/// dispatch (accounting + output application) in global order.
+struct ExecRecord<M> {
+    /// Position of the event within its epoch (global `(time, seq)` order).
+    idx: u32,
+    at: SimTime,
+    is_timer: bool,
+    to_slot: u32,
+    outcome: ExecOutcome<M>,
+}
+
+/// A batch of work shipped to one worker: the checked-out slots it needs
+/// and the events to run against them, in epoch order.
+struct Job<M> {
+    slots: Vec<(u32, NodeSlot<M>)>,
+    events: Vec<(u32, Event<M>)>,
+}
+
+impl<M> Default for Job<M> {
+    fn default() -> Self {
+        Job {
+            slots: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
+/// A worker's reply: the slots (with updated actor state and metrics)
+/// and the execution records.
+struct WorkerResult<M> {
+    slots: Vec<(u32, NodeSlot<M>)>,
+    records: Vec<ExecRecord<M>>,
+}
+
+fn worker_loop<M: Send + 'static>(jobs: Receiver<Job<M>>, results: Sender<WorkerResult<M>>) {
+    while let Ok(mut job) = jobs.recv() {
+        let mut records = Vec::with_capacity(job.events.len());
+        for (idx, ev) in job.events.drain(..) {
+            let pos = job
+                .slots
+                .iter()
+                .position(|(s, _)| *s == ev.to_slot)
+                .expect("destination slot ships with its events");
+            let (at, is_timer, to_slot) = (ev.at, ev.is_timer, ev.to_slot);
+            let outcome = job.slots[pos].1.execute(ev);
+            records.push(ExecRecord {
+                idx,
+                at,
+                is_timer,
+                to_slot,
+                outcome,
+            });
+        }
+        if results
+            .send(WorkerResult {
+                slots: job.slots,
+                records,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// The parallel cluster runtime: a [`Simulation`] executed in epochs by a
+/// pool of worker threads. See the module docs for the execution model and
+/// the determinism argument.
+///
+/// All state — actors, queue, RNG, metrics — lives in the wrapped serial
+/// engine, accessible through [`ParallelSimulation::inner`] /
+/// [`ParallelSimulation::inner_mut`] between runs; only the `run_*` entry
+/// points differ.
+pub struct ParallelSimulation<M> {
+    inner: Simulation<M>,
+    workers: usize,
+    lookahead: Option<Duration>,
+    inline_threshold: usize,
+}
+
+impl<M: Clone + Send + 'static> ParallelSimulation<M> {
+    /// Default epoch size below which the driver executes inline instead of
+    /// fanning out: two channel hops per worker (~microseconds) only pay
+    /// for themselves once an epoch carries a comparable amount of handler
+    /// work.
+    pub const DEFAULT_INLINE_THRESHOLD: usize = 16;
+
+    /// The default inline threshold for this host: on a machine without at
+    /// least two hardware threads the fan-out can never win wall-clock time
+    /// (workers would time-slice one core and pay the context switches), so
+    /// every epoch stays inline — results are identical either way, see the
+    /// module docs. [`ParallelSimulation::with_inline_threshold`] overrides
+    /// this, which is how the determinism tests force the worker path even
+    /// on single-core CI hosts.
+    pub fn host_inline_threshold() -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if hw < 2 {
+            usize::MAX
+        } else {
+            Self::DEFAULT_INLINE_THRESHOLD
+        }
+    }
+
+    /// Creates an empty parallel simulation with `workers` worker threads.
+    /// `workers` is clamped to at least 1; with one worker the driver runs
+    /// the serial loop directly (fanning out to a single worker could only
+    /// add overhead). The epoch machinery itself is exercised by worker
+    /// counts ≥ 2 and, inline, by small epochs under any count.
+    pub fn new(seed: u64, network: NetworkConfig, workers: usize) -> Self {
+        ParallelSimulation {
+            inner: Simulation::new(seed, network),
+            workers: workers.max(1),
+            lookahead: None,
+            inline_threshold: Self::host_inline_threshold(),
+        }
+    }
+
+    /// Wraps an already-built serial simulation.
+    pub fn from_serial(sim: Simulation<M>, workers: usize) -> Self {
+        ParallelSimulation {
+            inner: sim,
+            workers: workers.max(1),
+            lookahead: None,
+            inline_threshold: Self::host_inline_threshold(),
+        }
+    }
+
+    /// Overrides the epoch lookahead. Must be a lower bound on every
+    /// message latency and timer delay the run can produce; larger values
+    /// make denser epochs (more parallelism), smaller values are safer.
+    /// Defaults to [`NetworkConfig::min_delay`].
+    pub fn with_lookahead(mut self, lookahead: Duration) -> Self {
+        self.lookahead = Some(lookahead);
+        self
+    }
+
+    /// Overrides the epoch size below which events run inline on the
+    /// driver thread (0 forces every epoch through the workers — useful in
+    /// tests).
+    pub fn with_inline_threshold(mut self, threshold: usize) -> Self {
+        self.inline_threshold = threshold;
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The wrapped serial engine (actors, metrics, partitions, clock) —
+    /// valid between runs, when every slot is home.
+    pub fn inner(&self) -> &Simulation<M> {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped serial engine (fault injection,
+    /// message injection, actor inspection) — valid between runs.
+    pub fn inner_mut(&mut self) -> &mut Simulation<M> {
+        &mut self.inner
+    }
+
+    /// The effective epoch lookahead for the current network.
+    pub fn effective_lookahead(&self) -> Duration {
+        self.lookahead
+            .unwrap_or_else(|| self.inner.network.min_delay())
+    }
+
+    /// Runs until the event queue is exhausted or `deadline` is reached.
+    /// Produces the bit-for-bit identical trace to
+    /// [`Simulation::run_until`] on the same inputs, for any worker count.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.inner.ensure_started();
+        let lookahead = self.effective_lookahead();
+        let workers = self.workers;
+        let threshold = self.inline_threshold;
+        let inner = &mut self.inner;
+
+        std::thread::scope(|scope| {
+            let mut pool: Option<WorkerPool<M>> = None;
+            let mut buf: Vec<Event<M>> = Vec::new();
+            let mut scratch = EpochScratch::default();
+            while let Some(at) = inner.peek_at() {
+                if at > deadline {
+                    break;
+                }
+                // Sparse queue: step exactly like the serial loop (pop one,
+                // dispatch, repeat) — no epoch commitment, no event moves
+                // through a buffer. `queue_density` (events in the drain
+                // bucket, which spans at least one lookahead window) is an
+                // upper bound on the next epoch's size, so a density below
+                // the threshold can never miss a fan-out-worthy epoch.
+                if workers <= 1 || inner.queue_density() < threshold.max(1) {
+                    inner.step_one();
+                    continue;
+                }
+                buf.clear();
+                inner.pop_epoch(deadline, lookahead, &mut buf);
+                if buf.is_empty() {
+                    break;
+                }
+                if buf.len() < threshold.max(1) {
+                    // The density hint over-estimated (bucket wider than the
+                    // lookahead window); run this small epoch inline.
+                    run_epoch_inline(inner, &mut buf);
+                    continue;
+                }
+                let pool = pool.get_or_insert_with(|| WorkerPool::spawn(scope, workers));
+                run_epoch_sharded(inner, &mut buf, pool, &mut scratch);
+            }
+            // Dropping the pool's senders shuts the workers down; the scope
+            // joins them.
+        });
+        self.inner.finish_run(deadline);
+    }
+
+    /// Runs for `d` of simulated time past the current time.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.inner.now() + d;
+        self.run_until(deadline);
+    }
+}
+
+struct WorkerPool<M> {
+    job_txs: Vec<Sender<Job<M>>>,
+    results: Receiver<WorkerResult<M>>,
+}
+
+/// Buffers reused across sharded epochs so the hot loop performs no
+/// steady-state allocation of its own (the job/record vectors travel
+/// through the worker channels and cannot be pooled as easily).
+struct EpochScratch<M> {
+    /// Records merged back into epoch order (`None` until received).
+    merged: Vec<Option<ExecRecord<M>>>,
+    /// Per-slot "already checked out this epoch" flags, indexed by slot.
+    checked_out: Vec<bool>,
+    /// Slots flagged this epoch (to reset `checked_out` in O(touched)).
+    touched: Vec<u32>,
+}
+
+impl<M> Default for EpochScratch<M> {
+    fn default() -> Self {
+        EpochScratch {
+            merged: Vec::new(),
+            checked_out: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+}
+
+impl<M: Send + 'static> WorkerPool<M> {
+    fn spawn<'scope>(
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        workers: usize,
+    ) -> WorkerPool<M> {
+        let (res_tx, results) = std::sync::mpsc::channel();
+        let job_txs = (0..workers)
+            .map(|_| {
+                let (jtx, jrx) = std::sync::mpsc::channel();
+                let res_tx = res_tx.clone();
+                scope.spawn(move || worker_loop(jrx, res_tx));
+                jtx
+            })
+            .collect();
+        WorkerPool { job_txs, results }
+    }
+}
+
+/// Executes one epoch on the driver thread, event by event, exactly like
+/// the serial loop. If an event schedules work inside the epoch window
+/// (a sub-lookahead timer), the un-executed tail is pushed back into the
+/// queue — the inline path is therefore exact for *any* lookahead.
+fn run_epoch_inline<M: Clone + 'static>(sim: &mut Simulation<M>, buf: &mut Vec<Event<M>>) {
+    let epoch_last_at = buf.last().expect("non-empty epoch").at;
+    let mut events = std::mem::take(buf).into_iter();
+    while let Some(ev) = events.next() {
+        let earliest = sim.dispatch(ev);
+        if let Some(e) = earliest {
+            if e < epoch_last_at && events.len() > 0 {
+                // New work landed inside the epoch: fall back to strict
+                // serial order for the remainder.
+                sim.requeue(events);
+                return;
+            }
+        }
+    }
+}
+
+/// Executes one epoch across the worker pool: partition events and check
+/// out their slots per worker, run handlers in parallel, then merge the
+/// records and apply outputs in global `(time, seq)` order.
+fn run_epoch_sharded<M: Clone + Send + 'static>(
+    sim: &mut Simulation<M>,
+    buf: &mut Vec<Event<M>>,
+    pool: &mut WorkerPool<M>,
+    scratch: &mut EpochScratch<M>,
+) {
+    let n = buf.len();
+    let epoch_last_at = buf.last().expect("non-empty epoch").at;
+    let workers = pool.job_txs.len();
+    let mut jobs: Vec<Job<M>> = (0..workers).map(|_| Job::default()).collect();
+    scratch.merged.clear();
+    scratch.merged.resize_with(n, || None);
+    if scratch.checked_out.len() < sim.node_count() {
+        scratch.checked_out.resize(sim.node_count(), false);
+    }
+
+    for (idx, ev) in std::mem::take(buf).drain(..).enumerate() {
+        let idx = idx as u32;
+        if ev.to_slot == UNKNOWN_SLOT {
+            scratch.merged[idx as usize] = Some(ExecRecord {
+                idx,
+                at: ev.at,
+                is_timer: ev.is_timer,
+                to_slot: ev.to_slot,
+                outcome: ExecOutcome::Dropped,
+            });
+            continue;
+        }
+        let w = (ev.to_slot as usize) % workers;
+        let flag = &mut scratch.checked_out[ev.to_slot as usize];
+        if !*flag {
+            *flag = true;
+            scratch.touched.push(ev.to_slot);
+            let slot = sim
+                .take_slot(ev.to_slot)
+                .expect("destination slot is home between epochs");
+            jobs[w].slots.push((ev.to_slot, slot));
+        }
+        jobs[w].events.push((idx, ev));
+    }
+    for slot in scratch.touched.drain(..) {
+        scratch.checked_out[slot as usize] = false;
+    }
+
+    let mut outstanding = 0usize;
+    for (w, job) in jobs.into_iter().enumerate() {
+        if job.events.is_empty() {
+            continue;
+        }
+        outstanding += 1;
+        pool.job_txs[w].send(job).expect("worker alive");
+    }
+    for _ in 0..outstanding {
+        let result = pool.results.recv().expect("worker thread panicked");
+        for (idx, slot) in result.slots {
+            sim.put_slot(idx, slot);
+        }
+        for rec in result.records {
+            let i = rec.idx as usize;
+            scratch.merged[i] = Some(rec);
+        }
+    }
+
+    for rec in scratch.merged.drain(..) {
+        let rec = rec.expect("every epoch event produced a record");
+        let earliest = sim.apply_exec(rec.to_slot, rec.at, rec.is_timer, rec.outcome);
+        if let Some(e) = earliest {
+            assert!(
+                e >= epoch_last_at,
+                "parallel runtime epoch violation: an event at {:?} scheduled new work at \
+                 {:?}, inside the current epoch (last event {:?}). The configured lookahead \
+                 exceeds the minimum send latency or timer delay of this deployment; lower it \
+                 with ParallelSimulation::with_lookahead or run this scenario on the serial \
+                 runtime.",
+                rec.at,
+                e,
+                epoch_last_at,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Actor, Context};
+    use crate::sim::NodeProps;
+    use basil_common::{ClientId, NodeId};
+    use std::any::Any;
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+        Tick,
+    }
+
+    struct Pinger {
+        peer: NodeId,
+        remaining: u32,
+        completions: Vec<SimTime>,
+    }
+
+    impl Actor<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            for i in 0..4 {
+                ctx.send(self.peer, Msg::Ping(i));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+            if let Msg::Pong(i) = msg {
+                self.completions.push(ctx.now());
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.charge(basil_common::Duration::from_micros(3));
+                    ctx.send(from, Msg::Ping(i));
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Echoer;
+
+    impl Actor<Msg> for Echoer {
+        fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+            if let Msg::Ping(i) = msg {
+                ctx.charge(basil_common::Duration::from_micros(5));
+                ctx.send(from, Msg::Pong(i));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn client(n: u64) -> NodeId {
+        NodeId::Client(ClientId(n))
+    }
+
+    fn build_serial(pairs: u64, seed: u64) -> Simulation<Msg> {
+        let mut sim = Simulation::new(seed, NetworkConfig::lan());
+        populate(&mut sim, pairs);
+        sim
+    }
+
+    fn populate(sim: &mut Simulation<Msg>, pairs: u64) {
+        for p in 0..pairs {
+            let pinger = client(2 * p);
+            let echoer = client(2 * p + 1);
+            sim.add_node(
+                pinger,
+                NodeProps::default(),
+                Box::new(Pinger {
+                    peer: echoer,
+                    remaining: 120,
+                    completions: Vec::new(),
+                }),
+            );
+            sim.add_node(echoer, NodeProps::default(), Box::new(Echoer));
+        }
+    }
+
+    fn trace_of(sim: &Simulation<Msg>, pairs: u64) -> Vec<Vec<SimTime>> {
+        (0..pairs)
+            .map(|p| {
+                sim.actor::<Pinger>(client(2 * p))
+                    .expect("pinger")
+                    .completions
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// The heart of the determinism contract: for any worker count, the
+    /// parallel runtime produces the identical completion-time trace and
+    /// identical metrics to the serial engine.
+    #[test]
+    fn parallel_trace_is_bit_identical_to_serial_for_any_worker_count() {
+        let pairs = 8;
+        let mut serial = build_serial(pairs, 42);
+        serial.run_until(SimTime::from_millis(200));
+        let expected = trace_of(&serial, pairs);
+        let expected_metrics = serial.metrics();
+
+        for workers in [1usize, 2, 3, 4, 7] {
+            let mut par =
+                ParallelSimulation::new(42, NetworkConfig::lan(), workers).with_inline_threshold(0);
+            populate(par.inner_mut(), pairs);
+            par.run_until(SimTime::from_millis(200));
+            assert_eq!(
+                trace_of(par.inner(), pairs),
+                expected,
+                "trace diverged at {workers} workers"
+            );
+            let m = par.inner().metrics();
+            assert_eq!(m.events_processed, expected_metrics.events_processed);
+            assert_eq!(m.messages_sent, expected_metrics.messages_sent);
+            assert_eq!(m.messages_delivered, expected_metrics.messages_delivered);
+            assert_eq!(m.messages_dropped, expected_metrics.messages_dropped);
+            assert_eq!(m.last_event_at, expected_metrics.last_event_at);
+            for (id, nm) in &expected_metrics.per_node {
+                let pm = m.per_node.get(id).expect("node present");
+                assert_eq!(pm.messages_processed, nm.messages_processed, "{id:?}");
+                assert_eq!(pm.cpu_busy, nm.cpu_busy, "{id:?}");
+                assert_eq!(pm.queue_wait, nm.queue_wait, "{id:?}");
+                assert_eq!(pm.messages_sent, nm.messages_sent, "{id:?}");
+            }
+            assert_eq!(par.inner().now(), serial.now());
+        }
+    }
+
+    /// The inline path (epochs below the threshold) must be exact too.
+    #[test]
+    fn inline_epochs_match_serial() {
+        let pairs = 4;
+        let mut serial = build_serial(pairs, 7);
+        serial.run_until(SimTime::from_millis(50));
+        let expected = trace_of(&serial, pairs);
+
+        let mut par =
+            ParallelSimulation::new(7, NetworkConfig::lan(), 4).with_inline_threshold(usize::MAX);
+        populate(par.inner_mut(), pairs);
+        par.run_until(SimTime::from_millis(50));
+        assert_eq!(trace_of(par.inner(), pairs), expected);
+    }
+
+    /// A timer shorter than the lookahead lands inside the epoch window.
+    /// The inline path must back out and stay exact rather than reorder.
+    #[test]
+    fn sub_lookahead_timer_is_exact_on_the_inline_path() {
+        struct FastTimer {
+            fired: Vec<SimTime>,
+        }
+        impl Actor<Msg> for FastTimer {
+            fn on_start(&mut self, ctx: &mut Context<Msg>) {
+                ctx.schedule_self(basil_common::Duration::from_nanos(100), Msg::Tick);
+            }
+            fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, _msg: Msg) {
+                self.fired.push(ctx.now());
+                if self.fired.len() < 50 {
+                    ctx.schedule_self(basil_common::Duration::from_nanos(100), Msg::Tick);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let build = |sim: &mut Simulation<Msg>| {
+            sim.add_node(
+                client(100),
+                NodeProps::default(),
+                Box::new(FastTimer { fired: Vec::new() }),
+            );
+            populate(sim, 2);
+        };
+
+        let mut serial = Simulation::new(3, NetworkConfig::lan());
+        build(&mut serial);
+        serial.run_until(SimTime::from_millis(20));
+        let expected = serial
+            .actor::<FastTimer>(client(100))
+            .expect("t")
+            .fired
+            .clone();
+
+        // Inline path: threshold above any epoch size.
+        let mut par =
+            ParallelSimulation::new(3, NetworkConfig::lan(), 2).with_inline_threshold(usize::MAX);
+        build(par.inner_mut());
+        par.run_until(SimTime::from_millis(20));
+        assert_eq!(
+            par.inner()
+                .actor::<FastTimer>(client(100))
+                .expect("t")
+                .fired,
+            expected
+        );
+        assert_eq!(expected.len(), 50);
+    }
+
+    /// Crash and restart between runs behave identically under both
+    /// runtimes (deliveries to a crashed node are dropped, state survives).
+    #[test]
+    fn crash_restart_between_runs_matches_serial() {
+        let run = |parallel: bool| -> (Vec<Vec<SimTime>>, u64) {
+            if parallel {
+                let mut par =
+                    ParallelSimulation::new(11, NetworkConfig::lan(), 3).with_inline_threshold(0);
+                populate(par.inner_mut(), 3);
+                par.run_until(SimTime::from_millis(2));
+                par.inner_mut().crash(client(1));
+                par.run_until(SimTime::from_millis(6));
+                par.inner_mut().restart(client(1));
+                par.run_until(SimTime::from_millis(40));
+                (
+                    trace_of(par.inner(), 3),
+                    par.inner().metrics().messages_dropped,
+                )
+            } else {
+                let mut sim = build_serial(3, 11);
+                sim.run_until(SimTime::from_millis(2));
+                sim.crash(client(1));
+                sim.run_until(SimTime::from_millis(6));
+                sim.restart(client(1));
+                sim.run_until(SimTime::from_millis(40));
+                (trace_of(&sim, 3), sim.metrics().messages_dropped)
+            }
+        };
+        let (serial_trace, serial_dropped) = run(false);
+        let (par_trace, par_dropped) = run(true);
+        assert_eq!(par_trace, serial_trace);
+        assert_eq!(par_dropped, serial_dropped);
+        assert!(serial_dropped > 0, "crash dropped something");
+    }
+}

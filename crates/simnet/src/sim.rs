@@ -92,16 +92,35 @@ impl Default for NodeProps {
     }
 }
 
-struct NodeSlot<M> {
-    id: NodeId,
-    actor: Box<dyn Actor<M>>,
-    props: NodeProps,
-    core_free: Vec<SimTime>,
-    crashed: bool,
-    metrics: NodeMetrics,
+pub(crate) struct NodeSlot<M> {
+    pub(crate) id: NodeId,
+    pub(crate) actor: Box<dyn Actor<M>>,
+    pub(crate) props: NodeProps,
+    pub(crate) core_free: Vec<SimTime>,
+    pub(crate) crashed: bool,
+    pub(crate) metrics: NodeMetrics,
 }
 
-impl<M> NodeSlot<M> {
+/// What executing one event against its destination slot produced. The
+/// slot-local half of a dispatch: handler run, per-slot metrics, core
+/// accounting. The *global* half (event counters, network sampling, queue
+/// pushes) stays with the driver so the slot half can run on a worker
+/// thread — see [`crate::parallel`].
+pub(crate) enum ExecOutcome<M> {
+    /// The destination was crashed; the message is dropped.
+    Dropped,
+    /// The handler ran.
+    Done {
+        /// The node that handled the event (source of the outputs).
+        from: NodeId,
+        /// Time the handler's charged CPU completed (outputs leave then).
+        completion: SimTime,
+        /// The sends and timers the handler recorded.
+        outputs: Vec<Output<M>>,
+    },
+}
+
+impl<M: 'static> NodeSlot<M> {
     fn local_clock(&self, now: SimTime) -> SimTime {
         let ns = now.as_nanos() as i64 + self.props.clock_skew_ns;
         SimTime::from_nanos(ns.max(0) as u64)
@@ -116,22 +135,64 @@ impl<M> NodeSlot<M> {
             .map(|(i, _)| i)
             .expect("nodes have at least one core")
     }
+
+    /// Runs one event's handler against this slot: core queueing, the
+    /// handler itself, and the per-slot metrics. Touches nothing but the
+    /// slot, so the serial loop and the parallel workers share it — which is
+    /// what makes the two runtimes identical by construction.
+    pub(crate) fn execute(&mut self, ev: Event<M>) -> ExecOutcome<M> {
+        if self.crashed {
+            return ExecOutcome::Dropped;
+        }
+        let core = self.earliest_core();
+        let start = self.core_free[core].max(ev.at);
+        let wait = start - ev.at;
+        let local = self.local_clock(start);
+
+        let mut ctx = Context::new(self.id, start, local);
+        if ev.is_timer {
+            self.actor.on_timer(&mut ctx, ev.msg);
+        } else {
+            self.actor.on_message(&mut ctx, ev.from, ev.msg);
+        }
+        let (outputs, charged) = ctx.finish();
+        let completion = start + charged;
+        self.core_free[core] = completion;
+
+        if ev.is_timer {
+            self.metrics.timers_fired += 1;
+        } else {
+            self.metrics.messages_processed += 1;
+        }
+        self.metrics.cpu_busy += charged;
+        self.metrics.queue_wait += wait;
+        self.metrics.messages_sent += outputs
+            .iter()
+            .filter(|o| matches!(o, Output::Send { .. }))
+            .count() as u64;
+
+        ExecOutcome::Done {
+            from: self.id,
+            completion,
+            outputs,
+        }
+    }
 }
 
 /// Slot index standing for a destination that was not registered when the
 /// message was sent; the event is dropped at dispatch, as the heap
 /// scheduler did for unknown `NodeId`s.
-const UNKNOWN_SLOT: u32 = u32::MAX;
+pub(crate) const UNKNOWN_SLOT: u32 = u32::MAX;
 
 #[derive(Debug)]
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
+pub(crate) struct Event<M> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
     /// Destination, pre-resolved to a dense slot index at enqueue time.
-    to_slot: u32,
-    from: NodeId,
-    msg: M,
-    is_timer: bool,
+    pub(crate) to_slot: u32,
+    pub(crate) from: NodeId,
+    pub(crate) msg: M,
+    pub(crate) is_timer: bool,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -275,6 +336,14 @@ impl<M> EventQueue<M> {
         self.len -= 1;
         Some(ev)
     }
+
+    /// Number of events currently in the drain heap (primed by a preceding
+    /// `peek_at`). The drain bucket is at least one lookahead window wide,
+    /// so this is an upper bound on the next epoch's size — the parallel
+    /// driver's cheap density hint.
+    fn current_len(&self) -> usize {
+        self.current.len()
+    }
 }
 
 /// The discrete-event simulator.
@@ -284,17 +353,23 @@ impl<M> EventQueue<M> {
 /// passed to [`Simulation::new`], so runs are reproducible; see the module
 /// docs for the scheduler design and the determinism contract.
 pub struct Simulation<M> {
-    slots: Vec<NodeSlot<M>>,
+    /// Dense slots; `None` only transiently, while a slot is checked out to
+    /// a parallel worker (see [`crate::parallel`]). Between runs every slot
+    /// is home.
+    pub(crate) slots: Vec<Option<NodeSlot<M>>>,
     index: HashMap<NodeId, u32>,
     queue: EventQueue<M>,
     now: SimTime,
     seq: u64,
-    network: NetworkConfig,
+    pub(crate) network: NetworkConfig,
     partitions: Vec<Partition>,
     rng: SmallRng,
+    /// Registered node ids in sorted order, maintained on `add_node` so
+    /// `node_ids` is allocation-free and startup order is deterministic.
+    node_order: Vec<NodeId>,
     /// Whole-simulation counters; the per-node breakdown lives in the
     /// slots and is assembled on demand by [`Simulation::metrics`].
-    global: Metrics,
+    pub(crate) global: Metrics,
     started: bool,
 }
 
@@ -310,6 +385,7 @@ impl<M: Clone + 'static> Simulation<M> {
             network,
             partitions: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
+            node_order: Vec::new(),
             global: Metrics::default(),
             started: false,
         }
@@ -330,14 +406,19 @@ impl<M: Clone + 'static> Simulation<M> {
         assert!(slot != UNKNOWN_SLOT, "node capacity exhausted");
         let cores = props.cores.max(1) as usize;
         self.index.insert(id, slot);
-        self.slots.push(NodeSlot {
+        let pos = self
+            .node_order
+            .binary_search(&id)
+            .expect_err("id not yet registered");
+        self.node_order.insert(pos, id);
+        self.slots.push(Some(NodeSlot {
             id,
             actor,
             props,
             core_free: vec![SimTime::ZERO; cores],
             crashed: false,
             metrics: NodeMetrics::default(),
-        });
+        }));
     }
 
     /// Current simulation time.
@@ -352,6 +433,7 @@ impl<M: Clone + 'static> Simulation<M> {
         m.per_node = self
             .slots
             .iter()
+            .filter_map(|s| s.as_ref())
             .map(|s| (s.id, s.metrics.clone()))
             .collect();
         m
@@ -359,43 +441,58 @@ impl<M: Clone + 'static> Simulation<M> {
 
     /// The metrics of one node, without assembling the full report.
     pub fn node_metrics(&self, id: NodeId) -> Option<&NodeMetrics> {
-        self.slot_of(id).map(|i| &self.slots[i].metrics)
+        self.slot_ref(id).map(|s| &s.metrics)
     }
 
     fn slot_of(&self, id: NodeId) -> Option<usize> {
         self.index.get(&id).map(|i| *i as usize)
     }
 
-    /// All registered node identifiers.
-    pub fn node_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.slots.iter().map(|s| s.id).collect();
-        ids.sort();
-        ids
+    fn slot_ref(&self, id: NodeId) -> Option<&NodeSlot<M>> {
+        self.slot_of(id).and_then(|i| self.slots[i].as_ref())
+    }
+
+    fn slot_mut(&mut self, id: NodeId) -> Option<&mut NodeSlot<M>> {
+        self.slot_of(id).and_then(|i| self.slots[i].as_mut())
+    }
+
+    /// All registered node identifiers, in sorted order.
+    ///
+    /// Allocation-free: the sorted order is maintained incrementally by
+    /// [`Simulation::add_node`]. Collect if you need to mutate the
+    /// simulation while iterating.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_order.iter().copied()
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Immutable access to a registered actor, downcast to its concrete type.
     pub fn actor<A: Actor<M>>(&self, id: NodeId) -> Option<&A> {
-        self.slot_of(id)
-            .and_then(|i| self.slots[i].actor.as_any().downcast_ref::<A>())
+        self.slot_ref(id)
+            .and_then(|s| s.actor.as_any().downcast_ref::<A>())
     }
 
     /// Mutable access to a registered actor, downcast to its concrete type.
     pub fn actor_mut<A: Actor<M>>(&mut self, id: NodeId) -> Option<&mut A> {
-        self.slot_of(id)
-            .and_then(|i| self.slots[i].actor.as_any_mut().downcast_mut::<A>())
+        self.slot_mut(id)
+            .and_then(|s| s.actor.as_any_mut().downcast_mut::<A>())
     }
 
     /// Marks a node as crashed: all subsequent deliveries to it are dropped.
     pub fn crash(&mut self, id: NodeId) {
-        if let Some(i) = self.slot_of(id) {
-            self.slots[i].crashed = true;
+        if let Some(s) = self.slot_mut(id) {
+            s.crashed = true;
         }
     }
 
     /// Restarts a crashed node (its actor state is preserved).
     pub fn restart(&mut self, id: NodeId) {
-        if let Some(i) = self.slot_of(id) {
-            self.slots[i].crashed = false;
+        if let Some(s) = self.slot_mut(id) {
+            s.crashed = false;
         }
     }
 
@@ -435,15 +532,15 @@ impl<M: Clone + 'static> Simulation<M> {
         self.seq
     }
 
-    fn ensure_started(&mut self) {
+    pub(crate) fn ensure_started(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
-        let ids = self.node_ids();
-        for id in ids {
+        for pos in 0..self.node_order.len() {
+            let id = self.node_order[pos];
             let i = self.slot_of(id).expect("listed node exists");
-            let slot = &mut self.slots[i];
+            let slot = self.slots[i].as_mut().expect("slot is home");
             let local = slot.local_clock(SimTime::ZERO);
             let mut ctx = Context::new(id, SimTime::ZERO, local);
             slot.actor.on_start(&mut ctx);
@@ -454,7 +551,11 @@ impl<M: Clone + 'static> Simulation<M> {
                 slot.core_free[core] = completion;
                 slot.metrics.cpu_busy += charged;
             }
-            self.apply_outputs(i as u32, completion, outputs);
+            slot.metrics.messages_sent += outputs
+                .iter()
+                .filter(|o| matches!(o, Output::Send { .. }))
+                .count() as u64;
+            self.apply_outputs(i as u32, id, completion, outputs);
         }
     }
 
@@ -496,55 +597,38 @@ impl<M: Clone + 'static> Simulation<M> {
         self.queue.len()
     }
 
-    fn dispatch(&mut self, ev: Event<M>) {
-        self.global.events_processed += 1;
-        self.global.last_event_at = ev.at;
-
-        let Some(slot) = self.slots.get_mut(ev.to_slot as usize) else {
+    pub(crate) fn dispatch(&mut self, ev: Event<M>) -> Option<SimTime> {
+        let (at, is_timer, to_slot) = (ev.at, ev.is_timer, ev.to_slot);
+        let outcome = match self
+            .slots
+            .get_mut(to_slot as usize)
+            .and_then(Option::as_mut)
+        {
+            Some(slot) => slot.execute(ev),
             // Message to a node unknown at send time: drop.
-            self.global.messages_dropped += 1;
-            return;
+            None => ExecOutcome::Dropped,
         };
-        if slot.crashed {
-            self.global.messages_dropped += 1;
-            return;
-        }
-
-        // Queue for a free core.
-        let core = slot.earliest_core();
-        let start = slot.core_free[core].max(ev.at);
-        let wait = start - ev.at;
-        let local = slot.local_clock(start);
-
-        let mut ctx = Context::new(slot.id, start, local);
-        if ev.is_timer {
-            slot.actor.on_timer(&mut ctx, ev.msg);
-        } else {
-            slot.actor.on_message(&mut ctx, ev.from, ev.msg);
-        }
-        let (outputs, charged) = ctx.finish();
-        let completion = start + charged;
-        slot.core_free[core] = completion;
-
-        if ev.is_timer {
-            slot.metrics.timers_fired += 1;
-        } else {
-            slot.metrics.messages_processed += 1;
-        }
-        slot.metrics.cpu_busy += charged;
-        slot.metrics.queue_wait += wait;
-        self.global.messages_delivered += u64::from(!ev.is_timer);
-
-        self.apply_outputs(ev.to_slot, completion, outputs);
+        self.apply_exec(to_slot, at, is_timer, outcome)
     }
 
-    fn apply_outputs(&mut self, from_slot: u32, completion: SimTime, outputs: Vec<Output<M>>) {
-        let from = self.slots[from_slot as usize].id;
+    /// Applies a handler's recorded outputs: network sampling (partitions,
+    /// loss, latency jitter) and queue insertion, in output order. This is
+    /// the *only* place randomness is consumed, so any runtime that applies
+    /// outputs in serial `(time, seq)` dispatch order reproduces the exact
+    /// event trace. Returns the earliest timestamp enqueued (used by the
+    /// parallel driver's epoch-safety check).
+    pub(crate) fn apply_outputs(
+        &mut self,
+        from_slot: u32,
+        from: NodeId,
+        completion: SimTime,
+        outputs: Vec<Output<M>>,
+    ) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
         for out in outputs {
             match out {
                 Output::Send { to, msg } => {
                     self.global.messages_sent += 1;
-                    self.slots[from_slot as usize].metrics.messages_sent += 1;
                     if self.partitions.iter().any(|p| p.blocks(from, to)) {
                         self.global.messages_dropped += 1;
                         continue;
@@ -556,8 +640,10 @@ impl<M: Clone + 'static> Simulation<M> {
                     let latency = self.network.sample_latency(from, to, &mut self.rng);
                     let seq = self.next_seq();
                     let to_slot = self.index.get(&to).copied().unwrap_or(UNKNOWN_SLOT);
+                    let at = completion + latency;
+                    earliest = Some(earliest.map_or(at, |e: SimTime| e.min(at)));
                     self.queue.push(Event {
-                        at: completion + latency,
+                        at,
                         seq,
                         to_slot,
                         from,
@@ -567,8 +653,10 @@ impl<M: Clone + 'static> Simulation<M> {
                 }
                 Output::Timer { delay, msg } => {
                     let seq = self.next_seq();
+                    let at = completion + delay;
+                    earliest = Some(earliest.map_or(at, |e: SimTime| e.min(at)));
                     self.queue.push(Event {
-                        at: completion + delay,
+                        at,
                         seq,
                         to_slot: from_slot,
                         from,
@@ -578,6 +666,113 @@ impl<M: Clone + 'static> Simulation<M> {
                 }
             }
         }
+        earliest
+    }
+
+    /// Records the driver-side accounting for one dispatched event and
+    /// applies its outputs. Shared by the serial loop and the parallel
+    /// driver's in-order apply stage.
+    pub(crate) fn apply_exec(
+        &mut self,
+        to_slot: u32,
+        at: SimTime,
+        is_timer: bool,
+        outcome: ExecOutcome<M>,
+    ) -> Option<SimTime> {
+        self.global.events_processed += 1;
+        self.global.last_event_at = at;
+        self.now = at;
+        match outcome {
+            ExecOutcome::Dropped => {
+                self.global.messages_dropped += 1;
+                None
+            }
+            ExecOutcome::Done {
+                from,
+                completion,
+                outputs,
+            } => {
+                self.global.messages_delivered += u64::from(!is_timer);
+                self.apply_outputs(to_slot, from, completion, outputs)
+            }
+        }
+    }
+
+    /// Timestamp of the earliest queued event (primes the drain heap).
+    pub(crate) fn peek_at(&mut self) -> Option<SimTime> {
+        self.queue.peek_at()
+    }
+
+    /// Upper bound on the next epoch's size — see `EventQueue::current_len`.
+    pub(crate) fn queue_density(&self) -> usize {
+        self.queue.current_len()
+    }
+
+    /// Pops and dispatches exactly one event (the serial loop's step,
+    /// exposed for the parallel driver's sparse-queue path).
+    pub(crate) fn step_one(&mut self) {
+        if let Some(ev) = self.queue.pop() {
+            self.dispatch(ev);
+        }
+    }
+
+    /// Pops the next *epoch*: the maximal run of queued events whose
+    /// timestamps all fall within `lookahead` of the earliest pending event
+    /// (and at or before `deadline`), appended to `buf` in `(time, seq)`
+    /// order.
+    ///
+    /// If `lookahead` is at most the minimum delay of any send latency or
+    /// timer, no event generated by an epoch event can land inside the
+    /// epoch, so the epoch's events can be executed before any of their
+    /// outputs are applied — the invariant the parallel runtime builds on.
+    pub(crate) fn pop_epoch(
+        &mut self,
+        deadline: SimTime,
+        lookahead: Duration,
+        buf: &mut Vec<Event<M>>,
+    ) {
+        let Some(first_at) = self.queue.peek_at() else {
+            return;
+        };
+        if first_at > deadline {
+            return;
+        }
+        let horizon = first_at.saturating_add(lookahead.max(Duration::from_nanos(1)));
+        while let Some(at) = self.queue.peek_at() {
+            if at > deadline || at >= horizon {
+                break;
+            }
+            buf.push(self.queue.pop().expect("peeked event exists"));
+        }
+    }
+
+    /// Pushes un-executed events back into the queue (the inline epoch path
+    /// backs out when an epoch event schedules work inside the epoch
+    /// window). Events keep their original sequence numbers, so ordering is
+    /// unaffected.
+    pub(crate) fn requeue(&mut self, events: impl IntoIterator<Item = Event<M>>) {
+        for ev in events {
+            self.queue.push(ev);
+        }
+    }
+
+    /// Takes the destination slot of `ev` out of the table (checked out to a
+    /// worker) — `None` when the destination is unknown or already taken.
+    pub(crate) fn take_slot(&mut self, idx: u32) -> Option<NodeSlot<M>> {
+        self.slots.get_mut(idx as usize).and_then(Option::take)
+    }
+
+    /// Returns a checked-out slot to its home position.
+    pub(crate) fn put_slot(&mut self, idx: u32, slot: NodeSlot<M>) {
+        let home = &mut self.slots[idx as usize];
+        debug_assert!(home.is_none(), "slot {idx} returned twice");
+        *home = Some(slot);
+    }
+
+    /// Advances the clock to `deadline` if nothing later ran (used by the
+    /// parallel driver to mirror `run_until`'s final clock rule).
+    pub(crate) fn finish_run(&mut self, deadline: SimTime) {
+        self.now = deadline.max(self.now);
     }
 }
 

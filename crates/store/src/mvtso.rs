@@ -71,7 +71,7 @@ pub enum CheckOutcome {
 }
 
 /// The final, durable decision for a transaction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Decision {
     /// The transaction committed.
     Commit,
@@ -233,8 +233,27 @@ impl KeyRecord {
 /// threat-model note).
 #[derive(Debug, Default)]
 pub struct MvtsoStore {
-    /// Flattened per-key concurrency-control records.
-    keys: FastHashMap<Key, KeyRecord>,
+    /// Per-key records live in an **arena**: the hash table maps a key to a
+    /// `u32` slot in `key_records`, and freed slots are recycled through
+    /// `free_records`. Storing ~160-byte records inline in the table made
+    /// every probe, insert, and rehash drag whole records through the cache
+    /// (measured ~1 µs per map operation on the 96-client bench's ~50k-key
+    /// working set); with 4-byte values the table stays small and hot, the
+    /// records are reached by direct indexing, and — because an index,
+    /// unlike a map entry reference, can be *saved* — the prepare pipeline
+    /// resolves each key once and reuses the slot for both the conflict
+    /// check and the prepared-index insert.
+    key_index: FastHashMap<Key, u32>,
+    /// The record arena (`key_index` values point here).
+    key_records: Vec<KeyRecord>,
+    /// Recycled arena slots (records released by GC or RTS removal).
+    free_records: Vec<u32>,
+    /// Scratch: per-prepare resolved arena slots for the read/write sets
+    /// (`u32::MAX` = key unknown at check time). Reused across calls to
+    /// avoid an allocation per prepare; never observable state.
+    scratch_reads: Vec<u32>,
+    /// Scratch for the write set (see `scratch_reads`).
+    scratch_writes: Vec<u32>,
     /// Metadata of committed transactions (needed for the read-write checks
     /// and for the serializability audit). `Arc`-shared so the prepared
     /// entry is promoted on commit without copying, and so audits can
@@ -259,10 +278,51 @@ pub struct MvtsoStore {
     stats: StoreStats,
 }
 
+/// Sentinel for "key had no record when the check pass resolved it".
+const NO_SLOT: u32 = u32::MAX;
+
 impl MvtsoStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The record of `key`, if one exists.
+    fn key_rec(&self, key: &Key) -> Option<&KeyRecord> {
+        self.key_index
+            .get(key)
+            .map(|i| &self.key_records[*i as usize])
+    }
+
+    /// Mutable access to the record of `key`, if one exists.
+    fn key_rec_mut(&mut self, key: &Key) -> Option<(u32, &mut KeyRecord)> {
+        let idx = *self.key_index.get(key)?;
+        Some((idx, &mut self.key_records[idx as usize]))
+    }
+
+    /// The arena slot of `key`, creating an empty record if needed.
+    fn intern_key(&mut self, key: &Key) -> u32 {
+        if let Some(idx) = self.key_index.get(key) {
+            return *idx;
+        }
+        let idx = match self.free_records.pop() {
+            Some(free) => free,
+            None => {
+                let idx = u32::try_from(self.key_records.len()).expect("fewer than 2^32 keys");
+                assert!(idx != NO_SLOT, "key arena exhausted");
+                self.key_records.push(KeyRecord::default());
+                idx
+            }
+        };
+        self.key_index.insert(key.clone(), idx);
+        idx
+    }
+
+    /// Drops `key`'s (empty) record: the slot is reset and recycled.
+    fn release_key(&mut self, key: &Key, idx: u32) {
+        self.key_index.remove(key);
+        self.key_records[idx as usize] = KeyRecord::default();
+        self.free_records.push(idx);
     }
 
     /// Creates a store preloaded with initial data. The initial versions are
@@ -278,7 +338,8 @@ impl MvtsoStore {
     /// Loads one more initial key (same semantics as
     /// [`MvtsoStore::with_initial_data`]).
     pub fn load_initial(&mut self, key: Key, value: Value) {
-        let rec = self.keys.entry(key).or_default();
+        let idx = self.intern_key(&key);
+        let rec = &mut self.key_records[idx as usize];
         rec.committed
             .insert(Timestamp::ZERO, (TxId::default(), value));
         rec.note_write(Timestamp::ZERO);
@@ -291,18 +352,26 @@ impl MvtsoStore {
     /// Serves a versioned read at timestamp `ts` and records `ts` in the
     /// key's RTS set (Section 4.1, replica read logic step 2).
     pub fn read(&mut self, key: &Key, ts: Timestamp) -> ReadResult {
-        let rec = self.keys.entry(key.clone()).or_default();
+        let idx = self.intern_key(key);
+        let rec = &mut self.key_records[idx as usize];
         rec.rts.insert(ts, ());
         rec.note_read(ts);
-        self.read_without_rts(key, ts)
+        self.read_at_slot(idx, key, ts)
     }
 
     /// Serves a versioned read without registering an RTS (used when
     /// re-serving a retried read that already registered one).
     pub fn read_without_rts(&self, key: &Key, ts: Timestamp) -> ReadResult {
-        let Some(rec) = self.keys.get(key) else {
-            return ReadResult::default();
-        };
+        match self.key_index.get(key) {
+            Some(idx) => self.read_at_slot(*idx, key, ts),
+            None => ReadResult::default(),
+        }
+    }
+
+    /// The versioned-read logic against an already-resolved arena slot (so
+    /// `read` pays one key lookup, not two).
+    fn read_at_slot(&self, idx: u32, key: &Key, ts: Timestamp) -> ReadResult {
+        let rec = &self.key_records[idx as usize];
         let committed = rec
             .committed
             .latest_before(ts)
@@ -328,28 +397,29 @@ impl MvtsoStore {
     /// Removes a read timestamp previously registered by [`MvtsoStore::read`]
     /// (client-initiated `Abort()` during the execution phase).
     pub fn remove_rts(&mut self, key: &Key, ts: Timestamp) {
-        let mut unused = false;
-        if let Some(rec) = self.keys.get_mut(key) {
+        let mut unused = None;
+        if let Some((idx, rec)) = self.key_rec_mut(key) {
             if rec.rts.remove(ts).is_some() {
                 rec.generation += 1;
                 if ts == rec.max_read {
                     rec.refresh_read_watermark();
                 }
-                unused = rec.is_unused();
+                if rec.is_unused() {
+                    unused = Some(idx);
+                }
             }
         }
         // Reads of never-written keys create a record only to hold the RTS;
         // releasing the last piece of state releases the record too.
-        if unused {
-            self.keys.remove(key);
+        if let Some(idx) = unused {
+            self.release_key(key, idx);
         }
     }
 
     /// The newest committed value of a key (used by examples and tests to
     /// inspect final state).
     pub fn latest_committed(&self, key: &Key) -> Option<(Timestamp, Value)> {
-        self.keys
-            .get(key)
+        self.key_rec(key)
             .and_then(|rec| rec.committed.last())
             .map(|(ts, (_, value))| (*ts, value.clone()))
     }
@@ -448,8 +518,13 @@ impl MvtsoStore {
         // (4) Reads in T did not miss any committed or prepared write:
         // no write W to `key` with version_read < ts_W < ts_T may exist.
         // Fast path: the version read is the key's newest write overall.
+        // Each key's arena slot is resolved once here and reused by the
+        // prepared-index inserts below (one map lookup per key per prepare).
+        self.scratch_reads.clear();
         for read in tx.read_set() {
-            match self.keys.get(&read.key) {
+            let slot = self.key_index.get(&read.key).copied();
+            self.scratch_reads.push(slot.unwrap_or(NO_SLOT));
+            match slot.map(|i| &self.key_records[i as usize]) {
                 Some(rec) if rec.max_write > read.version => {
                     self.stats.slow_path_checks += 1;
                     if rec.committed.any_in_open_range(read.version, ts)
@@ -467,8 +542,11 @@ impl MvtsoStore {
         // version older than ts_T for a key T writes.
         // (6) Writes must not invalidate ongoing reads (RTS check).
         // Fast path for both: the write lands above the key's newest read.
+        self.scratch_writes.clear();
         for write in tx.write_set() {
-            match self.keys.get(&write.key) {
+            let slot = self.key_index.get(&write.key).copied();
+            self.scratch_writes.push(slot.unwrap_or(NO_SLOT));
+            match slot.map(|i| &self.key_records[i as usize]) {
                 Some(rec) if rec.max_read > ts => {
                     self.stats.slow_path_checks += 1;
                     let invalidates = |reads: &VersionArray<Timestamp>| {
@@ -487,8 +565,30 @@ impl MvtsoStore {
             }
         }
 
-        // (7) Prepared.add(T): make the transaction visible to future reads.
-        self.index_prepared(txid, tx);
+        // (7) Prepared.add(T): make the transaction visible to future reads,
+        // reusing the slots resolved by the checks (keys unseen there are
+        // interned now).
+        let mut write_slots = std::mem::take(&mut self.scratch_writes);
+        for (write, slot) in tx.write_set().iter().zip(write_slots.iter_mut()) {
+            if *slot == NO_SLOT {
+                *slot = self.intern_key(&write.key);
+            }
+            let rec = &mut self.key_records[*slot as usize];
+            rec.prepared.insert(ts, txid);
+            rec.note_write(ts);
+        }
+        self.scratch_writes = write_slots;
+        let mut read_slots = std::mem::take(&mut self.scratch_reads);
+        for (read, slot) in tx.read_set().iter().zip(read_slots.iter_mut()) {
+            if *slot == NO_SLOT {
+                *slot = self.intern_key(&read.key);
+            }
+            let rec = &mut self.key_records[*slot as usize];
+            rec.prepared_reads.insert(ts, read.version);
+            rec.note_read(ts);
+        }
+        self.scratch_reads = read_slots;
+        self.prepared_txs.insert(txid, Arc::clone(tx));
 
         // (8) Wait for all pending dependencies.
         let mut missing: FastHashSet<TxId> = FastHashSet::default();
@@ -516,21 +616,6 @@ impl MvtsoStore {
         CheckOutcome::Pending { waiting_on }
     }
 
-    fn index_prepared(&mut self, txid: TxId, tx: &Arc<Transaction>) {
-        let ts = tx.timestamp();
-        for write in tx.write_set() {
-            let rec = self.keys.entry(write.key.clone()).or_default();
-            rec.prepared.insert(ts, txid);
-            rec.note_write(ts);
-        }
-        for read in tx.read_set() {
-            let rec = self.keys.entry(read.key.clone()).or_default();
-            rec.prepared_reads.insert(ts, read.version);
-            rec.note_read(ts);
-        }
-        self.prepared_txs.insert(txid, Arc::clone(tx));
-    }
-
     /// Removes a prepared transaction from the visibility indexes,
     /// returning its shared metadata so a commit can promote it without
     /// copying. Watermarks are recomputed (`O(1)` from the array tails)
@@ -540,7 +625,7 @@ impl MvtsoStore {
         let tx = self.prepared_txs.remove(txid)?;
         let ts = tx.timestamp();
         for write in tx.write_set() {
-            if let Some(rec) = self.keys.get_mut(&write.key) {
+            if let Some((_, rec)) = self.key_rec_mut(&write.key) {
                 if rec.prepared.remove(ts).is_some() {
                     rec.generation += 1;
                     if ts == rec.max_write {
@@ -550,7 +635,7 @@ impl MvtsoStore {
             }
         }
         for read in tx.read_set() {
-            if let Some(rec) = self.keys.get_mut(&read.key) {
+            if let Some((_, rec)) = self.key_rec_mut(&read.key) {
                 if rec.prepared_reads.remove(ts).is_some() {
                     rec.generation += 1;
                     if ts == rec.max_read {
@@ -579,21 +664,39 @@ impl MvtsoStore {
         // is a content hash, so the prepared metadata under this id is the
         // same transaction and no copy is needed. A commit that skipped the
         // prepare (writeback to a replica that missed ST1) shares the Arc
-        // the writeback carries.
+        // the writeback carries. The prepared-entry removal and the
+        // committed-version insert are fused into one key-record pass —
+        // the per-key end state is identical to removing first and
+        // inserting second, at half the map lookups.
         let shared = self
-            .unindex_prepared(&txid)
+            .prepared_txs
+            .remove(&txid)
             .unwrap_or_else(|| Arc::clone(tx));
         self.pending.remove(&txid);
         self.decisions.insert(txid, Decision::Commit);
 
         let ts = tx.timestamp();
         for write in tx.write_set() {
-            let rec = self.keys.entry(write.key.clone()).or_default();
+            let idx = self.intern_key(&write.key);
+            let rec = &mut self.key_records[idx as usize];
+            if rec.prepared.remove(ts).is_some() {
+                rec.generation += 1;
+                if ts == rec.max_write {
+                    rec.refresh_write_watermark();
+                }
+            }
             rec.committed.insert(ts, (txid, write.value.clone()));
             rec.note_write(ts);
         }
         for read in tx.read_set() {
-            let rec = self.keys.entry(read.key.clone()).or_default();
+            let idx = self.intern_key(&read.key);
+            let rec = &mut self.key_records[idx as usize];
+            if rec.prepared_reads.remove(ts).is_some() {
+                rec.generation += 1;
+                if ts == rec.max_read {
+                    rec.refresh_read_watermark();
+                }
+            }
             rec.committed_reads.insert(ts, read.version);
             rec.note_read(ts);
         }
@@ -707,13 +810,13 @@ impl MvtsoStore {
     /// The generation stamp of a key's record: how many times its
     /// concurrency-control state has mutated (tests and diagnostics).
     pub fn key_generation(&self, key: &Key) -> Option<u64> {
-        self.keys.get(key).map(|rec| rec.generation)
+        self.key_rec(key).map(|rec| rec.generation)
     }
 
     /// The `(max_write, max_read)` watermarks of a key's record (tests and
     /// diagnostics).
     pub fn key_watermarks(&self, key: &Key) -> Option<(Timestamp, Timestamp)> {
-        self.keys.get(key).map(|rec| (rec.max_write, rec.max_read))
+        self.key_rec(key).map(|rec| (rec.max_write, rec.max_read))
     }
 
     /// Garbage-collects bookkeeping that can no longer affect any future
@@ -727,7 +830,8 @@ impl MvtsoStore {
     /// copies this replaces.
     pub fn gc_before(&mut self, watermark: Timestamp) {
         self.gc_watermark = self.gc_watermark.max(watermark);
-        for rec in self.keys.values_mut() {
+        for idx in self.key_index.values() {
+            let rec = &mut self.key_records[*idx as usize];
             let mut dropped = 0;
             if let Some(keep_from) = rec.committed.latest_at_or_below(watermark).map(|(t, _)| *t) {
                 dropped += rec.committed.drop_below(keep_from);
@@ -743,10 +847,18 @@ impl MvtsoStore {
             }
         }
         // A fully drained record is semantically identical to an absent one;
-        // dropping it keeps the key map bounded by the keys that still carry
-        // state (reads of never-written keys would otherwise pin a record
-        // forever).
-        self.keys.retain(|_, rec| !rec.is_unused());
+        // dropping it (and recycling its arena slot) keeps the store bounded
+        // by the keys that still carry state (reads of never-written keys
+        // would otherwise pin a record forever).
+        let drained: Vec<(Key, u32)> = self
+            .key_index
+            .iter()
+            .filter(|(_, idx)| self.key_records[**idx as usize].is_unused())
+            .map(|(key, idx)| (key.clone(), *idx))
+            .collect();
+        for (key, idx) in drained {
+            self.release_key(&key, idx);
+        }
     }
 }
 

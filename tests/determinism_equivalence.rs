@@ -13,7 +13,6 @@
 use basil::harness::{BasilCluster, ClusterConfig};
 use basil::workloads::ycsb::YcsbGenerator;
 use basil::{BasilConfig, Duration, SystemConfig};
-use basil_crypto::Sha256;
 
 /// Values captured from the pre-refactor binary. Scenario: 3 shards,
 /// 12 clients, RW-U 2r2w over 10k keys, seed 7, 50 ms warmup + 200 ms window.
@@ -41,33 +40,14 @@ fn run_scenario() -> BasilCluster {
     cluster
 }
 
-/// SHA-256 over the sorted committed transaction ids: pins the exact set of
-/// transactions that committed (and therefore every decision), independent of
-/// iteration order.
-fn history_digest(cluster: &BasilCluster) -> String {
-    let mut ids: Vec<[u8; 32]> = cluster
-        .committed_transactions()
-        .iter()
-        .map(|tx| *tx.id().as_bytes())
-        .collect();
-    ids.sort_unstable();
-    let mut hasher = Sha256::new();
-    for id in &ids {
-        hasher.update(id);
-    }
-    hasher
-        .finalize()
-        .as_bytes()
-        .iter()
-        .map(|b| format!("{b:02x}"))
-        .collect()
-}
-
 #[test]
 fn arc_refactor_preserves_simulated_results() {
     let cluster = run_scenario();
     let snap = cluster.snapshot();
-    let digest = history_digest(&cluster);
+    // The canonical digest helper (SHA-256 over sorted committed ids) —
+    // shared with the parallel-runtime golden tests so the definition
+    // cannot drift between them.
+    let digest = cluster.committed_history_digest();
     eprintln!(
         "capture: committed={} aborted={} fast={} slow={} digest={digest}",
         snap.committed, snap.aborted_attempts, snap.fast_path, snap.slow_path,

@@ -1,0 +1,106 @@
+//! Golden determinism test for the thread-sharded parallel runtime.
+//!
+//! The serial `Simulation` is the bit-for-bit oracle: for a fixed seed, a
+//! `RuntimeMode::Parallel(n)` run must produce the *identical* simulated
+//! results — commit/abort counts, path split, and the digest over the exact
+//! committed-transaction set — for any worker count. The scenario and the
+//! pinned values are the same as `tests/determinism_equivalence.rs` (the
+//! zero-copy message-plane golden test, captured at commit a89501c), so
+//! this test simultaneously proves the parallel runtime against the oracle
+//! *and* against the pre-refactor binary.
+//!
+//! The inline threshold is forced to 0 so every epoch really crosses the
+//! worker threads (with the default threshold, small epochs would run
+//! inline on the driver and the test would prove less than it claims).
+
+use basil::cluster::RuntimeMode;
+use basil::harness::{BasilCluster, ClusterConfig};
+use basil::workloads::ycsb::YcsbGenerator;
+use basil::{BasilConfig, Duration, SystemConfig};
+
+/// Values captured from the pre-refactor binary (commit a89501c); identical
+/// to `tests/determinism_equivalence.rs`. Scenario: 3 shards, 12 clients,
+/// RW-U 2r2w over 10k keys, seed 7, 250 ms.
+const EXPECTED_COMMITTED: u64 = 992;
+const EXPECTED_ABORTED: u64 = 12;
+const EXPECTED_FAST: u64 = 999;
+const EXPECTED_SLOW: u64 = 5;
+const EXPECTED_HISTORY_DIGEST: &str =
+    "e275d26a31fe5101bbbf203382700ab764d90a6b8a18701e0d4628e934669d59";
+
+fn run_scenario(runtime: RuntimeMode) -> BasilCluster {
+    let basil = BasilConfig::bench(SystemConfig::sharded(3)).with_batch_size(16);
+    let config = ClusterConfig::basil_default(12)
+        .with_basil(basil)
+        .with_seed(7)
+        .with_runtime(runtime)
+        // Force every epoch through the worker threads.
+        .with_parallel_tuning(None, Some(0));
+    let mut cluster = BasilCluster::build(config, |cid| {
+        Box::new(YcsbGenerator::rw_uniform(
+            7u64.wrapping_add(cid.0.wrapping_mul(7919)),
+            10_000,
+            2,
+            2,
+        ))
+    });
+    cluster.run_for(Duration::from_millis(250));
+    cluster
+}
+
+fn assert_matches_oracle(cluster: &BasilCluster, label: &str) {
+    let snap = cluster.snapshot();
+    let digest = cluster.committed_history_digest();
+    assert_eq!(snap.committed, EXPECTED_COMMITTED, "{label}: committed");
+    assert_eq!(snap.aborted_attempts, EXPECTED_ABORTED, "{label}: aborted");
+    assert_eq!(snap.fast_path, EXPECTED_FAST, "{label}: fast-path");
+    assert_eq!(snap.slow_path, EXPECTED_SLOW, "{label}: slow-path");
+    assert_eq!(digest, EXPECTED_HISTORY_DIGEST, "{label}: history digest");
+    cluster.audit().expect("history serializable");
+}
+
+#[test]
+fn serial_oracle_matches_pinned_values() {
+    let cluster = run_scenario(RuntimeMode::Serial);
+    assert_eq!(cluster.runtime_mode(), RuntimeMode::Serial);
+    assert_matches_oracle(&cluster, "serial");
+}
+
+#[test]
+fn parallel_2_workers_is_decision_identical_to_the_oracle() {
+    let cluster = run_scenario(RuntimeMode::Parallel(2));
+    assert_eq!(cluster.runtime_mode(), RuntimeMode::Parallel(2));
+    assert_matches_oracle(&cluster, "parallel:2");
+}
+
+#[test]
+fn parallel_4_workers_is_decision_identical_to_the_oracle() {
+    let cluster = run_scenario(RuntimeMode::Parallel(4));
+    assert_matches_oracle(&cluster, "parallel:4");
+}
+
+/// Beyond the decision counts: the full simulator metrics (event counts,
+/// message counts, per-node CPU accounting) are identical too — the trace
+/// itself is reproduced, not just its outcome.
+#[test]
+fn parallel_metrics_are_bit_identical_to_serial() {
+    let serial = run_scenario(RuntimeMode::Serial);
+    let parallel = run_scenario(RuntimeMode::Parallel(3));
+    let sm = serial.sim().metrics();
+    let pm = parallel.sim().metrics();
+    assert_eq!(pm.events_processed, sm.events_processed);
+    assert_eq!(pm.messages_sent, sm.messages_sent);
+    assert_eq!(pm.messages_delivered, sm.messages_delivered);
+    assert_eq!(pm.messages_dropped, sm.messages_dropped);
+    assert_eq!(pm.last_event_at, sm.last_event_at);
+    for (id, snode) in &sm.per_node {
+        let pnode = pm.per_node.get(id).expect("node present in parallel run");
+        assert_eq!(pnode.messages_processed, snode.messages_processed, "{id:?}");
+        assert_eq!(pnode.timers_fired, snode.timers_fired, "{id:?}");
+        assert_eq!(pnode.cpu_busy, snode.cpu_busy, "{id:?}");
+        assert_eq!(pnode.queue_wait, snode.queue_wait, "{id:?}");
+        assert_eq!(pnode.messages_sent, snode.messages_sent, "{id:?}");
+    }
+    // The measured report agrees as well and records its runtime.
+    assert_eq!(serial.total_committed(), parallel.total_committed());
+}
