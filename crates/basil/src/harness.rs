@@ -139,6 +139,8 @@ impl ClusterProtocol for BasilProtocol {
         snap.slow_path += stats.slow_path_decisions;
         snap.fallbacks += stats.fallback_invocations;
         snap.faulty_issued += stats.faulty_issued;
+        snap.offered += stats.offered;
+        snap.shed += stats.shed;
         for (label, count) in &stats.per_label {
             *snap.per_label.entry(label).or_insert(0) += count;
         }

@@ -64,7 +64,7 @@ pub use basil_simnet::{NetworkConfig, Partition, Simulation};
 pub use basil_store::{audit_serializability, AuditError, StoreStats, Transaction};
 pub use cluster::{ClusterAuditError, ClusterProtocol, ProtocolCluster, RuntimeMode};
 pub use harness::{BasilCluster, BasilProtocol, ClusterConfig};
-pub use report::RunReport;
+pub use report::{LatencySlo, RunReport, SloOutcome};
 
 /// Re-export of the workload generators.
 pub use basil_workloads as workloads;

@@ -69,18 +69,89 @@ fn bench_signatures(c: &mut Criterion) {
     // ROADMAP: batching > 16 was untested; sweep through 64 so the
     // amortization curve of Figure 6b has micro-benchmark backing.
     for batch in [16usize, 32, 64] {
+        let payloads: Vec<Vec<u8>> = (0..batch)
+            .map(|i| format!("reply {i}").into_bytes())
+            .collect();
         c.bench_function(&format!("batch_sign_{batch}"), |b| {
             b.iter(|| {
                 let mut signer = BatchSigner::new(registry.keypair(node), batch);
-                for i in 0..batch as u64 {
-                    signer.push(
-                        NodeId::Client(ClientId(i)),
-                        format!("reply {i}").into_bytes(),
-                    );
+                for (i, payload) in payloads.iter().enumerate() {
+                    signer.push(NodeId::Client(ClientId(i as u64)), payload);
                 }
             })
         });
     }
+}
+
+/// The tentpole acceptance benchmark: the reply-batch flush burst with the
+/// incremental frontier versus the full `MerkleTree::build` rebuild the
+/// flush path used to pay.
+///
+/// `rebuild_at_flush` is the old flush: hash every payload, rebuild the
+/// whole tree, prove every leaf — `O(b)` hashing in one burst.
+/// `frontier_append_flush` is the new flush: each append already folded its
+/// leaf into the frontier when the reply was queued (that amortized work is
+/// the `iter_batched` setup), so the burst is just the `O(log b)` seal plus
+/// proof extraction. `frontier_total` re-counts the appends inside the
+/// timed region to document that total hashing is conserved — the frontier
+/// wins by moving it off the flush burst and recycling allocations, not by
+/// hashing less.
+fn bench_frontier_vs_rebuild(c: &mut Criterion) {
+    use basil_crypto::MerkleFrontier;
+    use criterion::BatchSize;
+    let mut group = c.benchmark_group("reply_batch_flush");
+    for batch in [16usize, 32, 64, 128] {
+        let payloads: Vec<Vec<u8>> = (0..batch)
+            .map(|i| format!("st1-reply-{i}-to-some-client").into_bytes())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_at_flush", batch),
+            &payloads,
+            |b, payloads| {
+                b.iter(|| {
+                    let tree = MerkleTree::build(payloads);
+                    let proofs: Vec<_> = (0..payloads.len()).map(|i| tree.prove(i)).collect();
+                    (tree.root(), proofs)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("frontier_append_flush", batch),
+            &payloads,
+            |b, payloads| {
+                let mut template = MerkleFrontier::new();
+                for payload in payloads {
+                    template.append(payload);
+                }
+                b.iter_batched(
+                    || template.clone(),
+                    |mut frontier| {
+                        let sealed = frontier.seal();
+                        let proofs: Vec<_> = (0..payloads.len()).map(|i| sealed.prove(i)).collect();
+                        (sealed.root(), proofs)
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("frontier_total", batch),
+            &payloads,
+            |b, payloads| {
+                let mut frontier = MerkleFrontier::new();
+                b.iter(|| {
+                    frontier.reset();
+                    for payload in payloads {
+                        frontier.append(payload);
+                    }
+                    let sealed = frontier.seal();
+                    let proofs: Vec<_> = (0..payloads.len()).map(|i| sealed.prove(i)).collect();
+                    (sealed.root(), proofs)
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
 /// The ROADMAP slow spot: a cold `DecisionCert` validation paid a full
@@ -160,6 +231,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_sha256, bench_hmac, bench_merkle, bench_signatures,
-        bench_cert_quorum_validation
+        bench_frontier_vs_rebuild, bench_cert_quorum_validation
 }
 criterion_main!(benches);

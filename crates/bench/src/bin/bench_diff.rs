@@ -1,0 +1,136 @@
+//! Compares two `BENCH_*.json` snapshot directories and flags benchmarks
+//! whose timing moved beyond a noise band.
+//!
+//! ```text
+//! bench_diff <baseline_dir> <current_dir> [--noise <fraction>]
+//! ```
+//!
+//! The committed baseline lives in `bench/baseline/`; regenerate a current
+//! directory with e.g.
+//!
+//! ```text
+//! BASIL_BENCH_JSON=target/bench-json cargo bench --bench store_bench
+//! bench_diff bench/baseline target/bench-json
+//! ```
+//!
+//! Exit status is 1 when any benchmark regressed beyond the band (so the
+//! check *can* gate), but the CI wiring runs it non-blocking: the shim is a
+//! single-sample wall-clock harness and shared runners are noisy, so the
+//! report is for humans reading the job log, not a merge gate.
+
+use basil_bench::snapshot::{diff_snapshots, load_snapshot_dir, DiffLine, Verdict};
+use std::path::Path;
+use std::process::ExitCode;
+
+const DEFAULT_NOISE: f64 = 0.30;
+
+fn fmt_ns(ns: Option<f64>) -> String {
+    match ns {
+        Some(ns) => format!("{ns:>14.1}"),
+        None => format!("{:>14}", "-"),
+    }
+}
+
+fn fmt_delta(line: &DiffLine) -> String {
+    match line.delta {
+        Some(d) => format!("{:>+8.1}%", d * 100.0),
+        None => format!("{:>9}", "-"),
+    }
+}
+
+fn verdict_tag(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Regression => "REGRESSION",
+        Verdict::Improvement => "improved",
+        Verdict::Within => "",
+        Verdict::New => "new",
+        Verdict::Missing => "missing",
+        Verdict::Untimed => "untimed",
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs = Vec::new();
+    let mut noise = DEFAULT_NOISE;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--noise" => {
+                i += 1;
+                noise = args
+                    .get(i)
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|n| *n > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --noise takes a positive fraction (e.g. 0.30)");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_diff <baseline_dir> <current_dir> [--noise <fraction>]");
+                return ExitCode::SUCCESS;
+            }
+            other => dirs.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_dir, current_dir] = dirs.as_slice() else {
+        eprintln!("usage: bench_diff <baseline_dir> <current_dir> [--noise <fraction>]");
+        return ExitCode::from(2);
+    };
+
+    let load = |dir: &str| match load_snapshot_dir(Path::new(dir)) {
+        Ok(snaps) => snaps,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = load(baseline_dir);
+    let current = load(current_dir);
+    let lines = diff_snapshots(&baseline, &current, noise);
+
+    println!(
+        "bench_diff: {} baseline bins vs {} current bins, noise band ±{:.0}%",
+        baseline.len(),
+        current.len(),
+        noise * 100.0
+    );
+    println!(
+        "{:<16} {:<48} {:>14} {:>14} {:>9}  verdict",
+        "bin", "benchmark", "baseline ns", "current ns", "delta"
+    );
+    for line in &lines {
+        println!(
+            "{:<16} {:<48} {} {} {}  {}",
+            line.bin,
+            line.label,
+            fmt_ns(line.baseline_ns),
+            fmt_ns(line.current_ns),
+            fmt_delta(line),
+            verdict_tag(line.verdict)
+        );
+    }
+
+    let count = |v: Verdict| lines.iter().filter(|l| l.verdict == v).count();
+    let regressions = count(Verdict::Regression);
+    println!(
+        "\nsummary: {} compared, {} regressed, {} improved, {} within band, {} new, {} missing, {} untimed",
+        lines.iter().filter(|l| l.delta.is_some()).count(),
+        regressions,
+        count(Verdict::Improvement),
+        count(Verdict::Within),
+        count(Verdict::New),
+        count(Verdict::Missing),
+        count(Verdict::Untimed),
+    );
+    if regressions > 0 {
+        eprintln!(
+            "bench_diff: {regressions} benchmark(s) regressed beyond ±{:.0}%",
+            noise * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -37,9 +37,12 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod snapshot;
+
 use basil::baseline_harness::{BaselineCluster, BaselineClusterConfig};
 use basil::baselines::{BaselineConfig, SystemKind};
 use basil::harness::{BasilCluster, ClusterConfig};
+use basil::workloads::poisson::PoissonTxGenerator;
 use basil::workloads::retwis::RetwisGenerator;
 use basil::workloads::smallbank::SmallbankGenerator;
 use basil::workloads::tpcc::TpccGenerator;
@@ -216,6 +219,35 @@ pub fn run_basil_with_faults(
     cluster.run_measured(params.warmup, params.window)
 }
 
+/// Runs Basil under *open-loop* load: every client offers Poisson arrivals
+/// at `rate_tps` transactions per second (so the aggregate offered load is
+/// `params.clients * rate_tps`), queues up to the configured admission
+/// bound, and sheds beyond it. The knee sweeps (`fig_knee`) call this at
+/// increasing rates to trace throughput versus latency.
+pub fn run_basil_open_loop(
+    basil: BasilConfig,
+    workload: Workload,
+    params: &RunParams,
+    rate_tps: f64,
+) -> RunReport {
+    let config = ClusterConfig::basil_default(params.clients)
+        .with_basil(basil)
+        .with_seed(params.seed)
+        .with_runtime(params.runtime);
+    let seed = params.seed;
+    let mut cluster = BasilCluster::build(config, move |client| {
+        // Distinct arrival-process seed per client so Poisson streams are
+        // independent; content seeds stay identical to the closed-loop runs.
+        let arrival_seed = seed.wrapping_add(client.0.wrapping_mul(104_729));
+        Box::new(PoissonTxGenerator::new(
+            workload.generator(client, seed),
+            arrival_seed,
+            rate_tps,
+        ))
+    });
+    cluster.run_measured(params.warmup, params.window)
+}
+
 /// Runs one of the baseline systems on a workload.
 pub fn run_baseline(
     kind: SystemKind,
@@ -354,6 +386,9 @@ mod tests {
             committed: c as u64 * 10,
             aborted_attempts: 0,
             throughput_tps: c as f64 * 10.0,
+            offered_tps: c as f64 * 10.0,
+            shed: 0,
+            shed_fraction: 0.0,
             throughput_per_correct_client: 0.0,
             mean_latency_ms: 1.0,
             p50_latency_ms: 1.0,

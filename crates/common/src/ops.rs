@@ -93,6 +93,30 @@ pub trait TxGenerator: Send {
     /// Produces the next transaction to run, or `None` when the client should
     /// stop issuing new transactions.
     fn next_tx(&mut self) -> Option<TxProfile>;
+
+    /// For open-loop generators: the delay until the next transaction
+    /// *arrival*, drawn from the generator's (seeded, deterministic)
+    /// inter-arrival distribution. Returning `Some` switches the driving
+    /// client into open-loop mode — arrivals are scheduled on the simulated
+    /// clock independently of completions, queued up to an admission bound,
+    /// and shed beyond it. The default (`None`) keeps the classic
+    /// closed-loop behaviour: the next transaction starts when the previous
+    /// one finishes.
+    fn next_arrival_delay(&mut self) -> Option<crate::Duration> {
+        None
+    }
+}
+
+impl<G: TxGenerator + ?Sized> TxGenerator for Box<G> {
+    fn next_tx(&mut self) -> Option<TxProfile> {
+        (**self).next_tx()
+    }
+
+    // Forwarded explicitly: the trait default would answer `None` and
+    // silently turn a boxed open-loop generator back into a closed loop.
+    fn next_arrival_delay(&mut self) -> Option<crate::Duration> {
+        (**self).next_arrival_delay()
+    }
 }
 
 /// A generator that replays a fixed list of profiles once. Convenient in

@@ -77,6 +77,13 @@ pub struct ClientStats {
     /// Writeback-forwarded certificates that had to be verified because the
     /// cache had no matching entry.
     pub cert_cache_misses: u64,
+    /// Transactions the workload offered. Under closed-loop driving this
+    /// equals the number of transactions started; under open-loop (Poisson)
+    /// driving it counts every arrival, including shed ones.
+    pub offered: u64,
+    /// Open-loop arrivals dropped because the admission queue was already at
+    /// `BasilConfig::admission_bound` (load shedding past saturation).
+    pub shed: u64,
 }
 
 impl ClientStats {
@@ -242,6 +249,13 @@ pub struct BasilClient {
     backoff: Duration,
     stats: ClientStats,
     stopped: bool,
+    /// Whether the generator paces arrivals (open loop). Decided once at
+    /// startup from the first `next_arrival_delay` answer.
+    open_loop: bool,
+    /// Arrival timestamps of admitted-but-not-yet-started transactions
+    /// (open loop only), bounded by `cfg.admission_bound`. Latency is
+    /// measured from the arrival, so queueing delay shows up in the knee.
+    arrivals: std::collections::VecDeque<SimTime>,
 }
 
 impl BasilClient {
@@ -272,6 +286,8 @@ impl BasilClient {
             backoff,
             stats: ClientStats::default(),
             stopped: false,
+            open_loop: false,
+            arrivals: std::collections::VecDeque::new(),
         }
     }
 
@@ -341,10 +357,30 @@ impl BasilClient {
     }
 
     // ------------------------------------------------------------------
-    // Closed-loop driving
+    // Transaction driving (closed- and open-loop)
     // ------------------------------------------------------------------
 
+    /// Starts the next transaction after the previous one finished. Closed
+    /// loop: pull straight from the generator (latency clock starts now).
+    /// Open loop: pull the oldest queued arrival, or go idle until the next
+    /// arrival timer fires.
     fn start_next_transaction(&mut self, ctx: &mut Context<BasilMsg>) {
+        if self.open_loop {
+            match self.arrivals.pop_front() {
+                Some(arrived) => self.start_transaction(ctx, arrived),
+                None => self.current = None,
+            }
+        } else {
+            let now = ctx.now();
+            self.start_transaction(ctx, now);
+        }
+    }
+
+    /// Pulls the next profile from the generator and begins executing it.
+    /// `arrived` anchors the latency measurement: for closed-loop clients it
+    /// is the current time, for open-loop clients the (possibly earlier)
+    /// Poisson arrival instant, so queueing delay counts toward latency.
+    fn start_transaction(&mut self, ctx: &mut Context<BasilMsg>, arrived: SimTime) {
         if self.stopped {
             return;
         }
@@ -353,19 +389,44 @@ impl BasilClient {
             self.current = None;
             return;
         };
+        if !self.open_loop {
+            self.stats.offered += 1;
+        }
         let faulty = profile.faulty || self.fault.sample_faulty(&mut self.prng);
         if faulty {
             self.stats.faulty_issued += 1;
         }
         self.current = Some(InFlight {
             profile,
-            first_started: ctx.now(),
+            first_started: arrived,
             attempt: 0,
             faulty,
             phase: Phase::WaitingRetry, // replaced immediately by begin_attempt
         });
         self.backoff = self.cfg.retry_backoff;
         self.begin_attempt(ctx);
+    }
+
+    /// An open-loop arrival timer fired: admit the transaction (start it if
+    /// the client is idle, queue it if there is room) or shed it.
+    fn handle_open_loop_arrival(&mut self, ctx: &mut Context<BasilMsg>) {
+        if self.stopped {
+            return;
+        }
+        // Keep the arrival process ticking independently of completions —
+        // that independence is what makes the load open-loop.
+        if let Some(delay) = self.generator.next_arrival_delay() {
+            ctx.schedule_self(delay, BasilMsg::ClientTimer(ClientTimer::OpenLoopArrival));
+        }
+        self.stats.offered += 1;
+        let now = ctx.now();
+        if self.current.is_none() {
+            self.start_transaction(ctx, now);
+        } else if self.arrivals.len() < self.cfg.admission_bound {
+            self.arrivals.push_back(now);
+        } else {
+            self.stats.shed += 1;
+        }
     }
 
     fn begin_attempt(&mut self, ctx: &mut Context<BasilMsg>) {
@@ -1517,11 +1578,18 @@ fn build_slow_cert(txid: TxId, vote_cert: VoteCert) -> DecisionCert {
 
 impl Actor<BasilMsg> for BasilClient {
     fn on_start(&mut self, ctx: &mut Context<BasilMsg>) {
-        self.start_next_transaction(ctx);
+        match self.generator.next_arrival_delay() {
+            Some(delay) => {
+                self.open_loop = true;
+                ctx.schedule_self(delay, BasilMsg::ClientTimer(ClientTimer::OpenLoopArrival));
+            }
+            None => self.start_next_transaction(ctx),
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<BasilMsg>, _from: NodeId, msg: BasilMsg) {
         ctx.charge(self.engine.message_cost());
+        self.engine.set_now(ctx.now());
         match msg {
             BasilMsg::ReadReply(reply) => self.handle_read_reply(ctx, reply),
             BasilMsg::St1Reply(vote) => self.handle_st1_reply(ctx, vote),
@@ -1533,6 +1601,7 @@ impl Actor<BasilMsg> for BasilClient {
                 ClientTimer::St2Timeout { txid } => self.handle_st2_timeout(ctx, txid),
                 ClientTimer::FallbackTimeout { txid } => self.handle_fallback_timeout(ctx, txid),
                 ClientTimer::RetryBackoff => self.handle_retry_backoff(ctx),
+                ClientTimer::OpenLoopArrival => self.handle_open_loop_arrival(ctx),
             },
             // Messages meant for replicas are ignored if misrouted.
             BasilMsg::Read(_)

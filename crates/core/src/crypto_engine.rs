@@ -9,13 +9,14 @@
 //! without changing simulated results.
 
 use crate::config::{BasilConfig, CryptoMode};
-use basil_common::{Duration, NodeId};
+use basil_common::{Duration, NodeId, SimTime};
 use basil_crypto::batch::BatchVerifyOutcome;
 use basil_crypto::merkle::MerkleProof;
 use basil_crypto::sig::Signature;
 use basil_crypto::{
-    BatchProof, CostModel, Digest, KeyPair, KeyRegistry, MerkleTree, SignatureCache,
+    BatchProof, CostModel, Digest, KeyPair, KeyRegistry, MerkleFrontier, SignatureCache,
 };
+use std::collections::HashMap;
 
 /// A canonical signable encoding, producible lazily.
 ///
@@ -81,6 +82,22 @@ pub struct SigEngine {
     /// signatures) a distinct root, so the verifier-side signature cache
     /// behaves as it would with real batches.
     dummy_counter: u64,
+    /// Scratch Merkle accumulator reused across [`SigEngine::sign_batch`]
+    /// calls, so real-crypto batch signing pays no per-flush tree rebuild
+    /// and no steady-state allocation.
+    frontier: MerkleFrontier,
+    /// Current simulated time, advanced by the owning actor via
+    /// [`SigEngine::set_now`]; anchors the grouped-verification window.
+    now: SimTime,
+    /// Width of the same-signer root co-verification window
+    /// (`Duration::ZERO` disables grouping).
+    verify_group_window: Duration,
+    /// Per-signer timestamp of the most recent *uncached* root signature
+    /// verification; a subsequent uncached root from the same signer within
+    /// the window joins its ed25519 batch-verification group.
+    verify_groups: HashMap<NodeId, SimTime>,
+    /// How many verifications were charged at the grouped (amortized) rate.
+    grouped_verifies: u64,
 }
 
 impl SigEngine {
@@ -94,12 +111,49 @@ impl SigEngine {
             mode: cfg.crypto_mode,
             enabled: cfg.signatures_enabled(),
             dummy_counter: 0,
+            frontier: MerkleFrontier::new(),
+            now: SimTime::ZERO,
+            verify_group_window: cfg.verify_group_window,
+            verify_groups: HashMap::new(),
+            grouped_verifies: 0,
         }
     }
 
     /// Whether signatures are produced at all (`false` in `NoProofs` runs).
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Advances the engine's notion of simulated time. Actors call this when
+    /// they start processing a message so that verification grouping windows
+    /// track the simulation clock.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Number of verifications charged at the grouped (ed25519
+    /// batch-verification) rate rather than as standalone checks.
+    pub fn grouped_verifies(&self) -> u64 {
+        self.grouped_verifies
+    }
+
+    /// Whether an uncached root signature from `signer` joins an open
+    /// co-verification group (another uncached root from the same signer was
+    /// verified within the window). Always records the event as the newest
+    /// group anchor.
+    fn join_verify_group(&mut self, signer: NodeId) -> bool {
+        if self.verify_group_window == Duration::ZERO {
+            return false;
+        }
+        let now = self.now;
+        let grouped = match self.verify_groups.insert(signer, now) {
+            Some(last) => now.since(last) <= self.verify_group_window,
+            None => false,
+        };
+        if grouped {
+            self.grouped_verifies += 1;
+        }
+        grouped
     }
 
     /// Signs a single payload. Returns `None` (at zero cost) when signatures
@@ -181,16 +235,23 @@ impl SigEngine {
         let cost = self.cost.batch_sign_cost(payloads.len(), avg_len.max(1));
         match self.mode {
             CryptoMode::Real => {
-                let bytes: Vec<Vec<u8>> = payloads.iter().map(P::to_bytes).collect();
-                let tree = MerkleTree::build(&bytes);
-                let root = tree.root();
+                // Incremental frontier instead of a full tree rebuild: each
+                // payload's leaf is folded in as it is encoded, and sealing
+                // only materializes the O(log b) right edge. The scratch
+                // frontier's allocations are recycled across batches.
+                self.frontier.reset();
+                for payload in payloads {
+                    self.frontier.append(&payload.to_bytes());
+                }
+                let sealed = self.frontier.seal();
+                let root = sealed.root();
                 let root_signature = self.keypair.sign(root.as_bytes());
                 let proofs = (0..payloads.len())
                     .map(|i| {
                         Some(BatchProof {
                             root,
                             root_signature,
-                            inclusion: tree.prove(i),
+                            inclusion: sealed.prove(i),
                             batch_size: payloads.len(),
                         })
                     })
@@ -235,10 +296,11 @@ impl SigEngine {
                 let outcome: BatchVerifyOutcome =
                     proof.verify(&payload.to_bytes(), &self.registry, &mut self.cache);
                 let cached = self.cache.hits() > before_hits;
-                let cost = self.cost.batch_verify_cost(
-                    proof.batch_size,
+                let cost = self.verify_charge(
+                    proof,
                     payload.encoded_len().max(1),
                     cached && outcome.valid,
+                    outcome.valid,
                 );
                 (outcome.valid, cost)
             }
@@ -246,13 +308,34 @@ impl SigEngine {
                 // Structural acceptance; model the cache by root identity
                 // (one fused lookup: hit check + miss insert).
                 let cached = self.cache.check_insert(proof.root, proof.root_signature);
-                let cost = self.cost.batch_verify_cost(
-                    proof.batch_size,
-                    payload.encoded_len().max(1),
-                    cached,
-                );
+                let cost = self.verify_charge(proof, payload.encoded_len().max(1), cached, true);
                 (true, cost)
             }
+        }
+    }
+
+    /// Computes the cost of one batched-reply verification: a hash-only check
+    /// on a signature-cache hit, the grouped (ed25519 batch-verification)
+    /// rate when another uncached root from the same signer was verified
+    /// within the flush window, and a standalone verification otherwise.
+    fn verify_charge(
+        &mut self,
+        proof: &BatchProof,
+        reply_bytes: usize,
+        cached: bool,
+        valid: bool,
+    ) -> Duration {
+        if cached {
+            return self
+                .cost
+                .batch_verify_cost(proof.batch_size, reply_bytes, true);
+        }
+        if valid && self.join_verify_group(proof.signer()) {
+            self.cost
+                .grouped_batch_verify_cost(proof.batch_size, reply_bytes)
+        } else {
+            self.cost
+                .batch_verify_cost(proof.batch_size, reply_bytes, false)
         }
     }
 
@@ -343,6 +426,19 @@ mod tests {
         )
     }
 
+    /// Engines with grouped root verification opted in (it is off by
+    /// default so golden scenarios keep their pinned timing).
+    fn grouped_engine(mode: CryptoMode) -> (SigEngine, SigEngine) {
+        let mut cfg = BasilConfig::test_single_shard();
+        cfg.crypto_mode = mode;
+        cfg.verify_group_window = cfg.system.batch_timeout;
+        let registry = KeyRegistry::from_seed(7);
+        (
+            SigEngine::new(replica(0), registry.clone(), &cfg),
+            SigEngine::new(NodeId::Client(ClientId(1)), registry, &cfg),
+        )
+    }
+
     #[test]
     fn real_mode_signs_and_verifies() {
         let (mut signer, mut verifier) = engine(CryptoMode::Real, true);
@@ -404,6 +500,90 @@ mod tests {
         let (ok, second_cost) = verifier.verify(&payloads[1], proofs[1].as_ref());
         assert!(ok);
         assert!(second_cost < first_cost);
+    }
+
+    #[test]
+    fn same_signer_roots_within_window_verify_at_the_grouped_rate() {
+        let (mut signer, mut verifier) = grouped_engine(CryptoMode::Real);
+        let (p1, _) = signer.sign(b"batch root a");
+        let (p2, _) = signer.sign(b"batch root b");
+        let (p3, _) = signer.sign(b"batch root c");
+
+        verifier.set_now(SimTime::from_micros(100));
+        let (ok, first) = verifier.verify(b"batch root a", p1.as_ref());
+        assert!(ok);
+        assert_eq!(verifier.grouped_verifies(), 0, "first root anchors a group");
+
+        // Second distinct root from the same replica, inside the window:
+        // co-verified at the amortized rate.
+        verifier.set_now(SimTime::from_micros(300));
+        let (ok, second) = verifier.verify(b"batch root b", p2.as_ref());
+        assert!(ok);
+        assert!(second < first, "grouped {second:?} vs standalone {first:?}");
+        assert_eq!(verifier.grouped_verifies(), 1);
+
+        // Past the window the group is closed: full price again.
+        verifier.set_now(SimTime::from_micros(5_000));
+        let (ok, third) = verifier.verify(b"batch root c", p3.as_ref());
+        assert!(ok);
+        assert_eq!(third, first);
+        assert_eq!(verifier.grouped_verifies(), 1);
+    }
+
+    #[test]
+    fn different_signers_never_share_a_verification_group() {
+        let mut cfg = BasilConfig::test_single_shard();
+        cfg.crypto_mode = CryptoMode::Simulated;
+        cfg.verify_group_window = cfg.system.batch_timeout;
+        let registry = KeyRegistry::from_seed(7);
+        let mut a = SigEngine::new(replica(0), registry.clone(), &cfg);
+        let mut b = SigEngine::new(replica(1), registry.clone(), &cfg);
+        let mut verifier = SigEngine::new(NodeId::Client(ClientId(1)), registry, &cfg);
+        let (pa, _) = a.sign(b"x");
+        let (pb, _) = b.sign(b"y");
+        verifier.set_now(SimTime::from_micros(10));
+        let (_, first) = verifier.verify(b"x", pa.as_ref());
+        verifier.set_now(SimTime::from_micros(20));
+        let (_, second) = verifier.verify(b"y", pb.as_ref());
+        assert_eq!(first, second, "cross-signer roots stay standalone");
+        assert_eq!(verifier.grouped_verifies(), 0);
+    }
+
+    #[test]
+    fn verify_grouping_is_off_by_default() {
+        // Default configurations leave the window at zero; every uncached
+        // root pays the standalone verification price.
+        let mut cfg = BasilConfig::test_single_shard();
+        cfg.crypto_mode = CryptoMode::Real;
+        let registry = KeyRegistry::from_seed(7);
+        let mut signer = SigEngine::new(replica(0), registry.clone(), &cfg);
+        let mut verifier = SigEngine::new(NodeId::Client(ClientId(1)), registry, &cfg);
+        let (p1, _) = signer.sign(b"a");
+        let (p2, _) = signer.sign(b"b");
+        verifier.set_now(SimTime::from_micros(10));
+        let (_, first) = verifier.verify(b"a", p1.as_ref());
+        verifier.set_now(SimTime::from_micros(11));
+        let (_, second) = verifier.verify(b"b", p2.as_ref());
+        assert_eq!(first, second);
+        assert_eq!(verifier.grouped_verifies(), 0);
+    }
+
+    #[test]
+    fn sign_batch_frontier_matches_one_shot_tree() {
+        use basil_crypto::MerkleTree;
+        let (mut signer, _) = engine(CryptoMode::Real, true);
+        let payloads: Vec<Vec<u8>> = (0..13).map(|i| format!("reply {i}").into_bytes()).collect();
+        let (proofs, _) = signer.sign_batch(&payloads);
+        let tree = MerkleTree::build(&payloads);
+        for (i, proof) in proofs.iter().enumerate() {
+            let proof = proof.as_ref().expect("signed");
+            assert_eq!(proof.root, tree.root());
+            assert_eq!(proof.inclusion, tree.prove(i));
+        }
+        // The scratch frontier resets cleanly between batches.
+        let (proofs2, _) = signer.sign_batch(&payloads[..5]);
+        let tree2 = MerkleTree::build(&payloads[..5]);
+        assert_eq!(proofs2[0].as_ref().expect("signed").root, tree2.root());
     }
 
     #[test]

@@ -547,6 +547,10 @@ pub enum ClientTimer {
     },
     /// The retry backoff after an abort has elapsed.
     RetryBackoff,
+    /// An open-loop transaction arrival is due (Poisson pacing). Carries no
+    /// payload: the client pulls the next profile from its generator and the
+    /// next gap from the arrival distribution when the timer fires.
+    OpenLoopArrival,
 }
 
 /// Replica-side timers.

@@ -851,6 +851,7 @@ impl Actor<BasilMsg> for BasilReplica {
         }
         // Per-message deserialization overhead.
         ctx.charge(self.engine.message_cost());
+        self.engine.set_now(ctx.now());
         match msg {
             BasilMsg::Read(req) => self.handle_read(ctx, from, req),
             BasilMsg::St1(st1) => self.handle_st1(ctx, from, st1),

@@ -9,7 +9,7 @@
 //! hash-only check.
 
 use crate::digest::Digest;
-use crate::merkle::{MerkleProof, MerkleTree};
+use crate::merkle::{MerkleFrontier, MerkleProof, MerkleTree};
 use crate::sig::{KeyPair, KeyRegistry, Signature};
 use basil_common::{BoundedFifoMap, NodeId};
 
@@ -98,11 +98,18 @@ impl BatchVerifyOutcome {
 }
 
 /// A replica-side accumulator that turns pending replies into signed batches.
+///
+/// Payloads are hashed into an incremental [`MerkleFrontier`] the moment they
+/// are queued, so the signer never stores reply bytes and the flush path no
+/// longer rebuilds the whole tree: it seals the frontier (an `O(log b)`
+/// right-edge walk), signs the root once, and extracts each recipient's
+/// inclusion proof.
 #[derive(Debug)]
 pub struct BatchSigner {
     keypair: KeyPair,
     batch_size: usize,
-    pending: Vec<(NodeId, Vec<u8>)>,
+    frontier: MerkleFrontier,
+    recipients: Vec<NodeId>,
     /// Statistics: total replies signed and total signatures produced.
     replies_signed: u64,
     signatures_produced: u64,
@@ -116,21 +123,20 @@ impl BatchSigner {
         BatchSigner {
             keypair,
             batch_size: batch_size.max(1),
-            pending: Vec::new(),
+            frontier: MerkleFrontier::new(),
+            recipients: Vec::new(),
             replies_signed: 0,
             signatures_produced: 0,
         }
     }
 
-    /// Queues a reply for `recipient`. Returns the signed batch if this
-    /// addition filled the batch, `None` otherwise.
-    pub fn push(
-        &mut self,
-        recipient: NodeId,
-        payload: Vec<u8>,
-    ) -> Option<Vec<(NodeId, BatchProof)>> {
-        self.pending.push((recipient, payload));
-        if self.pending.len() >= self.batch_size {
+    /// Queues a reply for `recipient`, folding its hash into the batch
+    /// frontier immediately. Returns the signed batch if this addition
+    /// filled the batch, `None` otherwise.
+    pub fn push(&mut self, recipient: NodeId, payload: &[u8]) -> Option<Vec<(NodeId, BatchProof)>> {
+        self.frontier.append(payload);
+        self.recipients.push(recipient);
+        if self.recipients.len() >= self.batch_size {
             Some(self.flush())
         } else {
             None
@@ -139,7 +145,7 @@ impl BatchSigner {
 
     /// Number of replies currently waiting for a batch to fill.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.recipients.len()
     }
 
     /// Configured batch size.
@@ -150,31 +156,33 @@ impl BatchSigner {
     /// Signs whatever is pending (used on batch timeout). Returns an empty
     /// vector if nothing is pending.
     pub fn flush(&mut self) -> Vec<(NodeId, BatchProof)> {
-        if self.pending.is_empty() {
+        if self.recipients.is_empty() {
             return Vec::new();
         }
-        let batch: Vec<(NodeId, Vec<u8>)> = std::mem::take(&mut self.pending);
-        let tree = MerkleTree::build(&batch.iter().map(|(_, p)| p.as_slice()).collect::<Vec<_>>());
-        let root = tree.root();
+        let sealed = self.frontier.seal();
+        let root = sealed.root();
         let root_signature = self.keypair.sign(root.as_bytes());
         self.signatures_produced += 1;
-        self.replies_signed += batch.len() as u64;
-        let batch_len = batch.len();
-        batch
-            .into_iter()
+        self.replies_signed += self.recipients.len() as u64;
+        let batch_len = self.recipients.len();
+        let out = self
+            .recipients
+            .drain(..)
             .enumerate()
-            .map(|(i, (recipient, _payload))| {
+            .map(|(i, recipient)| {
                 (
                     recipient,
                     BatchProof {
                         root,
                         root_signature,
-                        inclusion: tree.prove(i),
+                        inclusion: sealed.prove(i),
                         batch_size: batch_len,
                     },
                 )
             })
-            .collect()
+            .collect();
+        self.frontier.reset();
+        out
     }
 
     /// Number of replies signed so far.
@@ -329,7 +337,7 @@ mod tests {
     #[test]
     fn batch_of_one_signs_immediately() {
         let (mut signer, reg) = setup(1);
-        let out = signer.push(client(1), b"reply".to_vec());
+        let out = signer.push(client(1), b"reply");
         let out = out.expect("batch of one flushes immediately");
         assert_eq!(out.len(), 1);
         let mut cache = SignatureCache::new();
@@ -343,12 +351,10 @@ mod tests {
     #[test]
     fn batch_flushes_when_full_and_all_replies_verify() {
         let (mut signer, reg) = setup(4);
-        assert!(signer.push(client(1), b"r1".to_vec()).is_none());
-        assert!(signer.push(client(2), b"r2".to_vec()).is_none());
-        assert!(signer.push(client(3), b"r3".to_vec()).is_none());
-        let out = signer
-            .push(client(4), b"r4".to_vec())
-            .expect("4th fills batch");
+        assert!(signer.push(client(1), b"r1").is_none());
+        assert!(signer.push(client(2), b"r2").is_none());
+        assert!(signer.push(client(3), b"r3").is_none());
+        let out = signer.push(client(4), b"r4").expect("4th fills batch");
         assert_eq!(out.len(), 4);
         assert_eq!(signer.signatures_produced(), 1);
         assert_eq!(signer.replies_signed(), 4);
@@ -365,9 +371,9 @@ mod tests {
     #[test]
     fn signature_cache_skips_repeat_verification() {
         let (mut signer, reg) = setup(3);
-        signer.push(client(1), b"a".to_vec());
-        signer.push(client(2), b"b".to_vec());
-        let out = signer.push(client(3), b"c".to_vec()).expect("flush");
+        signer.push(client(1), b"a");
+        signer.push(client(2), b"b");
+        let out = signer.push(client(3), b"c").expect("flush");
         let mut cache = SignatureCache::new();
         let first = out[0].1.verify(b"a", &reg, &mut cache);
         assert!(first.valid && first.signature_checked);
@@ -385,8 +391,8 @@ mod tests {
     #[test]
     fn tampered_reply_is_rejected_before_signature_check() {
         let (mut signer, reg) = setup(2);
-        signer.push(client(1), b"honest".to_vec());
-        let out = signer.push(client(2), b"other".to_vec()).expect("flush");
+        signer.push(client(1), b"honest");
+        let out = signer.push(client(2), b"other").expect("flush");
         let mut cache = SignatureCache::new();
         let outcome = out[0].1.verify(b"forged", &reg, &mut cache);
         assert!(!outcome.valid);
@@ -398,7 +404,7 @@ mod tests {
         let reg = KeyRegistry::from_seed(99);
         let other_key = reg.keypair(NodeId::Replica(ReplicaId::new(ShardId(0), 5)));
         let mut signer = BatchSigner::new(other_key, 1);
-        let out = signer.push(client(1), b"reply".to_vec()).expect("flush");
+        let out = signer.push(client(1), b"reply").expect("flush");
         // Forge the claimed signer: verification must fail because the tag
         // was produced under replica 5's key.
         let mut proof = out[0].1.clone();
@@ -410,8 +416,8 @@ mod tests {
     #[test]
     fn manual_flush_on_timeout_signs_partial_batch() {
         let (mut signer, reg) = setup(16);
-        signer.push(client(1), b"x".to_vec());
-        signer.push(client(2), b"y".to_vec());
+        signer.push(client(1), b"x");
+        signer.push(client(2), b"y");
         assert_eq!(signer.pending_len(), 2);
         let out = signer.flush();
         assert_eq!(out.len(), 2);
@@ -499,7 +505,7 @@ mod tests {
         let (mut signer, _reg) = setup(8);
         for round in 0..4 {
             for i in 0..8 {
-                signer.push(client(i), format!("p{round}-{i}").into_bytes());
+                signer.push(client(i), format!("p{round}-{i}").as_bytes());
             }
         }
         assert_eq!(signer.replies_signed(), 32);

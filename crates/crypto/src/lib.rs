@@ -41,6 +41,6 @@ pub mod sig;
 pub use batch::{BatchProof, BatchSigner, SignatureCache};
 pub use cost::CostModel;
 pub use digest::Digest;
-pub use merkle::{MerkleProof, MerkleTree};
+pub use merkle::{MerkleFrontier, MerkleProof, MerkleTree, SealedFrontier};
 pub use sha256::Sha256;
 pub use sig::{KeyPair, KeyRegistry, Signature};

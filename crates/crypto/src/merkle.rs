@@ -4,7 +4,9 @@
 //! replica builds a Merkle tree over the batch, signs only the root, and sends
 //! each client its own reply together with the sibling path needed to
 //! recompute the root (Section 4.4, Figure 2). This module provides the tree
-//! and proof machinery; [`crate::batch`] wires it to signing.
+//! and proof machinery — the one-shot [`MerkleTree`] and the incremental
+//! [`MerkleFrontier`] used on the reply-batching hot path; [`crate::batch`]
+//! wires them to signing.
 
 use crate::digest::Digest;
 use crate::sha256::Sha256;
@@ -48,6 +50,31 @@ pub struct MerkleProof {
     /// Sibling hashes from the leaf level upward. Levels where the node has
     /// no sibling (odd tail) contribute `None`.
     pub siblings: Vec<Option<Digest>>,
+}
+
+/// Extracts the inclusion proof for leaf `index` from fully materialized
+/// levels (`levels[0]` = leaf hashes, last level = root). Shared by
+/// [`MerkleTree::prove`] and [`SealedFrontier::prove`] so the two
+/// constructions emit bit-identical proofs.
+fn prove_levels(levels: &[Vec<Digest>], index: usize) -> MerkleProof {
+    let leaf_count = levels[0].len();
+    assert!(index < leaf_count, "leaf index out of range");
+    let mut siblings = Vec::with_capacity(levels.len().saturating_sub(1));
+    let mut idx = index;
+    for level in &levels[..levels.len() - 1] {
+        let sibling_idx = if idx.is_multiple_of(2) {
+            idx + 1
+        } else {
+            idx - 1
+        };
+        siblings.push(level.get(sibling_idx).copied());
+        idx /= 2;
+    }
+    MerkleProof {
+        leaf_index: index,
+        leaf_count,
+        siblings,
+    }
 }
 
 impl MerkleTree {
@@ -95,23 +122,158 @@ impl MerkleTree {
 
     /// Extracts the inclusion proof for leaf `index`. Panics if out of range.
     pub fn prove(&self, index: usize) -> MerkleProof {
-        assert!(index < self.leaf_count(), "leaf index out of range");
-        let mut siblings = Vec::new();
-        let mut idx = index;
-        for level in &self.levels[..self.levels.len() - 1] {
-            let sibling_idx = if idx.is_multiple_of(2) {
-                idx + 1
-            } else {
-                idx - 1
+        prove_levels(&self.levels, index)
+    }
+}
+
+/// An incremental Merkle accumulator for reply batching.
+///
+/// [`MerkleTree::build`] re-hashes every leaf at flush time, so a batch of
+/// `b` replies pays `O(b)` leaf hashes plus the full interior rebuild in one
+/// burst on the flush path. The frontier instead hashes each leaf when it is
+/// appended and eagerly folds completed sibling pairs upward (a binary-carry
+/// walk: amortized `O(1)` interior hashes per append, `O(log b)` worst
+/// case), so [`MerkleFrontier::seal`] only has to materialize the odd-tail
+/// promotions along the right edge — `O(log b)` work — before handing out
+/// the root and inclusion proofs.
+///
+/// The sealed levels are bit-identical to what [`MerkleTree::build`] produces
+/// for the same payload sequence: same root, same proofs (pinned by tests
+/// for every batch size 1..=257).
+///
+/// Lifecycle: `append` leaves, `seal` to extract root/proofs, then `reset`
+/// before the next batch. `reset` keeps the per-level allocations, so a
+/// long-lived signer reaches a steady state with zero allocation per batch.
+#[derive(Clone, Debug, Default)]
+pub struct MerkleFrontier {
+    /// `levels[0]` holds leaf hashes; `levels[i + 1]` holds the hashes of
+    /// completed sibling pairs of `levels[i]`. Between `seal` and `reset`
+    /// the prefix `levels[..sealed_depth]` is fully materialized (equal to
+    /// [`MerkleTree`]'s levels).
+    levels: Vec<Vec<Digest>>,
+    /// Number of levels in use by the sealed tree; 0 while accumulating.
+    sealed_depth: usize,
+}
+
+/// A sealed view of a [`MerkleFrontier`]: the fully materialized tree for
+/// the current batch, from which the root and inclusion proofs are read.
+#[derive(Debug)]
+pub struct SealedFrontier<'a> {
+    levels: &'a [Vec<Digest>],
+}
+
+impl MerkleFrontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        MerkleFrontier {
+            levels: vec![Vec::new()],
+            sealed_depth: 0,
+        }
+    }
+
+    /// Appends one leaf payload, hashing it and folding completed sibling
+    /// pairs upward.
+    pub fn append(&mut self, payload: &[u8]) {
+        self.append_leaf_hash(leaf_hash(payload));
+    }
+
+    /// Appends an already-hashed leaf.
+    pub fn append_leaf_hash(&mut self, leaf: Digest) {
+        assert_eq!(self.sealed_depth, 0, "reset a sealed frontier first");
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(leaf);
+        // Binary carry: whenever a level's length turns even, its last two
+        // entries form a finished sibling pair — fold them into the level
+        // above and continue there.
+        let mut i = 0;
+        while self.levels[i].len().is_multiple_of(2) {
+            let len = self.levels[i].len();
+            let parent = node_hash(&self.levels[i][len - 2], &self.levels[i][len - 1]);
+            if i + 1 == self.levels.len() {
+                self.levels.push(Vec::new());
+            }
+            self.levels[i + 1].push(parent);
+            i += 1;
+        }
+    }
+
+    /// Number of leaves appended since the last reset.
+    pub fn len(&self) -> usize {
+        self.levels.first().map_or(0, Vec::len)
+    }
+
+    /// True when no leaves have been appended since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Completes the tree for the current batch and returns a view exposing
+    /// the root and inclusion proofs. Panics on an empty frontier.
+    ///
+    /// Appends eagerly folded every *completed* pair, so the only missing
+    /// interior nodes are along the right edge: per level, at most one
+    /// odd-tail promotion or one final pair — an `O(log b)` walk.
+    pub fn seal(&mut self) -> SealedFrontier<'_> {
+        assert!(!self.is_empty(), "cannot seal an empty frontier");
+        if self.sealed_depth == 0 {
+            let mut i = 0;
+            self.sealed_depth = loop {
+                let len = self.levels[i].len();
+                if len == 1 {
+                    break i + 1;
+                }
+                let folded = self.levels.get(i + 1).map_or(0, Vec::len);
+                let carry = match len - 2 * folded {
+                    0 => None,
+                    // Odd tail: promote unchanged, as `from_leaf_hashes` does.
+                    1 => Some(self.levels[i][len - 1]),
+                    2 => Some(node_hash(
+                        &self.levels[i][len - 2],
+                        &self.levels[i][len - 1],
+                    )),
+                    _ => unreachable!("append leaves at most one unfolded pair per level"),
+                };
+                if let Some(digest) = carry {
+                    if i + 1 == self.levels.len() {
+                        self.levels.push(Vec::new());
+                    }
+                    self.levels[i + 1].push(digest);
+                }
+                i += 1;
             };
-            siblings.push(level.get(sibling_idx).copied());
-            idx /= 2;
         }
-        MerkleProof {
-            leaf_index: index,
-            leaf_count: self.leaf_count(),
-            siblings,
+        SealedFrontier {
+            levels: &self.levels[..self.sealed_depth],
         }
+    }
+
+    /// Clears the frontier for the next batch, retaining the per-level
+    /// allocations.
+    pub fn reset(&mut self) {
+        for level in &mut self.levels {
+            level.clear();
+        }
+        self.sealed_depth = 0;
+    }
+}
+
+impl SealedFrontier<'_> {
+    /// The root digest of the sealed batch.
+    pub fn root(&self) -> Digest {
+        self.levels[self.levels.len() - 1][0]
+    }
+
+    /// Number of leaves in the sealed batch.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Extracts the inclusion proof for leaf `index`; bit-identical to
+    /// [`MerkleTree::prove`] over the same payloads.
+    pub fn prove(&self, index: usize) -> MerkleProof {
+        prove_levels(self.levels, index)
     }
 }
 
@@ -238,5 +400,70 @@ mod tests {
         assert_eq!(tree.prove(0).len(), 4);
         let tree = MerkleTree::build(&payloads(32));
         assert_eq!(tree.prove(31).len(), 5);
+    }
+
+    /// The tentpole pin: for every batch size 1..=257 (crossing every
+    /// power-of-two boundary up to 256), the incremental frontier yields the
+    /// same root and bit-identical inclusion proofs as the one-shot build.
+    #[test]
+    fn frontier_matches_build_for_sizes_1_through_257() {
+        let mut frontier = MerkleFrontier::new();
+        for n in 1..=257usize {
+            let leaves = payloads(n);
+            let tree = MerkleTree::build(&leaves);
+            frontier.reset();
+            for leaf in &leaves {
+                frontier.append(leaf);
+            }
+            assert_eq!(frontier.len(), n);
+            let sealed = frontier.seal();
+            assert_eq!(sealed.root(), tree.root(), "root mismatch at n={n}");
+            assert_eq!(sealed.leaf_count(), n);
+            for i in 0..n {
+                assert_eq!(
+                    sealed.prove(i),
+                    tree.prove(i),
+                    "proof mismatch at leaf {i} of {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_seal_is_idempotent_and_reset_reuses_allocations() {
+        let mut frontier = MerkleFrontier::new();
+        for leaf in payloads(5) {
+            frontier.append(&leaf);
+        }
+        let root_a = frontier.seal().root();
+        let root_b = frontier.seal().root();
+        assert_eq!(root_a, root_b, "sealing twice must not re-carry");
+        assert_eq!(root_a, MerkleTree::build(&payloads(5)).root());
+
+        frontier.reset();
+        assert!(frontier.is_empty());
+        for leaf in payloads(8) {
+            frontier.append(&leaf);
+        }
+        assert_eq!(
+            frontier.seal().root(),
+            MerkleTree::build(&payloads(8)).root(),
+            "a reused frontier must not leak state from the previous batch"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot seal an empty frontier")]
+    fn sealing_an_empty_frontier_panics() {
+        let _ = MerkleFrontier::new().seal();
+    }
+
+    #[test]
+    #[should_panic(expected = "reset a sealed frontier first")]
+    fn appending_to_a_sealed_frontier_panics() {
+        let mut frontier = MerkleFrontier::new();
+        frontier.append(b"x");
+        let _ = frontier.seal();
+        frontier.append(b"y");
     }
 }

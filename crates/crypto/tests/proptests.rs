@@ -74,7 +74,7 @@ proptest! {
         let mut signer = BatchSigner::new(registry.keypair(node), batch_size);
         let mut signed: Vec<(Vec<u8>, BatchProof)> = Vec::new();
         for (i, payload) in payloads.iter().enumerate() {
-            if let Some(batch) = signer.push(NodeId::Client(ClientId(i as u64)), payload.clone()) {
+            if let Some(batch) = signer.push(NodeId::Client(ClientId(i as u64)), payload) {
                 // Pair the returned proofs with the payloads of that batch.
                 let start = signed.len();
                 for (j, (_, proof)) in batch.into_iter().enumerate() {

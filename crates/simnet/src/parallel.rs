@@ -66,10 +66,15 @@ struct ExecRecord<M> {
 }
 
 /// A batch of work shipped to one worker: the checked-out slots it needs
-/// and the events to run against them, in epoch order.
+/// and the events to run against them, in epoch order. One `Job` is the
+/// worker's entire epoch — a single channel send regardless of how many
+/// events it carries. `records` rides along empty as a spare buffer so the
+/// worker never allocates on the hot path; the whole triple of vectors
+/// makes a round trip (driver → worker → driver) and is reused next epoch.
 struct Job<M> {
     slots: Vec<(u32, NodeSlot<M>)>,
     events: Vec<(u32, Event<M>)>,
+    records: Vec<ExecRecord<M>>,
 }
 
 impl<M> Default for Job<M> {
@@ -77,20 +82,23 @@ impl<M> Default for Job<M> {
         Job {
             slots: Vec::new(),
             events: Vec::new(),
+            records: Vec::new(),
         }
     }
 }
 
-/// A worker's reply: the slots (with updated actor state and metrics)
-/// and the execution records.
+/// A worker's reply: the slots (with updated actor state and metrics), the
+/// execution records, and the drained event buffer handed back for reuse.
 struct WorkerResult<M> {
     slots: Vec<(u32, NodeSlot<M>)>,
+    events: Vec<(u32, Event<M>)>,
     records: Vec<ExecRecord<M>>,
 }
 
 fn worker_loop<M: Send + 'static>(jobs: Receiver<Job<M>>, results: Sender<WorkerResult<M>>) {
     while let Ok(mut job) = jobs.recv() {
-        let mut records = Vec::with_capacity(job.events.len());
+        let mut records = std::mem::take(&mut job.records);
+        records.reserve(job.events.len());
         for (idx, ev) in job.events.drain(..) {
             let pos = job
                 .slots
@@ -110,6 +118,7 @@ fn worker_loop<M: Send + 'static>(jobs: Receiver<Job<M>>, results: Sender<Worker
         if results
             .send(WorkerResult {
                 slots: job.slots,
+                events: job.events,
                 records,
             })
             .is_err()
@@ -284,8 +293,9 @@ struct WorkerPool<M> {
 }
 
 /// Buffers reused across sharded epochs so the hot loop performs no
-/// steady-state allocation of its own (the job/record vectors travel
-/// through the worker channels and cannot be pooled as easily).
+/// steady-state allocation of its own. The job vectors (slots, events,
+/// record buffers) round-trip through the worker channels and come home in
+/// each [`WorkerResult`], so `job_pool` keeps them warm between epochs.
 struct EpochScratch<M> {
     /// Records merged back into epoch order (`None` until received).
     merged: Vec<Option<ExecRecord<M>>>,
@@ -293,6 +303,9 @@ struct EpochScratch<M> {
     checked_out: Vec<bool>,
     /// Slots flagged this epoch (to reset `checked_out` in O(touched)).
     touched: Vec<u32>,
+    /// Drained job triples recovered from worker replies, reissued next
+    /// epoch instead of allocating fresh vectors.
+    job_pool: Vec<Job<M>>,
 }
 
 impl<M> Default for EpochScratch<M> {
@@ -301,6 +314,7 @@ impl<M> Default for EpochScratch<M> {
             merged: Vec::new(),
             checked_out: Vec::new(),
             touched: Vec::new(),
+            job_pool: Vec::new(),
         }
     }
 }
@@ -355,7 +369,9 @@ fn run_epoch_sharded<M: Clone + Send + 'static>(
     let n = buf.len();
     let epoch_last_at = buf.last().expect("non-empty epoch").at;
     let workers = pool.job_txs.len();
-    let mut jobs: Vec<Job<M>> = (0..workers).map(|_| Job::default()).collect();
+    let mut jobs: Vec<Job<M>> = (0..workers)
+        .map(|_| scratch.job_pool.pop().unwrap_or_default())
+        .collect();
     scratch.merged.clear();
     scratch.merged.resize_with(n, || None);
     if scratch.checked_out.len() < sim.node_count() {
@@ -393,20 +409,27 @@ fn run_epoch_sharded<M: Clone + Send + 'static>(
     let mut outstanding = 0usize;
     for (w, job) in jobs.into_iter().enumerate() {
         if job.events.is_empty() {
+            // Idle worker this epoch: keep its buffers warm locally.
+            scratch.job_pool.push(job);
             continue;
         }
         outstanding += 1;
         pool.job_txs[w].send(job).expect("worker alive");
     }
     for _ in 0..outstanding {
-        let result = pool.results.recv().expect("worker thread panicked");
-        for (idx, slot) in result.slots {
+        let mut result = pool.results.recv().expect("worker thread panicked");
+        for (idx, slot) in result.slots.drain(..) {
             sim.put_slot(idx, slot);
         }
-        for rec in result.records {
+        for rec in result.records.drain(..) {
             let i = rec.idx as usize;
             scratch.merged[i] = Some(rec);
         }
+        scratch.job_pool.push(Job {
+            slots: result.slots,
+            events: result.events,
+            records: result.records,
+        });
     }
 
     for rec in scratch.merged.drain(..) {

@@ -36,4 +36,4 @@ pub mod varray;
 pub use audit::{audit_serializability, AuditError};
 pub use mvtso::{CheckOutcome, MvtsoStore, ReadResult, StoreStats, Vote};
 pub use tx::{Dependency, ReadOp, Transaction, TransactionBuilder, WriteOp};
-pub use varray::VersionArray;
+pub use varray::{ReaderSummary, VersionArray};

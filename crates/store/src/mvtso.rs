@@ -35,7 +35,7 @@
 //! safety (the vote is still withheld until the dependency's fate is known).
 
 use crate::tx::{Dependency, Transaction};
-use crate::varray::VersionArray;
+use crate::varray::{ReaderSummary, VersionArray};
 use basil_common::error::AbortReason;
 use basil_common::{Duration, FastHashMap, FastHashSet, Key, SimTime, Timestamp, TxId, Value};
 use std::sync::Arc;
@@ -123,8 +123,14 @@ pub struct StoreStats {
     pub prepares: u64,
     /// Per-key conflict checks answered by the watermark comparison alone.
     pub fast_path_checks: u64,
-    /// Per-key conflict checks that fell through to the ordered scan.
+    /// Per-key conflict checks that fell past the watermark (the slow
+    /// path). A subset of these still avoid the ordered reader scan via the
+    /// Bloom-style reader summary — see `reader_scan_skips`.
     pub slow_path_checks: u64,
+    /// Slow-path write checks whose invalidated-reader scan was skipped
+    /// because the per-key reader summary proved no reader interval covers
+    /// the write's timestamp.
+    pub reader_scan_skips: u64,
 }
 
 impl StoreStats {
@@ -143,6 +149,7 @@ impl StoreStats {
         self.prepares += other.prepares;
         self.fast_path_checks += other.fast_path_checks;
         self.slow_path_checks += other.slow_path_checks;
+        self.reader_scan_skips += other.reader_scan_skips;
     }
 }
 
@@ -168,6 +175,11 @@ struct KeyRecord {
     /// Largest read timestamp present across committed reads, prepared
     /// reads, and RTS entries.
     max_read: Timestamp,
+    /// Bloom-style cover of the `(version read, reader)` intervals in
+    /// `committed_reads` and `prepared_reads`. A clear bucket proves no
+    /// reader can be invalidated by a write at that timestamp, skipping the
+    /// ordered scans of check (5); rebuilt after GC drains a prefix.
+    reader_summary: ReaderSummary,
 }
 
 impl KeyRecord {
@@ -220,6 +232,25 @@ impl KeyRecord {
             .chain(self.rts.max_ts())
             .max()
             .unwrap_or(Timestamp::ZERO);
+    }
+
+    /// Records a read of `version` performed at `reader` in the summary.
+    fn cover_read(&mut self, version: Timestamp, reader: Timestamp) {
+        self.reader_summary.cover(version, reader);
+    }
+
+    /// Recomputes the reader summary from the surviving reader entries.
+    /// Removals never clear summary bits (Bloom semantics), so GC calls this
+    /// after draining a prefix to stop stale covers from forcing scans.
+    fn rebuild_reader_summary(&mut self) {
+        self.reader_summary.clear();
+        for (reader, version) in self
+            .committed_reads
+            .iter()
+            .chain(self.prepared_reads.iter())
+        {
+            self.reader_summary.cover(*version, *reader);
+        }
     }
 }
 
@@ -549,13 +580,20 @@ impl MvtsoStore {
             match slot.map(|i| &self.key_records[i as usize]) {
                 Some(rec) if rec.max_read > ts => {
                     self.stats.slow_path_checks += 1;
-                    let invalidates = |reads: &VersionArray<Timestamp>| {
-                        reads
-                            .iter_above(ts)
-                            .any(|(_, version_read)| *version_read < ts)
-                    };
-                    if invalidates(&rec.committed_reads) || invalidates(&rec.prepared_reads) {
-                        return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
+                    // The reader summary proves most stale writes invalidate
+                    // nobody without walking the reader arrays; a set bucket
+                    // demands the exact ordered scan.
+                    if rec.reader_summary.may_invalidate(ts) {
+                        let invalidates = |reads: &VersionArray<Timestamp>| {
+                            reads
+                                .iter_above(ts)
+                                .any(|(_, version_read)| *version_read < ts)
+                        };
+                        if invalidates(&rec.committed_reads) || invalidates(&rec.prepared_reads) {
+                            return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
+                        }
+                    } else {
+                        self.stats.reader_scan_skips += 1;
                     }
                     if rec.rts.max_ts().map(|m| m > ts).unwrap_or(false) {
                         return CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict));
@@ -585,6 +623,7 @@ impl MvtsoStore {
             }
             let rec = &mut self.key_records[*slot as usize];
             rec.prepared_reads.insert(ts, read.version);
+            rec.cover_read(read.version, ts);
             rec.note_read(ts);
         }
         self.scratch_reads = read_slots;
@@ -698,6 +737,7 @@ impl MvtsoStore {
                 }
             }
             rec.committed_reads.insert(ts, read.version);
+            rec.cover_read(read.version, ts);
             rec.note_read(ts);
         }
         self.committed_txs.insert(txid, shared);
@@ -841,9 +881,12 @@ impl MvtsoStore {
             if dropped > 0 {
                 rec.generation += 1;
                 // Prefix drains cannot raise the tails, but they can empty
-                // an array entirely; recompute both watermarks exactly.
+                // an array entirely; recompute both watermarks exactly, and
+                // re-derive the reader summary from the surviving entries
+                // (its Bloom bits are never cleared incrementally).
                 rec.refresh_read_watermark();
                 rec.refresh_write_watermark();
+                rec.rebuild_reader_summary();
             }
         }
         // A fully drained record is semantically identical to an absent one;

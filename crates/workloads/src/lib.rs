@@ -14,6 +14,8 @@
 //!   customer-name index tables the paper describes (Figure 4).
 //! * [`zipf`] — the Zipfian sampler shared by the generators (the
 //!   Gray et al. approximation used by YCSB).
+//! * [`poisson`] — an open-loop adapter that paces any of the above with
+//!   seeded Poisson arrivals for the throughput/latency knee sweeps.
 //!
 //! Every generator implements [`basil_common::TxGenerator`] and produces
 //! [`basil_common::TxProfile`]s, so the same workloads drive Basil and every
@@ -22,12 +24,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod poisson;
 pub mod retwis;
 pub mod smallbank;
 pub mod tpcc;
 pub mod ycsb;
 pub mod zipf;
 
+pub use poisson::PoissonTxGenerator;
 pub use retwis::RetwisGenerator;
 pub use smallbank::SmallbankGenerator;
 pub use tpcc::TpccGenerator;
