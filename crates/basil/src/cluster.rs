@@ -209,6 +209,36 @@ impl<M: Clone + Send + 'static> SimDriver<M> {
     }
 }
 
+/// Build-time node-property overrides for one replica: clock skew and/or a
+/// reduced core count. `None` fields keep the deployment default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaPropsOverride {
+    /// Clock skew in nanoseconds (positive = the replica's clock runs
+    /// ahead of global simulation time).
+    pub clock_skew_ns: Option<i64>,
+    /// Core count override (fewer cores than `replica_cores` models a
+    /// straggler / underprovisioned replica).
+    pub cores: Option<u32>,
+}
+
+impl ReplicaPropsOverride {
+    /// An override that only skews the replica's clock.
+    pub fn skewed_ns(skew: i64) -> Self {
+        ReplicaPropsOverride {
+            clock_skew_ns: Some(skew),
+            cores: None,
+        }
+    }
+
+    /// An override that only changes the replica's core count.
+    pub fn with_cores(cores: u32) -> Self {
+        ReplicaPropsOverride {
+            clock_skew_ns: None,
+            cores: Some(cores),
+        }
+    }
+}
+
 /// Configuration of a simulated deployment, generic over the protocol
 /// adapter `P` supplying the protocol-specific configuration.
 #[derive(Clone, Debug)]
@@ -223,6 +253,11 @@ pub struct ClusterConfig<P> {
     pub fault: FaultProfile,
     /// Behaviour overrides for specific replicas.
     pub replica_behaviors: Vec<(ReplicaId, ReplicaBehavior)>,
+    /// Node-property overrides for specific replicas: clock skew
+    /// (nanoseconds, positive runs ahead) and core count (a "slow
+    /// replica" gets fewer cores than `replica_cores`). Scenario specs
+    /// compile their `clock-skew` and `slow-replica` faults down to these.
+    pub replica_props: Vec<(ReplicaId, ReplicaPropsOverride)>,
     /// Network model.
     pub network: NetworkConfig,
     /// Simulation seed (drives all randomness).
@@ -258,6 +293,7 @@ impl<P> ClusterConfig<P> {
             num_byzantine_clients: 0,
             fault: FaultProfile::honest(),
             replica_behaviors: Vec::new(),
+            replica_props: Vec::new(),
             network: NetworkConfig::lan(),
             seed: 42,
             initial_data: Vec::new(),
@@ -297,6 +333,12 @@ impl<P> ClusterConfig<P> {
     /// Selects the event-loop runtime (serial by default).
     pub fn with_runtime(mut self, runtime: RuntimeMode) -> Self {
         self.runtime = runtime;
+        self
+    }
+
+    /// Adds a node-property override (clock skew / cores) for one replica.
+    pub fn with_replica_props(mut self, rid: ReplicaId, props: ReplicaPropsOverride) -> Self {
+        self.replica_props.push((rid, props));
         self
     }
 
@@ -345,6 +387,8 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
         let mut replicas = Vec::new();
         let behavior_overrides: HashMap<ReplicaId, ReplicaBehavior> =
             config.replica_behaviors.iter().copied().collect();
+        let props_overrides: HashMap<ReplicaId, ReplicaPropsOverride> =
+            config.replica_props.iter().copied().collect();
         for shard in config.protocol.shards() {
             let shard_data: Vec<(Key, Value)> = config
                 .initial_data
@@ -361,11 +405,16 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
                 let replica = config
                     .protocol
                     .make_replica(rid, behavior, shard_data.clone());
-                sim.add_node(
-                    NodeId::Replica(rid),
-                    NodeProps::replica().with_cores(config.replica_cores),
-                    Box::new(replica),
-                );
+                let mut props = NodeProps::replica().with_cores(config.replica_cores);
+                if let Some(o) = props_overrides.get(&rid) {
+                    if let Some(skew) = o.clock_skew_ns {
+                        props = props.with_skew_ns(skew);
+                    }
+                    if let Some(cores) = o.cores {
+                        props = props.with_cores(cores);
+                    }
+                }
+                sim.add_node(NodeId::Replica(rid), props, Box::new(replica));
                 replicas.push(rid);
             }
         }

@@ -4,9 +4,20 @@
 //! clients normalized per correct client, on RW-U (Figure 7a) and RW-Z
 //! (Figure 7b). The paper's headline: with 30% Byzantine clients, correct
 //! client throughput drops by less than 25% in the worst realistic case.
+//!
+//! Each cell is a declarative [`ScenarioSpec`] executed by the scenario
+//! runner — the same path the failure tests and the schedule fuzzer use —
+//! so the figure, the regression corpus, and the fuzzer all agree on what
+//! "run Basil with Byzantine clients" means.
 
-use basil_bench::{basil_default, print_table, run_basil_with_faults, RunParams, Workload};
-use basil_core::byzantine::{ClientStrategy, FaultProfile};
+use basil_bench::{print_table, RunParams};
+use basil_core::byzantine::ClientStrategy;
+use basil_scenario::runner::run_basil_spec;
+use basil_scenario::spec::{FaultBudget, ScenarioSpec, WorkloadSpec};
+
+/// The figure's two workloads, expressed as scenario workload specs (same
+/// key space and skew as the bench harness's `Workload::Rw*`).
+const YCSB_KEYS: u64 = 1_000_000;
 
 fn main() {
     let p = if std::env::var("BASIL_BENCH_QUICK").is_ok() {
@@ -24,16 +35,19 @@ fn main() {
     for (fig, workload) in [
         (
             "Figure 7a (RW-U)",
-            Workload::RwUniform {
+            WorkloadSpec::RwUniform {
                 reads: 2,
                 writes: 2,
+                keys: YCSB_KEYS,
             },
         ),
         (
             "Figure 7b (RW-Z)",
-            Workload::RwZipf {
+            WorkloadSpec::RwZipf {
                 reads: 2,
                 writes: 2,
+                keys: YCSB_KEYS,
+                theta: 0.9,
             },
         ),
     ] {
@@ -43,21 +57,32 @@ fn main() {
             let mut baseline = None;
             for fraction in fractions {
                 let byz_clients = ((p.clients as f64) * fraction).round() as u32;
-                let mut cfg = basil_default(1);
-                if strategy == ClientStrategy::EquivForced {
-                    cfg.relax_st2_validation = true;
-                }
-                let report = run_basil_with_faults(
-                    cfg,
-                    workload,
-                    &p,
+                let spec = ScenarioSpec {
+                    name: format!("fig7 {name} {:.0}%", fraction * 100.0),
+                    seed: p.seed,
+                    clients: p.clients,
                     byz_clients,
-                    FaultProfile {
-                        strategy,
-                        faulty_fraction: 1.0,
+                    byz_strategy: strategy,
+                    byz_fraction: 1.0,
+                    f: 1,
+                    batch_size: 16,
+                    relax_st2: strategy == ClientStrategy::EquivForced,
+                    warmup_ms: p.warmup.as_millis(),
+                    duration_ms: (p.warmup + p.window).as_millis(),
+                    // A figure sweep measures steady-state throughput; no
+                    // quiet tail, no fault budget to keep within.
+                    tail_ms: 0,
+                    budget: FaultBudget {
+                        crash: 0,
+                        deceit: 0,
                     },
-                );
-                let per_client = report.throughput_per_correct_client;
+                    workload,
+                    faults: vec![],
+                    expect: None,
+                };
+                spec.validate().expect("figure cell spec is well-formed");
+                let outcome = run_basil_spec(&spec, p.runtime);
+                let per_client = outcome.report.throughput_per_correct_client;
                 if baseline.is_none() {
                     baseline = Some(per_client.max(1e-9));
                 }
@@ -72,7 +97,7 @@ fn main() {
                     name,
                     fraction * 100.0,
                     per_client,
-                    report.fallbacks
+                    outcome.fallbacks
                 );
             }
             rows.push(row);

@@ -43,6 +43,46 @@ impl ClientStrategy {
     pub fn is_correct(&self) -> bool {
         matches!(self, ClientStrategy::Correct)
     }
+
+    /// All strategies, in a stable order (used by sweeps and the scenario
+    /// fuzzer to enumerate the space).
+    pub const ALL: [ClientStrategy; 5] = [
+        ClientStrategy::Correct,
+        ClientStrategy::StallEarly,
+        ClientStrategy::StallLate,
+        ClientStrategy::EquivReal,
+        ClientStrategy::EquivForced,
+    ];
+
+    /// The stable textual name of this strategy, as used by bench labels and
+    /// scenario specs (`correct`, `stall-early`, `stall-late`, `equiv-real`,
+    /// `equiv-forced`). Round-trips through [`std::str::FromStr`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClientStrategy::Correct => "correct",
+            ClientStrategy::StallEarly => "stall-early",
+            ClientStrategy::StallLate => "stall-late",
+            ClientStrategy::EquivReal => "equiv-real",
+            ClientStrategy::EquivForced => "equiv-forced",
+        }
+    }
+}
+
+impl std::fmt::Display for ClientStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ClientStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ClientStrategy::ALL
+            .into_iter()
+            .find(|v| v.name() == s)
+            .ok_or_else(|| format!("unknown client strategy `{s}`"))
+    }
 }
 
 /// Behaviour of a replica.
@@ -65,6 +105,46 @@ impl ReplicaBehavior {
     /// Whether the replica follows the protocol.
     pub fn is_correct(&self) -> bool {
         matches!(self, ReplicaBehavior::Correct)
+    }
+
+    /// All behaviours, in a stable order (used by sweeps and the scenario
+    /// fuzzer to enumerate the space).
+    pub const ALL: [ReplicaBehavior; 5] = [
+        ReplicaBehavior::Correct,
+        ReplicaBehavior::WithholdVotes,
+        ReplicaBehavior::AlwaysVoteAbort,
+        ReplicaBehavior::IgnoreReads,
+        ReplicaBehavior::Silent,
+    ];
+
+    /// The stable textual name of this behaviour, as used by scenario specs
+    /// (`correct`, `withhold-votes`, `vote-abort`, `ignore-reads`,
+    /// `silent`). Round-trips through [`std::str::FromStr`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicaBehavior::Correct => "correct",
+            ReplicaBehavior::WithholdVotes => "withhold-votes",
+            ReplicaBehavior::AlwaysVoteAbort => "vote-abort",
+            ReplicaBehavior::IgnoreReads => "ignore-reads",
+            ReplicaBehavior::Silent => "silent",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicaBehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ReplicaBehavior {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ReplicaBehavior::ALL
+            .into_iter()
+            .find(|v| v.name() == s)
+            .ok_or_else(|| format!("unknown replica behavior `{s}`"))
     }
 }
 
@@ -128,6 +208,20 @@ mod tests {
         assert!(!ClientStrategy::StallLate.equivocates());
         assert!(ReplicaBehavior::Correct.is_correct());
         assert!(!ReplicaBehavior::Silent.is_correct());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for s in ClientStrategy::ALL {
+            assert_eq!(s.name().parse::<ClientStrategy>().unwrap(), s);
+            assert_eq!(format!("{s}"), s.name());
+        }
+        for b in ReplicaBehavior::ALL {
+            assert_eq!(b.name().parse::<ReplicaBehavior>().unwrap(), b);
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert!("equivreal".parse::<ClientStrategy>().is_err());
+        assert!("".parse::<ReplicaBehavior>().is_err());
     }
 
     #[test]

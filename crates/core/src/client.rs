@@ -1072,6 +1072,7 @@ impl BasilClient {
             Some(Phase::Preparing(p)) if p.txid == txid
         );
         if still_preparing {
+            self.retransmit_st1(ctx, txid);
             for dep in deps {
                 self.start_recovery(ctx, dep);
             }
@@ -1079,6 +1080,49 @@ impl BasilClient {
                 self.cfg.prepare_timeout,
                 BasilMsg::ClientTimer(ClientTimer::PrepareTimeout { txid }),
             );
+        }
+    }
+
+    /// Re-sends the ST1 to the replicas that have not voted yet: either the
+    /// original request or their vote may have been lost in transit.
+    /// Replicas answer re-deliveries idempotently with the stored vote, so
+    /// this is safe to repeat on every prepare timeout; replicas that
+    /// already voted are not contacted again, which keeps the message
+    /// stream untouched whenever nothing was actually lost.
+    fn retransmit_st1(&mut self, ctx: &mut Context<BasilMsg>, txid: TxId) {
+        let (tx, targets) = {
+            let Some(current) = self.current.as_ref() else {
+                return;
+            };
+            let Phase::Preparing(prep) = &current.phase else {
+                return;
+            };
+            if prep.txid != txid {
+                return;
+            }
+            let mut targets: Vec<NodeId> = Vec::new();
+            for shard in &prep.involved {
+                if let Some(tally) = prep.tallies.get(shard) {
+                    for i in tally.missing() {
+                        targets.push(NodeId::Replica(ReplicaId::new(*shard, i)));
+                    }
+                }
+            }
+            (Arc::clone(&prep.tx), targets)
+        };
+        if targets.is_empty() {
+            return;
+        }
+        let st1 = St1 {
+            tx,
+            auth: None,
+            recovery: false,
+        };
+        let (auth, cost) = self.engine.sign_request(&st1);
+        ctx.charge(cost);
+        let st1 = St1 { auth, ..st1 };
+        for replica in targets {
+            self.send_signed(ctx, replica, BasilMsg::St1(st1.clone()));
         }
     }
 
@@ -1138,15 +1182,40 @@ impl BasilClient {
     fn handle_st2_timeout(&mut self, ctx: &mut Context<BasilMsg>, txid: TxId) {
         let resend = {
             match self.current.as_ref().map(|c| &c.phase) {
-                Some(Phase::Logging(l)) if l.txid == txid => {
-                    Some((l.decision, l.shard_votes.clone(), l.slog))
-                }
+                Some(Phase::Logging(l)) if l.txid == txid => Some((
+                    l.decision,
+                    l.shard_votes.clone(),
+                    l.slog,
+                    Arc::clone(&l.tx),
+                    l.tally.missing(),
+                )),
                 _ => None,
             }
         };
-        let Some((decision, shard_votes, slog)) = resend else {
+        let Some((decision, shard_votes, slog, tx, missing)) = resend else {
             return;
         };
+        // A logging replica that never acknowledged may have missed the ST1
+        // itself — in which case it is buffering our ST2 until the
+        // transaction body arrives — so the body is re-sent alongside the
+        // decision. Replicas that already acknowledged are left alone.
+        if !missing.is_empty() {
+            let st1 = St1 {
+                tx,
+                auth: None,
+                recovery: false,
+            };
+            let (auth, cost) = self.engine.sign_request(&st1);
+            ctx.charge(cost);
+            let st1 = St1 { auth, ..st1 };
+            for i in missing {
+                self.send_signed(
+                    ctx,
+                    NodeId::Replica(ReplicaId::new(slog, i)),
+                    BasilMsg::St1(st1.clone()),
+                );
+            }
+        }
         let st2 = St2 {
             txid,
             decision,

@@ -95,6 +95,14 @@ impl ShardTally {
         self.votes.len() as u32
     }
 
+    /// Replica indices of the shard that have not voted yet, in index order
+    /// (the retransmission targets when the prepare timer fires).
+    pub fn missing(&self) -> Vec<u32> {
+        (0..self.cfg.n())
+            .filter(|i| !self.votes.contains_key(i))
+            .collect()
+    }
+
     /// Number of commit votes received so far.
     pub fn commits(&self) -> u32 {
         self.votes
@@ -307,6 +315,14 @@ impl St2Tally {
     /// Number of acknowledgements collected.
     pub fn total(&self) -> u32 {
         self.replies.len() as u32
+    }
+
+    /// Replica indices of the logging shard that have not acknowledged yet,
+    /// in index order (the retransmission targets when the ST2 timer fires).
+    pub fn missing(&self) -> Vec<u32> {
+        (0..self.cfg.n())
+            .filter(|i| !self.replies.contains_key(i))
+            .collect()
     }
 
     /// The replies themselves (for `InvokeFB.views`).

@@ -1,0 +1,382 @@
+//! Seed-driven schedule fuzzing: generate → run → check → shrink.
+//!
+//! Every schedule is a [`ScenarioSpec`] generated *valid by construction*
+//! from a single `u64` seed (so a failure report is just a seed plus the
+//! shrunk spec). Each schedule runs on the serial runtime and is checked
+//! against the safety audit and — when the spec qualifies — the
+//! liveness-under-budget check; every `cross_check_every`-th schedule
+//! additionally replays on `Parallel(2)` and must be bit-for-bit
+//! identical. Failures are minimized with [`crate::shrink::shrink_spec`]
+//! using an oracle that reproduces the *same failure class*, and reported
+//! with their canonical RON encoding for the corpus.
+
+use crate::ron;
+use crate::runner::{run_basil_spec, FailureKind, ScenarioOutcome};
+use crate::shrink::shrink_spec;
+use crate::spec::{FaultBudget, FaultEvent, ScenarioSpec, Selector, WorkloadSpec};
+use basil::cluster::RuntimeMode;
+use basil_core::{ClientStrategy, ReplicaBehavior};
+use rand::{Rng, SeedableRng};
+
+/// Fuzzing campaign parameters.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Number of schedules to attempt.
+    pub count: u64,
+    /// Base seed: schedule `i` uses seed `seed_base + i`.
+    pub seed_base: u64,
+    /// Run the serial-vs-parallel cross-check on every `n`-th schedule
+    /// (0 disables cross-checking).
+    pub cross_check_every: u64,
+    /// Wall-clock budget; the campaign stops early when exceeded.
+    pub wall_budget: Option<std::time::Duration>,
+    /// Stop after this many distinct failures (each failure costs many
+    /// shrink runs; a broken build would otherwise burn the whole budget).
+    pub max_failures: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            count: 1_000,
+            seed_base: 0xBA51,
+            cross_check_every: 16,
+            wall_budget: None,
+            max_failures: 5,
+        }
+    }
+}
+
+/// One minimized failure found by the campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// The schedule seed that produced the failure.
+    pub seed: u64,
+    /// The failure class (audit, liveness, or divergence).
+    pub kind: FailureKind,
+    /// The generated spec, before shrinking.
+    pub original: ScenarioSpec,
+    /// The delta-debugged minimal spec (still fails the same way).
+    pub shrunk: ScenarioSpec,
+    /// Oracle invocations the shrink spent (each is a simulation).
+    pub shrink_runs: u64,
+}
+
+impl FuzzFailure {
+    /// The shrunk spec in canonical RON, ready to commit to the corpus.
+    pub fn corpus_entry(&self) -> String {
+        let mut header = format!(
+            "// fuzz failure: seed {} ({}), shrunk from {} fault events\n",
+            self.seed,
+            self.kind,
+            self.original.faults.len()
+        );
+        header.push_str(&ron::encode(&self.shrunk));
+        header
+    }
+}
+
+/// Result of a fuzzing campaign.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzSummary {
+    /// Schedules generated and executed.
+    pub schedules_run: u64,
+    /// Of those, how many also ran the parallel cross-check.
+    pub cross_checked: u64,
+    /// Minimized failures, in discovery order.
+    pub failures: Vec<FuzzFailure>,
+    /// Whether the wall-clock budget stopped the campaign early.
+    pub budget_exhausted: bool,
+}
+
+/// Deterministically generates schedule `seed`'s scenario. The generator
+/// samples deployments, workloads, and 0–3 budget-respecting fault events
+/// with windows that close before the quiet tail, so most schedules keep
+/// the liveness check armed. The result always passes
+/// [`ScenarioSpec::validate`].
+pub fn generate_spec(seed: u64) -> ScenarioSpec {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed);
+    let clients = rng.gen_range(4..=6u32);
+    let byz_clients = rng.gen_range(0..=2u32);
+    let byz_strategy = match rng.gen_range(0..3u32) {
+        0 => ClientStrategy::StallEarly,
+        1 => ClientStrategy::StallLate,
+        _ => ClientStrategy::EquivReal,
+    };
+    let duration_ms = rng.gen_range(120..=160u64);
+    let warmup_ms = 30;
+    let tail_ms = 50;
+    let tail_start = duration_ms - tail_ms;
+
+    let workload = if rng.gen_bool(0.5) {
+        WorkloadSpec::RwUniform {
+            reads: rng.gen_range(1..=2u32),
+            writes: 2,
+            keys: rng.gen_range(500..=5_000u64),
+        }
+    } else {
+        WorkloadSpec::RwZipf {
+            reads: 2,
+            writes: 2,
+            keys: rng.gen_range(500..=5_000u64),
+            theta: rng.gen_range(1..=9u32) as f64 / 10.0,
+        }
+    };
+
+    // One benign target, one deceit target. Usually the same replica, so
+    // the combined faulty set stays within f = 1 and the schedule keeps
+    // the liveness check armed; sometimes distinct, which exercises the
+    // audit-only regime (validation still holds — budgets are per class).
+    let n = 6u32; // f = 1 deployment
+    let benign_target = rng.gen_range(0..n);
+    let deceit_target = if rng.gen_bool(0.3) {
+        rng.gen_range(0..n)
+    } else {
+        benign_target
+    };
+
+    let mut faults = Vec::new();
+    for _ in 0..rng.gen_range(0..=3u32) {
+        // A window that opens after warmup starts and closes before the
+        // quiet tail (2 ms minimum width).
+        let at_ms = rng.gen_range(32..=tail_start - 10);
+        let until_ms = rng.gen_range(at_ms + 2..=tail_start);
+        faults.push(match rng.gen_range(0..9u32) {
+            0 => FaultEvent::Crash {
+                replica: benign_target,
+                at_ms,
+                restart_ms: Some(until_ms),
+            },
+            1 => FaultEvent::PartitionReplica {
+                replica: benign_target,
+                at_ms,
+                heal_ms: until_ms,
+            },
+            2 => FaultEvent::DropLink {
+                from: Selector::Clients,
+                to: Selector::Replica(benign_target),
+                at_ms,
+                until_ms,
+                probability: rng.gen_range(2..=8u32) as f64 / 10.0,
+            },
+            3 => FaultEvent::DelayLink {
+                from: Selector::Any,
+                to: Selector::Any,
+                at_ms,
+                until_ms,
+                extra_us: rng.gen_range(100..=500u64),
+            },
+            4 => FaultEvent::ReplayLink {
+                from: Selector::Any,
+                to: Selector::Replica(benign_target),
+                at_ms,
+                until_ms,
+                probability: rng.gen_range(1..=5u32) as f64 / 10.0,
+            },
+            5 => FaultEvent::CorruptLink {
+                from: Selector::Replica(deceit_target),
+                to: Selector::Any,
+                at_ms,
+                until_ms,
+                probability: rng.gen_range(1..=4u32) as f64 / 10.0,
+            },
+            6 => FaultEvent::ClockSkew {
+                replica: benign_target,
+                skew_us: rng.gen_range(-8_000..=8_000i64),
+            },
+            7 => FaultEvent::SlowReplica {
+                replica: benign_target,
+                cores: rng.gen_range(1..=4u32),
+            },
+            _ => FaultEvent::Misbehave {
+                replica: deceit_target,
+                behavior: match rng.gen_range(0..3u32) {
+                    0 => ReplicaBehavior::WithholdVotes,
+                    1 => ReplicaBehavior::AlwaysVoteAbort,
+                    _ => ReplicaBehavior::IgnoreReads,
+                },
+                at_ms,
+                revert_ms: Some(until_ms),
+            },
+        });
+    }
+
+    let spec = ScenarioSpec {
+        name: format!("fuzz-{seed}"),
+        seed,
+        clients,
+        byz_clients,
+        byz_strategy,
+        byz_fraction: 1.0,
+        f: 1,
+        batch_size: *[1u32, 8, 16]
+            .get(rng.gen_range(0..3usize))
+            .expect("in range"),
+        relax_st2: false,
+        warmup_ms,
+        duration_ms,
+        tail_ms,
+        budget: FaultBudget {
+            crash: 1,
+            deceit: 1,
+        },
+        workload,
+        faults,
+        expect: None,
+    };
+    spec.validate()
+        .unwrap_or_else(|e| panic!("generator produced invalid spec for seed {seed}: {e}"));
+    spec
+}
+
+/// Runs one schedule on the serial runtime and classifies the result.
+pub fn check_spec(spec: &ScenarioSpec) -> (ScenarioOutcome, Option<FailureKind>) {
+    let outcome = run_basil_spec(spec, RuntimeMode::Serial);
+    let verdict = outcome.check(spec);
+    (outcome, verdict)
+}
+
+/// Replays `spec` on `Parallel(2)` and compares against the serial
+/// outcome. Any disagreement is a [`FailureKind::Divergence`].
+pub fn cross_check(spec: &ScenarioSpec, serial: &ScenarioOutcome) -> Option<FailureKind> {
+    let parallel = run_basil_spec(spec, RuntimeMode::Parallel(2));
+    serial
+        .diverges_from(&parallel)
+        .then_some(FailureKind::Divergence)
+}
+
+/// The shrink oracle for a failure class: does `candidate` still fail the
+/// same way?
+fn reproduces(candidate: &ScenarioSpec, kind: FailureKind) -> bool {
+    match kind {
+        FailureKind::Audit | FailureKind::Liveness => {
+            let (_, verdict) = check_spec(candidate);
+            verdict == Some(kind)
+        }
+        FailureKind::Divergence => {
+            let serial = run_basil_spec(candidate, RuntimeMode::Serial);
+            cross_check(candidate, &serial).is_some()
+        }
+    }
+}
+
+/// Runs a fuzzing campaign. `progress` is called after every schedule with
+/// `(schedules_run, failures_found)` — the CLI uses it for heartbeat
+/// output; tests pass a no-op.
+pub fn fuzz(opts: &FuzzOptions, mut progress: impl FnMut(u64, usize)) -> FuzzSummary {
+    let started = std::time::Instant::now();
+    let mut summary = FuzzSummary::default();
+    for i in 0..opts.count {
+        if let Some(budget) = opts.wall_budget {
+            if started.elapsed() >= budget {
+                summary.budget_exhausted = true;
+                break;
+            }
+        }
+        if summary.failures.len() >= opts.max_failures {
+            break;
+        }
+        let seed = opts.seed_base.wrapping_add(i);
+        let spec = generate_spec(seed);
+        let (serial, mut verdict) = check_spec(&spec);
+        if verdict.is_none() && opts.cross_check_every != 0 && i % opts.cross_check_every == 0 {
+            summary.cross_checked += 1;
+            verdict = cross_check(&spec, &serial);
+        }
+        summary.schedules_run += 1;
+        if let Some(kind) = verdict {
+            let shrunk = shrink_spec(&spec, |candidate| reproduces(candidate, kind));
+            summary.failures.push(FuzzFailure {
+                seed,
+                kind,
+                original: spec,
+                shrunk: shrunk.spec,
+                shrink_runs: shrunk.oracle_runs,
+            });
+        }
+        progress(summary.schedules_run, summary.failures.len());
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_specs_are_valid_and_deterministic() {
+        for seed in 0..200u64 {
+            let a = generate_spec(seed);
+            a.validate().expect("valid");
+            assert_eq!(a, generate_spec(seed), "same seed, same spec");
+        }
+        assert_ne!(generate_spec(1), generate_spec(2), "seeds differ");
+    }
+
+    #[test]
+    fn generator_covers_the_fault_space() {
+        let mut kinds = std::collections::BTreeSet::new();
+        let mut liveness_armed = 0u32;
+        for seed in 0..300u64 {
+            let spec = generate_spec(seed);
+            if spec.liveness_checkable() {
+                liveness_armed += 1;
+            }
+            for ev in &spec.faults {
+                // A stable per-variant key (Discriminant is not Ord).
+                kinds.insert(match ev {
+                    FaultEvent::Crash { .. } => 0,
+                    FaultEvent::PartitionReplica { .. } => 1,
+                    FaultEvent::DropLink { .. } => 2,
+                    FaultEvent::DelayLink { .. } => 3,
+                    FaultEvent::ReplayLink { .. } => 4,
+                    FaultEvent::CorruptLink { .. } => 5,
+                    FaultEvent::ClockSkew { .. } => 6,
+                    FaultEvent::SlowReplica { .. } => 7,
+                    FaultEvent::Misbehave { .. } => 8,
+                });
+            }
+        }
+        assert_eq!(kinds.len(), 9, "all nine fault kinds appear");
+        assert!(
+            liveness_armed > 100,
+            "liveness armed often: {liveness_armed}"
+        );
+    }
+
+    #[test]
+    fn small_campaign_passes_clean() {
+        let opts = FuzzOptions {
+            count: 12,
+            seed_base: 0xBA51,
+            cross_check_every: 6,
+            wall_budget: None,
+            max_failures: 5,
+        };
+        let summary = fuzz(&opts, |_, _| {});
+        assert_eq!(summary.schedules_run, 12);
+        assert!(summary.cross_checked >= 2);
+        assert!(
+            summary.failures.is_empty(),
+            "clean build has no failures: {:#?}",
+            summary
+                .failures
+                .iter()
+                .map(|f| f.corpus_entry())
+                .collect::<Vec<_>>()
+        );
+        assert!(!summary.budget_exhausted);
+    }
+
+    #[test]
+    fn wall_budget_stops_the_campaign() {
+        let opts = FuzzOptions {
+            count: 1_000_000,
+            wall_budget: Some(std::time::Duration::from_millis(200)),
+            ..FuzzOptions::default()
+        };
+        let summary = fuzz(&opts, |_, _| {});
+        assert!(summary.budget_exhausted);
+        assert!(summary.schedules_run < 1_000_000);
+    }
+}

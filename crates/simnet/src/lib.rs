@@ -66,6 +66,6 @@ pub mod sim;
 
 pub use actor::{Actor, Context};
 pub use metrics::{Metrics, NodeMetrics};
-pub use network::{NetworkConfig, Partition};
+pub use network::{LinkFault, LinkFaultKind, NetworkConfig, NodeMatcher, Partition};
 pub use parallel::ParallelSimulation;
-pub use sim::{NodeProps, Simulation};
+pub use sim::{Corruptor, NodeProps, Simulation};

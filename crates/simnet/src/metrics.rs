@@ -36,8 +36,15 @@ pub struct Metrics {
     pub messages_sent: u64,
     /// Messages delivered to a handler.
     pub messages_delivered: u64,
-    /// Messages dropped by the network (loss or partition).
+    /// Messages dropped by the network (loss, partition, or a link fault —
+    /// including corrupted messages discarded as detected garble).
     pub messages_dropped: u64,
+    /// Messages a [`crate::network::LinkFaultKind::Corrupt`] fault hit
+    /// (whether mutated by a corruptor or discarded).
+    pub messages_corrupted: u64,
+    /// Messages a [`crate::network::LinkFaultKind::Replay`] fault
+    /// duplicated.
+    pub messages_replayed: u64,
     /// Events processed by the simulator loop.
     pub events_processed: u64,
     /// Per-node breakdown.

@@ -1,6 +1,7 @@
-//! Network model: latency, jitter, loss, and partitions.
+//! Network model: latency, jitter, loss, partitions, and targeted link
+//! faults.
 
-use basil_common::{Duration, NodeId};
+use basil_common::{Duration, NodeId, SimTime};
 use rand::Rng;
 use std::collections::HashSet;
 
@@ -125,6 +126,114 @@ impl Partition {
     }
 }
 
+/// Selects the nodes on one side of a targeted link fault.
+///
+/// Matchers are pure predicates over [`NodeId`]s, so fault *selection* is
+/// deterministic; only the per-message probability draws consume the
+/// simulation RNG (and only for messages a fault actually matches, so
+/// installing no faults leaves the RNG stream — and every pinned golden
+/// trace — untouched).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeMatcher {
+    /// Matches every node.
+    Any,
+    /// Matches every client.
+    Clients,
+    /// Matches every replica.
+    Replicas,
+    /// Matches exactly one node.
+    Node(NodeId),
+}
+
+impl NodeMatcher {
+    /// Whether `id` is selected by this matcher.
+    pub fn matches(&self, id: NodeId) -> bool {
+        match self {
+            NodeMatcher::Any => true,
+            NodeMatcher::Clients => id.is_client(),
+            NodeMatcher::Replicas => !id.is_client(),
+            NodeMatcher::Node(n) => *n == id,
+        }
+    }
+}
+
+/// What a matching link fault does to a message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkFaultKind {
+    /// Silently drop the message with the given probability.
+    Drop {
+        /// Per-message drop probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Add a fixed extra delay on top of the sampled network latency.
+    /// Delay only ever *adds*, so [`NetworkConfig::min_delay`] — and with it
+    /// the parallel runtime's epoch-lookahead bound — stays valid.
+    Delay {
+        /// Extra one-way delay added to each matching message.
+        extra: Duration,
+    },
+    /// Deliver the message *twice* (an attacker or a flaky link replaying
+    /// traffic) with the given probability; the duplicate samples its own
+    /// delivery latency.
+    Replay {
+        /// Per-message replay probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Corrupt the message in flight with the given probability. If the
+    /// simulation has a typed corruptor installed
+    /// ([`crate::Simulation::set_corruptor`]) the payload is mutated and
+    /// delivered; otherwise the corruption is treated as *detected garble* —
+    /// Basil's channels are authenticated (HMAC), so an undecodable message
+    /// is discarded by the receiver, i.e. a drop counted separately.
+    Corrupt {
+        /// Per-message corruption probability in `[0, 1]`.
+        probability: f64,
+    },
+}
+
+/// A targeted, time-windowed network fault on the links selected by a pair
+/// of [`NodeMatcher`]s. Installed via `Simulation::add_link_fault`; the
+/// scenario layer (`basil-scenario`) compiles declarative fault specs down
+/// to these.
+#[derive(Clone, Debug)]
+pub struct LinkFault {
+    /// Sender-side selector.
+    pub from: NodeMatcher,
+    /// Receiver-side selector.
+    pub to: NodeMatcher,
+    /// Start of the active window (inclusive, in simulation time).
+    pub start: SimTime,
+    /// End of the active window (exclusive).
+    pub end: SimTime,
+    /// The effect applied to matching messages.
+    pub kind: LinkFaultKind,
+}
+
+impl LinkFault {
+    /// Creates a fault active on `from → to` links during `[start, end)`.
+    pub fn new(
+        kind: LinkFaultKind,
+        from: NodeMatcher,
+        to: NodeMatcher,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        LinkFault {
+            from,
+            to,
+            start,
+            end,
+            kind,
+        }
+    }
+
+    /// Whether this fault applies to a message sent at `at` from `from` to
+    /// `to`.
+    pub fn applies(&self, at: SimTime, from: NodeId, to: NodeId) -> bool {
+        at >= self.start && at < self.end && self.from.matches(from) && self.to.matches(to)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +301,34 @@ mod tests {
         );
         p.heal();
         assert!(!p.blocks(r(0), r(5)));
+    }
+
+    #[test]
+    fn matcher_selects_expected_nodes() {
+        assert!(NodeMatcher::Any.matches(c(1)));
+        assert!(NodeMatcher::Any.matches(r(0)));
+        assert!(NodeMatcher::Clients.matches(c(1)));
+        assert!(!NodeMatcher::Clients.matches(r(0)));
+        assert!(NodeMatcher::Replicas.matches(r(3)));
+        assert!(!NodeMatcher::Replicas.matches(c(2)));
+        assert!(NodeMatcher::Node(r(2)).matches(r(2)));
+        assert!(!NodeMatcher::Node(r(2)).matches(r(3)));
+    }
+
+    #[test]
+    fn link_fault_window_and_selectors() {
+        let f = LinkFault::new(
+            LinkFaultKind::Drop { probability: 1.0 },
+            NodeMatcher::Clients,
+            NodeMatcher::Node(r(1)),
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        );
+        assert!(f.applies(SimTime::from_millis(10), c(1), r(1)));
+        assert!(f.applies(SimTime::from_millis(19), c(9), r(1)));
+        assert!(!f.applies(SimTime::from_millis(20), c(1), r(1)), "end excl");
+        assert!(!f.applies(SimTime::from_millis(9), c(1), r(1)));
+        assert!(!f.applies(SimTime::from_millis(15), r(0), r(1)), "sender");
+        assert!(!f.applies(SimTime::from_millis(15), c(1), r(2)), "receiver");
     }
 }

@@ -17,8 +17,10 @@
 //!
 //! 1. **Sharded execute.** Events are partitioned by destination actor;
 //!    each actor's slot (state, core accounting, per-node metrics) is
-//!    checked out to a fixed worker thread (`slot index % workers` — the
-//!    per-slot design of `sim.rs` is what makes the state movable), which
+//!    checked out to a worker thread (`slot index % fan-out`, where the
+//!    fan-out is just wide enough that each participating worker carries an
+//!    inline-threshold's worth of events — the per-slot design of `sim.rs`
+//!    is what makes the state movable), which
 //!    runs the handlers of its slots' events in `(time, seq)` order. Slots
 //!    never appear on two workers, so no locks and no sharing.
 //! 2. **Sequential apply.** The driver merges the workers' execution
@@ -272,7 +274,7 @@ impl<M: Clone + Send + 'static> ParallelSimulation<M> {
                     continue;
                 }
                 let pool = pool.get_or_insert_with(|| WorkerPool::spawn(scope, workers));
-                run_epoch_sharded(inner, &mut buf, pool, &mut scratch);
+                run_epoch_sharded(inner, &mut buf, pool, &mut scratch, threshold);
             }
             // Dropping the pool's senders shuts the workers down; the scope
             // joins them.
@@ -360,15 +362,25 @@ fn run_epoch_inline<M: Clone + 'static>(sim: &mut Simulation<M>, buf: &mut Vec<E
 /// Executes one epoch across the worker pool: partition events and check
 /// out their slots per worker, run handlers in parallel, then merge the
 /// records and apply outputs in global `(time, seq)` order.
+///
+/// Each epoch costs two channel hops per *participating* worker, so small
+/// epochs are batched onto fewer workers: the epoch fans out to just enough
+/// workers that each carries roughly an inline-threshold's worth of events,
+/// instead of paying the full pool's hop overhead for a handful of events
+/// each. The slot→worker map only picks the thread that runs a handler —
+/// records are merged back into global `(time, seq)` order by index — so
+/// the trace is bit-for-bit identical for any fan-out width.
 fn run_epoch_sharded<M: Clone + Send + 'static>(
     sim: &mut Simulation<M>,
     buf: &mut Vec<Event<M>>,
     pool: &mut WorkerPool<M>,
     scratch: &mut EpochScratch<M>,
+    inline_threshold: usize,
 ) {
     let n = buf.len();
     let epoch_last_at = buf.last().expect("non-empty epoch").at;
-    let workers = pool.job_txs.len();
+    let per_worker = inline_threshold.max(ParallelSimulation::<M>::DEFAULT_INLINE_THRESHOLD);
+    let workers = (n / per_worker).clamp(1, pool.job_txs.len());
     let mut jobs: Vec<Job<M>> = (0..workers)
         .map(|_| scratch.job_pool.pop().unwrap_or_default())
         .collect();
@@ -660,6 +672,77 @@ mod tests {
             expected
         );
         assert_eq!(expected.len(), 50);
+    }
+
+    /// Link faults (drop / delay / replay / corrupt) draw their randomness
+    /// in `apply_outputs` on the driver thread, so a faulted run must stay
+    /// bit-for-bit identical between the serial and sharded runtimes.
+    #[test]
+    fn link_faults_are_bit_identical_across_runtimes() {
+        use crate::network::{LinkFault, LinkFaultKind, NodeMatcher};
+
+        let install = |sim: &mut Simulation<Msg>| {
+            sim.add_link_fault(LinkFault::new(
+                LinkFaultKind::Drop { probability: 0.2 },
+                NodeMatcher::Node(client(0)),
+                NodeMatcher::Any,
+                SimTime::from_millis(2),
+                SimTime::from_millis(60),
+            ));
+            sim.add_link_fault(LinkFault::new(
+                LinkFaultKind::Replay { probability: 0.3 },
+                NodeMatcher::Node(client(3)),
+                NodeMatcher::Node(client(2)),
+                SimTime::from_micros(500),
+                SimTime::from_millis(80),
+            ));
+            sim.add_link_fault(LinkFault::new(
+                LinkFaultKind::Delay {
+                    extra: basil_common::Duration::from_micros(40),
+                },
+                NodeMatcher::Any,
+                NodeMatcher::Node(client(5)),
+                SimTime::ZERO,
+                SimTime::from_millis(200),
+            ));
+            sim.add_link_fault(LinkFault::new(
+                LinkFaultKind::Corrupt { probability: 0.1 },
+                NodeMatcher::Node(client(4)),
+                NodeMatcher::Any,
+                SimTime::from_millis(1),
+                SimTime::from_millis(120),
+            ));
+        };
+
+        let pairs = 8;
+        let mut serial = build_serial(pairs, 91);
+        install(&mut serial);
+        serial.run_until(SimTime::from_millis(200));
+        let expected = trace_of(&serial, pairs);
+        let expected_metrics = serial.metrics();
+        assert!(expected_metrics.messages_dropped > 0, "drop fault bit");
+        assert!(expected_metrics.messages_replayed > 0, "replay fault bit");
+        assert!(expected_metrics.messages_corrupted > 0, "corrupt fault bit");
+
+        for workers in [2usize, 3, 5] {
+            let mut par =
+                ParallelSimulation::new(91, NetworkConfig::lan(), workers).with_inline_threshold(0);
+            populate(par.inner_mut(), pairs);
+            install(par.inner_mut());
+            par.run_until(SimTime::from_millis(200));
+            assert_eq!(
+                trace_of(par.inner(), pairs),
+                expected,
+                "faulted trace diverged at {workers} workers"
+            );
+            let m = par.inner().metrics();
+            assert_eq!(m.messages_sent, expected_metrics.messages_sent);
+            assert_eq!(m.messages_delivered, expected_metrics.messages_delivered);
+            assert_eq!(m.messages_dropped, expected_metrics.messages_dropped);
+            assert_eq!(m.messages_corrupted, expected_metrics.messages_corrupted);
+            assert_eq!(m.messages_replayed, expected_metrics.messages_replayed);
+            assert_eq!(m.events_processed, expected_metrics.events_processed);
+        }
     }
 
     /// Crash and restart between runs behave identically under both

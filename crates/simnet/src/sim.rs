@@ -35,12 +35,20 @@
 
 use crate::actor::{Actor, Context, Output};
 use crate::metrics::{Metrics, NodeMetrics};
-use crate::network::{NetworkConfig, Partition};
+use crate::network::{LinkFault, LinkFaultKind, NetworkConfig, Partition};
 use basil_common::{Duration, NodeId, SimTime};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// A typed in-flight message corruptor: mutates a payload that a
+/// [`LinkFaultKind::Corrupt`] fault selected, using the salt for variety.
+/// Installed per simulation via [`Simulation::set_corruptor`]; without one,
+/// corruption models *detected* garbling on an authenticated channel and the
+/// message is discarded instead.
+pub type Corruptor<M> = Arc<dyn Fn(&mut M, u64) + Send + Sync>;
 
 /// Static properties of a simulated node.
 #[derive(Clone, Copy, Debug)]
@@ -363,6 +371,11 @@ pub struct Simulation<M> {
     seq: u64,
     pub(crate) network: NetworkConfig,
     partitions: Vec<Partition>,
+    /// Targeted, time-windowed link faults (see [`LinkFault`]); consulted in
+    /// [`Simulation::apply_outputs`] only, so the serial and parallel
+    /// runtimes see the identical fault decisions.
+    link_faults: Vec<LinkFault>,
+    corruptor: Option<Corruptor<M>>,
     rng: SmallRng,
     /// Registered node ids in sorted order, maintained on `add_node` so
     /// `node_ids` is allocation-free and startup order is deterministic.
@@ -384,6 +397,8 @@ impl<M: Clone + 'static> Simulation<M> {
             seq: 0,
             network,
             partitions: Vec::new(),
+            link_faults: Vec::new(),
+            corruptor: None,
             rng: SmallRng::seed_from_u64(seed),
             node_order: Vec::new(),
             global: Metrics::default(),
@@ -507,6 +522,26 @@ impl<M: Clone + 'static> Simulation<M> {
         self.partitions.get_mut(index)
     }
 
+    /// Installs a targeted link fault (drop / delay / replay / corrupt on a
+    /// matcher-selected set of links, active during a time window). Returns
+    /// its index. Faults are evaluated in installation order per message.
+    pub fn add_link_fault(&mut self, fault: LinkFault) -> usize {
+        self.link_faults.push(fault);
+        self.link_faults.len() - 1
+    }
+
+    /// Removes every installed link fault.
+    pub fn clear_link_faults(&mut self) {
+        self.link_faults.clear();
+    }
+
+    /// Installs the typed corruptor applied by [`LinkFaultKind::Corrupt`]
+    /// faults. Without one, corrupted messages are discarded (detected
+    /// garble on an authenticated channel) rather than mutated.
+    pub fn set_corruptor(&mut self, corruptor: Corruptor<M>) {
+        self.corruptor = Some(corruptor);
+    }
+
     /// Injects a message from the outside world (e.g. the benchmark harness)
     /// to be delivered to `to` at time `at`.
     ///
@@ -627,7 +662,7 @@ impl<M: Clone + 'static> Simulation<M> {
         let mut earliest: Option<SimTime> = None;
         for out in outputs {
             match out {
-                Output::Send { to, msg } => {
+                Output::Send { to, mut msg } => {
                     self.global.messages_sent += 1;
                     if self.partitions.iter().any(|p| p.blocks(from, to)) {
                         self.global.messages_dropped += 1;
@@ -637,9 +672,66 @@ impl<M: Clone + 'static> Simulation<M> {
                         self.global.messages_dropped += 1;
                         continue;
                     }
-                    let latency = self.network.sample_latency(from, to, &mut self.rng);
-                    let seq = self.next_seq();
+                    // Targeted link faults, in installation order. Matching
+                    // is deterministic and only matching faults draw from
+                    // the RNG, so with no faults installed the RNG stream —
+                    // and every pinned golden trace — is untouched.
+                    let mut extra_delay = Duration::ZERO;
+                    let mut replay = false;
+                    let mut fault_dropped = false;
+                    if !self.link_faults.is_empty() {
+                        for f in &self.link_faults {
+                            if !f.applies(completion, from, to) {
+                                continue;
+                            }
+                            match f.kind {
+                                LinkFaultKind::Drop { probability } => {
+                                    if self.rng.gen::<f64>() < probability {
+                                        fault_dropped = true;
+                                        break;
+                                    }
+                                }
+                                LinkFaultKind::Delay { extra } => extra_delay += extra,
+                                LinkFaultKind::Replay { probability } => {
+                                    if self.rng.gen::<f64>() < probability {
+                                        replay = true;
+                                    }
+                                }
+                                LinkFaultKind::Corrupt { probability } => {
+                                    if self.rng.gen::<f64>() < probability {
+                                        self.global.messages_corrupted += 1;
+                                        match &self.corruptor {
+                                            Some(c) => {
+                                                let salt = self.rng.gen::<u64>();
+                                                c(&mut msg, salt);
+                                            }
+                                            // Detected garble on an
+                                            // authenticated channel: the
+                                            // receiver discards it.
+                                            None => {
+                                                fault_dropped = true;
+                                                break;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if fault_dropped {
+                        self.global.messages_dropped += 1;
+                        continue;
+                    }
                     let to_slot = self.index.get(&to).copied().unwrap_or(UNKNOWN_SLOT);
+                    let dup = if replay {
+                        self.global.messages_replayed += 1;
+                        Some(msg.clone())
+                    } else {
+                        None
+                    };
+                    let latency =
+                        self.network.sample_latency(from, to, &mut self.rng) + extra_delay;
+                    let seq = self.next_seq();
                     let at = completion + latency;
                     earliest = Some(earliest.map_or(at, |e: SimTime| e.min(at)));
                     self.queue.push(Event {
@@ -650,6 +742,21 @@ impl<M: Clone + 'static> Simulation<M> {
                         msg,
                         is_timer: false,
                     });
+                    if let Some(msg) = dup {
+                        let latency =
+                            self.network.sample_latency(from, to, &mut self.rng) + extra_delay;
+                        let seq = self.next_seq();
+                        let at = completion + latency;
+                        earliest = Some(earliest.map_or(at, |e: SimTime| e.min(at)));
+                        self.queue.push(Event {
+                            at,
+                            seq,
+                            to_slot,
+                            from,
+                            msg,
+                            is_timer: false,
+                        });
+                    }
                 }
                 Output::Timer { delay, msg } => {
                     let seq = self.next_seq();
@@ -1119,6 +1226,142 @@ mod tests {
                 SimTime::from_millis(500),
             ]
         );
+    }
+
+    use crate::network::{LinkFault, LinkFaultKind, NodeMatcher};
+
+    #[test]
+    fn link_fault_drop_blocks_only_inside_window() {
+        struct PeriodicPinger {
+            peer: NodeId,
+        }
+        impl Actor<Msg> for PeriodicPinger {
+            fn on_start(&mut self, ctx: &mut Context<Msg>) {
+                ctx.schedule_self(Duration::from_millis(1), Msg::Tick);
+            }
+            fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+                if msg == Msg::Tick {
+                    ctx.send(self.peer, Msg::Ping(0));
+                    ctx.schedule_self(Duration::from_millis(1), Msg::Tick);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(5, NetworkConfig::instant());
+        sim.add_node(
+            client(1),
+            NodeProps::default(),
+            Box::new(PeriodicPinger { peer: client(2) }),
+        );
+        sim.add_node(
+            client(2),
+            NodeProps::default(),
+            Box::new(Echoer {
+                cpu_per_ping: Duration::ZERO,
+                handled: 0,
+            }),
+        );
+        // Pings leave at 1, 2, ..., 9 ms; the window [2, 6) swallows the
+        // ones at 2, 3, 4, 5 ms.
+        sim.add_link_fault(LinkFault::new(
+            LinkFaultKind::Drop { probability: 1.0 },
+            NodeMatcher::Node(client(1)),
+            NodeMatcher::Node(client(2)),
+            SimTime::from_millis(2),
+            SimTime::from_millis(6),
+        ));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.actor::<Echoer>(client(2)).expect("echoer").handled, 5);
+        assert_eq!(sim.metrics().messages_dropped, 4);
+    }
+
+    #[test]
+    fn link_fault_replay_duplicates_matching_messages() {
+        let mut sim = build_ping_pong(1, NetworkConfig::lan(), 5, 2, Duration::ZERO);
+        sim.add_link_fault(LinkFault::new(
+            LinkFaultKind::Replay { probability: 1.0 },
+            NodeMatcher::Node(client(1)),
+            NodeMatcher::Node(client(2)),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        ));
+        sim.run_until(SimTime::from_millis(10));
+        // Every ping delivered twice; pongs are not matched by the fault.
+        assert_eq!(sim.actor::<Echoer>(client(2)).expect("echoer").handled, 10);
+        assert_eq!(sim.metrics().messages_replayed, 5);
+        let pinger: &Pinger = sim.actor(client(1)).expect("pinger");
+        assert_eq!(pinger.pongs_received.len(), 10);
+    }
+
+    #[test]
+    fn link_fault_delay_adds_to_latency() {
+        let mut sim = build_ping_pong(1, NetworkConfig::instant(), 1, 1, Duration::ZERO);
+        sim.add_link_fault(LinkFault::new(
+            LinkFaultKind::Delay {
+                extra: Duration::from_millis(3),
+            },
+            NodeMatcher::Any,
+            NodeMatcher::Node(client(2)),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        ));
+        sim.run_until(SimTime::from_millis(10));
+        let pinger: &Pinger = sim.actor(client(1)).expect("pinger");
+        assert_eq!(pinger.pongs_received.len(), 1);
+        assert!(
+            pinger.completion_times[0] >= SimTime::from_millis(3),
+            "ping delayed 3 ms: {:?}",
+            pinger.completion_times[0]
+        );
+    }
+
+    #[test]
+    fn corrupt_without_corruptor_discards_as_detected_garble() {
+        let mut sim = build_ping_pong(1, NetworkConfig::lan(), 5, 1, Duration::ZERO);
+        sim.add_link_fault(LinkFault::new(
+            LinkFaultKind::Corrupt { probability: 1.0 },
+            NodeMatcher::Clients,
+            NodeMatcher::Node(client(2)),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        ));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.actor::<Echoer>(client(2)).expect("echoer").handled, 0);
+        let m = sim.metrics();
+        assert_eq!(m.messages_corrupted, 5);
+        assert_eq!(m.messages_dropped, 5);
+    }
+
+    #[test]
+    fn corrupt_with_corruptor_mutates_payload() {
+        let mut sim = build_ping_pong(1, NetworkConfig::lan(), 3, 1, Duration::ZERO);
+        sim.set_corruptor(std::sync::Arc::new(|msg: &mut Msg, _salt| {
+            if let Msg::Ping(i) = msg {
+                *i += 100;
+            }
+        }));
+        sim.add_link_fault(LinkFault::new(
+            LinkFaultKind::Corrupt { probability: 1.0 },
+            NodeMatcher::Node(client(1)),
+            NodeMatcher::Node(client(2)),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        ));
+        sim.run_until(SimTime::from_millis(10));
+        let mut pongs = sim
+            .actor::<Pinger>(client(1))
+            .expect("pinger")
+            .pongs_received
+            .clone();
+        pongs.sort_unstable();
+        assert_eq!(pongs, vec![100, 101, 102]);
+        assert_eq!(sim.metrics().messages_corrupted, 3);
+        assert_eq!(sim.metrics().messages_dropped, 0);
     }
 
     /// Events queued across many buckets and in the same bucket pop in
