@@ -79,6 +79,21 @@ pub trait ClusterProtocol {
         initial_data: Vec<(Key, Value)>,
     ) -> Self::Replica;
 
+    /// Rebuilds a replica actor after an *amnesia* restart: the replacement
+    /// starts from the shard's genesis data plus whatever durable state the
+    /// protocol salvages from the crashed actor (e.g. its write-ahead log).
+    /// Returning `None` — the default — declares that the protocol has no
+    /// recovery path, and the engine downgrades the restart to a warm one
+    /// (pre-crash memory preserved) rather than silently losing state.
+    fn recover_replica(
+        &self,
+        _rid: ReplicaId,
+        _initial_data: Vec<(Key, Value)>,
+        _old: &mut Self::Replica,
+    ) -> Option<Self::Replica> {
+        None
+    }
+
     /// Constructs the client actor for `cid` driving `generator`.
     /// Protocols without Byzantine-client support ignore `fault` (the
     /// engine only passes non-honest profiles when the deployment was
@@ -539,6 +554,40 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
     /// Crashes a replica (all messages to it are dropped).
     pub fn crash_replica(&mut self, rid: ReplicaId) {
         self.sim.sim_mut().crash(NodeId::Replica(rid));
+    }
+
+    /// *Warm*-restarts a crashed replica: deliveries resume and the actor
+    /// keeps its full pre-crash memory (a pause, not a real crash).
+    pub fn restart_replica_warm(&mut self, rid: ReplicaId) {
+        self.sim.sim_mut().restart(NodeId::Replica(rid));
+    }
+
+    /// *Amnesia*-restarts a crashed replica: the actor is rebuilt through
+    /// [`ClusterProtocol::recover_replica`] — its shard's genesis data plus
+    /// whatever durable state the protocol salvages from the crashed actor —
+    /// and re-enters the simulation via `Simulation::restart_amnesia`, so
+    /// its recovery traffic (WAL-replay catch-up requests, deadlines) joins
+    /// the timeline deterministically. Protocols without a recovery path
+    /// fall back to a warm restart.
+    pub fn restart_replica_amnesia(&mut self, rid: ReplicaId) {
+        let id = NodeId::Replica(rid);
+        let shard_data: Vec<(Key, Value)> = self
+            .config
+            .initial_data
+            .iter()
+            .filter(|(k, _)| self.config.protocol.shard_for_key(k) == rid.shard)
+            .cloned()
+            .collect();
+        let fresh = match self.sim.sim_mut().actor_mut::<P::Replica>(id) {
+            Some(old) => self.config.protocol.recover_replica(rid, shard_data, old),
+            None => None,
+        };
+        match fresh {
+            Some(replica) => {
+                drop(self.sim.sim_mut().restart_amnesia(id, Box::new(replica)));
+            }
+            None => self.sim.sim_mut().restart(id),
+        }
     }
 
     /// Aggregates client counters into a snapshot (correct clients only

@@ -105,6 +105,26 @@ impl ClusterProtocol for BasilProtocol {
         )
     }
 
+    fn recover_replica(
+        &self,
+        rid: ReplicaId,
+        initial_data: Vec<(Key, Value)>,
+        old: &mut BasilReplica,
+    ) -> Option<BasilReplica> {
+        // The WAL image is the only state that survives an amnesia crash;
+        // behaviour is configuration, not memory, so it survives too (a
+        // Byzantine replica does not become honest by crashing).
+        let wal_bytes = old.take_wal_bytes();
+        Some(BasilReplica::recover(
+            rid,
+            self.basil.clone(),
+            self.registry().clone(),
+            old.behavior(),
+            initial_data,
+            wal_bytes,
+        ))
+    }
+
     fn make_client(
         &self,
         cid: ClientId,

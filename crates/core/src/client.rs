@@ -227,6 +227,16 @@ impl ValidatedCertCache {
     }
 }
 
+/// Which per-transaction retry timer a backoff attempt counter belongs to.
+/// Counted separately so, e.g., prepare retries do not inflate the first
+/// ST2 retry of the same transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum RetryKind {
+    Prepare,
+    St2,
+    Fallback,
+}
+
 /// The Basil client actor.
 pub struct BasilClient {
     id: ClientId,
@@ -247,6 +257,14 @@ pub struct BasilClient {
     /// before re-verifying a `Writeback`-forwarded certificate.
     validated_certs: ValidatedCertCache,
     backoff: Duration,
+    /// Dedicated PRNG for retry-timer jitter, seeded independently of
+    /// `prng` so that timers backing off on lossy schedules never perturb
+    /// the fault-free random stream (replica sampling, abort backoff) that
+    /// golden tests pin byte-for-byte.
+    retry_prng: SmallPrng,
+    /// Consecutive re-arms per (timer kind, transaction), driving the
+    /// exponential backoff; cleared when the retried condition resolves.
+    retry_attempts: FastHashMap<(RetryKind, TxId), u32>,
     stats: ClientStats,
     stopped: bool,
     /// Whether the generator paces arrivals (open loop). Decided once at
@@ -284,6 +302,8 @@ impl BasilClient {
             dep_txs: FastHashMap::default(),
             validated_certs: ValidatedCertCache::new(),
             backoff,
+            retry_prng: SmallPrng::new(seed ^ id.0.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+            retry_attempts: FastHashMap::default(),
             stats: ClientStats::default(),
             stopped: false,
             open_loop: false,
@@ -1050,18 +1070,48 @@ impl BasilClient {
         );
     }
 
+    /// Delay before the next re-arm of a retry timer: the first re-arm keeps
+    /// the base period (a single retry is the common lost-message case and
+    /// needs no spreading — and fault-free schedules that brush a timeout
+    /// stay byte-identical), later consecutive re-arms wait `base * 2^n`
+    /// capped at `cfg.max_backoff`, plus up to half that again in jitter
+    /// from the dedicated seeded retry PRNG. Doubling stops retry storms —
+    /// every client of a stalled transaction re-firing at a fixed period in
+    /// lockstep — and the jitter de-synchronizes the survivors, while the
+    /// seeded PRNG keeps schedules bit-identical run to run.
+    fn retry_delay(&mut self, kind: RetryKind, txid: TxId, base: Duration) -> Duration {
+        let attempt = {
+            let counter = self.retry_attempts.entry((kind, txid)).or_insert(0);
+            let a = *counter;
+            *counter = counter.saturating_add(1);
+            a
+        };
+        if attempt == 0 {
+            return base;
+        }
+        let floor = base.as_nanos().max(1);
+        let capped = floor
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.cfg.max_backoff.as_nanos().max(floor));
+        let jitter = self.retry_prng.next_below(capped / 2 + 1);
+        Duration::from_nanos(capped.saturating_add(jitter))
+    }
+
+    /// Forgets a timer's retry history once the retried condition resolved.
+    fn clear_retry(&mut self, kind: RetryKind, txid: TxId) {
+        self.retry_attempts.remove(&(kind, txid));
+    }
+
     fn handle_prepare_timeout(&mut self, ctx: &mut Context<BasilMsg>, txid: TxId) {
-        let deps: Vec<TxId> = {
-            let Some(current) = self.current.as_ref() else {
-                return;
-            };
-            let Phase::Preparing(prep) = &current.phase else {
-                return;
-            };
-            if prep.txid != txid {
-                return;
+        let deps: Option<Vec<TxId>> = match self.current.as_ref().map(|c| &c.phase) {
+            Some(Phase::Preparing(prep)) if prep.txid == txid => {
+                Some(prep.tx.deps().iter().map(|d| d.txid).collect())
             }
-            prep.tx.deps().iter().map(|d| d.txid).collect()
+            _ => None,
+        };
+        let Some(deps) = deps else {
+            self.clear_retry(RetryKind::Prepare, txid);
+            return;
         };
         // First, try to classify with what we have.
         self.try_classify(ctx, true);
@@ -1076,10 +1126,13 @@ impl BasilClient {
             for dep in deps {
                 self.start_recovery(ctx, dep);
             }
+            let delay = self.retry_delay(RetryKind::Prepare, txid, self.cfg.prepare_timeout);
             ctx.schedule_self(
-                self.cfg.prepare_timeout,
+                delay,
                 BasilMsg::ClientTimer(ClientTimer::PrepareTimeout { txid }),
             );
+        } else {
+            self.clear_retry(RetryKind::Prepare, txid);
         }
     }
 
@@ -1193,6 +1246,7 @@ impl BasilClient {
             }
         };
         let Some((decision, shard_votes, slog, tx, missing)) = resend else {
+            self.clear_retry(RetryKind::St2, txid);
             return;
         };
         // A logging replica that never acknowledged may have missed the ST1
@@ -1229,8 +1283,9 @@ impl BasilClient {
         for replica in self.replicas_of(slog) {
             self.send_signed(ctx, replica, BasilMsg::St2(st2.clone()));
         }
+        let delay = self.retry_delay(RetryKind::St2, txid, self.cfg.st2_timeout);
         ctx.schedule_self(
-            self.cfg.st2_timeout,
+            delay,
             BasilMsg::ClientTimer(ClientTimer::St2Timeout { txid }),
         );
     }
@@ -1550,6 +1605,7 @@ impl BasilClient {
             .map(|r| !r.resolved)
             .unwrap_or(false);
         if !unresolved {
+            self.clear_retry(RetryKind::Fallback, txid);
             return;
         }
         self.advance_recovery(ctx, txid, true);
@@ -1576,10 +1632,13 @@ impl BasilClient {
                     self.send_signed(ctx, replica, BasilMsg::St1(st1.clone()));
                 }
             }
+            let delay = self.retry_delay(RetryKind::Fallback, txid, self.cfg.fallback_timeout);
             ctx.schedule_self(
-                self.cfg.fallback_timeout,
+                delay,
                 BasilMsg::ClientTimer(ClientTimer::FallbackTimeout { txid }),
             );
+        } else {
+            self.clear_retry(RetryKind::Fallback, txid);
         }
     }
 
@@ -1680,6 +1739,8 @@ impl Actor<BasilMsg> for BasilClient {
             | BasilMsg::InvokeFb(_)
             | BasilMsg::ElectFb(_)
             | BasilMsg::DecFb(_)
+            | BasilMsg::CatchUpRequest(_)
+            | BasilMsg::CatchUpReply(_)
             | BasilMsg::ReplicaTimer(_) => {}
         }
     }

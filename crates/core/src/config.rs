@@ -78,6 +78,16 @@ pub struct BasilConfig {
     /// instead of queueing unboundedly. Only consulted when the workload
     /// generator paces arrivals (closed-loop generators ignore it).
     pub admission_bound: usize,
+    /// Simulated fsync latency charged for every write-ahead-log append.
+    /// `Duration::ZERO` (the default) models an always-warm write cache and
+    /// keeps fault-free golden timings byte-identical; durability-focused
+    /// runs opt into a real cost via [`BasilConfig::with_wal_fsync`].
+    pub wal_fsync_cost: Duration,
+    /// How long a replica recovering from an amnesia restart waits for
+    /// `CatchUpReply` messages before resuming service with whatever
+    /// decisions it gathered. Client traffic is buffered for at most this
+    /// window.
+    pub catch_up_timeout: Duration,
 }
 
 impl BasilConfig {
@@ -101,6 +111,8 @@ impl BasilConfig {
             gc_interval: None,
             gc_horizon: Duration::from_millis(500),
             admission_bound: 32,
+            wal_fsync_cost: Duration::ZERO,
+            catch_up_timeout: Duration::from_millis(5),
         }
     }
 
@@ -147,6 +159,19 @@ impl BasilConfig {
     /// Returns a copy with the open-loop admission bound replaced (minimum 1).
     pub fn with_admission_bound(mut self, bound: usize) -> Self {
         self.admission_bound = bound.max(1);
+        self
+    }
+
+    /// Returns a copy charging `cost` of simulated time per WAL append
+    /// (`Duration::ZERO` restores the free default).
+    pub fn with_wal_fsync(mut self, cost: Duration) -> Self {
+        self.wal_fsync_cost = cost;
+        self
+    }
+
+    /// Returns a copy with the post-amnesia catch-up window replaced.
+    pub fn with_catch_up_timeout(mut self, timeout: Duration) -> Self {
+        self.catch_up_timeout = timeout;
         self
     }
 
@@ -201,6 +226,18 @@ mod tests {
         let cfg = BasilConfig::bench(SystemConfig::sharded(3));
         assert_eq!(cfg.crypto_mode, CryptoMode::Simulated);
         assert_eq!(cfg.system.num_shards, 3);
+    }
+
+    #[test]
+    fn durability_knobs_default_free_and_opt_in() {
+        let cfg = BasilConfig::test_single_shard();
+        assert_eq!(cfg.wal_fsync_cost, Duration::ZERO, "fault-free goldens");
+        assert!(cfg.catch_up_timeout > Duration::ZERO);
+        let tuned = cfg
+            .with_wal_fsync(Duration::from_micros(100))
+            .with_catch_up_timeout(Duration::from_millis(8));
+        assert_eq!(tuned.wal_fsync_cost, Duration::from_micros(100));
+        assert_eq!(tuned.catch_up_timeout, Duration::from_millis(8));
     }
 
     #[test]

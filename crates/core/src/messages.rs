@@ -519,6 +519,33 @@ impl DecFb {
 }
 
 // ---------------------------------------------------------------------------
+// Crash-recovery catch-up
+// ---------------------------------------------------------------------------
+
+/// Replica -> shard peers: a replica that lost its memory (amnesia restart)
+/// has replayed its WAL and asks for the decisions it missed. Unsigned: the
+/// reply carries self-validating certificates, so a forged request can at
+/// worst waste a peer's bandwidth, never poison state.
+#[derive(Clone, Debug)]
+pub struct CatchUpRequest {
+    /// The recovering replica (replies are addressed back to it).
+    pub from: ReplicaId,
+}
+
+/// Shard peer -> recovering replica: every decision certificate the peer has
+/// applied, each with the transaction body when the peer still holds it
+/// (commits need the body to re-install writes). The recovering replica
+/// validates every certificate before applying it — a Byzantine peer can
+/// send garbage, but not a certificate that verifies.
+#[derive(Clone, Debug)]
+pub struct CatchUpReply {
+    /// The responding peer.
+    pub from: ReplicaId,
+    /// Applied decisions: `(certificate, transaction body if available)`.
+    pub entries: Vec<(Arc<DecisionCert>, Option<Arc<Transaction>>)>,
+}
+
+// ---------------------------------------------------------------------------
 // Timers
 // ---------------------------------------------------------------------------
 
@@ -562,6 +589,10 @@ pub enum ReplicaTimer {
     /// `BasilConfig::gc_interval`; see `BasilReplica` for the watermark
     /// rule).
     GcSweep,
+    /// The post-amnesia catch-up window has elapsed: stop waiting for
+    /// further `CatchUpReply` messages and resume normal service with
+    /// whatever decisions were gathered.
+    CatchUpDeadline,
 }
 
 // ---------------------------------------------------------------------------
@@ -599,6 +630,11 @@ pub enum BasilMsg {
     ElectFb(SignedElectFb),
     /// Fallback leader -> replicas: reconciled decision.
     DecFb(DecFb),
+    /// Recovering replica -> shard peers: request missed decisions after an
+    /// amnesia restart.
+    CatchUpRequest(CatchUpRequest),
+    /// Shard peer -> recovering replica: applied decision certificates.
+    CatchUpReply(CatchUpReply),
     /// Client self-message timers.
     ClientTimer(ClientTimer),
     /// Replica self-message timers.

@@ -7,9 +7,14 @@
 //! liveness-under-budget property, and delta-debugs any failure down to a
 //! minimal spec written to the failure directory.
 //!
+//! Every `--baseline-every`-th schedule is additionally replayed (with
+//! Byzantine clients stripped) against one of the baseline systems,
+//! cycling through Tapir / TxHotstuff / TxBftSmart, and checked for
+//! serializability-audit failures.
+//!
 //! ```text
 //! fuzz_schedules [--count N] [--seed-base S] [--budget-secs T]
-//!                [--cross-check-every K] [--out DIR]
+//!                [--cross-check-every K] [--baseline-every B] [--out DIR]
 //! ```
 //!
 //! Exit status: `0` all schedules passed; `1` the wall-clock budget ended
@@ -52,11 +57,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cross-check-every: {e}"))?
             }
+            "--baseline-every" => {
+                opts.baseline_every = value("--baseline-every")?
+                    .parse()
+                    .map_err(|e| format!("--baseline-every: {e}"))?
+            }
             "--out" => out = PathBuf::from(value("--out")?),
             "--help" | "-h" => {
                 println!(
                     "usage: fuzz_schedules [--count N] [--seed-base S] [--budget-secs T] \
-                     [--cross-check-every K] [--out DIR]"
+                     [--cross-check-every K] [--baseline-every B] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -89,9 +99,10 @@ fn main() {
     });
 
     eprintln!(
-        "[fuzz] done: {} schedules ({} cross-checked) in {:.1}s, {} failures",
+        "[fuzz] done: {} schedules ({} cross-checked, {} baseline-replayed) in {:.1}s, {} failures",
         summary.schedules_run,
         summary.cross_checked,
+        summary.baseline_checked,
         started.elapsed().as_secs_f64(),
         summary.failures.len()
     );
@@ -101,11 +112,15 @@ fn main() {
             eprintln!("[fuzz] cannot create {}: {e}", args.out.display());
         }
         for failure in &summary.failures {
+            let system = match failure.baseline {
+                Some(kind) => format!("{kind:?}"),
+                None => "basil".into(),
+            };
             let path = args
                 .out
-                .join(format!("{}-{}.ron", failure.kind, failure.seed));
+                .join(format!("{}-{}-{}.ron", failure.kind, system, failure.seed));
             eprintln!(
-                "[fuzz] seed {} failed ({}): {} -> {} events after {} shrink runs; repro: {}",
+                "[fuzz] seed {} failed ({} on {system}): {} -> {} events after {} shrink runs; repro: {}",
                 failure.seed,
                 failure.kind,
                 failure.original.faults.len(),

@@ -11,10 +11,11 @@
 //! with their canonical RON encoding for the corpus.
 
 use crate::ron;
-use crate::runner::{run_basil_spec, FailureKind, ScenarioOutcome};
+use crate::runner::{run_baseline_spec, run_basil_spec, FailureKind, ScenarioOutcome};
 use crate::shrink::shrink_spec;
-use crate::spec::{FaultBudget, FaultEvent, ScenarioSpec, Selector, WorkloadSpec};
+use crate::spec::{FaultBudget, FaultEvent, RecoveryMode, ScenarioSpec, Selector, WorkloadSpec};
 use basil::cluster::RuntimeMode;
+use basil_baselines::SystemKind;
 use basil_core::{ClientStrategy, ReplicaBehavior};
 use rand::{Rng, SeedableRng};
 
@@ -28,6 +29,10 @@ pub struct FuzzOptions {
     /// Run the serial-vs-parallel cross-check on every `n`-th schedule
     /// (0 disables cross-checking).
     pub cross_check_every: u64,
+    /// Replay every `n`-th schedule (with Byzantine clients stripped)
+    /// against a baseline system, cycling through the baseline kinds, and
+    /// flag any serializability-audit failure (0 disables baseline runs).
+    pub baseline_every: u64,
     /// Wall-clock budget; the campaign stops early when exceeded.
     pub wall_budget: Option<std::time::Duration>,
     /// Stop after this many distinct failures (each failure costs many
@@ -41,6 +46,7 @@ impl Default for FuzzOptions {
             count: 1_000,
             seed_base: 0xBA51,
             cross_check_every: 16,
+            baseline_every: 25,
             wall_budget: None,
             max_failures: 5,
         }
@@ -54,6 +60,9 @@ pub struct FuzzFailure {
     pub seed: u64,
     /// The failure class (audit, liveness, or divergence).
     pub kind: FailureKind,
+    /// `Some(kind)` when the failure came from a baseline-system replay of
+    /// the schedule rather than from Basil itself.
+    pub baseline: Option<SystemKind>,
     /// The generated spec, before shrinking.
     pub original: ScenarioSpec,
     /// The delta-debugged minimal spec (still fails the same way).
@@ -65,10 +74,15 @@ pub struct FuzzFailure {
 impl FuzzFailure {
     /// The shrunk spec in canonical RON, ready to commit to the corpus.
     pub fn corpus_entry(&self) -> String {
+        let system = match self.baseline {
+            Some(kind) => format!("{kind:?}"),
+            None => "Basil".into(),
+        };
         let mut header = format!(
-            "// fuzz failure: seed {} ({}), shrunk from {} fault events\n",
+            "// fuzz failure: seed {} ({} on {}), shrunk from {} fault events\n",
             self.seed,
             self.kind,
+            system,
             self.original.faults.len()
         );
         header.push_str(&ron::encode(&self.shrunk));
@@ -83,6 +97,8 @@ pub struct FuzzSummary {
     pub schedules_run: u64,
     /// Of those, how many also ran the parallel cross-check.
     pub cross_checked: u64,
+    /// Of those, how many also replayed against a baseline system.
+    pub baseline_checked: u64,
     /// Minimized failures, in discovery order.
     pub failures: Vec<FuzzFailure>,
     /// Whether the wall-clock budget stopped the campaign early.
@@ -90,9 +106,11 @@ pub struct FuzzSummary {
 }
 
 /// Deterministically generates schedule `seed`'s scenario. The generator
-/// samples deployments, workloads, and 0–3 budget-respecting fault events
-/// with windows that close before the quiet tail, so most schedules keep
-/// the liveness check armed. The result always passes
+/// samples deployments (mostly `f = 1`, sometimes `f = 2`), workloads, and
+/// 0–3 budget-respecting fault events with windows that close before the
+/// quiet tail, so most schedules keep the liveness check armed. Crashes
+/// split between warm and amnesia restarts, exercising the WAL-replay and
+/// peer catch-up machinery. The result always passes
 /// [`ScenarioSpec::validate`].
 pub fn generate_spec(seed: u64) -> ScenarioSpec {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed);
@@ -123,11 +141,15 @@ pub fn generate_spec(seed: u64) -> ScenarioSpec {
         }
     };
 
+    // Mostly the minimal f = 1 deployment; occasionally f = 2 (n = 11),
+    // which grows the quorums and the fallback vote thresholds.
+    let f = if rng.gen_bool(0.2) { 2u32 } else { 1u32 };
+    let n = 5 * f + 1;
+
     // One benign target, one deceit target. Usually the same replica, so
-    // the combined faulty set stays within f = 1 and the schedule keeps
-    // the liveness check armed; sometimes distinct, which exercises the
+    // the combined faulty set stays within f and the schedule keeps the
+    // liveness check armed; sometimes distinct, which exercises the
     // audit-only regime (validation still holds — budgets are per class).
-    let n = 6u32; // f = 1 deployment
     let benign_target = rng.gen_range(0..n);
     let deceit_target = if rng.gen_bool(0.3) {
         rng.gen_range(0..n)
@@ -146,6 +168,11 @@ pub fn generate_spec(seed: u64) -> ScenarioSpec {
                 replica: benign_target,
                 at_ms,
                 restart_ms: Some(until_ms),
+                recovery: if rng.gen_bool(0.5) {
+                    RecoveryMode::Amnesia
+                } else {
+                    RecoveryMode::Warm
+                },
             },
             1 => FaultEvent::PartitionReplica {
                 replica: benign_target,
@@ -208,7 +235,7 @@ pub fn generate_spec(seed: u64) -> ScenarioSpec {
         byz_clients,
         byz_strategy,
         byz_fraction: 1.0,
-        f: 1,
+        f,
         batch_size: *[1u32, 8, 16]
             .get(rng.gen_range(0..3usize))
             .expect("in range"),
@@ -243,6 +270,38 @@ pub fn cross_check(spec: &ScenarioSpec, serial: &ScenarioOutcome) -> Option<Fail
     serial
         .diverges_from(&parallel)
         .then_some(FailureKind::Divergence)
+}
+
+/// The baseline kinds the campaign cycles through.
+const BASELINE_KINDS: [SystemKind; 3] = [
+    SystemKind::Tapir,
+    SystemKind::TxHotstuff,
+    SystemKind::TxBftSmart,
+];
+
+/// The Byzantine-free variant of `spec` that the baseline adapters can
+/// run: Byzantine clients and timed `Misbehave` events are stripped (the
+/// baselines implement no replica misbehaviour and would refuse the
+/// injection); corrupt links stay — garbled traffic is a network fault
+/// every baseline must survive.
+pub fn baseline_variant(spec: &ScenarioSpec) -> ScenarioSpec {
+    let mut base = spec.clone();
+    base.byz_clients = 0;
+    base.faults
+        .retain(|ev| !matches!(ev, FaultEvent::Misbehave { .. }));
+    base
+}
+
+/// Runs `spec` (which must have no Byzantine clients) against a baseline
+/// system on the serial runtime and reports a safety-audit failure, if
+/// any. Baselines deploy fewer replicas and make no liveness promise under
+/// Basil-sized fault schedules, so only the audit applies.
+pub fn check_baseline_spec(spec: &ScenarioSpec, kind: SystemKind) -> Option<FailureKind> {
+    let outcome = run_baseline_spec(spec, kind, RuntimeMode::Serial);
+    outcome
+        .audit_failure
+        .is_some()
+        .then_some(FailureKind::Audit)
 }
 
 /// The shrink oracle for a failure class: does `candidate` still fail the
@@ -289,10 +348,31 @@ pub fn fuzz(opts: &FuzzOptions, mut progress: impl FnMut(u64, usize)) -> FuzzSum
             summary.failures.push(FuzzFailure {
                 seed,
                 kind,
+                baseline: None,
                 original: spec,
                 shrunk: shrunk.spec,
                 shrink_runs: shrunk.oracle_runs,
             });
+        } else if opts.baseline_every != 0 && i % opts.baseline_every == 0 {
+            // Replay the Byzantine-free variant of the schedule on a
+            // baseline system: the same fault grammar fuzzes Tapir and the
+            // ordered 2PC baselines, cycling through the kinds.
+            let base = baseline_variant(&spec);
+            let kind = BASELINE_KINDS[(i / opts.baseline_every) as usize % BASELINE_KINDS.len()];
+            summary.baseline_checked += 1;
+            if let Some(failure) = check_baseline_spec(&base, kind) {
+                let shrunk = shrink_spec(&base, |candidate| {
+                    check_baseline_spec(candidate, kind).is_some()
+                });
+                summary.failures.push(FuzzFailure {
+                    seed,
+                    kind: failure,
+                    baseline: Some(kind),
+                    original: base,
+                    shrunk: shrunk.spec,
+                    shrink_runs: shrunk.oracle_runs,
+                });
+            }
         }
         progress(summary.schedules_run, summary.failures.len());
     }
@@ -302,6 +382,34 @@ pub fn fuzz(opts: &FuzzOptions, mut progress: impl FnMut(u64, usize)) -> FuzzSum
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baseline_variant_of_a_misbehave_schedule_runs_clean() {
+        // The baselines refuse replica-misbehaviour injection outright, so
+        // the baseline replay must strip `Misbehave` events (alongside
+        // Byzantine clients) before running — a generated schedule that
+        // contains one must not panic the campaign.
+        let with_misbehave = (0..500u64)
+            .map(generate_spec)
+            .find(|s| {
+                s.faults
+                    .iter()
+                    .any(|ev| matches!(ev, FaultEvent::Misbehave { .. }))
+            })
+            .expect("the generator produces Misbehave schedules");
+        let base = baseline_variant(&with_misbehave);
+        base.validate().expect("the stripped variant stays valid");
+        assert_eq!(base.byz_clients, 0);
+        assert!(base
+            .faults
+            .iter()
+            .all(|ev| !matches!(ev, FaultEvent::Misbehave { .. })));
+        assert_eq!(
+            check_baseline_spec(&base, SystemKind::Tapir),
+            None,
+            "the deceit-free schedule passes the baseline audit"
+        );
+    }
 
     #[test]
     fn generated_specs_are_valid_and_deterministic() {
@@ -317,12 +425,24 @@ mod tests {
     fn generator_covers_the_fault_space() {
         let mut kinds = std::collections::BTreeSet::new();
         let mut liveness_armed = 0u32;
+        let mut amnesia_crashes = 0u32;
+        let mut warm_crashes = 0u32;
+        let mut f2_deployments = 0u32;
         for seed in 0..300u64 {
             let spec = generate_spec(seed);
             if spec.liveness_checkable() {
                 liveness_armed += 1;
             }
+            if spec.f == 2 {
+                f2_deployments += 1;
+            }
             for ev in &spec.faults {
+                if let FaultEvent::Crash { recovery, .. } = ev {
+                    match recovery {
+                        crate::spec::RecoveryMode::Amnesia => amnesia_crashes += 1,
+                        crate::spec::RecoveryMode::Warm => warm_crashes += 1,
+                    }
+                }
                 // A stable per-variant key (Discriminant is not Ord).
                 kinds.insert(match ev {
                     FaultEvent::Crash { .. } => 0,
@@ -342,6 +462,12 @@ mod tests {
             liveness_armed > 100,
             "liveness armed often: {liveness_armed}"
         );
+        assert!(amnesia_crashes > 0, "amnesia crashes are generated");
+        assert!(warm_crashes > 0, "warm crashes are generated");
+        assert!(
+            f2_deployments > 0 && f2_deployments < 150,
+            "f = 2 appears as the minority: {f2_deployments}"
+        );
     }
 
     #[test]
@@ -350,12 +476,14 @@ mod tests {
             count: 12,
             seed_base: 0xBA51,
             cross_check_every: 6,
+            baseline_every: 5,
             wall_budget: None,
             max_failures: 5,
         };
         let summary = fuzz(&opts, |_, _| {});
         assert_eq!(summary.schedules_run, 12);
         assert!(summary.cross_checked >= 2);
+        assert!(summary.baseline_checked >= 1, "baselines were fuzzed too");
         assert!(
             summary.failures.is_empty(),
             "clean build has no failures: {:#?}",

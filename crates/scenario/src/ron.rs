@@ -10,7 +10,8 @@
 //! under `tests/corpus/`.
 
 use crate::spec::{
-    Expectation, FaultBudget, FaultEvent, ScenarioSpec, Selector, SpecError, WorkloadSpec,
+    Expectation, FaultBudget, FaultEvent, RecoveryMode, ScenarioSpec, Selector, SpecError,
+    WorkloadSpec,
 };
 use basil_core::{ClientStrategy, ReplicaBehavior};
 
@@ -356,12 +357,27 @@ fn decode_link_args(v: &Val) -> Result<(Selector, Selector, u64, u64), SpecError
     ))
 }
 
+fn decode_recovery(v: &Val) -> Result<RecoveryMode, SpecError> {
+    match v {
+        Val::Unit(n) if n == "Warm" => Ok(RecoveryMode::Warm),
+        Val::Unit(n) if n == "Amnesia" => Ok(RecoveryMode::Amnesia),
+        _ => Err(err("recovery: expected Warm | Amnesia")),
+    }
+}
+
 fn decode_fault(v: &Val) -> Result<FaultEvent, SpecError> {
     match v.call_name()? {
         "Crash" => Ok(FaultEvent::Crash {
             replica: v.field("replica")?.as_u32("replica")?,
             at_ms: v.field("at_ms")?.as_u64("at_ms")?,
             restart_ms: v.field("restart_ms")?.as_opt_u64("restart_ms")?,
+            // Absent in corpus entries written before the durability layer:
+            // those crashes were warm restarts by construction.
+            recovery: v
+                .opt_field("recovery")
+                .map(decode_recovery)
+                .transpose()?
+                .unwrap_or_default(),
         }),
         "PartitionReplica" => Ok(FaultEvent::PartitionReplica {
             replica: v.field("replica")?.as_u32("replica")?,
@@ -538,8 +554,9 @@ fn fmt_fault(ev: &FaultEvent) -> String {
             replica,
             at_ms,
             restart_ms,
+            recovery,
         } => format!(
-            "Crash(replica: {replica}, at_ms: {at_ms}, restart_ms: {})",
+            "Crash(replica: {replica}, at_ms: {at_ms}, restart_ms: {}, recovery: {recovery})",
             fmt_opt(*restart_ms)
         ),
         FaultEvent::PartitionReplica {
@@ -708,6 +725,7 @@ mod tests {
                     replica: 4,
                     at_ms: 60,
                     restart_ms: Some(120),
+                    recovery: RecoveryMode::Amnesia,
                 },
                 FaultEvent::PartitionReplica {
                     replica: 4,
@@ -796,6 +814,19 @@ mod tests {
         let mut broken = encode(&sample());
         broken = broken.replace("byz_strategy: \"stall-late\"", "byz_strategy: \"nope\"");
         assert!(decode(&broken).is_err(), "unknown strategy rejected");
+    }
+
+    #[test]
+    fn missing_recovery_field_defaults_to_warm() {
+        // Corpus entries written before the durability layer lack the
+        // `recovery` field; they decode as warm restarts.
+        let text = encode(&sample()).replace(", recovery: Amnesia", "");
+        let back = decode(&text).expect("decodes without recovery");
+        match &back.faults[0] {
+            FaultEvent::Crash { recovery, .. } => assert_eq!(*recovery, RecoveryMode::Warm),
+            other => panic!("expected a crash, got {other:?}"),
+        }
+        assert!(decode(&encode(&sample()).replace("Amnesia", "Hot")).is_err());
     }
 
     #[test]

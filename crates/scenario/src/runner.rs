@@ -11,7 +11,7 @@
 //! [`RuntimeMode::Parallel`] — which is exactly what the fuzzer's
 //! cross-check asserts.
 
-use crate::spec::{FaultEvent, ScenarioSpec, Selector, WorkloadSpec};
+use crate::spec::{FaultEvent, RecoveryMode, ScenarioSpec, Selector, WorkloadSpec};
 use basil::cluster::{ClusterProtocol, ProtocolCluster, ReplicaPropsOverride, RuntimeMode};
 use basil::harness::{BasilCluster, ClusterConfig};
 use basil::report::RunReport;
@@ -121,7 +121,7 @@ impl ScenarioOutcome {
 #[derive(Clone, Copy)]
 enum Action {
     Crash(u32),
-    Restart(u32),
+    Restart(u32, RecoveryMode),
     PartitionOn(usize),
     PartitionHeal(usize),
     Behave(u32, ReplicaBehavior),
@@ -247,10 +247,11 @@ pub fn drive<P: ClusterProtocol>(
                 replica,
                 at_ms,
                 restart_ms,
+                recovery,
             } => {
                 push(&mut timeline, at_ms, Action::Crash(replica));
                 if let Some(r) = restart_ms {
-                    push(&mut timeline, r, Action::Restart(replica));
+                    push(&mut timeline, r, Action::Restart(replica, recovery));
                 }
             }
             FaultEvent::PartitionReplica {
@@ -296,7 +297,8 @@ pub fn drive<P: ClusterProtocol>(
         }
         match action {
             Action::Crash(r) => cluster.crash_replica(rid(r)),
-            Action::Restart(r) => cluster.sim_mut().restart(NodeId::Replica(rid(r))),
+            Action::Restart(r, RecoveryMode::Warm) => cluster.restart_replica_warm(rid(r)),
+            Action::Restart(r, RecoveryMode::Amnesia) => cluster.restart_replica_amnesia(rid(r)),
             Action::PartitionOn(idx) => {
                 if let Some(p) = cluster.sim_mut().partition_mut(idx) {
                     p.activate();
@@ -513,6 +515,28 @@ mod tests {
         let p = run_basil_spec(&spec, RuntimeMode::Parallel(2));
         assert!(!a.diverges_from(&p), "serial vs parallel: {a:?} vs {p:?}");
         assert_eq!(p.runtime, RuntimeMode::Parallel(2));
+    }
+
+    #[test]
+    fn amnesia_restart_recovers_and_stays_deterministic() {
+        let mut spec = base_spec();
+        spec.name = "amnesia".into();
+        spec.faults = vec![crate::spec::FaultEvent::Crash {
+            replica: 4,
+            at_ms: 50,
+            restart_ms: Some(90),
+            recovery: RecoveryMode::Amnesia,
+        }];
+        spec.validate().expect("valid");
+        let out = run_basil_spec(&spec, RuntimeMode::Serial);
+        assert!(out.committed > 0, "progress across the amnesia crash");
+        assert!(out.tail_committed > 0, "liveness after recovery");
+        assert_eq!(out.check(&spec), None, "{:?}", out.audit_failure);
+        let p = run_basil_spec(&spec, RuntimeMode::Parallel(2));
+        assert!(
+            !out.diverges_from(&p),
+            "serial vs parallel: {out:?} vs {p:?}"
+        );
     }
 
     #[test]

@@ -10,14 +10,17 @@
 //!    if the spec still fails. At the fixpoint the spec is *1-minimal*:
 //!    removing any single remaining event makes the failure vanish.
 //! 2. **Byzantine-client reduction** — decrement `byz_clients` toward 0.
-//! 3. **Window narrowing** — halve each remaining event's window toward
+//! 3. **Fault simplification** — weaken events toward their mildest form
+//!    (an amnesia restart becomes a warm restart), so the repro names the
+//!    durability machinery only when it is essential to the failure.
+//! 4. **Window narrowing** — halve each remaining event's window toward
 //!    its start (1 ms granularity), shortening the repro.
 //!
 //! Every candidate is checked with [`ScenarioSpec::validate`] first, so
 //! the shrinker never hands the oracle (which typically runs a full
 //! simulation) an ill-formed spec.
 
-use crate::spec::{FaultEvent, ScenarioSpec};
+use crate::spec::{FaultEvent, RecoveryMode, ScenarioSpec};
 
 /// Outcome of a shrink run: the smallest still-failing spec found and how
 /// many oracle invocations the search spent.
@@ -64,6 +67,25 @@ fn narrowed(ev: &FaultEvent) -> Option<FaultEvent> {
         _ => return None,
     }
     Some(out)
+}
+
+/// Weakens `ev` one notch toward its mildest form. Returns `None` when it
+/// is already as mild as it gets.
+fn simplified(ev: &FaultEvent) -> Option<FaultEvent> {
+    match ev {
+        FaultEvent::Crash {
+            recovery: RecoveryMode::Amnesia,
+            ..
+        } => {
+            let mut out = ev.clone();
+            let FaultEvent::Crash { recovery, .. } = &mut out else {
+                unreachable!()
+            };
+            *recovery = RecoveryMode::Warm;
+            Some(out)
+        }
+        _ => None,
+    }
 }
 
 /// Shrinks `spec` against `still_fails` and returns the smallest
@@ -121,7 +143,19 @@ pub fn shrink_spec(
             }
         }
 
-        // Pass 3: narrow each event's window toward its start.
+        // Pass 3: weaken events toward their mildest form (amnesia restarts
+        // become warm restarts when the WAL/catch-up path is incidental).
+        for i in 0..best.faults.len() {
+            if let Some(ev) = simplified(&best.faults[i]) {
+                let mut candidate = best.clone();
+                candidate.faults[i] = ev;
+                if fails(&candidate) {
+                    best = candidate;
+                }
+            }
+        }
+
+        // Pass 4: narrow each event's window toward its start.
         for i in 0..best.faults.len() {
             while let Some(ev) = narrowed(&best.faults[i]) {
                 let mut candidate = best.clone();
@@ -150,7 +184,7 @@ pub fn shrink_spec(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{base_spec, FaultEvent, Selector};
+    use crate::spec::{base_spec, FaultEvent, RecoveryMode, Selector};
 
     /// A planted synthetic bug: the "failure" fires iff the spec both
     /// crashes replica 2 and has any partition event. Cheap to evaluate,
@@ -187,6 +221,7 @@ mod tests {
                 replica: 2,
                 at_ms: 50,
                 restart_ms: Some(90),
+                recovery: RecoveryMode::Amnesia,
             },
             FaultEvent::DelayLink {
                 from: Selector::Clients,
@@ -217,12 +252,42 @@ mod tests {
         let shrunk = result.spec;
         assert!(planted_bug(&shrunk), "shrunk spec still reproduces");
         assert!(
+            shrunk.faults.iter().all(|ev| !matches!(
+                ev,
+                FaultEvent::Crash {
+                    recovery: RecoveryMode::Amnesia,
+                    ..
+                }
+            )),
+            "the planted bug ignores recovery mode, so the amnesia crash \
+             simplifies to a warm one: {:?}",
+            shrunk.faults
+        );
+        assert!(
             shrunk.faults.len() <= 3,
             "shrunk to <= 3 events, got {:?}",
             shrunk.faults
         );
         assert_eq!(shrunk.faults.len(), 2, "exactly the two essential events");
         assert_eq!(shrunk.byz_clients, 0, "byz clients were irrelevant");
+    }
+
+    #[test]
+    fn essential_amnesia_survives_simplification() {
+        let needs_amnesia = |spec: &ScenarioSpec| {
+            spec.faults.iter().any(|ev| {
+                matches!(
+                    ev,
+                    FaultEvent::Crash {
+                        recovery: RecoveryMode::Amnesia,
+                        ..
+                    }
+                )
+            })
+        };
+        let result = shrink_spec(&noisy_failing_spec(), needs_amnesia);
+        assert!(needs_amnesia(&result.spec), "amnesia was essential");
+        assert_eq!(result.spec.faults.len(), 1, "{:?}", result.spec.faults);
     }
 
     #[test]

@@ -72,6 +72,28 @@ impl Selector {
     }
 }
 
+/// What a crashed replica remembers when it comes back.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Warm restart: volatile state survives (the pre-durability model —
+    /// the process pauses and resumes with its memory intact).
+    #[default]
+    Warm,
+    /// Amnesia restart: all volatile state is lost; the replica rebuilds
+    /// from its write-ahead log and then catches up missed decisions from
+    /// peers before serving traffic again.
+    Amnesia,
+}
+
+impl std::fmt::Display for RecoveryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryMode::Warm => write!(f, "Warm"),
+            RecoveryMode::Amnesia => write!(f, "Amnesia"),
+        }
+    }
+}
+
 /// A timed fault event. Times are milliseconds from the start of the run;
 /// windows are `[at_ms, until_ms)`.
 #[derive(Clone, Debug, PartialEq)]
@@ -84,6 +106,8 @@ pub enum FaultEvent {
         at_ms: u64,
         /// Restart time (`None` = stays down).
         restart_ms: Option<u64>,
+        /// What the replica remembers when it restarts.
+        recovery: RecoveryMode,
     },
     /// Isolate `replica` from everyone else during `[at_ms, heal_ms)`.
     PartitionReplica {
@@ -559,6 +583,7 @@ mod tests {
                     replica: 4,
                     at_ms: 50,
                     restart_ms: Some(90),
+                    recovery: RecoveryMode::Warm,
                 },
                 FaultEvent::DropLink {
                     from: Selector::Clients,
@@ -622,6 +647,7 @@ mod tests {
             replica: 6, // n = 6, max index 5
             at_ms: 50,
             restart_ms: None,
+            recovery: RecoveryMode::Warm,
         };
         assert!(spec.validate().is_err());
 
@@ -649,6 +675,7 @@ mod tests {
             replica: 4,
             at_ms: 50,
             restart_ms: None,
+            recovery: RecoveryMode::Amnesia,
         };
         assert!(!spec.liveness_checkable());
 

@@ -504,11 +504,57 @@ impl<M: Clone + 'static> Simulation<M> {
         }
     }
 
-    /// Restarts a crashed node (its actor state is preserved).
+    /// *Warm*-restarts a crashed node: deliveries resume and the actor wakes
+    /// with its full pre-crash memory, as if it had merely been paused. This
+    /// models a long GC stall or scheduling hiccup; a real process crash
+    /// loses memory — model that with [`Simulation::restart_amnesia`].
     pub fn restart(&mut self, id: NodeId) {
         if let Some(s) = self.slot_mut(id) {
             s.crashed = false;
         }
+    }
+
+    /// *Amnesia*-restarts a crashed node: the registered actor is replaced
+    /// by `actor` — typically rebuilt from whatever durable state the caller
+    /// salvaged from the old one — and deliveries resume. Returns the old
+    /// boxed actor (so the caller can drop or inspect it), or `None` if `id`
+    /// is not registered.
+    ///
+    /// If the simulation has already started, the replacement's
+    /// [`Actor::on_start`] runs at the current simulation time with the same
+    /// core accounting as a message delivery, so anything it sends or
+    /// schedules (catch-up requests, recovery deadlines) enters the timeline
+    /// deterministically.
+    pub fn restart_amnesia(
+        &mut self,
+        id: NodeId,
+        actor: Box<dyn Actor<M>>,
+    ) -> Option<Box<dyn Actor<M>>> {
+        let i = self.slot_of(id)?;
+        let now = self.now;
+        let started = self.started;
+        let slot = self.slots[i].as_mut()?;
+        let old = std::mem::replace(&mut slot.actor, actor);
+        slot.crashed = false;
+        if started {
+            let core = slot.earliest_core();
+            let start = slot.core_free[core].max(now);
+            let local = slot.local_clock(start);
+            let mut ctx = Context::new(id, start, local);
+            slot.actor.on_start(&mut ctx);
+            let (outputs, charged) = ctx.finish();
+            let completion = start + charged;
+            if charged > Duration::ZERO {
+                slot.core_free[core] = completion;
+                slot.metrics.cpu_busy += charged;
+            }
+            slot.metrics.messages_sent += outputs
+                .iter()
+                .filter(|o| matches!(o, Output::Send { .. }))
+                .count() as u64;
+            self.apply_outputs(i as u32, id, completion, outputs);
+        }
+        Some(old)
     }
 
     /// Installs a network partition. Returns its index for later healing.

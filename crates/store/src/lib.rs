@@ -21,6 +21,9 @@
 //!   systems (TxHotstuff / TxBFT-SMaRt / TAPIR-style) in the evaluation.
 //! * [`audit`] — a serialization-graph auditor used by tests to verify that
 //!   every committed history is acyclic (Byz-serializability, Lemma 1).
+//! * [`wal`] — a simulated durable write-ahead log: checksum-framed records
+//!   of prepares, decisions, applies, and GC watermarks, with torn-tail
+//!   tolerant recovery. Replicas replay it after an *amnesia* restart.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,8 +35,10 @@ pub mod occ;
 mod reference;
 pub mod tx;
 pub mod varray;
+pub mod wal;
 
 pub use audit::{audit_serializability, AuditError};
 pub use mvtso::{CheckOutcome, MvtsoStore, ReadResult, StoreStats, Vote};
 pub use tx::{Dependency, ReadOp, Transaction, TransactionBuilder, WriteOp};
 pub use varray::{ReaderSummary, VersionArray};
+pub use wal::{Wal, WalRecord};

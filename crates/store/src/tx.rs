@@ -201,6 +201,57 @@ impl Transaction {
         out
     }
 
+    /// Decodes a transaction from its canonical encoding (the inverse of
+    /// [`Transaction::encoded`]). Returns `None` on truncated or malformed
+    /// input, including trailing bytes. The decoded transaction re-derives
+    /// `max_read_version` from the read set and re-serializes to the exact
+    /// input bytes, so [`Transaction::id`] is preserved — which is what lets
+    /// WAL replay and catch-up trust a shipped body after checking its hash.
+    pub fn decode(bytes: &[u8]) -> Option<Transaction> {
+        let mut pos = 0usize;
+        let timestamp = take_ts(bytes, &mut pos)?;
+        let reads = take_u32(bytes, &mut pos)? as usize;
+        let mut read_set = Vec::with_capacity(reads.min(1024));
+        for _ in 0..reads {
+            let key = take_key(bytes, &mut pos)?;
+            let version = take_ts(bytes, &mut pos)?;
+            read_set.push(ReadOp { key, version });
+        }
+        let writes = take_u32(bytes, &mut pos)? as usize;
+        let mut write_set = Vec::with_capacity(writes.min(1024));
+        for _ in 0..writes {
+            let key = take_key(bytes, &mut pos)?;
+            let len = take_u32(bytes, &mut pos)? as usize;
+            let value = Value::new(take(bytes, &mut pos, len)?);
+            write_set.push(WriteOp { key, value });
+        }
+        let dep_count = take_u32(bytes, &mut pos)? as usize;
+        let mut deps = Vec::with_capacity(dep_count.min(1024));
+        for _ in 0..dep_count {
+            let txid = TxId::from_bytes(take(bytes, &mut pos, 32)?.try_into().ok()?);
+            let key = take_key(bytes, &mut pos)?;
+            let version = take_ts(bytes, &mut pos)?;
+            deps.push(Dependency { txid, key, version });
+        }
+        if pos != bytes.len() {
+            return None; // trailing garbage: not the canonical encoding
+        }
+        let max_read_version = read_set
+            .iter()
+            .map(|r| r.version)
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+        Some(Transaction {
+            timestamp,
+            read_set,
+            write_set,
+            deps,
+            max_read_version,
+            cached_id: std::sync::OnceLock::new(),
+            cached_encoding: std::sync::OnceLock::new(),
+        })
+    }
+
     /// Whether the transaction writes `key`.
     pub fn writes(&self, key: &Key) -> bool {
         self.write_set.iter().any(|w| &w.key == key)
@@ -254,6 +305,36 @@ fn encode_key(out: &mut Vec<u8>, key: &Key) {
 fn encode_ts(out: &mut Vec<u8>, ts: &Timestamp) {
     out.extend_from_slice(&ts.time.to_be_bytes());
     out.extend_from_slice(&ts.client.0.to_be_bytes());
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let end = pos.checked_add(n)?;
+    if end > buf.len() {
+        return None;
+    }
+    let slice = &buf[*pos..end];
+    *pos = end;
+    Some(slice)
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    Some(u32::from_be_bytes(take(buf, pos, 4)?.try_into().ok()?))
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    Some(u64::from_be_bytes(take(buf, pos, 8)?.try_into().ok()?))
+}
+
+fn take_ts(buf: &[u8], pos: &mut usize) -> Option<Timestamp> {
+    let time = take_u64(buf, pos)?;
+    let client = take_u64(buf, pos)?;
+    Some(Timestamp::from_nanos(time, basil_common::ClientId(client)))
+}
+
+fn take_key(buf: &[u8], pos: &mut usize) -> Option<Key> {
+    let len = take_u32(buf, pos)? as usize;
+    let bytes = take(buf, pos, len)?;
+    Some(Key::new(std::str::from_utf8(bytes).ok()?))
 }
 
 /// Incrementally assembles a [`Transaction`] during the execution phase.
@@ -509,6 +590,43 @@ mod tests {
         for s in &shards {
             assert!(s.0 < 3);
         }
+    }
+
+    #[test]
+    fn decode_round_trips_and_preserves_the_id() {
+        let mut b = TransactionBuilder::new(ts(100, 1));
+        b.record_read(Key::new("x"), ts(50, 2));
+        b.record_dependent_read(Key::new("dep"), ts(60, 3), TxId::from_bytes([5; 32]));
+        b.record_write(Key::new("y"), Value::from_u64(7));
+        b.record_write(Key::new("empty"), Value::new(b""));
+        let original = b.build();
+
+        let decoded = Transaction::decode(original.encoded()).expect("canonical bytes decode");
+        assert_eq!(decoded, original);
+        assert_eq!(decoded.encoded(), original.encoded());
+        assert_eq!(decoded.id(), original.id());
+        assert_eq!(decoded.max_read_version(), ts(60, 3));
+        assert_eq!(decoded.deps().len(), 1);
+
+        let empty = TransactionBuilder::new(ts(1, 9)).build();
+        let decoded_empty = Transaction::decode(empty.encoded()).expect("empty tx decodes");
+        assert_eq!(decoded_empty.id(), empty.id());
+        assert_eq!(decoded_empty.max_read_version(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_bytes() {
+        let encoded = sample_tx().encode();
+        for cut in 0..encoded.len() {
+            assert!(
+                Transaction::decode(&encoded[..cut]).is_none(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut padded = encoded.clone();
+        padded.push(0);
+        assert!(Transaction::decode(&padded).is_none(), "trailing byte");
+        assert!(Transaction::decode(&encoded).is_some());
     }
 
     #[test]

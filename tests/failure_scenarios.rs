@@ -18,7 +18,7 @@
 use basil::cluster::RuntimeMode;
 use basil_core::byzantine::ClientStrategy;
 use basil_scenario::runner::run_basil_spec;
-use basil_scenario::spec::{FaultBudget, FaultEvent, ScenarioSpec, WorkloadSpec};
+use basil_scenario::spec::{FaultBudget, FaultEvent, RecoveryMode, ScenarioSpec, WorkloadSpec};
 
 const CLIENTS: u32 = 10;
 const BYZANTINE: u32 = 3; // 30%, the paper's headline fraction
@@ -58,6 +58,7 @@ fn fig7_spec() -> ScenarioSpec {
                 replica: 4,
                 at_ms: 60,
                 restart_ms: Some(120),
+                recovery: RecoveryMode::Warm,
             },
             FaultEvent::PartitionReplica {
                 replica: 5,
