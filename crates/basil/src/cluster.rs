@@ -657,20 +657,18 @@ impl<P: ClusterProtocol> ProtocolCluster<P> {
     /// can coexist).
     pub fn audit(&self) -> Result<(), ClusterAuditError> {
         let committed = self.committed_dedup();
-        for tx in &committed {
-            let txid = tx.id();
-            for rid in &self.replicas {
-                let Some(replica) = self.sim.sim().actor::<P::Replica>(NodeId::Replica(*rid))
-                else {
-                    continue;
-                };
-                if P::decision(replica, &txid) == Some(Decision::Abort) {
-                    return Err(ClusterAuditError::DivergentDecision { txid });
+        let mut aborted: Vec<TxId> = Vec::new();
+        for rid in &self.replicas {
+            let Some(replica) = self.sim.sim().actor::<P::Replica>(NodeId::Replica(*rid)) else {
+                continue;
+            };
+            for tx in &committed {
+                if P::decision(replica, &tx.id()) == Some(Decision::Abort) {
+                    aborted.push(tx.id());
                 }
             }
         }
-        audit_serializability(&committed).map_err(ClusterAuditError::NotSerializable)?;
-        Ok(())
+        audit_history(&committed, aborted)
     }
 
     /// Sum of committed transactions over correct clients.
@@ -724,3 +722,26 @@ impl std::fmt::Display for ClusterAuditError {
 }
 
 impl std::error::Error for ClusterAuditError {}
+
+/// Audits a collected history: no transaction may appear both committed and
+/// aborted anywhere in the deployment (Lemma 2: no C-CERT and A-CERT can
+/// coexist), and the union of committed transactions must be serializable.
+///
+/// This is the same check [`ProtocolCluster::audit`] runs over live actors,
+/// factored out so runtimes that *collect* results instead of holding actors
+/// in memory — the real-IO supervisor reads per-process result files — apply
+/// the identical judgement. `aborted` is the set of transaction ids any
+/// replica finalized as [`Decision::Abort`].
+pub fn audit_history<T: std::borrow::Borrow<Transaction>>(
+    committed: &[T],
+    aborted: impl IntoIterator<Item = TxId>,
+) -> Result<(), ClusterAuditError> {
+    let aborted: std::collections::HashSet<TxId> = aborted.into_iter().collect();
+    for tx in committed {
+        let txid = tx.borrow().id();
+        if aborted.contains(&txid) {
+            return Err(ClusterAuditError::DivergentDecision { txid });
+        }
+    }
+    audit_serializability(committed).map_err(ClusterAuditError::NotSerializable)
+}

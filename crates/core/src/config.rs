@@ -88,6 +88,13 @@ pub struct BasilConfig {
     /// decisions it gathered. Client traffic is buffered for at most this
     /// window.
     pub catch_up_timeout: Duration,
+    /// Maximum number of protocol messages a recovering replica buffers for
+    /// replay while catching up. Traffic beyond the bound is shed (and
+    /// counted in `ReplicaStats::catch_up_shed`); senders retransmit through
+    /// their ordinary timeouts, so the bound trades a little extra recovery
+    /// latency under overload for a hard memory ceiling — mirroring the
+    /// client-side admission bound.
+    pub catch_up_buffer_bound: usize,
 }
 
 impl BasilConfig {
@@ -113,6 +120,7 @@ impl BasilConfig {
             admission_bound: 32,
             wal_fsync_cost: Duration::ZERO,
             catch_up_timeout: Duration::from_millis(5),
+            catch_up_buffer_bound: 4096,
         }
     }
 
@@ -172,6 +180,14 @@ impl BasilConfig {
     /// Returns a copy with the post-amnesia catch-up window replaced.
     pub fn with_catch_up_timeout(mut self, timeout: Duration) -> Self {
         self.catch_up_timeout = timeout;
+        self
+    }
+
+    /// Returns a copy with the recovery-time replay buffer bound replaced
+    /// (minimum 1). Messages beyond the bound are shed during catch-up and
+    /// recovered through sender retransmission.
+    pub fn with_catch_up_buffer_bound(mut self, bound: usize) -> Self {
+        self.catch_up_buffer_bound = bound.max(1);
         self
     }
 
@@ -235,9 +251,16 @@ mod tests {
         assert!(cfg.catch_up_timeout > Duration::ZERO);
         let tuned = cfg
             .with_wal_fsync(Duration::from_micros(100))
-            .with_catch_up_timeout(Duration::from_millis(8));
+            .with_catch_up_timeout(Duration::from_millis(8))
+            .with_catch_up_buffer_bound(16);
         assert_eq!(tuned.wal_fsync_cost, Duration::from_micros(100));
         assert_eq!(tuned.catch_up_timeout, Duration::from_millis(8));
+        assert_eq!(tuned.catch_up_buffer_bound, 16);
+        assert_eq!(
+            tuned.with_catch_up_buffer_bound(0).catch_up_buffer_bound,
+            1,
+            "bound is clamped to at least one buffered message"
+        );
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub struct ReplicaStats {
     pub catch_up_applied: u64,
     /// Messages buffered while catching up and replayed afterwards.
     pub catch_up_buffered: u64,
+    /// Messages shed during catch-up because the recovery buffer was full
+    /// (`BasilConfig::catch_up_buffer_bound`); senders retransmit via their
+    /// normal timeout machinery, exactly as after a dropped packet.
+    pub catch_up_shed: u64,
 }
 
 /// Per-transaction protocol state kept by a replica.
@@ -1242,6 +1246,15 @@ impl Actor<BasilMsg> for BasilReplica {
         self.engine.set_now(ctx.now());
         if let Some(rec) = self.recovering.as_mut() {
             if Self::buffered_during_recovery(&msg) {
+                // The replay buffer is bounded like the client admission
+                // queue: a recovering replica under heavy load sheds the
+                // overflow instead of growing without limit. Shedding is
+                // safe — every held-back message kind is retransmitted by
+                // its sender's timeout machinery.
+                if rec.buffered.len() >= self.cfg.catch_up_buffer_bound {
+                    self.stats.catch_up_shed += 1;
+                    return;
+                }
                 self.stats.catch_up_buffered += 1;
                 rec.buffered.push((from, msg));
                 return;
@@ -2102,6 +2115,54 @@ mod tests {
         assert!(st2r_decisions
             .iter()
             .all(|(d, v)| *d == dec.decision && *v == 1));
+    }
+
+    /// The recovery replay buffer honors `catch_up_buffer_bound`: the first
+    /// `bound` held-back messages queue, the overflow is shed (counted, not
+    /// stored), and ending catch-up replays exactly the bounded prefix.
+    #[test]
+    fn catch_up_buffer_bound_sheds_overflow() {
+        let id = ReplicaId::new(ShardId(0), 0);
+        let mut r = BasilReplica::recover(
+            id,
+            cfg().with_catch_up_buffer_bound(2),
+            registry(),
+            ReplicaBehavior::Correct,
+            [(Key::new("x"), Value::from_u64(0))],
+            Vec::new(),
+        );
+        assert!(r.is_recovering(), "peers exist, so catch-up is armed");
+
+        // Five held-back messages arrive while catch-up is in flight.
+        for i in 0..5u64 {
+            let tx = write_tx(1_000_000 * (i + 1), "x", i);
+            let mut ctx = ctx_at(NodeId::Replica(id), 1);
+            r.on_message(
+                &mut ctx,
+                client_node(),
+                BasilMsg::St1(signed_st1(&tx, false)),
+            );
+            assert!(
+                sent_to(&ctx, client_node()).is_empty(),
+                "nothing is served mid-recovery"
+            );
+        }
+        assert_eq!(r.stats().catch_up_buffered, 2, "bound respected");
+        assert_eq!(r.stats().catch_up_shed, 3, "overflow shed, not stored");
+
+        // The deadline ends catch-up; only the buffered prefix replays.
+        let mut ctx = ctx_at(NodeId::Replica(id), 2);
+        r.on_message(
+            &mut ctx,
+            NodeId::Replica(id),
+            BasilMsg::ReplicaTimer(ReplicaTimer::CatchUpDeadline),
+        );
+        assert!(!r.is_recovering());
+        let replies = sent_to(&ctx, client_node())
+            .into_iter()
+            .filter(|m| matches!(m, BasilMsg::St1Reply(_)))
+            .count();
+        assert_eq!(replies, 2, "exactly the two buffered ST1s were replayed");
     }
 
     /// Property: across seeded random workloads, a replica that crashes

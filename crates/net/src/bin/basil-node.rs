@@ -1,0 +1,88 @@
+//! `basil-node`: one Basil participant as an OS process.
+//!
+//! Runs the unmodified `BasilReplica` or `BasilClient` state machine from
+//! `basil-core` over localhost TCP (see `basil_net`). Launched by the
+//! supervisor harness or by hand:
+//!
+//! ```text
+//! basil-node --role replica --who 0 --clients 2 --seed 42 \
+//!   --base-port 4600 --epoch-nanos <unix-nanos> --duration-ms 2000 \
+//!   --wal /tmp/replica-0.wal --results /tmp/replica-0.results
+//! ```
+//!
+//! Exits 0 after writing the results file; exits 2 on a usage error.
+
+use basil_net::node::{run_node, NodeConfig, Role};
+use std::path::PathBuf;
+
+fn usage(err: &str) -> ! {
+    eprintln!("basil-node: {err}");
+    eprintln!(
+        "usage: basil-node --role replica|client --who N --clients N --seed N \
+         --base-port N --epoch-nanos N --duration-ms N [--wal PATH] --results PATH \
+         [--keys N] [--reads N] [--writes N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut role: Option<String> = None;
+    let mut who: Option<u64> = None;
+    let mut clients: Option<u32> = None;
+    let mut seed: u64 = 42;
+    let mut base_port: Option<u16> = None;
+    let mut epoch_nanos: Option<u64> = None;
+    let mut duration_ms: u64 = 2_000;
+    let mut wal: Option<PathBuf> = None;
+    let mut results: Option<PathBuf> = None;
+    let mut keys: u64 = 1_000;
+    let mut reads: usize = 2;
+    let mut writes: usize = 2;
+
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--role" => role = Some(value("--role")),
+            "--who" => who = value("--who").parse().ok(),
+            "--clients" => clients = value("--clients").parse().ok(),
+            "--seed" => seed = value("--seed").parse().unwrap_or(42),
+            "--base-port" => base_port = value("--base-port").parse().ok(),
+            "--epoch-nanos" => epoch_nanos = value("--epoch-nanos").parse().ok(),
+            "--duration-ms" => duration_ms = value("--duration-ms").parse().unwrap_or(2_000),
+            "--wal" => wal = Some(PathBuf::from(value("--wal"))),
+            "--results" => results = Some(PathBuf::from(value("--results"))),
+            "--keys" => keys = value("--keys").parse().unwrap_or(1_000),
+            "--reads" => reads = value("--reads").parse().unwrap_or(2),
+            "--writes" => writes = value("--writes").parse().unwrap_or(2),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let who = who.unwrap_or_else(|| usage("--who is required"));
+    let role = match role.as_deref() {
+        Some("replica") => Role::Replica { index: who as u32 },
+        Some("client") => Role::Client { id: who },
+        _ => usage("--role must be replica or client"),
+    };
+    let cfg = NodeConfig {
+        role,
+        num_clients: clients.unwrap_or_else(|| usage("--clients is required")),
+        seed,
+        base_port: base_port.unwrap_or_else(|| usage("--base-port is required")),
+        epoch_unix_nanos: epoch_nanos.unwrap_or_else(|| usage("--epoch-nanos is required")),
+        duration_ms,
+        wal_path: wal,
+        results_path: results.unwrap_or_else(|| usage("--results is required")),
+        keys,
+        reads,
+        writes,
+    };
+    if let Err(e) = run_node(&cfg) {
+        eprintln!("basil-node: {e}");
+        std::process::exit(1);
+    }
+}

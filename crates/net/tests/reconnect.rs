@@ -1,0 +1,164 @@
+//! Connection-manager robustness: backoff shape and bounded-queue shedding.
+//!
+//! The live test points a manager at a port nobody listens on and floods
+//! it: the requirement is that the caller never blocks, memory stays
+//! bounded (the shed counter grows instead), and once a listener appears
+//! delivery resumes — a dead peer degrades throughput, never wedges.
+
+use basil_common::{ClientId, Key, NodeId, ReplicaId, ShardId, Timestamp};
+use basil_core::messages::{BasilMsg, CatchUpRequest};
+use basil_net::conn::{reconnect_backoff, ConnManager, ConnOptions};
+use basil_net::wire::encode_msg;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+#[test]
+fn backoff_grows_exponentially_and_caps() {
+    let base = Duration::from_millis(10);
+    let max = Duration::from_millis(500);
+    // Jitter is bounded by half the capped exponential term, so attempt k
+    // is at least base*2^k (pre-cap) and at most 1.5x the cap.
+    for attempt in 0..10u32 {
+        let d = reconnect_backoff(base, max, attempt, 42);
+        let floor = std::cmp::min(base * 2u32.pow(attempt), max);
+        assert!(d >= floor, "attempt {attempt}: {d:?} under floor {floor:?}");
+        assert!(
+            d <= max + max / 2,
+            "attempt {attempt}: {d:?} over cap+jitter"
+        );
+    }
+    // Far attempts saturate at the cap instead of overflowing.
+    let d = reconnect_backoff(base, max, 63, 42);
+    assert!(d >= max && d <= max + max / 2);
+}
+
+#[test]
+fn backoff_is_deterministic_per_seed_and_jittered_across_seeds() {
+    let base = Duration::from_millis(10);
+    let max = Duration::from_millis(500);
+    for attempt in 0..8u32 {
+        assert_eq!(
+            reconnect_backoff(base, max, attempt, 7),
+            reconnect_backoff(base, max, attempt, 7),
+            "same inputs, same delay"
+        );
+    }
+    // Different seeds should disagree somewhere (deterministic jitter is
+    // still jitter): check a handful of attempts.
+    let differs =
+        (0..8u32).any(|a| reconnect_backoff(base, max, a, 1) != reconnect_backoff(base, max, a, 2));
+    assert!(differs, "jitter never varied across seeds");
+}
+
+fn localhost(port: u16) -> SocketAddr {
+    SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), port)
+}
+
+/// Ports picked per-process to avoid collisions with parallel test runs.
+fn test_ports(offset: u16) -> (u16, u16) {
+    let base = 21000 + (std::process::id() as u16 % 2000) * 2 + offset;
+    (base, base + 1)
+}
+
+#[test]
+fn refused_peer_sheds_without_blocking() {
+    let (my_port, peer_port) = test_ports(0);
+    let me = NodeId::Replica(ReplicaId::new(ShardId(0), 0));
+    let peer = NodeId::Replica(ReplicaId::new(ShardId(0), 1));
+    let mut addrs = HashMap::new();
+    addrs.insert(peer, localhost(peer_port)); // nobody listens there
+    let opts = ConnOptions {
+        outbound_queue: 4,
+        connect_timeout: Duration::from_millis(50),
+        read_timeout: Duration::from_millis(20),
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(50),
+    };
+    let (mgr, _inbound) = ConnManager::start(localhost(my_port), addrs, opts, 1).unwrap();
+
+    let frame = encode_msg(
+        me,
+        &BasilMsg::RtsRelease {
+            key: Key::new("x"),
+            ts: Timestamp::from_nanos(1, ClientId(0)),
+        },
+    )
+    .unwrap();
+
+    // Flood far past the queue bound. Every call must return immediately.
+    let started = Instant::now();
+    for _ in 0..500 {
+        mgr.send_frame(peer, frame.clone());
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "send_frame blocked on a dead peer"
+    );
+
+    // Give the writer thread time to burn a few connect attempts.
+    std::thread::sleep(Duration::from_millis(300));
+    let stats = mgr.stats();
+    let shed = stats.frames_shed.load(Ordering::Relaxed);
+    let reconnects = stats.reconnect_attempts.load(Ordering::Relaxed);
+    assert!(shed > 400, "queue bound sheds the flood (shed={shed})");
+    assert!(
+        reconnects >= 2,
+        "writer kept retrying with backoff (attempts={reconnects})"
+    );
+    assert_eq!(stats.frames_sent.load(Ordering::Relaxed), 0);
+    mgr.shutdown();
+}
+
+#[test]
+fn delivery_resumes_once_the_peer_appears() {
+    let (my_port, peer_port) = test_ports(4000);
+    let sender_node = NodeId::Client(ClientId(3));
+    let peer = NodeId::Replica(ReplicaId::new(ShardId(0), 1));
+    let mut addrs = HashMap::new();
+    addrs.insert(peer, localhost(peer_port));
+    let opts = ConnOptions {
+        outbound_queue: 64,
+        connect_timeout: Duration::from_millis(50),
+        read_timeout: Duration::from_millis(20),
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(40),
+    };
+    let (mgr, _inbound) = ConnManager::start(localhost(my_port), addrs, opts.clone(), 2).unwrap();
+    let frame = encode_msg(
+        sender_node,
+        &BasilMsg::CatchUpRequest(CatchUpRequest {
+            from: ReplicaId::new(ShardId(0), 1),
+        }),
+    )
+    .unwrap();
+
+    // Phase 1: peer is down; a few sends get shed through the backoff path.
+    for _ in 0..5 {
+        mgr.send_frame(peer, frame.clone());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Phase 2: the peer comes up — as its own ConnManager, so this also
+    // exercises the real reader path end to end.
+    let (peer_mgr, peer_inbound) =
+        ConnManager::start(localhost(peer_port), HashMap::new(), opts, 3).unwrap();
+
+    // Keep sending; the writer's next successful reconnect delivers.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut delivered = None;
+    while Instant::now() < deadline {
+        mgr.send_frame(peer, frame.clone());
+        if let Ok((from, msg)) = peer_inbound.recv_timeout(Duration::from_millis(50)) {
+            delivered = Some((from, msg));
+            break;
+        }
+    }
+    let (from, msg) = delivered.expect("delivery resumed after the peer appeared");
+    assert_eq!(from, sender_node);
+    assert!(matches!(msg, BasilMsg::CatchUpRequest(_)));
+    assert!(mgr.stats().frames_sent.load(Ordering::Relaxed) >= 1);
+    mgr.shutdown();
+    peer_mgr.shutdown();
+}

@@ -454,6 +454,9 @@ mod tests {
                     FaultEvent::ClockSkew { .. } => 6,
                     FaultEvent::SlowReplica { .. } => 7,
                     FaultEvent::Misbehave { .. } => 8,
+                    // Not generated: SIGKILL only differs from an amnesia
+                    // crash under the real-IO runtime, not the simulator.
+                    FaultEvent::ProcessKill { .. } => 9,
                 });
             }
         }

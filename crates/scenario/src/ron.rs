@@ -379,6 +379,11 @@ fn decode_fault(v: &Val) -> Result<FaultEvent, SpecError> {
                 .transpose()?
                 .unwrap_or_default(),
         }),
+        "ProcessKill" => Ok(FaultEvent::ProcessKill {
+            replica: v.field("replica")?.as_u32("replica")?,
+            at_ms: v.field("at_ms")?.as_u64("at_ms")?,
+            restart_ms: v.field("restart_ms")?.as_opt_u64("restart_ms")?,
+        }),
         "PartitionReplica" => Ok(FaultEvent::PartitionReplica {
             replica: v.field("replica")?.as_u32("replica")?,
             at_ms: v.field("at_ms")?.as_u64("at_ms")?,
@@ -557,6 +562,14 @@ fn fmt_fault(ev: &FaultEvent) -> String {
             recovery,
         } => format!(
             "Crash(replica: {replica}, at_ms: {at_ms}, restart_ms: {}, recovery: {recovery})",
+            fmt_opt(*restart_ms)
+        ),
+        FaultEvent::ProcessKill {
+            replica,
+            at_ms,
+            restart_ms,
+        } => format!(
+            "ProcessKill(replica: {replica}, at_ms: {at_ms}, restart_ms: {})",
             fmt_opt(*restart_ms)
         ),
         FaultEvent::PartitionReplica {

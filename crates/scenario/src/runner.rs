@@ -254,6 +254,25 @@ pub fn drive<P: ClusterProtocol>(
                     push(&mut timeline, r, Action::Restart(replica, recovery));
                 }
             }
+            FaultEvent::ProcessKill {
+                replica,
+                at_ms,
+                restart_ms,
+            } => {
+                // The simulator has no OS processes to SIGKILL; the closest
+                // model is a crash-stop that loses all volatile state and
+                // recovers from the WAL plus peer catch-up — exactly the
+                // amnesia restart. The real-IO supervisor executes the same
+                // event as an actual `kill -9` + process relaunch.
+                push(&mut timeline, at_ms, Action::Crash(replica));
+                if let Some(r) = restart_ms {
+                    push(
+                        &mut timeline,
+                        r,
+                        Action::Restart(replica, RecoveryMode::Amnesia),
+                    );
+                }
+            }
             FaultEvent::PartitionReplica {
                 replica,
                 at_ms,

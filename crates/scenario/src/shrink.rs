@@ -45,6 +45,11 @@ fn narrowed(ev: &FaultEvent) -> Option<FaultEvent> {
             at_ms,
             restart_ms: Some(r),
             ..
+        }
+        | FaultEvent::ProcessKill {
+            at_ms,
+            restart_ms: Some(r),
+            ..
         } => *r = halve(*at_ms, *r)?,
         FaultEvent::PartitionReplica { at_ms, heal_ms, .. } => *heal_ms = halve(*at_ms, *heal_ms)?,
         FaultEvent::DropLink {
@@ -73,6 +78,19 @@ fn narrowed(ev: &FaultEvent) -> Option<FaultEvent> {
 /// is already as mild as it gets.
 fn simplified(ev: &FaultEvent) -> Option<FaultEvent> {
     match ev {
+        // A process kill is the harshest crash; the next-milder rung is the
+        // in-simulator amnesia crash (which the Crash arm below can weaken
+        // further to a warm restart).
+        FaultEvent::ProcessKill {
+            replica,
+            at_ms,
+            restart_ms,
+        } => Some(FaultEvent::Crash {
+            replica: *replica,
+            at_ms: *at_ms,
+            restart_ms: *restart_ms,
+            recovery: RecoveryMode::Amnesia,
+        }),
         FaultEvent::Crash {
             recovery: RecoveryMode::Amnesia,
             ..

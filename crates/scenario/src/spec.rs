@@ -16,6 +16,7 @@
 //! separate `crash` and `deceit` allowances, enforced at validation time:
 //!
 //! * **benign** — the targets of [`FaultEvent::Crash`],
+//!   [`FaultEvent::ProcessKill`],
 //!   [`FaultEvent::PartitionReplica`], [`FaultEvent::SlowReplica`],
 //!   [`FaultEvent::ClockSkew`], and of *targeted* omission link faults
 //!   (drop/delay/replay aimed at one replica). These replicas follow the
@@ -108,6 +109,20 @@ pub enum FaultEvent {
         restart_ms: Option<u64>,
         /// What the replica remembers when it restarts.
         recovery: RecoveryMode,
+    },
+    /// `kill -9` the replica's OS process at `at_ms`; start a replacement
+    /// process at `restart_ms` if set. The real-IO supervisor delivers an
+    /// actual `SIGKILL` and relaunches the `basil-node` binary over the
+    /// surviving WAL file; the simulator models the same fault as a
+    /// crash-stop with [`RecoveryMode::Amnesia`] recovery (volatile state
+    /// lost, rebuilt from the WAL plus peer catch-up).
+    ProcessKill {
+        /// Target replica index (shard 0).
+        replica: u32,
+        /// SIGKILL delivery time.
+        at_ms: u64,
+        /// Process relaunch time (`None` = stays down).
+        restart_ms: Option<u64>,
     },
     /// Isolate `replica` from everyone else during `[at_ms, heal_ms)`.
     PartitionReplica {
@@ -204,6 +219,7 @@ impl FaultEvent {
     pub fn start_ms(&self) -> u64 {
         match self {
             FaultEvent::Crash { at_ms, .. }
+            | FaultEvent::ProcessKill { at_ms, .. }
             | FaultEvent::PartitionReplica { at_ms, .. }
             | FaultEvent::DropLink { at_ms, .. }
             | FaultEvent::DelayLink { at_ms, .. }
@@ -219,7 +235,9 @@ impl FaultEvent {
     /// property like skew / slowness).
     pub fn end_ms(&self) -> Option<u64> {
         match self {
-            FaultEvent::Crash { restart_ms, .. } => *restart_ms,
+            FaultEvent::Crash { restart_ms, .. } | FaultEvent::ProcessKill { restart_ms, .. } => {
+                *restart_ms
+            }
             FaultEvent::PartitionReplica { heal_ms, .. } => Some(*heal_ms),
             FaultEvent::DropLink { until_ms, .. }
             | FaultEvent::DelayLink { until_ms, .. }
@@ -234,6 +252,7 @@ impl FaultEvent {
     fn benign_targets(&self) -> Vec<u32> {
         match self {
             FaultEvent::Crash { replica, .. }
+            | FaultEvent::ProcessKill { replica, .. }
             | FaultEvent::PartitionReplica { replica, .. }
             | FaultEvent::ClockSkew { replica, .. }
             | FaultEvent::SlowReplica { replica, .. } => vec![*replica],
@@ -708,6 +727,38 @@ mod tests {
             cores: 1,
         }];
         assert!(spec.liveness_checkable());
+    }
+
+    #[test]
+    fn process_kill_is_a_benign_windowed_fault() {
+        let mut spec = base_spec();
+        spec.faults = vec![FaultEvent::ProcessKill {
+            replica: 3,
+            at_ms: 50,
+            restart_ms: Some(100),
+        }];
+        spec.validate().expect("valid");
+        assert_eq!(spec.benign_replicas(), BTreeSet::from([3]));
+        assert!(spec.deceit_replicas().is_empty());
+        assert!(spec.liveness_checkable(), "restart closes before the tail");
+
+        // An unrestarted kill leaves the replica down for good: liveness
+        // stops being checkable, exactly like an unhealed crash.
+        spec.faults = vec![FaultEvent::ProcessKill {
+            replica: 3,
+            at_ms: 50,
+            restart_ms: None,
+        }];
+        spec.validate().expect("still valid");
+        assert!(!spec.liveness_checkable());
+
+        // Range checking applies to the kill target too.
+        spec.faults = vec![FaultEvent::ProcessKill {
+            replica: 6,
+            at_ms: 50,
+            restart_ms: None,
+        }];
+        assert!(spec.validate().is_err());
     }
 
     #[test]

@@ -85,6 +85,15 @@ impl<M> Context<M> {
         }
     }
 
+    /// Creates a context whose local clock equals global time — the shape
+    /// every non-simulated runtime wants. The real-IO runtime (`basil-net`)
+    /// builds one of these per delivered event: real deployments have no
+    /// injected skew (each process reads its actual clock), so the two
+    /// times coincide by construction.
+    pub fn at(self_id: NodeId, now: SimTime) -> Self {
+        Context::new(self_id, now, now)
+    }
+
     /// The identity of the actor handling the event.
     pub fn self_id(&self) -> NodeId {
         self.self_id

@@ -832,6 +832,14 @@ impl MvtsoStore {
         self.committed_txs.values().map(|tx| tx.as_ref())
     }
 
+    /// Iterates over every final decision this replica knows, in arbitrary
+    /// order. The real-IO runtime dumps these into per-process result files
+    /// so the supervisor can run the cross-replica decision-agreement audit
+    /// without reaching into live actors.
+    pub fn decisions_iter(&self) -> impl Iterator<Item = (&TxId, &Decision)> {
+        self.decisions.iter()
+    }
+
     /// Number of committed transactions.
     pub fn committed_count(&self) -> usize {
         self.committed_txs.len()

@@ -1,0 +1,193 @@
+//! WAL corruption robustness: recovery from an arbitrarily byte-flipped
+//! log image never panics and always yields a clean prefix.
+//!
+//! The real-IO runtime persists the WAL to an ordinary file, so a crash (or
+//! a failing disk) can hand [`Wal::recover`] literally anything. These
+//! properties pin the contract the replica relies on: whatever the damage —
+//! a single flipped bit in a length field, a shredded checksum, multi-byte
+//! scribbles across several frames — recovery returns exactly the records
+//! that precede the first corrupted frame, and the recovered log is itself
+//! clean (re-recovering it reproduces the same records with no further
+//! truncation).
+
+use basil_common::{ClientId, Duration, Key, Timestamp, Value};
+use basil_store::{Transaction, TransactionBuilder, Wal, WalRecord};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A compact, generatable description of one WAL record.
+#[derive(Clone, Debug)]
+struct RecordSpec {
+    kind: u8,
+    time: u64,
+    client: u64,
+    commit: bool,
+    with_tx: bool,
+}
+
+fn record_spec() -> impl Strategy<Value = RecordSpec> {
+    (
+        0u8..4,
+        1u64..1_000_000,
+        0u64..8,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(kind, time, client, commit, with_tx)| RecordSpec {
+            kind,
+            time,
+            client,
+            commit,
+            with_tx,
+        })
+}
+
+fn make_tx(spec: &RecordSpec) -> Arc<Transaction> {
+    let ts = Timestamp::from_nanos(spec.time, ClientId(spec.client));
+    let mut b = TransactionBuilder::new(ts);
+    b.record_write(
+        Key::new(format!("k{}", spec.client)),
+        Value::from_u64(spec.time),
+    );
+    b.build_shared()
+}
+
+fn make_record(spec: &RecordSpec) -> WalRecord {
+    match spec.kind {
+        0 => WalRecord::Prepare {
+            commit: spec.commit,
+            tx: make_tx(spec),
+        },
+        1 => {
+            let tx = make_tx(spec);
+            WalRecord::Decision {
+                txid: tx.id(),
+                commit: spec.commit,
+                view: spec.time % 3,
+            }
+        }
+        2 => {
+            let tx = make_tx(spec);
+            WalRecord::Applied {
+                txid: tx.id(),
+                commit: spec.commit,
+                tx: spec.with_tx.then(|| Arc::clone(&tx)),
+            }
+        }
+        _ => WalRecord::GcWatermark {
+            watermark: Timestamp::from_nanos(spec.time, ClientId(spec.client)),
+        },
+    }
+}
+
+/// Appends `specs` to a fresh WAL and returns the records plus the raw
+/// log image.
+fn build_log(specs: &[RecordSpec]) -> (Vec<WalRecord>, Vec<u8>) {
+    let mut wal = Wal::new(Duration::ZERO);
+    let records: Vec<WalRecord> = specs.iter().map(make_record).collect();
+    for r in &records {
+        wal.append(r);
+    }
+    let bytes = wal.take_bytes();
+    (records, bytes)
+}
+
+/// The index of the frame containing byte offset `at`, given the intact
+/// log image (frame = 8-byte header + big-endian u32 payload length).
+fn frame_of_offset(bytes: &[u8], at: usize) -> usize {
+    let mut start = 0usize;
+    let mut frame = 0usize;
+    while start < bytes.len() {
+        let len = u32::from_be_bytes(bytes[start..start + 4].try_into().unwrap()) as usize;
+        let end = start + 8 + len;
+        if at < end {
+            return frame;
+        }
+        start = end;
+        frame += 1;
+    }
+    frame
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary multi-byte corruption (1–8 guaranteed byte changes at
+    /// random offsets) never panics recovery, and the replayed records are
+    /// exactly the prefix preceding the first damaged frame.
+    #[test]
+    fn corrupted_log_recovers_the_clean_prefix(
+        specs in proptest::collection::vec(record_spec(), 1..12),
+        flips in proptest::collection::vec((any::<u64>(), 1u8..=255), 1..8),
+    ) {
+        let (records, bytes) = build_log(&specs);
+        prop_assert!(!bytes.is_empty());
+
+        // XOR with non-zero masks; two flips on the same byte can cancel,
+        // so the damage front is the first byte that actually differs.
+        let mut damaged = bytes.clone();
+        for (off, mask) in &flips {
+            let at = (*off as usize) % damaged.len();
+            damaged[at] ^= mask;
+        }
+        let first_hit = bytes.iter().zip(&damaged).position(|(a, b)| a != b);
+        let cut = match first_hit {
+            Some(at) => frame_of_offset(&bytes, at),
+            None => records.len(), // all flips cancelled: the log is intact
+        };
+
+        let (recovered, replayed) = Wal::recover(damaged, Duration::ZERO);
+        prop_assert_eq!(replayed.len(), cut);
+        prop_assert_eq!(&replayed[..], &records[..cut]);
+
+        // The recovered log is itself clean: recovering it again replays
+        // the same records with no further truncation.
+        let mut recovered = recovered;
+        let (_, again) = Wal::recover(recovered.take_bytes(), Duration::ZERO);
+        prop_assert_eq!(&again[..], &records[..cut]);
+    }
+
+    /// A recovered-from-corruption WAL keeps working: new appends land
+    /// after the preserved prefix and survive another recovery intact.
+    #[test]
+    fn appends_after_corrupted_recovery_are_durable(
+        specs in proptest::collection::vec(record_spec(), 1..8),
+        off in any::<u64>(),
+        mask in 1u8..=255,
+        tail in record_spec(),
+    ) {
+        let (records, bytes) = build_log(&specs);
+        let mut damaged = bytes.clone();
+        let at = (off as usize) % damaged.len();
+        damaged[at] ^= mask;
+        let cut = frame_of_offset(&bytes, at);
+
+        let (mut wal, replayed) = Wal::recover(damaged, Duration::ZERO);
+        prop_assert_eq!(replayed.len(), cut);
+
+        let appended = make_record(&tail);
+        wal.append(&appended);
+        let (_, after) = Wal::recover(wal.take_bytes(), Duration::ZERO);
+        prop_assert_eq!(after.len(), cut + 1);
+        prop_assert_eq!(&after[..cut], &records[..cut]);
+        prop_assert_eq!(&after[cut], &appended);
+    }
+
+    /// Truncated images (any prefix of a valid log) recover without panic
+    /// and replay only whole frames.
+    #[test]
+    fn truncated_log_recovers_whole_frames(
+        specs in proptest::collection::vec(record_spec(), 1..8),
+        keep in any::<u64>(),
+    ) {
+        let (records, bytes) = build_log(&specs);
+        let keep = (keep as usize) % (bytes.len() + 1);
+        let cut = frame_of_offset(&bytes, keep);
+        // `keep` bytes retain every frame that ends at or before the cut.
+        let whole = if keep == bytes.len() { records.len() } else { cut };
+
+        let (_, replayed) = Wal::recover(bytes[..keep].to_vec(), Duration::ZERO);
+        prop_assert_eq!(replayed.len(), whole);
+        prop_assert_eq!(&replayed[..], &records[..whole]);
+    }
+}

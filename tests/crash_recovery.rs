@@ -129,6 +129,57 @@ fn amnesia_recovery_is_identical_across_runtimes() {
 }
 
 #[test]
+fn catch_up_buffer_bound_sheds_instead_of_growing() {
+    // With the recovery replay buffer clamped to a single message, a
+    // recovering replica under live traffic must shed held-back messages
+    // rather than queue them. A second replica stays crashed for the whole
+    // window, so the victim's catch-up cannot complete early (it waits for
+    // every peer or the deadline) and live traffic is guaranteed to overflow
+    // the one-slot buffer. Retransmission still drives the workload to
+    // completion and the recovered replica still converges.
+    let basil = BasilConfig::test_single_shard()
+        .with_catch_up_buffer_bound(1)
+        .with_catch_up_timeout(Duration::from_millis(60));
+    let config = ClusterConfig::basil_default(CLIENTS)
+        .with_basil(basil)
+        .with_initial_data(vec![(Key::new(COUNTER), Value::from_u64(0))]);
+    let mut cluster = build_counter_cluster(config);
+    let victim = ReplicaId::new(ShardId(0), 2);
+    let silent_peer = ReplicaId::new(ShardId(0), 4);
+
+    cluster.run_for(Duration::from_millis(20));
+    cluster.crash_replica(silent_peer);
+    cluster.crash_replica(victim);
+    cluster.run_for(Duration::from_millis(10));
+    cluster.restart_replica_amnesia(victim);
+    // The victim stays in catch-up for the full 60 ms deadline (the silent
+    // peer never answers its CatchUpRequest) while clients keep the counter
+    // workload running against the four live replicas.
+    cluster.run_for(Duration::from_millis(80));
+    cluster.restart_replica_amnesia(silent_peer);
+    cluster.run_for(Duration::from_millis(600));
+
+    let expected = (CLIENTS as u64) * (TXS_PER_CLIENT as u64);
+    assert_eq!(cluster.total_committed(), expected, "shedding is not loss");
+    cluster.audit().expect("serializable despite shedding");
+
+    let recovered = cluster
+        .sim()
+        .actor::<BasilReplica>(NodeId::Replica(victim))
+        .expect("recovered replica exists");
+    let stats = recovered.stats();
+    assert!(
+        stats.catch_up_buffered <= 1,
+        "the buffer respected its bound: {stats:?}"
+    );
+    // The held-open catch-up window with live clients guarantees overflow.
+    assert!(
+        stats.catch_up_shed > 0,
+        "overflow messages were shed, not queued: {stats:?}"
+    );
+}
+
+#[test]
 fn charged_fsync_cost_slows_but_does_not_break_recovery() {
     // A non-zero per-append fsync cost charges simulated time on every WAL
     // write. The run still commits everything and survives an amnesia
