@@ -181,17 +181,21 @@ impl RunParams {
 }
 
 /// The runtime selected by the `BASIL_WORKERS` environment variable: unset,
-/// empty, `0`, or `1` mean the serial oracle; `N > 1` means
+/// empty, or `0` auto-size from the host's cores
+/// ([`basil_common::auto_workers`], capped at 8 — a single-core host stays
+/// on the serial oracle); `1` forces the serial oracle; `N > 1` means
 /// `RuntimeMode::Parallel(N)`. The figure binaries and the default
-/// [`RunParams`] honour it, so any experiment can be re-run on the parallel
+/// [`RunParams`] honour it, so any experiment can be re-run on either
 /// runtime without a rebuild (results are identical by construction — see
 /// `tests/parallel_determinism.rs`).
 pub fn runtime_from_env() -> RuntimeMode {
-    match std::env::var("BASIL_WORKERS")
+    const WORKER_CAP: usize = 8;
+    let requested = std::env::var("BASIL_WORKERS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n > 1 => RuntimeMode::Parallel(n),
+        .unwrap_or(0);
+    match basil_common::resolve_workers(requested, WORKER_CAP) {
+        n if n > 1 => RuntimeMode::Parallel(n),
         _ => RuntimeMode::Serial,
     }
 }
@@ -280,6 +284,12 @@ pub fn run_baseline(
 /// crypto costs, reply batching of 16 (the paper's YCSB/Smallbank setting).
 pub fn basil_default(shards: u32) -> BasilConfig {
     BasilConfig::bench(SystemConfig::sharded(shards)).with_batch_size(16)
+}
+
+/// [`basil_default`] at an explicit fault tolerance: `f = 2` yields n = 11
+/// replicas per shard (the fig5c scale-out extension row).
+pub fn basil_with_f(shards: u32, f: u32) -> BasilConfig {
+    BasilConfig::bench(SystemConfig::sharded_f(shards, f)).with_batch_size(16)
 }
 
 /// The Basil configuration used for TPC-C (the paper uses batch size 4 on the

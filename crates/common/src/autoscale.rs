@@ -1,0 +1,56 @@
+//! Worker-count autoscaling from the host's available parallelism.
+//!
+//! Two independent subsystems size thread pools from the same policy: the
+//! bench runner's parallel scheduler (`BASIL_WORKERS` unset ⇒ auto) and the
+//! real-IO replica executor pool (`--executors 0` ⇒ auto). Centralizing the
+//! policy here keeps both answering the same question the same way: *use
+//! the cores the OS says we may schedule on, capped, and fall back to a
+//! serial/inline mode on a single-core host.*
+
+/// The number of workers to use when the caller asked for automatic sizing:
+/// [`std::thread::available_parallelism`] clamped to `[1, cap]`.
+///
+/// Returns `1` on a single-core host (or when the OS cannot answer), which
+/// every caller treats as "stay serial/inline" — no pool, no handoff
+/// overhead. The cap bounds pool width on big machines where more workers
+/// stop helping (lock shards, channel fan-in) long before core count runs
+/// out.
+pub fn auto_workers(cap: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.clamp(1, cap.max(1))
+}
+
+/// Resolves a user-facing worker-count knob: `0` means *auto* (see
+/// [`auto_workers`]), anything else is taken literally.
+pub fn resolve_workers(requested: usize, cap: usize) -> usize {
+    if requested == 0 {
+        auto_workers(cap)
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_is_bounded_by_cap_and_at_least_one() {
+        assert_eq!(auto_workers(1), 1);
+        assert!(auto_workers(8) >= 1);
+        assert!(auto_workers(8) <= 8);
+        // cap of zero is treated as one, never zero workers
+        assert_eq!(auto_workers(0), 1);
+    }
+
+    #[test]
+    fn zero_means_auto_explicit_is_literal() {
+        assert_eq!(resolve_workers(0, 8), auto_workers(8));
+        assert_eq!(resolve_workers(1, 8), 1);
+        assert_eq!(resolve_workers(3, 8), 3);
+        // explicit values are not capped — the user asked for them
+        assert_eq!(resolve_workers(64, 8), 64);
+    }
+}

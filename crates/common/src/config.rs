@@ -172,6 +172,17 @@ impl SystemConfig {
         }
     }
 
+    /// A configuration with `num_shards` shards tolerating `f` Byzantine
+    /// replicas per shard (`n = 5f + 1` each; `f = 2` gives the n = 11
+    /// deployments of the fig5c scale-out extension).
+    pub fn sharded_f(num_shards: u32, f: u32) -> Self {
+        SystemConfig {
+            num_shards,
+            shard: ShardConfig::new(f),
+            ..SystemConfig::single_shard_f1()
+        }
+    }
+
     /// Total number of replicas across all shards.
     pub fn total_replicas(&self) -> u32 {
         self.num_shards * self.shard.n()
@@ -294,5 +305,7 @@ mod tests {
     fn total_replicas() {
         assert_eq!(SystemConfig::sharded(3).total_replicas(), 18);
         assert_eq!(SystemConfig::single_shard_f1().total_replicas(), 6);
+        assert_eq!(SystemConfig::sharded_f(3, 2).total_replicas(), 33);
+        assert_eq!(SystemConfig::sharded_f(1, 2).shard.n(), 11);
     }
 }

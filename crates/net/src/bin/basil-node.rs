@@ -20,7 +20,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: basil-node --role replica|client --who N --clients N --seed N \
          --base-port N --epoch-nanos N --duration-ms N [--wal PATH] --results PATH \
-         [--keys N] [--reads N] [--writes N]"
+         [--keys N] [--reads N] [--writes N] [--executors N]"
     );
     std::process::exit(2);
 }
@@ -39,6 +39,9 @@ fn main() {
     let mut keys: u64 = 1_000;
     let mut reads: usize = 2;
     let mut writes: usize = 2;
+    // 1 = inline (the default): the serial store, no pool. 0 = auto-size
+    // from the host's cores; N >= 2 = a pool of N executor threads.
+    let mut executors: usize = 1;
 
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| -> String {
@@ -58,6 +61,7 @@ fn main() {
             "--keys" => keys = value("--keys").parse().unwrap_or(1_000),
             "--reads" => reads = value("--reads").parse().unwrap_or(2),
             "--writes" => writes = value("--writes").parse().unwrap_or(2),
+            "--executors" => executors = value("--executors").parse().unwrap_or(1),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -80,6 +84,7 @@ fn main() {
         keys,
         reads,
         writes,
+        executors,
     };
     if let Err(e) = run_node(&cfg) {
         eprintln!("basil-node: {e}");

@@ -1,0 +1,246 @@
+//! The replica executor pool: fans ST1 verification and store-prepare work
+//! across threads ahead of the actor loop.
+//!
+//! The real-IO actor loop is single-threaded by design — it runs the exact
+//! state machine the simulator runs. On a multicore host that leaves cores
+//! idle while the replica burns its loop thread on the two CPU-heavy parts
+//! of ST1 handling: MAC verification and the MVTSO concurrency-control
+//! check. This pool moves both off the loop thread *without changing the
+//! actor*:
+//!
+//! * The runtime's burst-drain prefetch hook ([`crate::runtime::NodeRuntime::
+//!   set_prefetch`]) submits every queued-but-not-yet-dispatched ST1 to the
+//!   pool the moment it is pulled off the socket channel.
+//! * A worker verifies the request MAC with its own [`SigEngine`] (never
+//!   touching the store on a forged request — the same Byzantine gate the
+//!   actor applies) and then runs [`ConcurrentMvtsoStore::prepare`] through
+//!   the replica's own [`SharedStore`] handle.
+//! * The outcome is **discarded**. When the actor loop reaches the same
+//!   ST1 it re-runs the prepare and hits the store's memoized vote (same
+//!   transaction id ⇒ same published outcome), so the authoritative path,
+//!   vote signing, reply batching, and WAL ordering are exactly as before.
+//!
+//! Safety rests on the concurrent store's linearization guarantee: a pool
+//! prepare is just one more prepare in the history (indistinguishable from
+//! a client retransmission), property-tested equivalent to a serial
+//! execution. Worker clocks can lag the actor's re-check by microseconds;
+//! a vote decided at the earlier clock is one a correct replica was allowed
+//! to cast, so agreement is unaffected.
+//!
+//! [`ConcurrentMvtsoStore::prepare`]: basil_store::ConcurrentMvtsoStore::prepare
+
+use crate::runtime::Clock;
+use basil_common::NodeId;
+use basil_core::crypto_engine::SigEngine;
+use basil_core::messages::St1;
+use basil_core::BasilConfig;
+use basil_crypto::KeyRegistry;
+use basil_store::SharedStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Counters describing what the pool actually did (harvested by tests and
+/// the supervisor smoke run to prove the prefetch path was exercised).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// ST1s handed to the pool by the prefetch hook.
+    pub submitted: u64,
+    /// Submissions dropped by a worker because the MAC failed to verify.
+    pub rejected: u64,
+    /// Prepares actually run against the shared store.
+    pub prepared: u64,
+}
+
+#[derive(Default)]
+struct PoolCounters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    prepared: AtomicU64,
+}
+
+/// One unit of pool work, or the shutdown sentinel. Sentinels queue behind
+/// every already-submitted job, so [`ExecutorPool::shutdown`] drains the
+/// backlog — and completes even if a [`PoolSubmitter`] clone of the sender
+/// is still alive somewhere.
+enum Job {
+    St1(St1),
+    Stop,
+}
+
+/// A cheap handle the prefetch hook owns: submits ST1s to the workers
+/// without blocking the actor loop.
+pub struct PoolSubmitter {
+    jobs: mpsc::Sender<Job>,
+    counters: Arc<PoolCounters>,
+}
+
+impl PoolSubmitter {
+    /// Enqueues one ST1 for verification + prepare. Never blocks; if the
+    /// pool has shut down the submission is silently dropped (the actor
+    /// path still handles the message authoritatively).
+    pub fn submit(&self, st1: St1) {
+        if self.jobs.send(Job::St1(st1)).is_ok() {
+            self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A fixed-width pool of executor threads over one replica's
+/// [`SharedStore`]. Created by the node assembly when
+/// `BasilConfig::replica_executors ≥ 2`; joined on shutdown before the
+/// store is harvested.
+pub struct ExecutorPool {
+    jobs: mpsc::Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<PoolCounters>,
+}
+
+impl ExecutorPool {
+    /// Starts `width` workers. Each owns its own [`SigEngine`] (signature
+    /// caches are per-thread; the registry is shared) and a clone of the
+    /// replica's store handle.
+    pub fn start(
+        width: usize,
+        replica: NodeId,
+        registry: &KeyRegistry,
+        cfg: &BasilConfig,
+        store: &SharedStore,
+        clock: Clock,
+    ) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+        let counters = Arc::new(PoolCounters::default());
+        let delta = cfg.system.delta;
+        let mut workers = Vec::with_capacity(width);
+        for _ in 0..width {
+            let rx = Arc::clone(&rx);
+            let counters = Arc::clone(&counters);
+            let mut engine = SigEngine::new(replica, registry.clone(), cfg);
+            let store = store.clone();
+            workers.push(std::thread::spawn(move || loop {
+                // Workers share one receiver behind a mutex: jobs are
+                // CPU-bound (MAC + store check), so receiver contention is
+                // noise next to the work itself.
+                let job = match rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => break,
+                };
+                let st1 = match job {
+                    Ok(Job::St1(st1)) => st1,
+                    // A stop sentinel or a closed channel both end the
+                    // worker; pending jobs ahead of the sentinel are done.
+                    Ok(Job::Stop) | Err(_) => break,
+                };
+                let (ok, _cost) = engine.verify_request(&st1, st1.auth.as_ref());
+                if !ok {
+                    counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let _ = store.handle().prepare(&st1.tx, clock.now(), delta);
+                counters.prepared.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        ExecutorPool {
+            jobs: tx,
+            workers,
+            counters,
+        }
+    }
+
+    /// A submission handle for the runtime's prefetch hook.
+    pub fn submitter(&self) -> PoolSubmitter {
+        PoolSubmitter {
+            jobs: self.jobs.clone(),
+            counters: Arc::clone(&self.counters),
+        }
+    }
+
+    /// The pool's activity counters so far.
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            prepared: self.counters.prepared.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains and joins the workers: every job submitted before this call
+    /// is completed before it returns, so a subsequent store harvest
+    /// observes all prefetched prepares. Returns the final counters.
+    pub fn shutdown(mut self) -> ExecStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        // One sentinel per worker, queued behind the backlog. Sending can
+        // only fail once every worker has already exited.
+        for _ in 0..self.workers.len() {
+            let _ = self.jobs.send(Job::Stop);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basil_common::{ClientId, Key, ReplicaId, ShardId, SimTime, Timestamp, Value};
+    use basil_core::crypto_engine::SigEngine as ClientEngine;
+    use basil_store::{TransactionBuilder, TxStore};
+
+    fn st1(registry: &KeyRegistry, cfg: &BasilConfig, client: u64, key: &str) -> St1 {
+        let mut builder =
+            TransactionBuilder::new(Timestamp::new(SimTime::from_millis(5), ClientId(client)));
+        builder.record_write(Key::from(key), Value::from(b"v".as_slice()));
+        let mut engine = ClientEngine::new(NodeId::Client(ClientId(client)), registry.clone(), cfg);
+        let mut st1 = St1 {
+            tx: builder.build_shared(),
+            auth: None,
+            recovery: false,
+        };
+        let (auth, _) = engine.sign_request(&st1);
+        st1.auth = auth;
+        st1
+    }
+
+    #[test]
+    fn pool_verifies_then_prepares_and_rejects_forgeries() {
+        let cfg = BasilConfig::test_single_shard();
+        let rid = NodeId::Replica(ReplicaId::new(ShardId(0), 0));
+        let registry = KeyRegistry::from_seed_with_nodes(
+            7,
+            [
+                rid,
+                NodeId::Client(ClientId(0)),
+                NodeId::Client(ClientId(1)),
+            ],
+        );
+        let store = <SharedStore as TxStore>::with_initial_data(Vec::new());
+        let pool = ExecutorPool::start(2, rid, &registry, &cfg, &store, Clock::new(0));
+        let sub = pool.submitter();
+
+        sub.submit(st1(&registry, &cfg, 0, "a"));
+        sub.submit(st1(&registry, &cfg, 1, "b"));
+        let mut forged = st1(&registry, &cfg, 0, "c");
+        forged.auth = None; // missing MAC must never reach the store
+        sub.submit(forged);
+
+        let stats = pool.shutdown();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.prepared, 2);
+        // both verified transactions are now prepared (memoized votes the
+        // actor path would hit)
+        assert_eq!(store.handle().prepared_count(), 2);
+    }
+}

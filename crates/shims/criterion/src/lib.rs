@@ -127,7 +127,30 @@ fn bench_bin_name() -> String {
     }
 }
 
-/// Serializes the run's results as `BENCH_<bin>.json` under `dir`:
+/// Resolves a `BASIL_BENCH_JSON` directory. `cargo bench` runs benchmark
+/// binaries with the *package* directory as cwd, so a relative path would
+/// silently land under `crates/bench/` while CI and humans expect it at the
+/// workspace root; relative paths are therefore anchored at the nearest
+/// enclosing directory with a `Cargo.lock` (the workspace root), falling
+/// back to the cwd when none is found.
+fn resolve_json_dir(dir: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(dir);
+    if path.is_absolute() {
+        return path.to_path_buf();
+    }
+    let mut probe = std::env::current_dir().unwrap_or_default();
+    loop {
+        if probe.join("Cargo.lock").is_file() {
+            return probe.join(path);
+        }
+        if !probe.pop() {
+            return path.to_path_buf();
+        }
+    }
+}
+
+/// Serializes the run's results as `BENCH_<bin>.json` under `dir` (relative
+/// paths resolve against the workspace root, see [`resolve_json_dir`]):
 /// `{"bin": ..., "mode": "timed"|"test", "results": {label: ns_per_iter|null}}`.
 /// Hand-rolled JSON (labels are plain ASCII benchmark ids; quotes and
 /// backslashes escaped defensively), so the offline shim needs no serde.
@@ -155,11 +178,9 @@ fn write_json_results(dir: &str) -> std::io::Result<()> {
         }
     }
     body.push_str("  }\n}\n");
-    std::fs::create_dir_all(dir)?;
-    std::fs::write(
-        std::path::Path::new(dir).join(format!("BENCH_{bin}.json")),
-        body,
-    )
+    let dir = resolve_json_dir(dir);
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(dir.join(format!("BENCH_{bin}.json")), body)
 }
 
 /// Whether a run with `options` that executed `ran` benchmarks constitutes

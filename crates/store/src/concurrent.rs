@@ -1,0 +1,1719 @@
+//! A sharded, internally synchronized MVTSO store for multicore replicas.
+//!
+//! [`crate::mvtso::MvtsoStore`] is single-threaded by construction: one
+//! `&mut self` caller at a time. That is exactly right for the simulator
+//! (determinism) but wastes a real multicore host — PR 5 shards *actors*
+//! across threads, yet every prepare/commit on one replica still runs
+//! sequentially. [`ConcurrentMvtsoStore`] re-lays the flat `KeyRecord`
+//! arena as `N` independent **key shards** (`shard = fasthash(key) % N`) so
+//! independent transactions touch disjoint locks, and mirrors the serial
+//! store's exact per-key watermark screen in **atomics** so the common
+//! no-conflict prepare stays two integer compares — now lock-free.
+//!
+//! # Layout
+//!
+//! * Each `Shard` owns a `Mutex<ShardState>` (the authoritative per-key
+//!   records of the keys that hash there) plus an `RwLock` index of
+//!   `KeyAtomics` — per-key `max_write`/`max_read` watermark mirrors and a
+//!   generation counter, readable without any lock.
+//! * One global `Mutex<TxTable>` holds the per-transaction state
+//!   (prepared/committed metadata, decisions, the dependency wait graph,
+//!   and the GC floor). Votes publish atomically per `TxId` under it.
+//!
+//! # The lock-free watermark screen
+//!
+//! Every record mutation (all of which happen under the owning shard lock)
+//! updates the watermark atomic **first** and bumps `generation` **last**.
+//! The screen loads `generation`, then the watermark, with no locks held.
+//! Later, under the shard lock, the hint is trusted only if the record's
+//! generation still equals the screened one: since mutations complete under
+//! the shard lock and always end with a generation bump, an equal
+//! generation proves no mutation intervened and the screened watermark is
+//! the record's current, exact value. A mismatch falls back to the serial
+//! store's exact check — the screen is an optimization, never an oracle.
+//!
+//! `Timestamp` is a `(time, client)` pair and does not fit one `AtomicU64`,
+//! so the mirrors hold only the `time` component and the screen passes only
+//! on a *strict* `time` comparison — a conservative subset of the serial
+//! fast path, never a superset.
+//!
+//! # Lock ordering (deadlock freedom)
+//!
+//! Shard locks are always acquired in ascending shard index, then the
+//! transaction table, then (innermost) the optional test op-log. The
+//! `KeyAtomics` index `RwLock` is a leaf: writers take it inside a shard
+//! lock; the screen reads it with no other lock held. Specifically:
+//!
+//! * `prepare`/`commit` lock exactly the transaction's key shards
+//!   (ascending), so same-`TxId` operations are mutually exclusive for
+//!   free — they contend on the same first shard.
+//! * `abort` and `gc_before` are **stop-the-world**: they take every shard
+//!   lock. An abort's key set is unknowable from the `TxId` alone (and an
+//!   abort wake must un-index *waiters'* records in arbitrary shards); a
+//!   GC sweep must not move the abort floor under a concurrent prepare's
+//!   feet. Both are rare, cold-path events.
+//!
+//! # Equivalence
+//!
+//! The store is linearizable, and every completed operation is equivalent
+//! to the serial [`crate::MvtsoStore`] running the same operations in
+//! linearization order. The optional op log records each operation inside
+//! its deciding critical section; the multi-threaded property test replays
+//! the log on a serial store and demands identical outcomes, released
+//! votes, decisions, and final committed state (see the test module).
+
+use crate::mvtso::{
+    CheckOutcome, CommittedVersion, Decision, PreparedVersion, ReadResult, StoreStats, Vote,
+};
+use crate::tx::Transaction;
+use crate::txstore::TxStore;
+use crate::varray::{ReaderSummary, VersionArray};
+use basil_common::error::AbortReason;
+use basil_common::{
+    Duration, FastHashMap, FastHashSet, FxHasher, Key, SimTime, Timestamp, TxId, Value,
+};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Panic message for poisoned locks: a panic inside a store operation has
+/// already lost the replica's state machine; propagating is the only honest
+/// option.
+const POISONED: &str = "concurrent store lock poisoned by a panicked operation";
+
+/// Per-key watermark mirrors readable without the shard lock.
+///
+/// Only the `time` component of each watermark is mirrored (a full
+/// [`Timestamp`] does not fit an `AtomicU64`); see the module docs for the
+/// strict-comparison consequence. Entries are interned once per key and
+/// never removed, so `generation` is monotonic over the store's lifetime —
+/// a released-and-reinterned record can never replay an old generation
+/// value and validate a stale screen.
+#[derive(Debug, Default)]
+struct KeyAtomics {
+    /// `time` of the record's `max_write` watermark.
+    max_write_time: AtomicU64,
+    /// `time` of the record's `max_read` watermark.
+    max_read_time: AtomicU64,
+    /// Mutation counter; bumped (last) by every record mutation.
+    generation: AtomicU64,
+}
+
+/// A lock-free screening verdict for one key of a prepare.
+#[derive(Clone, Copy, Debug)]
+enum Hint {
+    /// The watermark proved the fast path *if* the record's generation
+    /// still matches under the shard lock.
+    PassAtGen(u64),
+    /// No conclusion; run the exact check under the shard lock.
+    NoHint,
+}
+
+/// All concurrency-control state of one key (the concurrent counterpart of
+/// the serial store's `KeyRecord`).
+///
+/// `prepared` carries the writing transaction's `Arc` alongside its id so
+/// versioned reads build their [`PreparedVersion`] reply entirely under the
+/// shard lock, without consulting the global transaction table.
+#[derive(Debug)]
+struct CRecord {
+    /// Committed versions, sorted by writer timestamp.
+    committed: VersionArray<(TxId, Value)>,
+    /// Prepared (visible, uncommitted) writes, with writer metadata.
+    prepared: VersionArray<(TxId, Arc<Transaction>)>,
+    /// Reads of committed transactions: reader timestamp -> version read.
+    committed_reads: VersionArray<Timestamp>,
+    /// Reads of prepared transactions: reader timestamp -> version read.
+    prepared_reads: VersionArray<Timestamp>,
+    /// Read timestamps left by execution-phase reads (set semantics).
+    rts: VersionArray<()>,
+    /// Largest committed-or-prepared write timestamp present (exact).
+    max_write: Timestamp,
+    /// Largest read timestamp present (exact).
+    max_read: Timestamp,
+    /// Bloom-style cover of reader intervals (see the serial store).
+    reader_summary: ReaderSummary,
+    /// The key's lock-free mirror, shared with the shard's atomics index.
+    atomics: Arc<KeyAtomics>,
+}
+
+impl CRecord {
+    fn new(atomics: Arc<KeyAtomics>) -> Self {
+        CRecord {
+            committed: VersionArray::new(),
+            prepared: VersionArray::new(),
+            committed_reads: VersionArray::new(),
+            prepared_reads: VersionArray::new(),
+            rts: VersionArray::new(),
+            max_write: Timestamp::ZERO,
+            max_read: Timestamp::ZERO,
+            reader_summary: ReaderSummary::new(),
+            atomics,
+        }
+    }
+
+    /// Bumps the generation mirror. Always the *last* step of a mutation
+    /// (module docs: watermark first, generation last).
+    fn bump_gen(&self) {
+        self.atomics.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a write at `ts` into the watermarks, then bumps.
+    fn note_write(&mut self, ts: Timestamp) {
+        if ts > self.max_write {
+            self.max_write = ts;
+        }
+        self.atomics
+            .max_write_time
+            .fetch_max(ts.time, Ordering::SeqCst);
+        self.bump_gen();
+    }
+
+    /// Records a read at `ts` into the watermarks, then bumps.
+    fn note_read(&mut self, ts: Timestamp) {
+        if ts > self.max_read {
+            self.max_read = ts;
+        }
+        self.atomics
+            .max_read_time
+            .fetch_max(ts.time, Ordering::SeqCst);
+        self.bump_gen();
+    }
+
+    /// Recomputes the write watermark after a removal that may have lowered
+    /// it, refreshing the mirror. The caller bumps the generation after the
+    /// rest of its mutation.
+    fn refresh_write_watermark(&mut self) {
+        self.max_write = self
+            .committed
+            .max_ts()
+            .into_iter()
+            .chain(self.prepared.max_ts())
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+        self.atomics
+            .max_write_time
+            .store(self.max_write.time, Ordering::SeqCst);
+    }
+
+    /// Recomputes the read watermark after a removal (see
+    /// [`CRecord::refresh_write_watermark`]).
+    fn refresh_read_watermark(&mut self) {
+        self.max_read = self
+            .committed_reads
+            .max_ts()
+            .into_iter()
+            .chain(self.prepared_reads.max_ts())
+            .chain(self.rts.max_ts())
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+        self.atomics
+            .max_read_time
+            .store(self.max_read.time, Ordering::SeqCst);
+    }
+
+    /// Records a read of `version` performed at `reader` in the summary.
+    fn cover_read(&mut self, version: Timestamp, reader: Timestamp) {
+        self.reader_summary.cover(version, reader);
+    }
+
+    /// Recomputes the reader summary from the surviving reader entries
+    /// (Bloom bits are never cleared incrementally; GC calls this).
+    fn rebuild_reader_summary(&mut self) {
+        self.reader_summary.clear();
+        for (reader, version) in self
+            .committed_reads
+            .iter()
+            .chain(self.prepared_reads.iter())
+        {
+            self.reader_summary.cover(*version, *reader);
+        }
+    }
+
+    /// True when every index is empty: the record can be dropped.
+    fn is_unused(&self) -> bool {
+        self.committed.is_empty()
+            && self.prepared.is_empty()
+            && self.committed_reads.is_empty()
+            && self.prepared_reads.is_empty()
+            && self.rts.is_empty()
+    }
+}
+
+/// The lock-guarded authoritative state of one key shard.
+#[derive(Debug, Default)]
+struct ShardState {
+    records: FastHashMap<Key, CRecord>,
+}
+
+/// One key shard: the record map behind its mutex, plus the lock-free
+/// watermark index.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Per-key watermark mirrors; read by the screen with no lock held,
+    /// written under `state`'s mutex (interning takes the write lock).
+    atomics: RwLock<FastHashMap<Key, Arc<KeyAtomics>>>,
+    /// The authoritative records.
+    state: Mutex<ShardState>,
+}
+
+/// Global per-transaction state (the serial store's `TxId`-keyed maps).
+#[derive(Debug, Default)]
+struct TxTable {
+    committed_txs: FastHashMap<TxId, Arc<Transaction>>,
+    prepared_txs: FastHashMap<TxId, Arc<Transaction>>,
+    decisions: FastHashMap<TxId, Decision>,
+    aborted: FastHashSet<TxId>,
+    pending: FastHashMap<TxId, FastHashSet<TxId>>,
+    waiters: FastHashMap<TxId, Vec<TxId>>,
+    gc_watermark: Timestamp,
+}
+
+/// Fast-path counters, shared across executors.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    prepares: AtomicU64,
+    fast_path_checks: AtomicU64,
+    slow_path_checks: AtomicU64,
+    reader_scan_skips: AtomicU64,
+}
+
+/// One store operation, recorded inside its deciding critical section.
+///
+/// Test instrumentation for the multi-threaded equivalence harness: the log
+/// order is a linearization of the concurrent execution (conflicting
+/// operations always share a lock at their log points), so replaying it on
+/// a serial [`crate::MvtsoStore`] must reproduce every outcome bit for bit.
+#[derive(Clone, Debug)]
+pub enum LoggedOp {
+    /// A `prepare` call and its outcome.
+    Prepare {
+        /// The prepared transaction.
+        tx: Arc<Transaction>,
+        /// The replica clock passed to the check.
+        clock: SimTime,
+        /// The timestamp-bound window passed to the check.
+        delta: Duration,
+        /// The outcome the concurrent store returned.
+        outcome: CheckOutcome,
+    },
+    /// A `commit` call and the deferred votes it released.
+    Commit {
+        /// The committed transaction.
+        tx: Arc<Transaction>,
+        /// Votes released by the decision.
+        released: Vec<(TxId, Vote)>,
+    },
+    /// An `abort` call and the deferred votes it released.
+    Abort {
+        /// The aborted transaction.
+        txid: TxId,
+        /// Votes released by the decision.
+        released: Vec<(TxId, Vote)>,
+    },
+    /// A versioned `read` and its reply.
+    Read {
+        /// The key read.
+        key: Key,
+        /// The reader timestamp.
+        ts: Timestamp,
+        /// The reply served.
+        result: ReadResult,
+    },
+    /// An RTS removal.
+    RemoveRts {
+        /// The key whose RTS entry was removed.
+        key: Key,
+        /// The reader timestamp removed.
+        ts: Timestamp,
+    },
+    /// A GC sweep.
+    Gc {
+        /// The sweep watermark.
+        watermark: Timestamp,
+    },
+}
+
+/// The sharded, internally synchronized MVTSO store (see module docs).
+///
+/// All operations take `&self`; the store is safe to share across executor
+/// threads behind an `Arc` (see [`SharedStore`]). Semantics are equivalent
+/// to the serial [`crate::MvtsoStore`] under any interleaving — property-tested by
+/// the multi-threaded oracle harness in this module's tests.
+pub struct ConcurrentMvtsoStore {
+    shards: Box<[Shard]>,
+    tx: Mutex<TxTable>,
+    stats: AtomicStats,
+    op_log: Option<Mutex<Vec<LoggedOp>>>,
+}
+
+impl std::fmt::Debug for ConcurrentMvtsoStore {
+    /// Prints shape, not contents (records sit behind per-shard locks).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentMvtsoStore")
+            .field("num_shards", &self.shards.len())
+            .field("op_log", &self.op_log.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A sorted set of shard guards held for one operation.
+///
+/// Guards are acquired in ascending shard index (the `ids` vector is sorted
+/// and deduplicated), which is what makes cross-shard prepares deadlock
+/// free.
+struct ShardGuards<'a> {
+    ids: Vec<usize>,
+    guards: Vec<MutexGuard<'a, ShardState>>,
+}
+
+impl ShardGuards<'_> {
+    /// The locked state of `shard`. Panics if the operation did not lock
+    /// it — that would be a lock-ordering bug, not a runtime condition.
+    fn state_mut(&mut self, shard: usize) -> &mut ShardState {
+        let i = self
+            .ids
+            .binary_search(&shard)
+            .expect("operation touched a shard it did not lock");
+        &mut self.guards[i]
+    }
+}
+
+impl ConcurrentMvtsoStore {
+    /// Creates an empty store with `num_shards` key shards.
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        ConcurrentMvtsoStore {
+            shards: (0..num_shards).map(|_| Shard::default()).collect(),
+            tx: Mutex::new(TxTable::default()),
+            stats: AtomicStats::default(),
+            op_log: None,
+        }
+    }
+
+    /// Creates a store preloaded with genesis versions at
+    /// [`Timestamp::ZERO`], sharded `num_shards` ways.
+    pub fn with_initial_data(
+        num_shards: usize,
+        data: impl IntoIterator<Item = (Key, Value)>,
+    ) -> Self {
+        let store = Self::new(num_shards);
+        for (key, value) in data {
+            store.load_initial(key, value);
+        }
+        store
+    }
+
+    /// Enables the operation log (test instrumentation; see [`LoggedOp`]).
+    pub fn with_op_log(mut self) -> Self {
+        self.op_log = Some(Mutex::new(Vec::new()));
+        self
+    }
+
+    /// Drains the operation log recorded so far (empty if logging is off).
+    pub fn take_op_log(&self) -> Vec<LoggedOp> {
+        self.op_log
+            .as_ref()
+            .map(|log| std::mem::take(&mut *log.lock().expect(POISONED)))
+            .unwrap_or_default()
+    }
+
+    /// The number of key shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Loads one more genesis key (committed at [`Timestamp::ZERO`]).
+    pub fn load_initial(&self, key: Key, value: Value) {
+        let shard = self.shard_of(&key);
+        let mut state = self.shards[shard].state.lock().expect(POISONED);
+        let rec = self.intern_record(shard, &mut state, &key);
+        rec.committed
+            .insert(Timestamp::ZERO, (TxId::default(), value));
+        rec.note_write(Timestamp::ZERO);
+    }
+
+    fn shard_of(&self, key: &Key) -> usize {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// The sorted, deduplicated shard set of a transaction's key footprint.
+    fn shard_set(&self, tx: &Transaction) -> Vec<usize> {
+        let mut ids: Vec<usize> = tx
+            .read_set()
+            .iter()
+            .map(|r| self.shard_of(&r.key))
+            .chain(tx.write_set().iter().map(|w| self.shard_of(&w.key)))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Locks the given (sorted ascending) shard ids.
+    fn lock_shards(&self, ids: &[usize]) -> ShardGuards<'_> {
+        ShardGuards {
+            ids: ids.to_vec(),
+            guards: ids
+                .iter()
+                .map(|&i| self.shards[i].state.lock().expect(POISONED))
+                .collect(),
+        }
+    }
+
+    /// Locks every shard (stop-the-world operations: abort, GC).
+    fn lock_all(&self) -> ShardGuards<'_> {
+        ShardGuards {
+            ids: (0..self.shards.len()).collect(),
+            guards: self
+                .shards
+                .iter()
+                .map(|s| s.state.lock().expect(POISONED))
+                .collect(),
+        }
+    }
+
+    /// The record of `key` in a locked shard, creating (or re-attaching to
+    /// the key's persistent [`KeyAtomics`]) if absent.
+    fn intern_record<'s>(
+        &self,
+        shard: usize,
+        state: &'s mut ShardState,
+        key: &Key,
+    ) -> &'s mut CRecord {
+        if !state.records.contains_key(key) {
+            let atomics = {
+                let mut index = self.shards[shard].atomics.write().expect(POISONED);
+                Arc::clone(index.entry(key.clone()).or_default())
+            };
+            state.records.insert(key.clone(), CRecord::new(atomics));
+        }
+        state.records.get_mut(key).expect("just interned")
+    }
+
+    /// Drops a fully drained record. The key's [`KeyAtomics`] entry stays
+    /// in the index forever (generation monotonicity — see the struct
+    /// docs); its watermark mirrors reset to the absent-record state.
+    fn release_record(&self, state: &mut ShardState, key: &Key) {
+        if let Some(rec) = state.records.remove(key) {
+            rec.atomics.max_write_time.store(0, Ordering::SeqCst);
+            rec.atomics.max_read_time.store(0, Ordering::SeqCst);
+            rec.atomics.generation.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Appends to the op log, if enabled. Must be called inside the
+    /// operation's deciding critical section (see [`LoggedOp`]).
+    fn log_op(&self, build: impl FnOnce() -> LoggedOp) {
+        if let Some(log) = &self.op_log {
+            log.lock().expect(POISONED).push(build());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Serves a versioned read at `ts` and registers `ts` in the key's RTS
+    /// set (the serial store's [`crate::MvtsoStore::read`], under one shard lock).
+    pub fn read(&self, key: &Key, ts: Timestamp) -> ReadResult {
+        let shard = self.shard_of(key);
+        let mut state = self.shards[shard].state.lock().expect(POISONED);
+        let rec = self.intern_record(shard, &mut state, key);
+        rec.rts.insert(ts, ());
+        rec.note_read(ts);
+        let result = Self::read_from_record(Some(rec), key, ts);
+        self.log_op(|| LoggedOp::Read {
+            key: key.clone(),
+            ts,
+            result: result.clone(),
+        });
+        result
+    }
+
+    /// Serves a versioned read without registering an RTS. Not part of the
+    /// logged operation surface (callers re-serving a retried read already
+    /// registered the RTS through [`ConcurrentMvtsoStore::read`]).
+    pub fn read_without_rts(&self, key: &Key, ts: Timestamp) -> ReadResult {
+        let shard = self.shard_of(key);
+        let state = self.shards[shard].state.lock().expect(POISONED);
+        Self::read_from_record(state.records.get(key), key, ts)
+    }
+
+    fn read_from_record(rec: Option<&CRecord>, key: &Key, ts: Timestamp) -> ReadResult {
+        let Some(rec) = rec else {
+            return ReadResult::default();
+        };
+        let committed = rec
+            .committed
+            .latest_before(ts)
+            .map(|(version, (txid, value))| CommittedVersion {
+                version: *version,
+                value: value.clone(),
+                txid: *txid,
+            });
+        let prepared =
+            rec.prepared
+                .latest_before(ts)
+                .map(|(version, (txid, tx))| PreparedVersion {
+                    version: *version,
+                    value: tx.written_value(key).cloned().unwrap_or_else(Value::empty),
+                    txid: *txid,
+                    deps: tx.deps().to_vec(),
+                });
+        ReadResult {
+            committed,
+            prepared,
+        }
+    }
+
+    /// Removes a read timestamp previously registered by
+    /// [`ConcurrentMvtsoStore::read`].
+    pub fn remove_rts(&self, key: &Key, ts: Timestamp) {
+        let shard = self.shard_of(key);
+        let mut state = self.shards[shard].state.lock().expect(POISONED);
+        if let Some(rec) = state.records.get_mut(key) {
+            if rec.rts.remove(ts).is_some() {
+                if ts == rec.max_read {
+                    rec.refresh_read_watermark();
+                }
+                rec.bump_gen();
+                if rec.is_unused() {
+                    self.release_record(&mut state, key);
+                }
+            }
+        }
+        self.log_op(|| LoggedOp::RemoveRts {
+            key: key.clone(),
+            ts,
+        });
+    }
+
+    /// The newest committed value of a key (inspection).
+    pub fn latest_committed(&self, key: &Key) -> Option<(Timestamp, Value)> {
+        let shard = self.shard_of(key);
+        let state = self.shards[shard].state.lock().expect(POISONED);
+        state
+            .records
+            .get(key)
+            .and_then(|rec| rec.committed.last())
+            .map(|(ts, (_, value))| (*ts, value.clone()))
+    }
+
+    // ------------------------------------------------------------------
+    // The lock-free screen
+    // ------------------------------------------------------------------
+
+    fn screen_read(&self, key: &Key, version: Timestamp) -> Hint {
+        let shard = &self.shards[self.shard_of(key)];
+        let index = shard.atomics.read().expect(POISONED);
+        match index.get(key) {
+            Some(a) => {
+                // Generation first, watermark second: the hint is used only
+                // if the generation is unchanged under the shard lock,
+                // which proves the watermark load saw the current value.
+                let g = a.generation.load(Ordering::SeqCst);
+                if a.max_write_time.load(Ordering::SeqCst) < version.time {
+                    Hint::PassAtGen(g)
+                } else {
+                    Hint::NoHint
+                }
+            }
+            None => Hint::NoHint,
+        }
+    }
+
+    fn screen_write(&self, key: &Key, ts: Timestamp) -> Hint {
+        let shard = &self.shards[self.shard_of(key)];
+        let index = shard.atomics.read().expect(POISONED);
+        match index.get(key) {
+            Some(a) => {
+                let g = a.generation.load(Ordering::SeqCst);
+                if a.max_read_time.load(Ordering::SeqCst) < ts.time {
+                    Hint::PassAtGen(g)
+                } else {
+                    Hint::NoHint
+                }
+            }
+            None => Hint::NoHint,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 1: the concurrency-control check
+    // ------------------------------------------------------------------
+
+    /// Runs the MVTSO concurrency-control check for `tx` (the serial
+    /// store's [`crate::MvtsoStore::prepare`], safe for concurrent callers).
+    ///
+    /// Pipeline: lock-free watermark screen → lock the transaction's key
+    /// shards in ascending index order → transaction-level checks under the
+    /// `TxTable` lock → per-key checks under the shard locks only → publish
+    /// the vote atomically under the `TxTable` lock → index the prepared
+    /// read/write sets (shard locks still held, so the published entry and
+    /// its visibility appear atomic to every other key-touching operation).
+    pub fn prepare(
+        &self,
+        tx: &Arc<Transaction>,
+        local_clock: SimTime,
+        delta: Duration,
+    ) -> CheckOutcome {
+        let shard_ids = self.shard_set(tx);
+        if shard_ids.is_empty() {
+            // A keyless transaction: the whole check is transaction-table
+            // state; one critical section keeps duplicate deliveries from
+            // double-publishing.
+            let mut t = self.tx.lock().expect(POISONED);
+            let outcome = match self.precheck(&mut t, tx, local_clock, delta) {
+                Some(outcome) => outcome,
+                None => Self::publish(&mut t, tx),
+            };
+            self.log_op(|| LoggedOp::Prepare {
+                tx: Arc::clone(tx),
+                clock: local_clock,
+                delta,
+                outcome: outcome.clone(),
+            });
+            return outcome;
+        }
+
+        // Screen before any lock: on the no-conflict fast path the per-key
+        // verdicts below become two atomic loads each.
+        let read_hints: Vec<Hint> = tx
+            .read_set()
+            .iter()
+            .map(|r| self.screen_read(&r.key, r.version))
+            .collect();
+        let write_hints: Vec<Hint> = tx
+            .write_set()
+            .iter()
+            .map(|w| self.screen_write(&w.key, tx.timestamp()))
+            .collect();
+
+        let mut guards = self.lock_shards(&shard_ids);
+
+        {
+            let mut t = self.tx.lock().expect(POISONED);
+            if let Some(outcome) = self.precheck(&mut t, tx, local_clock, delta) {
+                self.log_op(|| LoggedOp::Prepare {
+                    tx: Arc::clone(tx),
+                    clock: local_clock,
+                    delta,
+                    outcome: outcome.clone(),
+                });
+                return outcome;
+            }
+        }
+
+        // Per-key conflict checks: shard locks only — concurrent prepares
+        // on disjoint shards proceed in parallel here.
+        let conflict = self.any_key_conflict(&mut guards, tx, &read_hints, &write_hints);
+
+        let mut t = self.tx.lock().expect(POISONED);
+        let outcome = if conflict {
+            // Between the precheck and here, dependencies may have gained
+            // decisions (their key shards are disjoint from ours, so their
+            // commits were not blocked by our guards). The serial store
+            // runs the dependency checks *before* the key checks, so a
+            // dependency-level abort reason must win over `Conflict` for
+            // the log replay to agree.
+            CheckOutcome::Decided(Vote::Abort(
+                self.tx_level_abort(&t, tx, local_clock, delta)
+                    .unwrap_or(AbortReason::Conflict),
+            ))
+        } else if let Some(reason) = self.tx_level_abort(&t, tx, local_clock, delta) {
+            CheckOutcome::Decided(Vote::Abort(reason))
+        } else {
+            Self::publish(&mut t, tx)
+        };
+        self.log_op(|| LoggedOp::Prepare {
+            tx: Arc::clone(tx),
+            clock: local_clock,
+            delta,
+            outcome: outcome.clone(),
+        });
+        drop(t);
+
+        // Index the prepared read/write sets while the shard guards are
+        // still held: no other operation can observe the published
+        // transaction-table entry without also waiting on one of these
+        // shards, so publication and visibility are atomic together.
+        if matches!(
+            outcome,
+            CheckOutcome::Pending { .. } | CheckOutcome::Decided(Vote::Commit)
+        ) {
+            self.index_prepared(&mut guards, tx);
+        }
+        outcome
+    }
+
+    /// The duplicate-delivery memo and transaction-level checks, under the
+    /// `TxTable` lock. `None` means "proceed to the per-key checks".
+    fn precheck(
+        &self,
+        t: &mut TxTable,
+        tx: &Arc<Transaction>,
+        local_clock: SimTime,
+        delta: Duration,
+    ) -> Option<CheckOutcome> {
+        let txid = tx.id();
+        if let Some(decision) = t.decisions.get(&txid) {
+            return Some(CheckOutcome::Decided(match decision {
+                Decision::Commit => Vote::Commit,
+                Decision::Abort => Vote::Abort(AbortReason::Conflict),
+            }));
+        }
+        if let Some(missing) = t.pending.get(&txid) {
+            return Some(CheckOutcome::Pending {
+                waiting_on: missing.iter().copied().collect(),
+            });
+        }
+        if t.prepared_txs.contains_key(&txid) {
+            return Some(CheckOutcome::Decided(Vote::Commit));
+        }
+        self.stats.prepares.fetch_add(1, Ordering::Relaxed);
+        self.tx_level_abort(t, tx, local_clock, delta)
+            .map(|reason| CheckOutcome::Decided(Vote::Abort(reason)))
+    }
+
+    /// Checks (1)–(3) of the serial prepare: timestamp bound, GC floor,
+    /// dependency validity, read-from-the-future misbehaviour. Pure reads
+    /// of the transaction table; no counters, so the conflict path may
+    /// re-run it.
+    fn tx_level_abort(
+        &self,
+        t: &TxTable,
+        tx: &Arc<Transaction>,
+        local_clock: SimTime,
+        delta: Duration,
+    ) -> Option<AbortReason> {
+        if tx.timestamp().exceeds_bound(local_clock, delta) {
+            return Some(AbortReason::TimestampOutOfBounds);
+        }
+        if t.gc_watermark > Timestamp::ZERO && tx.timestamp() <= t.gc_watermark {
+            return Some(AbortReason::TimestampOutOfBounds);
+        }
+        for dep in tx.deps() {
+            let known = t
+                .prepared_txs
+                .get(&dep.txid)
+                .or_else(|| t.committed_txs.get(&dep.txid));
+            if let Some(dep_tx) = known {
+                let produced = dep_tx.writes(&dep.key) && dep_tx.timestamp() == dep.version;
+                if !produced {
+                    return Some(AbortReason::InvalidDependency);
+                }
+            } else if t.aborted.contains(&dep.txid) {
+                return Some(AbortReason::DependencyAborted);
+            }
+        }
+        if tx.max_read_version() > tx.timestamp() {
+            return Some(AbortReason::Misbehavior);
+        }
+        None
+    }
+
+    /// Checks (4)–(6) of the serial prepare against the locked shards,
+    /// consuming the screen hints. Returns true on the first conflict, in
+    /// the serial store's check order (reads, then writes).
+    fn any_key_conflict(
+        &self,
+        guards: &mut ShardGuards<'_>,
+        tx: &Transaction,
+        read_hints: &[Hint],
+        write_hints: &[Hint],
+    ) -> bool {
+        let ts = tx.timestamp();
+        for (read, hint) in tx.read_set().iter().zip(read_hints) {
+            let shard = self.shard_of(&read.key);
+            let rec = guards.state_mut(shard).records.get(&read.key);
+            if self.read_check_conflicts(rec, *hint, read.version, ts) {
+                return true;
+            }
+        }
+        for (write, hint) in tx.write_set().iter().zip(write_hints) {
+            let shard = self.shard_of(&write.key);
+            let rec = guards.state_mut(shard).records.get(&write.key);
+            if self.write_check_conflicts(rec, *hint, ts) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Check (4): did this read miss a committed or prepared write?
+    fn read_check_conflicts(
+        &self,
+        rec: Option<&CRecord>,
+        hint: Hint,
+        version: Timestamp,
+        ts: Timestamp,
+    ) -> bool {
+        let Some(rec) = rec else {
+            self.stats.fast_path_checks.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        if let Hint::PassAtGen(g) = hint {
+            if rec.atomics.generation.load(Ordering::SeqCst) == g {
+                // Unchanged generation under the lock: the screened
+                // `max_write.time < version.time` is current, which implies
+                // the serial fast path (`max_write <= version`) passes.
+                self.stats.fast_path_checks.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        if rec.max_write > version {
+            self.stats.slow_path_checks.fetch_add(1, Ordering::Relaxed);
+            rec.committed.any_in_open_range(version, ts)
+                || rec.prepared.any_in_open_range(version, ts)
+        } else {
+            self.stats.fast_path_checks.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Checks (5)+(6): does this write invalidate a reader or an RTS?
+    fn write_check_conflicts(&self, rec: Option<&CRecord>, hint: Hint, ts: Timestamp) -> bool {
+        let Some(rec) = rec else {
+            self.stats.fast_path_checks.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        if let Hint::PassAtGen(g) = hint {
+            if rec.atomics.generation.load(Ordering::SeqCst) == g {
+                self.stats.fast_path_checks.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        if rec.max_read > ts {
+            self.stats.slow_path_checks.fetch_add(1, Ordering::Relaxed);
+            if rec.reader_summary.may_invalidate(ts) {
+                let invalidates = |reads: &VersionArray<Timestamp>| {
+                    reads
+                        .iter_above(ts)
+                        .any(|(_, version_read)| *version_read < ts)
+                };
+                if invalidates(&rec.committed_reads) || invalidates(&rec.prepared_reads) {
+                    return true;
+                }
+            } else {
+                self.stats.reader_scan_skips.fetch_add(1, Ordering::Relaxed);
+            }
+            rec.rts.max_ts().map(|m| m > ts).unwrap_or(false)
+        } else {
+            self.stats.fast_path_checks.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Step (8): publishes the vote in the transaction table. The caller
+    /// indexes the read/write sets afterwards iff the transaction was
+    /// added to the prepared set (`Pending` or `Decided(Commit)`).
+    fn publish(t: &mut TxTable, tx: &Arc<Transaction>) -> CheckOutcome {
+        let txid = tx.id();
+        let mut missing: FastHashSet<TxId> = FastHashSet::default();
+        for dep in tx.deps() {
+            match t.decisions.get(&dep.txid) {
+                Some(Decision::Commit) => {}
+                Some(Decision::Abort) => {
+                    // A dependency already aborted: the serial store inserts
+                    // and immediately withdraws; net effect is no prepare.
+                    return CheckOutcome::Decided(Vote::Abort(AbortReason::DependencyAborted));
+                }
+                None => {
+                    missing.insert(dep.txid);
+                }
+            }
+        }
+        t.prepared_txs.insert(txid, Arc::clone(tx));
+        if missing.is_empty() {
+            return CheckOutcome::Decided(Vote::Commit);
+        }
+        for dep in &missing {
+            t.waiters.entry(*dep).or_default().push(txid);
+        }
+        let waiting_on: Vec<TxId> = missing.iter().copied().collect();
+        t.pending.insert(txid, missing);
+        CheckOutcome::Pending { waiting_on }
+    }
+
+    /// Step (7): makes the prepared transaction visible to reads. Shard
+    /// guards for every touched key must be held.
+    fn index_prepared(&self, guards: &mut ShardGuards<'_>, tx: &Arc<Transaction>) {
+        let txid = tx.id();
+        let ts = tx.timestamp();
+        for write in tx.write_set() {
+            let shard = self.shard_of(&write.key);
+            let state = guards.state_mut(shard);
+            let rec = self.intern_record(shard, state, &write.key);
+            rec.prepared.insert(ts, (txid, Arc::clone(tx)));
+            rec.note_write(ts);
+        }
+        for read in tx.read_set() {
+            let shard = self.shard_of(&read.key);
+            let state = guards.state_mut(shard);
+            let rec = self.intern_record(shard, state, &read.key);
+            rec.prepared_reads.insert(ts, read.version);
+            rec.cover_read(read.version, ts);
+            rec.note_read(ts);
+        }
+    }
+
+    /// Removes a prepared transaction from the visibility indexes. The
+    /// caller must hold shard guards covering the transaction's key set.
+    fn unindex_prepared(
+        &self,
+        t: &mut TxTable,
+        guards: &mut ShardGuards<'_>,
+        txid: &TxId,
+    ) -> Option<Arc<Transaction>> {
+        let tx = t.prepared_txs.remove(txid)?;
+        let ts = tx.timestamp();
+        for write in tx.write_set() {
+            let shard = self.shard_of(&write.key);
+            if let Some(rec) = guards.state_mut(shard).records.get_mut(&write.key) {
+                if rec.prepared.remove(ts).is_some() {
+                    if ts == rec.max_write {
+                        rec.refresh_write_watermark();
+                    }
+                    rec.bump_gen();
+                }
+            }
+        }
+        for read in tx.read_set() {
+            let shard = self.shard_of(&read.key);
+            if let Some(rec) = guards.state_mut(shard).records.get_mut(&read.key) {
+                if rec.prepared_reads.remove(ts).is_some() {
+                    if ts == rec.max_read {
+                        rec.refresh_read_watermark();
+                    }
+                    rec.bump_gen();
+                }
+            }
+        }
+        Some(tx)
+    }
+
+    // ------------------------------------------------------------------
+    // Decisions
+    // ------------------------------------------------------------------
+
+    /// Applies a commit decision (the serial store's [`crate::MvtsoStore::commit`]).
+    /// Locks the transaction's key shards plus the transaction table; a
+    /// commit releases waiters without touching their records, so no other
+    /// shard is needed.
+    pub fn commit(&self, tx: &Arc<Transaction>) -> Vec<(TxId, Vote)> {
+        let txid = tx.id();
+        let shard_ids = self.shard_set(tx);
+        let mut guards = self.lock_shards(&shard_ids);
+        let mut t = self.tx.lock().expect(POISONED);
+        if matches!(t.decisions.get(&txid), Some(Decision::Commit)) {
+            self.log_op(|| LoggedOp::Commit {
+                tx: Arc::clone(tx),
+                released: Vec::new(),
+            });
+            return Vec::new();
+        }
+        let shared = t
+            .prepared_txs
+            .remove(&txid)
+            .unwrap_or_else(|| Arc::clone(tx));
+        t.pending.remove(&txid);
+        t.decisions.insert(txid, Decision::Commit);
+
+        let ts = tx.timestamp();
+        for write in tx.write_set() {
+            let shard = self.shard_of(&write.key);
+            let state = guards.state_mut(shard);
+            let rec = self.intern_record(shard, state, &write.key);
+            if rec.prepared.remove(ts).is_some() {
+                if ts == rec.max_write {
+                    rec.refresh_write_watermark();
+                }
+                rec.bump_gen();
+            }
+            rec.committed.insert(ts, (txid, write.value.clone()));
+            rec.note_write(ts);
+        }
+        for read in tx.read_set() {
+            let shard = self.shard_of(&read.key);
+            let state = guards.state_mut(shard);
+            let rec = self.intern_record(shard, state, &read.key);
+            if rec.prepared_reads.remove(ts).is_some() {
+                if ts == rec.max_read {
+                    rec.refresh_read_watermark();
+                }
+                rec.bump_gen();
+            }
+            rec.committed_reads.insert(ts, read.version);
+            rec.cover_read(read.version, ts);
+            rec.note_read(ts);
+        }
+        t.committed_txs.insert(txid, shared);
+
+        let released = Self::wake_commit(&mut t, txid);
+        self.log_op(|| LoggedOp::Commit {
+            tx: Arc::clone(tx),
+            released: released.clone(),
+        });
+        released
+    }
+
+    /// Applies an abort decision (the serial store's [`crate::MvtsoStore::abort`]).
+    ///
+    /// Stop-the-world: the key set is unknowable from the `TxId`, and the
+    /// abort wake must un-index released waiters' records in arbitrary
+    /// shards, so every shard lock is taken (ascending).
+    pub fn abort(&self, txid: TxId) -> Vec<(TxId, Vote)> {
+        let mut guards = self.lock_all();
+        let mut t = self.tx.lock().expect(POISONED);
+        if matches!(t.decisions.get(&txid), Some(Decision::Abort)) {
+            self.log_op(|| LoggedOp::Abort {
+                txid,
+                released: Vec::new(),
+            });
+            return Vec::new();
+        }
+        self.unindex_prepared(&mut t, &mut guards, &txid);
+        t.pending.remove(&txid);
+        t.decisions.insert(txid, Decision::Abort);
+        t.aborted.insert(txid);
+        let released = self.wake_abort(&mut t, &mut guards, txid);
+        self.log_op(|| LoggedOp::Abort {
+            txid,
+            released: released.clone(),
+        });
+        released
+    }
+
+    /// Releases waiters of a committed dependency (transaction-table only).
+    fn wake_commit(t: &mut TxTable, resolved: TxId) -> Vec<(TxId, Vote)> {
+        let mut released = Vec::new();
+        let Some(waiters) = t.waiters.remove(&resolved) else {
+            return released;
+        };
+        for waiter in waiters {
+            let Some(missing) = t.pending.get_mut(&waiter) else {
+                continue; // already resolved some other way
+            };
+            missing.remove(&resolved);
+            if missing.is_empty() {
+                t.pending.remove(&waiter);
+                released.push((waiter, Vote::Commit));
+            }
+        }
+        released
+    }
+
+    /// Releases waiters of an aborted dependency: each votes abort and is
+    /// withdrawn from the prepared set (guards must cover all shards).
+    fn wake_abort(
+        &self,
+        t: &mut TxTable,
+        guards: &mut ShardGuards<'_>,
+        resolved: TxId,
+    ) -> Vec<(TxId, Vote)> {
+        let mut released = Vec::new();
+        let Some(waiters) = t.waiters.remove(&resolved) else {
+            return released;
+        };
+        for waiter in waiters {
+            if t.pending.remove(&waiter).is_none() {
+                continue; // already resolved some other way
+            }
+            self.unindex_prepared(t, guards, &waiter);
+            released.push((waiter, Vote::Abort(AbortReason::DependencyAborted)));
+        }
+        released
+    }
+
+    // ------------------------------------------------------------------
+    // GC
+    // ------------------------------------------------------------------
+
+    /// Garbage-collects bookkeeping below `watermark` and raises the abort
+    /// floor (the serial store's [`crate::MvtsoStore::gc_before`]).
+    ///
+    /// Stop-the-world: a prepare screens the floor under the transaction
+    /// table lock and then trusts it while holding only its own shard
+    /// locks; taking every shard here means the floor can never move under
+    /// a prepare in flight.
+    pub fn gc_before(&self, watermark: Timestamp) {
+        let mut guards = self.lock_all();
+        let mut t = self.tx.lock().expect(POISONED);
+        t.gc_watermark = t.gc_watermark.max(watermark);
+        for shard in 0..self.shards.len() {
+            let state = guards.state_mut(shard);
+            for rec in state.records.values_mut() {
+                let mut dropped = 0;
+                if let Some(keep_from) =
+                    rec.committed.latest_at_or_below(watermark).map(|(t, _)| *t)
+                {
+                    dropped += rec.committed.drop_below(keep_from);
+                }
+                dropped += rec.committed_reads.drop_below(watermark);
+                dropped += rec.rts.drop_below(watermark);
+                if dropped > 0 {
+                    rec.refresh_read_watermark();
+                    rec.refresh_write_watermark();
+                    rec.rebuild_reader_summary();
+                    rec.bump_gen();
+                }
+            }
+            let drained: Vec<Key> = state
+                .records
+                .iter()
+                .filter(|(_, rec)| rec.is_unused())
+                .map(|(key, _)| key.clone())
+                .collect();
+            for key in drained {
+                self.release_record(state, &key);
+            }
+        }
+        self.log_op(|| LoggedOp::Gc { watermark });
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// The decision this replica knows for `txid`, if any.
+    pub fn decision(&self, txid: &TxId) -> Option<Decision> {
+        self.tx.lock().expect(POISONED).decisions.get(txid).copied()
+    }
+
+    /// Whether the transaction is currently prepared (visible, uncommitted).
+    pub fn is_prepared(&self, txid: &TxId) -> bool {
+        self.tx
+            .lock()
+            .expect(POISONED)
+            .prepared_txs
+            .contains_key(txid)
+    }
+
+    /// Whether the transaction's vote is withheld waiting on dependencies.
+    pub fn is_pending(&self, txid: &TxId) -> bool {
+        self.tx.lock().expect(POISONED).pending.contains_key(txid)
+    }
+
+    /// The prepared transaction's shared metadata, if present.
+    pub fn prepared_tx_shared(&self, txid: &TxId) -> Option<Arc<Transaction>> {
+        self.tx
+            .lock()
+            .expect(POISONED)
+            .prepared_txs
+            .get(txid)
+            .cloned()
+    }
+
+    /// Number of committed transactions.
+    pub fn committed_count(&self) -> usize {
+        self.tx.lock().expect(POISONED).committed_txs.len()
+    }
+
+    /// Number of currently prepared transactions.
+    pub fn prepared_count(&self) -> usize {
+        self.tx.lock().expect(POISONED).prepared_txs.len()
+    }
+
+    /// A snapshot of every committed transaction (`Arc` bumps, not copies;
+    /// the real-IO harvest path uses this where the serial store's
+    /// borrowing iterator cannot cross the lock).
+    pub fn committed_snapshot(&self) -> Vec<Arc<Transaction>> {
+        self.tx
+            .lock()
+            .expect(POISONED)
+            .committed_txs
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// A snapshot of every final decision this replica knows.
+    pub fn decisions_snapshot(&self) -> Vec<(TxId, Decision)> {
+        self.tx
+            .lock()
+            .expect(POISONED)
+            .decisions
+            .iter()
+            .map(|(txid, d)| (*txid, *d))
+            .collect()
+    }
+
+    /// The GC abort floor (highest watermark any sweep has used).
+    pub fn gc_floor(&self) -> Timestamp {
+        self.tx.lock().expect(POISONED).gc_watermark
+    }
+
+    /// The scan-free fast-path counters, aggregated across executors.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            prepares: self.stats.prepares.load(Ordering::Relaxed),
+            fast_path_checks: self.stats.fast_path_checks.load(Ordering::Relaxed),
+            slow_path_checks: self.stats.slow_path_checks.load(Ordering::Relaxed),
+            reader_scan_skips: self.stats.reader_scan_skips.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Default shard count when the caller does not choose one (the `TxStore`
+/// constructor has no shard parameter). 16 shards keep contention low for
+/// any plausible executor pool while costing ~16 empty maps when idle.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A cloneable, `Arc`-shared handle to a [`ConcurrentMvtsoStore`].
+///
+/// This is the [`TxStore`] implementation the executor-pool replica uses:
+/// the replica owns one handle, each pool worker another, and the store's
+/// internal synchronization makes the `&mut self` trait methods safe to
+/// serve from any of them.
+#[derive(Clone, Debug)]
+pub struct SharedStore {
+    inner: Arc<ConcurrentMvtsoStore>,
+}
+
+impl SharedStore {
+    /// Wraps a configured store in a shareable handle.
+    pub fn new(store: ConcurrentMvtsoStore) -> Self {
+        SharedStore {
+            inner: Arc::new(store),
+        }
+    }
+
+    /// The underlying store.
+    pub fn handle(&self) -> &Arc<ConcurrentMvtsoStore> {
+        &self.inner
+    }
+}
+
+impl TxStore for SharedStore {
+    fn with_initial_data(data: impl IntoIterator<Item = (Key, Value)>) -> Self {
+        SharedStore::new(ConcurrentMvtsoStore::with_initial_data(
+            DEFAULT_SHARDS,
+            data,
+        ))
+    }
+
+    fn read(&mut self, key: &Key, ts: Timestamp) -> ReadResult {
+        self.inner.read(key, ts)
+    }
+
+    fn remove_rts(&mut self, key: &Key, ts: Timestamp) {
+        self.inner.remove_rts(key, ts)
+    }
+
+    fn prepare(
+        &mut self,
+        tx: &Arc<Transaction>,
+        local_clock: SimTime,
+        delta: Duration,
+    ) -> CheckOutcome {
+        self.inner.prepare(tx, local_clock, delta)
+    }
+
+    fn commit(&mut self, tx: &Arc<Transaction>) -> Vec<(TxId, Vote)> {
+        self.inner.commit(tx)
+    }
+
+    fn abort(&mut self, txid: TxId) -> Vec<(TxId, Vote)> {
+        self.inner.abort(txid)
+    }
+
+    fn gc_before(&mut self, watermark: Timestamp) {
+        self.inner.gc_before(watermark)
+    }
+
+    fn prepared_tx_shared(&self, txid: &TxId) -> Option<Arc<Transaction>> {
+        self.inner.prepared_tx_shared(txid)
+    }
+
+    fn store_stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvtso::MvtsoStore;
+    use crate::tx::TransactionBuilder;
+    use basil_common::ClientId;
+    use proptest::{prop_assert_eq, proptest, ProptestConfig, TestCaseResult};
+    use std::sync::atomic::AtomicBool;
+
+    const DELTA: Duration = Duration::from_millis(100);
+    // Far enough ahead that the timestamp-bound check passes for every
+    // timestamp the op generator can mint (they stay below 4 µs).
+    const CLOCK: SimTime = SimTime::from_secs(4);
+    const KEYS: [&str; 4] = ["a", "b", "c", "d"];
+
+    fn ts(t: u64, c: u64) -> Timestamp {
+        Timestamp::from_nanos(t % 4_000, ClientId(c % 8))
+    }
+
+    fn k(s: &str) -> Key {
+        Key::new(s)
+    }
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    fn genesis() -> impl Iterator<Item = (Key, Value)> {
+        KEYS.iter().map(|s| (k(s), v(0)))
+    }
+
+    fn blind_write(t: u64, c: u64, key: &str, val: u64) -> Arc<Transaction> {
+        let mut b = TransactionBuilder::new(ts(t, c));
+        b.record_write(k(key), v(val));
+        b.build_shared()
+    }
+
+    // ------------------------------------------------------------------
+    // Single-threaded behaviour (sanity before the oracle harness)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn prepare_commit_roundtrip_across_shards() {
+        let store = ConcurrentMvtsoStore::with_initial_data(4, genesis());
+        let mut b = TransactionBuilder::new(ts(10, 1));
+        b.record_read(k("a"), Timestamp::ZERO);
+        b.record_write(k("b"), v(7));
+        b.record_write(k("c"), v(8));
+        let tx = b.build_shared();
+        assert_eq!(
+            store.prepare(&tx, CLOCK, DELTA),
+            CheckOutcome::Decided(Vote::Commit)
+        );
+        assert!(store.is_prepared(&tx.id()));
+        assert!(store.commit(&tx).is_empty());
+        assert_eq!(store.latest_committed(&k("b")), Some((ts(10, 1), v(7))));
+        assert_eq!(store.latest_committed(&k("c")), Some((ts(10, 1), v(8))));
+        assert_eq!(store.decision(&tx.id()), Some(Decision::Commit));
+        // Re-delivery hits the memo.
+        assert_eq!(
+            store.prepare(&tx, CLOCK, DELTA),
+            CheckOutcome::Decided(Vote::Commit)
+        );
+    }
+
+    #[test]
+    fn stale_read_conflicts_and_abort_releases_waiters() {
+        let store = ConcurrentMvtsoStore::with_initial_data(2, genesis());
+        let w = blind_write(20, 1, "a", 1);
+        assert_eq!(
+            store.prepare(&w, CLOCK, DELTA),
+            CheckOutcome::Decided(Vote::Commit)
+        );
+        // A dependent read of the prepared version defers its vote.
+        let mut b = TransactionBuilder::new(ts(30, 2));
+        b.record_dependent_read(k("a"), ts(20, 1), w.id());
+        b.record_write(k("d"), v(3));
+        let dependent = b.build_shared();
+        assert_eq!(
+            store.prepare(&dependent, CLOCK, DELTA),
+            CheckOutcome::Pending {
+                waiting_on: vec![w.id()]
+            }
+        );
+        // A read that missed the prepared write conflicts.
+        let mut b = TransactionBuilder::new(ts(40, 3));
+        b.record_read(k("a"), Timestamp::ZERO);
+        b.record_write(k("b"), v(4));
+        let stale = b.build_shared();
+        assert_eq!(
+            store.prepare(&stale, CLOCK, DELTA),
+            CheckOutcome::Decided(Vote::Abort(AbortReason::Conflict))
+        );
+        // Aborting the dependency releases the dependent with an abort vote.
+        let released = store.abort(w.id());
+        assert_eq!(
+            released,
+            vec![(dependent.id(), Vote::Abort(AbortReason::DependencyAborted))]
+        );
+        assert!(!store.is_prepared(&dependent.id()));
+    }
+
+    #[test]
+    fn gc_floor_refuses_backdated_prepares() {
+        let store = ConcurrentMvtsoStore::with_initial_data(2, genesis());
+        store.gc_before(ts(100, 0));
+        assert_eq!(store.gc_floor(), ts(100, 0));
+        let tx = blind_write(50, 1, "a", 9);
+        assert_eq!(
+            store.prepare(&tx, CLOCK, DELTA),
+            CheckOutcome::Decided(Vote::Abort(AbortReason::TimestampOutOfBounds))
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Loom-style smoke: the atomic watermark screen under contention
+    // ------------------------------------------------------------------
+
+    /// Hand-rolled interleaving check of the screen protocol: one thread
+    /// mutates a hot key through the public API (prepare/commit/abort at
+    /// rising timestamps) while another screens lock-free and, whenever a
+    /// hint validates (generation unchanged under the shard lock), asserts
+    /// the exact fast-path condition the hint claims. Any violation of the
+    /// "watermark first, generation last" protocol shows up here as a
+    /// stale-pass assertion failure.
+    #[test]
+    fn atomic_watermark_screen_never_validates_stale() {
+        let store = ConcurrentMvtsoStore::with_initial_data(2, genesis());
+        let key = k("a");
+        let stop = AtomicBool::new(false);
+        let validated = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 1..1_500u64 {
+                    let tx = blind_write(i * 2, 1, "a", i);
+                    store.prepare(&tx, CLOCK, DELTA);
+                    if i % 3 == 0 {
+                        store.commit(&tx);
+                    } else {
+                        store.abort(tx.id());
+                    }
+                }
+                stop.store(true, Ordering::SeqCst);
+            });
+            s.spawn(|| {
+                let shard = store.shard_of(&key);
+                let mut probe_t = 1u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let probe = Timestamp::from_nanos(probe_t, ClientId(7));
+                    if let Hint::PassAtGen(g) = store.screen_read(&key, probe) {
+                        let state = store.shards[shard].state.lock().expect(POISONED);
+                        if let Some(rec) = state.records.get(&key) {
+                            if rec.atomics.generation.load(Ordering::SeqCst) == g {
+                                assert!(
+                                    rec.max_write < probe,
+                                    "validated screen hint contradicts the exact watermark"
+                                );
+                                validated.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    probe_t = probe_t % 3_996 + 7;
+                }
+            });
+        });
+        // The smoke is only meaningful if some hints actually validated.
+        assert!(validated.load(Ordering::Relaxed) > 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-threaded oracle equivalence (the tentpole safety net)
+    // ------------------------------------------------------------------
+
+    /// A pre-generated operation: built before the threads start (op
+    /// construction must not depend on racing store state).
+    enum MtOp {
+        Prepare(Arc<Transaction>),
+        Commit(Arc<Transaction>),
+        Abort(TxId),
+        /// Read, then (if the flag is set) remove the RTS again — two
+        /// separately logged operations, racing everything else.
+        ReadRts(Key, Timestamp, bool),
+        Gc(Timestamp),
+    }
+
+    type RawOp = (u8, u64, u64, u64, u64, u64);
+
+    /// Deterministically expands raw tuples into executable ops. Prepares
+    /// draw reads from genesis, arbitrary versions, and dependencies on
+    /// earlier-issued transactions (valid and invalid alike); commits and
+    /// aborts target earlier-issued transactions, racing their prepares.
+    fn build_ops(raw: &[RawOp]) -> (Vec<MtOp>, Vec<Arc<Transaction>>) {
+        let mut issued: Vec<Arc<Transaction>> = Vec::new();
+        let mut ops = Vec::new();
+        for &(kind, a, b, c, d, e) in raw {
+            match kind % 8 {
+                0..=2 => {
+                    let mut builder = TransactionBuilder::new(ts(a, b));
+                    for i in 0..(c % 3) as usize {
+                        let key = k(KEYS[((c >> (8 + 8 * i)) as usize) % KEYS.len()]);
+                        match (e >> (4 * i)) % 4 {
+                            0 => {
+                                builder.record_read(key, Timestamp::ZERO);
+                            }
+                            1 => {
+                                builder.record_read(key, ts(e.wrapping_add(a + i as u64), b + 1));
+                            }
+                            _ if !issued.is_empty() => {
+                                let dep = &issued[((e >> 8) as usize + i) % issued.len()];
+                                builder.record_dependent_read(key, dep.timestamp(), dep.id());
+                            }
+                            _ => {
+                                builder.record_read(key, Timestamp::ZERO);
+                            }
+                        }
+                    }
+                    for i in 0..(d % 3) as usize {
+                        let key = k(KEYS[((d >> (8 + 8 * i)) as usize) % KEYS.len()]);
+                        builder.record_write(key, v(e ^ i as u64));
+                    }
+                    let tx = builder.build_shared();
+                    issued.push(Arc::clone(&tx));
+                    ops.push(MtOp::Prepare(tx));
+                }
+                3 | 4 => {
+                    if !issued.is_empty() {
+                        ops.push(MtOp::Commit(Arc::clone(
+                            &issued[(a as usize) % issued.len()],
+                        )));
+                    }
+                }
+                5 => {
+                    if !issued.is_empty() {
+                        ops.push(MtOp::Abort(issued[(a as usize) % issued.len()].id()));
+                    }
+                }
+                6 => {
+                    ops.push(MtOp::ReadRts(
+                        k(KEYS[(a as usize) % KEYS.len()]),
+                        ts(b, c),
+                        d % 2 == 0,
+                    ));
+                }
+                _ => {
+                    // Keep some sweeps below most activity so the abort
+                    // floor races real prepares, not just dead air.
+                    ops.push(MtOp::Gc(ts(a % 2_000, 0)));
+                }
+            }
+        }
+        (ops, issued)
+    }
+
+    fn sort_outcome(o: CheckOutcome) -> CheckOutcome {
+        match o {
+            CheckOutcome::Pending { mut waiting_on } => {
+                waiting_on.sort_unstable();
+                CheckOutcome::Pending { waiting_on }
+            }
+            decided => decided,
+        }
+    }
+
+    fn sort_released(mut v: Vec<(TxId, Vote)>) -> Vec<(TxId, Vote)> {
+        v.sort_unstable_by_key(|(txid, _)| *txid);
+        v
+    }
+
+    /// Runs the ops across `threads` OS threads (round-robin partition,
+    /// seeded yields perturbing the interleaving), then replays the
+    /// observed linearization on a serial [`MvtsoStore`] and demands
+    /// identical per-op outcomes, released votes, decisions, floors, and
+    /// final committed state.
+    fn run_mt_case(raw: &[RawOp], threads: usize, seed: u64) -> TestCaseResult {
+        let (ops, issued) = build_ops(raw);
+        let store = ConcurrentMvtsoStore::with_initial_data(3, genesis()).with_op_log();
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let store = &store;
+                let ops = &ops;
+                s.spawn(move || {
+                    for (i, op) in ops.iter().enumerate() {
+                        if i % threads != tid {
+                            continue;
+                        }
+                        if (seed >> (i % 31)) & 1 == 1 {
+                            std::thread::yield_now();
+                        }
+                        match op {
+                            MtOp::Prepare(tx) => {
+                                store.prepare(tx, CLOCK, DELTA);
+                            }
+                            MtOp::Commit(tx) => {
+                                store.commit(tx);
+                            }
+                            MtOp::Abort(txid) => {
+                                store.abort(*txid);
+                            }
+                            MtOp::ReadRts(key, t, remove) => {
+                                store.read(key, *t);
+                                if *remove {
+                                    store.remove_rts(key, *t);
+                                }
+                            }
+                            MtOp::Gc(w) => {
+                                store.gc_before(*w);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let log = store.take_op_log();
+        let mut serial = MvtsoStore::with_initial_data(genesis());
+        for op in &log {
+            match op {
+                LoggedOp::Prepare {
+                    tx,
+                    clock,
+                    delta,
+                    outcome,
+                } => {
+                    prop_assert_eq!(
+                        sort_outcome(serial.prepare(tx, *clock, *delta)),
+                        sort_outcome(outcome.clone())
+                    );
+                }
+                LoggedOp::Commit { tx, released } => {
+                    prop_assert_eq!(
+                        sort_released(serial.commit(tx)),
+                        sort_released(released.clone())
+                    );
+                }
+                LoggedOp::Abort { txid, released } => {
+                    prop_assert_eq!(
+                        sort_released(serial.abort(*txid)),
+                        sort_released(released.clone())
+                    );
+                }
+                LoggedOp::Read { key, ts, result } => {
+                    prop_assert_eq!(&serial.read(key, *ts), result);
+                }
+                LoggedOp::RemoveRts { key, ts } => serial.remove_rts(key, *ts),
+                LoggedOp::Gc { watermark } => serial.gc_before(*watermark),
+            }
+        }
+
+        for key in KEYS {
+            let key = k(key);
+            prop_assert_eq!(store.latest_committed(&key), serial.latest_committed(&key));
+        }
+        prop_assert_eq!(store.committed_count(), serial.committed_count());
+        prop_assert_eq!(store.prepared_count(), serial.prepared_count());
+        prop_assert_eq!(store.gc_floor(), serial.gc_floor());
+        for tx in &issued {
+            prop_assert_eq!(store.decision(&tx.id()), serial.decision(&tx.id()));
+            prop_assert_eq!(store.is_pending(&tx.id()), serial.is_pending(&tx.id()));
+            prop_assert_eq!(store.is_prepared(&tx.id()), serial.is_prepared(&tx.id()));
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(600))]
+
+        /// Randomized thread interleavings over prepare/commit/abort/read/
+        /// GC agree with a serial replay of the observed linearization —
+        /// outcomes, released votes, decisions, abort floor, and final
+        /// committed state, bit for bit.
+        #[test]
+        fn concurrent_store_matches_serial_replay(
+            raw in proptest::collection::vec(
+                (0u8..=255, 0u64..=u64::MAX, 0u64..=u64::MAX,
+                 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+                1..64,
+            ),
+            threads in 2usize..5,
+            seed in 0u64..=u64::MAX,
+        ) {
+            run_mt_case(&raw, threads, seed)?;
+        }
+    }
+}
